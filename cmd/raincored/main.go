@@ -1,0 +1,165 @@
+// raincored runs one Raincore cluster member over real UDP — the
+// production deployment shape of §2.1. Start several instances with
+// mutual peer lists and they assemble into one group via the discovery
+// protocol, share multicast state, and survive member failures.
+//
+// Example (three nodes on loopback):
+//
+//	raincored -id 1 -listen 127.0.0.1:7001 -peer 2=127.0.0.1:7002 -peer 3=127.0.0.1:7003 &
+//	raincored -id 2 -listen 127.0.0.1:7002 -peer 1=127.0.0.1:7001 -peer 3=127.0.0.1:7003 &
+//	raincored -id 3 -listen 127.0.0.1:7003 -peer 1=127.0.0.1:7001 -peer 2=127.0.0.1:7002 &
+//
+// Each node multicasts a heartbeat at -announce intervals and logs every
+// delivery, membership change and system event. SIGINT leaves gracefully.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro"
+	"repro/internal/stats"
+)
+
+// peerList implements flag.Value for repeated -peer id=addr[,addr...] flags.
+type peerList map[raincore.NodeID][]raincore.Addr
+
+func (p peerList) String() string { return fmt.Sprint(map[raincore.NodeID][]raincore.Addr(p)) }
+
+func (p peerList) Set(v string) error {
+	parts := strings.SplitN(v, "=", 2)
+	if len(parts) != 2 {
+		return fmt.Errorf("want id=addr[,addr...], got %q", v)
+	}
+	id, err := strconv.ParseUint(parts[0], 10, 32)
+	if err != nil {
+		return fmt.Errorf("bad node id %q: %v", parts[0], err)
+	}
+	var addrs []raincore.Addr
+	for _, a := range strings.Split(parts[1], ",") {
+		addrs = append(addrs, raincore.Addr(strings.TrimSpace(a)))
+	}
+	p[raincore.NodeID(id)] = addrs
+	return nil
+}
+
+func main() {
+	var (
+		id       = flag.Uint("id", 0, "this node's ID (required, non-zero)")
+		listen   = flag.String("listen", "127.0.0.1:0", "UDP listen address; repeatable via commas for redundant links")
+		peers    = peerList{}
+		tokenMS  = flag.Int("token-hold", 100, "token hold interval in milliseconds")
+		hungryMS = flag.Int("hungry", 500, "hungry timeout in milliseconds")
+		beaconMS = flag.Int("bodyodor", 1000, "discovery beacon interval in milliseconds")
+		quorum   = flag.Int("quorum", 0, "minimum membership before self-shutdown (0 disables)")
+		announce = flag.Duration("announce", 2*time.Second, "heartbeat multicast interval (0 disables)")
+		statsInt = flag.Duration("stats", 10*time.Second, "stats print interval (0 disables)")
+	)
+	flag.Var(peers, "peer", "peer as id=addr[,addr...]; repeat per peer")
+	flag.Parse()
+	if *id == 0 {
+		log.Fatal("raincored: -id is required and must be non-zero")
+	}
+
+	logger := log.New(os.Stdout, fmt.Sprintf("[n%d] ", *id), log.Ltime|log.Lmicroseconds)
+
+	var conns []raincore.PacketConn
+	for _, addr := range strings.Split(*listen, ",") {
+		c, err := raincore.ListenUDP(strings.TrimSpace(addr))
+		if err != nil {
+			log.Fatalf("raincored: listen %s: %v", addr, err)
+		}
+		logger.Printf("listening on %s", c.LocalAddr())
+		conns = append(conns, c)
+	}
+
+	eligible := []raincore.NodeID{raincore.NodeID(*id)}
+	for pid := range peers {
+		eligible = append(eligible, pid)
+	}
+	ring := raincore.RingConfig{
+		TokenHold:        time.Duration(*tokenMS) * time.Millisecond,
+		HungryTimeout:    time.Duration(*hungryMS) * time.Millisecond,
+		BodyodorInterval: time.Duration(*beaconMS) * time.Millisecond,
+		Eligible:         eligible,
+		MinQuorum:        *quorum,
+	}
+	node, err := raincore.NewNode(raincore.Config{ID: raincore.NodeID(*id), Ring: ring}, conns)
+	if err != nil {
+		log.Fatalf("raincored: %v", err)
+	}
+	for pid, addrs := range peers {
+		node.SetPeer(pid, addrs)
+	}
+
+	done := make(chan struct{})
+	node.SetHandlers(raincore.Handlers{
+		OnDeliver: func(d raincore.Delivery) {
+			logger.Printf("deliver from %v seq=%d safe=%v: %q", d.Origin, d.Seq, d.Safe, d.Payload)
+		},
+		OnMembership: func(e raincore.MembershipEvent) {
+			logger.Printf("membership -> %v (epoch %d)", e.Members, e.Epoch)
+		},
+		OnSys: func(e raincore.SysEvent) {
+			logger.Printf("sys %v subject=%v origin=%v", e.Kind, e.Subject, e.Origin)
+		},
+		OnShutdown: func(reason string) {
+			logger.Printf("shutdown: %s", reason)
+			close(done)
+		},
+	})
+	node.Start()
+	logger.Printf("started; eligible membership %v", eligible)
+
+	if *announce > 0 {
+		go func() {
+			tick := time.NewTicker(*announce)
+			defer tick.Stop()
+			n := 0
+			for range tick.C {
+				n++
+				if err := node.Multicast([]byte(fmt.Sprintf("heartbeat %d from n%d", n, *id))); err != nil {
+					return
+				}
+			}
+		}()
+	}
+	if *statsInt > 0 {
+		go func() {
+			tick := time.NewTicker(*statsInt)
+			defer tick.Stop()
+			for range tick.C {
+				reg := node.Stats()
+				logger.Printf("stats: passes=%d switches=%d sent=%d recv=%d regens=%d merges=%d",
+					reg.Counter(stats.MetricTokenPasses).Load(),
+					reg.Counter(stats.MetricTaskSwitches).Load(),
+					reg.Counter(stats.MetricPacketsSent).Load(),
+					reg.Counter(stats.MetricPacketsRecv).Load(),
+					reg.Counter(stats.MetricTokenRegens).Load(),
+					reg.Counter(stats.MetricMerges).Load())
+			}
+		}()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case <-sig:
+		logger.Printf("interrupt: leaving the group")
+		node.Leave()
+		select {
+		case <-done:
+		case <-time.After(3 * time.Second):
+		}
+	case <-done:
+	}
+	node.Close()
+	logger.Printf("bye")
+}

@@ -1,0 +1,181 @@
+// Hierarchy: the scalability extension the paper lists as ongoing work
+// (§5). Nine nodes form three cells of three; each cell runs its own local
+// token ring, the cell leaders bridge into a global ring, and a global
+// multicast reaches all nine nodes in one consistent global order while
+// local token traffic stays inside each cell.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/hierarchy"
+	"repro/internal/simnet"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+func main() {
+	fmt.Println("== Raincore hierarchical extension (§5): 3 cells x 3 nodes ==")
+	net := simnet.New(simnet.Options{Seed: 1})
+	defer net.Close()
+	tcfg := transport.DefaultConfig()
+	tcfg.AckTimeout = 25 * time.Millisecond
+	tcfg.Attempts = 5
+	ring := func(eligible []core.NodeID) core.Config {
+		rc := core.FastRing()
+		rc.TokenHold = 3 * time.Millisecond
+		rc.HungryTimeout = 200 * time.Millisecond
+		rc.StarvingRetry = 150 * time.Millisecond
+		rc.Eligible = eligible
+		return core.Config{Ring: rc, Transport: tcfg}
+	}
+
+	cells := map[int][]core.NodeID{
+		0: {1, 2, 3}, 1: {101, 102, 103}, 2: {201, 202, 203},
+	}
+	var all []core.NodeID
+	for _, ids := range cells {
+		all = append(all, ids...)
+	}
+
+	var mu sync.Mutex
+	globals := map[core.NodeID][]string{}
+	services := map[core.NodeID]*hierarchy.Service{}
+	var nodes []*core.Node
+
+	for ci, ids := range cells {
+		for _, id := range ids {
+			cfg := ring(ids)
+			cfg.ID = id
+			ep := net.MustEndpoint(simnet.Addr(fmt.Sprintf("l-%d", id)))
+			node, err := core.NewNode(cfg, []transport.PacketConn{transport.NewSimConn(ep)})
+			if err != nil {
+				log.Fatal(err)
+			}
+			for _, other := range ids {
+				if other != id {
+					node.SetPeer(other, []transport.Addr{transport.Addr(fmt.Sprintf("l-%d", other))})
+				}
+			}
+			id := id
+			factory := func() (*core.Node, error) {
+				gcfg := ring(all)
+				gcfg.ID = id
+				gep, err := net.Endpoint(simnet.Addr(fmt.Sprintf("g-%d", id)))
+				if err != nil {
+					return nil, err
+				}
+				gn, err := core.NewNode(gcfg, []transport.PacketConn{transport.NewSimConn(gep)})
+				if err != nil {
+					return nil, err
+				}
+				for _, other := range all {
+					if other != id {
+						gn.SetPeer(other, []transport.Addr{transport.Addr(fmt.Sprintf("g-%d", other))})
+					}
+				}
+				return gn, nil
+			}
+			svc := hierarchy.New(ci, node, factory)
+			svc.SetHandlers(hierarchy.Handlers{
+				OnGlobal: func(d hierarchy.GlobalDelivery) {
+					mu.Lock()
+					globals[id] = append(globals[id], string(d.Payload))
+					mu.Unlock()
+				},
+				OnBridgeChange: func(isBridge bool) {
+					if isBridge {
+						fmt.Printf("  node %v now bridges cell %d\n", id, ci)
+					}
+				},
+			})
+			services[id] = svc
+			nodes = append(nodes, node)
+		}
+	}
+	for _, n := range nodes {
+		n.Start()
+	}
+	defer func() {
+		for _, s := range services {
+			s.Close()
+		}
+		for _, n := range nodes {
+			n.Close()
+		}
+	}()
+
+	fmt.Println("-- waiting for cells and the global ring to assemble --")
+	deadline := time.Now().Add(60 * time.Second)
+	converged := false
+	for time.Now().Before(deadline) && !converged {
+		var bridges []core.NodeID
+		for _, ids := range cells {
+			for _, id := range ids {
+				if services[id].IsBridge() {
+					bridges = append(bridges, id)
+				}
+			}
+		}
+		if len(bridges) == len(cells) {
+			want := fmt.Sprint(wire.SortedIDs(bridges))
+			converged = true
+			for _, b := range bridges {
+				if fmt.Sprint(wire.SortedIDs(services[b].GlobalMembers())) != want {
+					converged = false
+				}
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !converged {
+		for id, svc := range services {
+			if svc.IsBridge() {
+				fmt.Printf("  stuck: bridge %v global view %v\n", id, svc.GlobalMembers())
+			}
+		}
+		log.Fatal("global ring did not converge")
+	}
+	for id, svc := range services {
+		if svc.IsBridge() {
+			fmt.Printf("  bridge %v sees global ring %v\n", id, svc.GlobalMembers())
+			break
+		}
+	}
+
+	fmt.Println("-- global multicasts from every cell --")
+	for ci, ids := range cells {
+		if err := services[ids[1]].MulticastGlobal([]byte(fmt.Sprintf("greetings from cell %d", ci))); err != nil {
+			log.Fatal(err)
+		}
+	}
+	deadline = time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		mu.Lock()
+		done := true
+		for _, ids := range cells {
+			for _, id := range ids {
+				if len(globals[id]) < len(cells) {
+					done = false
+				}
+			}
+		}
+		mu.Unlock()
+		if done {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	mu.Lock()
+	fmt.Printf("node 1 (cell 0) received, in global order: %v\n", globals[1])
+	fmt.Printf("node 203 (cell 2) received, in global order: %v\n", globals[203])
+	same := fmt.Sprint(globals[1]) == fmt.Sprint(globals[203])
+	mu.Unlock()
+	fmt.Printf("cells agree on the global order: %v\n", same)
+	fmt.Println("== done ==")
+}

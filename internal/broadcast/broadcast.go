@@ -1,0 +1,319 @@
+// Package broadcast implements the comparison baselines of the paper's
+// overhead analysis (§4.1): reliable multicast built on unicast fan-out
+// with acknowledgements, in two flavors:
+//
+//   - Unordered: each message is reliably unicast to every peer and
+//     delivered on receipt ("a broadcast-based protocol").
+//   - TotalOrder: a two-phase-commit style agreement on delivery
+//     timestamps (Skeen's algorithm: prepare → propose → commit), the
+//     classic way to get consistent ordering from point-to-point
+//     broadcast, costing up to 6·M·N task switches per node per second
+//     in the paper's accounting.
+//
+// Both run over the same Raincore Transport Service and simulated network
+// as the token protocol, so packet counts, byte counts and task switches
+// are directly comparable.
+package broadcast
+
+import (
+	"encoding/binary"
+	"errors"
+	"sort"
+	"sync"
+
+	"repro/internal/stats"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// Mode selects the baseline variant.
+type Mode uint8
+
+const (
+	// Unordered delivers messages on receipt: reliable, no ordering.
+	Unordered Mode = iota
+	// TotalOrder agrees on a global delivery order via two-phase commit.
+	TotalOrder
+)
+
+// Delivery is one message handed to the application.
+type Delivery struct {
+	Origin  wire.NodeID
+	Payload []byte
+}
+
+// Node is one member of a broadcast-based group with static membership.
+type Node struct {
+	id    wire.NodeID
+	peers []wire.NodeID
+	tr    *transport.Transport
+	reg   *stats.Registry
+	mode  Mode
+
+	mu      sync.Mutex
+	lamport uint64
+	nextID  uint64
+	collect map[uint64]*collectState
+	buffer  map[msgKey]*bufMsg
+	handler func(Delivery)
+	closed  bool
+}
+
+type msgKey struct {
+	origin wire.NodeID
+	id     uint64
+}
+
+type collectState struct {
+	proposals map[wire.NodeID]uint64
+	want      int
+}
+
+type bufMsg struct {
+	key       msgKey
+	payload   []byte
+	ts        uint64
+	committed bool
+}
+
+// New builds a broadcast node over an existing transport. peers lists the
+// other members (excluding this node).
+func New(tr *transport.Transport, peers []wire.NodeID, mode Mode, reg *stats.Registry) *Node {
+	if reg == nil {
+		reg = tr.Stats()
+	}
+	n := &Node{
+		id:      tr.Local(),
+		peers:   append([]wire.NodeID(nil), peers...),
+		tr:      tr,
+		reg:     reg,
+		mode:    mode,
+		collect: make(map[uint64]*collectState),
+		buffer:  make(map[msgKey]*bufMsg),
+	}
+	tr.SetHandler(n.onPacket)
+	return n
+}
+
+// SetHandler installs the delivery callback. For TotalOrder mode the
+// callback observes the agreed global order.
+func (n *Node) SetHandler(fn func(Delivery)) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.handler = fn
+}
+
+// Stats returns the metric registry.
+func (n *Node) Stats() *stats.Registry { return n.reg }
+
+// Multicast sends payload to the whole group.
+func (n *Node) Multicast(payload []byte) error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return errors.New("broadcast: node closed")
+	}
+	n.nextID++
+	id := n.nextID
+	n.reg.Counter(stats.MetricMsgsSent).Inc()
+	switch n.mode {
+	case Unordered:
+		h := n.handler
+		n.mu.Unlock()
+		frame := encode(frameData, n.id, id, 0, payload)
+		for _, p := range n.peers {
+			n.tr.Send(p, frame, nil)
+		}
+		if h != nil {
+			h(Delivery{Origin: n.id, Payload: payload})
+		}
+		n.reg.Counter(stats.MetricMsgsDelivered).Inc()
+		return nil
+	default: // TotalOrder: phase 1, PREPARE to all, propose locally too.
+		n.lamport++
+		key := msgKey{n.id, id}
+		n.buffer[key] = &bufMsg{key: key, payload: append([]byte(nil), payload...), ts: n.lamport}
+		n.collect[id] = &collectState{
+			proposals: map[wire.NodeID]uint64{n.id: n.lamport},
+			want:      len(n.peers) + 1,
+		}
+		n.mu.Unlock()
+		frame := encode(framePrepare, n.id, id, 0, payload)
+		for _, p := range n.peers {
+			n.tr.Send(p, frame, nil)
+		}
+		n.maybeCommit(id)
+		return nil
+	}
+}
+
+// onPacket handles a protocol packet; every receipt is one task switch in
+// the §4.1 accounting.
+func (n *Node) onPacket(from wire.NodeID, payload []byte) {
+	kind, origin, id, ts, body, err := decode(payload)
+	if err != nil {
+		return
+	}
+	n.reg.Counter(stats.MetricTaskSwitches).Inc()
+	switch kind {
+	case frameData:
+		n.mu.Lock()
+		h := n.handler
+		n.mu.Unlock()
+		n.reg.Counter(stats.MetricMsgsDelivered).Inc()
+		if h != nil {
+			h(Delivery{Origin: origin, Payload: body})
+		}
+	case framePrepare:
+		n.mu.Lock()
+		n.lamport++
+		prop := n.lamport
+		key := msgKey{origin, id}
+		if _, dup := n.buffer[key]; !dup {
+			n.buffer[key] = &bufMsg{key: key, payload: append([]byte(nil), body...), ts: prop}
+		}
+		n.mu.Unlock()
+		n.tr.Send(origin, encode(framePropose, n.id, id, prop, nil), nil)
+	case framePropose:
+		if origin != n.id {
+			// Proposals are addressed to the originator; the origin field
+			// carries the proposer here, id identifies our message.
+		}
+		n.mu.Lock()
+		st := n.collect[id]
+		if st != nil {
+			st.proposals[from] = ts
+		}
+		n.mu.Unlock()
+		n.maybeCommit(id)
+	case frameCommit:
+		n.applyCommit(msgKey{origin, id}, ts)
+	}
+}
+
+// maybeCommit finishes phase 2 at the originator once all proposals are in.
+func (n *Node) maybeCommit(id uint64) {
+	n.mu.Lock()
+	st := n.collect[id]
+	if st == nil || len(st.proposals) < st.want {
+		n.mu.Unlock()
+		return
+	}
+	delete(n.collect, id)
+	final := uint64(0)
+	for _, p := range st.proposals {
+		if p > final {
+			final = p
+		}
+	}
+	if final > n.lamport {
+		n.lamport = final
+	}
+	n.mu.Unlock()
+	frame := encode(frameCommit, n.id, id, final, nil)
+	for _, p := range n.peers {
+		n.tr.Send(p, frame, nil)
+	}
+	n.applyCommit(msgKey{n.id, id}, final)
+}
+
+// applyCommit finalizes a message's timestamp and delivers everything that
+// became deliverable: a committed message delivers when its (ts, origin,
+// id) is minimal among all buffered messages.
+func (n *Node) applyCommit(key msgKey, final uint64) {
+	n.mu.Lock()
+	m := n.buffer[key]
+	if m == nil {
+		n.mu.Unlock()
+		return
+	}
+	m.ts = final
+	m.committed = true
+	if final > n.lamport {
+		n.lamport = final
+	}
+	var ready []*bufMsg
+	for {
+		all := make([]*bufMsg, 0, len(n.buffer))
+		for _, b := range n.buffer {
+			all = append(all, b)
+		}
+		if len(all) == 0 {
+			break
+		}
+		sort.Slice(all, func(i, j int) bool { return lessMsg(all[i], all[j]) })
+		head := all[0]
+		if !head.committed {
+			break
+		}
+		delete(n.buffer, head.key)
+		ready = append(ready, head)
+	}
+	h := n.handler
+	n.mu.Unlock()
+	for _, r := range ready {
+		n.reg.Counter(stats.MetricMsgsDelivered).Inc()
+		if h != nil {
+			h(Delivery{Origin: r.key.origin, Payload: r.payload})
+		}
+	}
+}
+
+func lessMsg(a, b *bufMsg) bool {
+	if a.ts != b.ts {
+		return a.ts < b.ts
+	}
+	if a.key.origin != b.key.origin {
+		return a.key.origin < b.key.origin
+	}
+	return a.key.id < b.key.id
+}
+
+// Close detaches the node from its transport handler.
+func (n *Node) Close() {
+	n.mu.Lock()
+	n.closed = true
+	n.mu.Unlock()
+}
+
+// --- frame codec ---
+//
+//	byte 0      kind
+//	bytes 1-4   origin NodeID
+//	bytes 5-12  message ID
+//	bytes 13-20 timestamp (propose/commit)
+//	bytes 21..  payload
+
+type frameKind byte
+
+const (
+	frameData    frameKind = 1
+	framePrepare frameKind = 2
+	framePropose frameKind = 3
+	frameCommit  frameKind = 4
+)
+
+const headerLen = 21
+
+func encode(kind frameKind, origin wire.NodeID, id, ts uint64, payload []byte) []byte {
+	b := make([]byte, headerLen, headerLen+len(payload))
+	b[0] = byte(kind)
+	binary.LittleEndian.PutUint32(b[1:], uint32(origin))
+	binary.LittleEndian.PutUint64(b[5:], id)
+	binary.LittleEndian.PutUint64(b[13:], ts)
+	return append(b, payload...)
+}
+
+func decode(b []byte) (frameKind, wire.NodeID, uint64, uint64, []byte, error) {
+	if len(b) < headerLen {
+		return 0, 0, 0, 0, nil, errors.New("broadcast: short frame")
+	}
+	kind := frameKind(b[0])
+	if kind < frameData || kind > frameCommit {
+		return 0, 0, 0, 0, nil, errors.New("broadcast: bad kind")
+	}
+	origin := wire.NodeID(binary.LittleEndian.Uint32(b[1:]))
+	id := binary.LittleEndian.Uint64(b[5:])
+	ts := binary.LittleEndian.Uint64(b[13:])
+	return kind, origin, id, ts, b[headerLen:], nil
+}

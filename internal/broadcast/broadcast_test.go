@@ -1,0 +1,237 @@
+package broadcast
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/simnet"
+	"repro/internal/stats"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// group builds n broadcast nodes over a fresh simnet.
+func group(t *testing.T, n int, mode Mode, prof simnet.Profile) []*Node {
+	t.Helper()
+	net := simnet.New(simnet.Options{Default: prof, Seed: 5})
+	t.Cleanup(net.Close)
+	cfg := transport.DefaultConfig()
+	cfg.AckTimeout = 10 * time.Millisecond
+	cfg.Attempts = 10
+	var nodes []*Node
+	var trs []*transport.Transport
+	for i := 1; i <= n; i++ {
+		addr := simnet.Addr(fmt.Sprintf("b%d", i))
+		tr := transport.New(wire.NodeID(i), []transport.PacketConn{transport.NewSimConn(net.MustEndpoint(addr))}, nil, nil, cfg)
+		trs = append(trs, tr)
+	}
+	t.Cleanup(func() {
+		for _, tr := range trs {
+			tr.Close()
+		}
+	})
+	for i, tr := range trs {
+		for j := 1; j <= n; j++ {
+			if j != i+1 {
+				tr.SetPeer(wire.NodeID(j), []transport.Addr{transport.Addr(fmt.Sprintf("b%d", j))})
+			}
+		}
+		var peers []wire.NodeID
+		for j := 1; j <= n; j++ {
+			if j != i+1 {
+				peers = append(peers, wire.NodeID(j))
+			}
+		}
+		nodes = append(nodes, New(tr, peers, mode, stats.NewRegistry()))
+	}
+	return nodes
+}
+
+type sink struct {
+	mu  sync.Mutex
+	got []string
+}
+
+func (s *sink) add(d Delivery) {
+	s.mu.Lock()
+	s.got = append(s.got, string(d.Payload))
+	s.mu.Unlock()
+}
+
+func (s *sink) list() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]string(nil), s.got...)
+}
+
+func waitLen(t *testing.T, s *sink, n int, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if len(s.list()) >= n {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timeout: got %d messages (%v), want %d", len(s.list()), s.list(), n)
+}
+
+func TestUnorderedDeliversToAll(t *testing.T) {
+	nodes := group(t, 3, Unordered, simnet.Profile{})
+	sinks := make([]*sink, len(nodes))
+	for i, n := range nodes {
+		sinks[i] = &sink{}
+		n.SetHandler(sinks[i].add)
+	}
+	if err := nodes[0].Multicast([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	for i := range nodes {
+		waitLen(t, sinks[i], 1, 5*time.Second)
+	}
+}
+
+func TestTotalOrderAgreement(t *testing.T) {
+	nodes := group(t, 4, TotalOrder, simnet.Profile{Latency: time.Millisecond, Jitter: 2 * time.Millisecond})
+	sinks := make([]*sink, len(nodes))
+	for i, n := range nodes {
+		sinks[i] = &sink{}
+		n.SetHandler(sinks[i].add)
+	}
+	const perNode = 8
+	var wg sync.WaitGroup
+	for i, n := range nodes {
+		wg.Add(1)
+		go func(i int, n *Node) {
+			defer wg.Done()
+			for k := 0; k < perNode; k++ {
+				if err := n.Multicast([]byte(fmt.Sprintf("n%d-%d", i, k))); err != nil {
+					t.Error(err)
+				}
+			}
+		}(i, n)
+	}
+	wg.Wait()
+	total := perNode * len(nodes)
+	for i := range nodes {
+		waitLen(t, sinks[i], total, 10*time.Second)
+	}
+	ref := sinks[0].list()
+	for i := 1; i < len(sinks); i++ {
+		got := sinks[i].list()
+		if len(got) != len(ref) {
+			t.Fatalf("node %d delivered %d, node 0 delivered %d", i, len(got), len(ref))
+		}
+		for k := range ref {
+			if got[k] != ref[k] {
+				t.Fatalf("order diverges at %d: node %d has %q, node 0 has %q", k, i, got[k], ref[k])
+			}
+		}
+	}
+}
+
+func TestTotalOrderWithLoss(t *testing.T) {
+	nodes := group(t, 3, TotalOrder, simnet.Profile{Loss: 0.2})
+	sinks := make([]*sink, len(nodes))
+	for i, n := range nodes {
+		sinks[i] = &sink{}
+		n.SetHandler(sinks[i].add)
+	}
+	for k := 0; k < 5; k++ {
+		if err := nodes[k%3].Multicast([]byte(fmt.Sprintf("m%d", k))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := range nodes {
+		waitLen(t, sinks[i], 5, 20*time.Second)
+	}
+	ref := sinks[0].list()
+	for i := 1; i < len(sinks); i++ {
+		got := sinks[i].list()
+		for k := range ref {
+			if got[k] != ref[k] {
+				t.Fatalf("order diverges under loss at %d", k)
+			}
+		}
+	}
+}
+
+func TestTaskSwitchAccounting(t *testing.T) {
+	nodes := group(t, 4, Unordered, simnet.Profile{})
+	sinks := make([]*sink, len(nodes))
+	for i, n := range nodes {
+		sinks[i] = &sink{}
+		n.SetHandler(sinks[i].add)
+	}
+	const msgs = 10
+	for k := 0; k < msgs; k++ {
+		if err := nodes[0].Multicast([]byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := range nodes {
+		waitLen(t, sinks[i], msgs, 5*time.Second)
+	}
+	// Every receiver paid one task switch per message.
+	for i := 1; i < len(nodes); i++ {
+		got := nodes[i].Stats().Counter(stats.MetricTaskSwitches).Load()
+		if got != msgs {
+			t.Fatalf("node %d task switches = %d, want %d", i, got, msgs)
+		}
+	}
+}
+
+func TestTotalOrderTaskSwitchesScaleWithPhases(t *testing.T) {
+	nodes := group(t, 3, TotalOrder, simnet.Profile{})
+	sinks := make([]*sink, len(nodes))
+	for i, n := range nodes {
+		sinks[i] = &sink{}
+		n.SetHandler(sinks[i].add)
+	}
+	if err := nodes[0].Multicast([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	for i := range nodes {
+		waitLen(t, sinks[i], 1, 5*time.Second)
+	}
+	// A non-originator processes PREPARE + COMMIT = 2 packets; the
+	// originator processes N-1 = 2 PROPOSE packets.
+	for i := 1; i < len(nodes); i++ {
+		got := nodes[i].Stats().Counter(stats.MetricTaskSwitches).Load()
+		if got != 2 {
+			t.Fatalf("node %d task switches = %d, want 2 (prepare+commit)", i, got)
+		}
+	}
+	if got := nodes[0].Stats().Counter(stats.MetricTaskSwitches).Load(); got != 2 {
+		t.Fatalf("originator task switches = %d, want 2 proposals", got)
+	}
+}
+
+func TestMulticastAfterClose(t *testing.T) {
+	nodes := group(t, 2, Unordered, simnet.Profile{})
+	nodes[0].Close()
+	if err := nodes[0].Multicast([]byte("x")); err == nil {
+		t.Fatal("multicast after close succeeded")
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	f := encode(frameCommit, 9, 77, 123456, []byte("pp"))
+	kind, origin, id, ts, body, err := decode(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != frameCommit || origin != 9 || id != 77 || ts != 123456 || string(body) != "pp" {
+		t.Fatalf("round trip mismatch: %d %d %d %d %q", kind, origin, id, ts, body)
+	}
+}
+
+func TestCodecRejectsGarbage(t *testing.T) {
+	for _, b := range [][]byte{nil, {1, 2}, make([]byte, headerLen-1), append([]byte{99}, make([]byte, headerLen)...)} {
+		if _, _, _, _, _, err := decode(b); err == nil {
+			t.Fatalf("decode(%x) succeeded", b)
+		}
+	}
+}

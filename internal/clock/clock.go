@@ -1,0 +1,63 @@
+// Package clock abstracts time so that protocol code can run against the
+// real wall clock in production and against a controllable fake clock in
+// deterministic tests and simulations.
+package clock
+
+import "time"
+
+// Clock supplies the current time and timer construction. Implementations
+// must be safe for concurrent use.
+type Clock interface {
+	// Now reports the current time.
+	Now() time.Time
+	// NewTimer returns a timer that fires once after d.
+	NewTimer(d time.Duration) Timer
+	// After returns a channel that receives the fire time after d.
+	After(d time.Duration) <-chan time.Time
+	// AfterFunc schedules f to run once after d, in its own goroutine
+	// for the real clock and synchronously from Advance for fakes. The
+	// returned Timer's Stop cancels the callback.
+	AfterFunc(d time.Duration, f func()) Timer
+	// Sleep blocks the calling goroutine for d.
+	Sleep(d time.Duration)
+}
+
+// Timer is a single-shot timer, mirroring time.Timer but usable with both
+// real and fake clocks.
+type Timer interface {
+	// C returns the channel on which the fire time is delivered.
+	C() <-chan time.Time
+	// Stop prevents the timer from firing. It reports whether the timer
+	// was still pending.
+	Stop() bool
+	// Reset re-arms the timer to fire after d. It reports whether the
+	// timer was still pending before the reset.
+	Reset(d time.Duration) bool
+}
+
+// Real is a Clock backed by package time.
+type Real struct{}
+
+// NewReal returns the wall-clock implementation.
+func NewReal() Real { return Real{} }
+
+// Now implements Clock.
+func (Real) Now() time.Time { return time.Now() }
+
+// NewTimer implements Clock.
+func (Real) NewTimer(d time.Duration) Timer { return realTimer{time.NewTimer(d)} }
+
+// After implements Clock.
+func (Real) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// AfterFunc implements Clock.
+func (Real) AfterFunc(d time.Duration, f func()) Timer { return realTimer{time.AfterFunc(d, f)} }
+
+// Sleep implements Clock.
+func (Real) Sleep(d time.Duration) { time.Sleep(d) }
+
+type realTimer struct{ t *time.Timer }
+
+func (r realTimer) C() <-chan time.Time        { return r.t.C }
+func (r realTimer) Stop() bool                 { return r.t.Stop() }
+func (r realTimer) Reset(d time.Duration) bool { return r.t.Reset(d) }

@@ -1,0 +1,221 @@
+package clock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRealNow(t *testing.T) {
+	c := NewReal()
+	before := time.Now()
+	got := c.Now()
+	after := time.Now()
+	if got.Before(before) || got.After(after) {
+		t.Fatalf("Real.Now() = %v, want between %v and %v", got, before, after)
+	}
+}
+
+func TestRealTimerFires(t *testing.T) {
+	c := NewReal()
+	tm := c.NewTimer(time.Millisecond)
+	select {
+	case <-tm.C():
+	case <-time.After(2 * time.Second):
+		t.Fatal("real timer did not fire")
+	}
+}
+
+func TestRealAfter(t *testing.T) {
+	select {
+	case <-NewReal().After(time.Millisecond):
+	case <-time.After(2 * time.Second):
+		t.Fatal("After channel did not fire")
+	}
+}
+
+func TestFakeAdvanceFiresInOrder(t *testing.T) {
+	f := NewFake(time.Time{})
+	var fired []int
+	t1 := f.NewTimer(10 * time.Millisecond)
+	t2 := f.NewTimer(5 * time.Millisecond)
+	t3 := f.NewTimer(20 * time.Millisecond)
+
+	f.Advance(15 * time.Millisecond)
+	drain := func(tm Timer, id int) {
+		select {
+		case <-tm.C():
+			fired = append(fired, id)
+		default:
+		}
+	}
+	drain(t2, 2)
+	drain(t1, 1)
+	drain(t3, 3)
+	if len(fired) != 2 || fired[0] != 2 || fired[1] != 1 {
+		t.Fatalf("fired = %v, want [2 1]", fired)
+	}
+	f.Advance(10 * time.Millisecond)
+	drain(t3, 3)
+	if len(fired) != 3 || fired[2] != 3 {
+		t.Fatalf("fired = %v, want trailing 3", fired)
+	}
+}
+
+func TestFakeTimerStop(t *testing.T) {
+	f := NewFake(time.Time{})
+	tm := f.NewTimer(time.Second)
+	if !tm.Stop() {
+		t.Fatal("Stop on pending timer reported false")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop reported true")
+	}
+	f.Advance(2 * time.Second)
+	select {
+	case <-tm.C():
+		t.Fatal("stopped timer fired")
+	default:
+	}
+}
+
+func TestFakeTimerReset(t *testing.T) {
+	f := NewFake(time.Time{})
+	tm := f.NewTimer(time.Second)
+	if !tm.Reset(3 * time.Second) {
+		t.Fatal("Reset on pending timer reported false")
+	}
+	f.Advance(2 * time.Second)
+	select {
+	case <-tm.C():
+		t.Fatal("timer fired before reset deadline")
+	default:
+	}
+	f.Advance(2 * time.Second)
+	select {
+	case <-tm.C():
+	default:
+		t.Fatal("timer did not fire after reset deadline")
+	}
+}
+
+func TestFakeResetAfterFireDrainsStaleTick(t *testing.T) {
+	f := NewFake(time.Time{})
+	tm := f.NewTimer(time.Millisecond)
+	f.Advance(time.Millisecond)
+	// Timer has fired; channel holds a stale tick. Reset must drain it.
+	if tm.Reset(time.Hour) {
+		t.Fatal("Reset after fire reported pending")
+	}
+	select {
+	case <-tm.C():
+		t.Fatal("stale tick survived Reset")
+	default:
+	}
+	f.Advance(time.Hour)
+	select {
+	case <-tm.C():
+	default:
+		t.Fatal("timer did not fire after re-arm")
+	}
+}
+
+func TestFakeAdvanceToPastIsNoop(t *testing.T) {
+	f := NewFake(time.Time{})
+	start := f.Now()
+	f.AdvanceTo(start.Add(-time.Hour))
+	if !f.Now().Equal(start) {
+		t.Fatalf("AdvanceTo past moved clock: %v -> %v", start, f.Now())
+	}
+}
+
+func TestFakeSleepWakesOnAdvance(t *testing.T) {
+	f := NewFake(time.Time{})
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		f.Sleep(time.Second)
+		close(done)
+	}()
+	// Let the sleeper arm its timer before advancing.
+	for f.PendingTimers() == 0 {
+		time.Sleep(100 * time.Microsecond)
+	}
+	f.Advance(time.Second)
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Sleep did not wake on Advance")
+	}
+	wg.Wait()
+}
+
+func TestFakeEqualDeadlinesFIFO(t *testing.T) {
+	f := NewFake(time.Time{})
+	a := f.NewTimer(time.Second)
+	b := f.NewTimer(time.Second)
+	f.Advance(time.Second)
+	// Both fired; FIFO order is observable through the heap pop order,
+	// which filled a's channel first. Both channels must hold a tick.
+	for i, tm := range []Timer{a, b} {
+		select {
+		case <-tm.C():
+		default:
+			t.Fatalf("timer %d did not fire", i)
+		}
+	}
+}
+
+func TestFakePendingTimers(t *testing.T) {
+	f := NewFake(time.Time{})
+	if n := f.PendingTimers(); n != 0 {
+		t.Fatalf("PendingTimers = %d, want 0", n)
+	}
+	tm := f.NewTimer(time.Minute)
+	if n := f.PendingTimers(); n != 1 {
+		t.Fatalf("PendingTimers = %d, want 1", n)
+	}
+	tm.Stop()
+	if n := f.PendingTimers(); n != 0 {
+		t.Fatalf("PendingTimers after Stop = %d, want 0", n)
+	}
+}
+
+func TestRealAfterFunc(t *testing.T) {
+	done := make(chan struct{})
+	NewReal().AfterFunc(time.Millisecond, func() { close(done) })
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("AfterFunc callback did not run")
+	}
+}
+
+func TestFakeAfterFunc(t *testing.T) {
+	f := NewFake(time.Time{})
+	var ran bool
+	f.AfterFunc(time.Second, func() { ran = true })
+	f.Advance(500 * time.Millisecond)
+	if ran {
+		t.Fatal("callback ran early")
+	}
+	f.Advance(time.Second)
+	if !ran {
+		t.Fatal("callback did not run on Advance")
+	}
+}
+
+func TestFakeAfterFuncStop(t *testing.T) {
+	f := NewFake(time.Time{})
+	var ran bool
+	tm := f.AfterFunc(time.Second, func() { ran = true })
+	if !tm.Stop() {
+		t.Fatal("Stop reported not pending")
+	}
+	f.Advance(2 * time.Second)
+	if ran {
+		t.Fatal("stopped AfterFunc still ran")
+	}
+}

@@ -1,0 +1,184 @@
+package clock
+
+import (
+	"container/heap"
+	"sync"
+	"time"
+)
+
+// Fake is a manually advanced Clock for deterministic tests. Time only
+// moves when Advance or AdvanceTo is called; timers scheduled at or before
+// the new time fire synchronously (their channels are buffered, so Advance
+// never blocks on a receiver).
+type Fake struct {
+	mu      sync.Mutex
+	now     time.Time
+	timers  timerHeap
+	nextSeq uint64
+}
+
+// NewFake returns a fake clock starting at the given time. A zero start is
+// replaced by an arbitrary fixed epoch so durations stay positive.
+func NewFake(start time.Time) *Fake {
+	if start.IsZero() {
+		start = time.Date(2001, 4, 23, 0, 0, 0, 0, time.UTC) // IPPS 2001
+	}
+	return &Fake{now: start}
+}
+
+// Now implements Clock.
+func (f *Fake) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.now
+}
+
+// Advance moves the clock forward by d, firing due timers in order.
+func (f *Fake) Advance(d time.Duration) {
+	f.AdvanceTo(f.Now().Add(d))
+}
+
+// AdvanceTo moves the clock to t (no-op if t is in the past), firing due
+// timers in deadline order. Timers created by callbacks of already-fired
+// timers are honored if they fall before t.
+func (f *Fake) AdvanceTo(t time.Time) {
+	for {
+		f.mu.Lock()
+		if len(f.timers) == 0 || f.timers[0].when.After(t) {
+			if t.After(f.now) {
+				f.now = t
+			}
+			f.mu.Unlock()
+			return
+		}
+		ft := heap.Pop(&f.timers).(*fakeTimer)
+		if ft.when.After(f.now) {
+			f.now = ft.when
+		}
+		ft.pending = false
+		f.mu.Unlock()
+		if ft.fn != nil {
+			ft.fn()
+			continue
+		}
+		// Buffered channel: the send cannot block.
+		ft.ch <- ft.when
+	}
+}
+
+// PendingTimers reports how many timers are armed; useful in tests.
+func (f *Fake) PendingTimers() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.timers)
+}
+
+// NewTimer implements Clock.
+func (f *Fake) NewTimer(d time.Duration) Timer {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	ft := &fakeTimer{
+		clk:     f,
+		ch:      make(chan time.Time, 1),
+		when:    f.now.Add(d),
+		pending: true,
+		seq:     f.nextSeq,
+	}
+	f.nextSeq++
+	heap.Push(&f.timers, ft)
+	return ft
+}
+
+// After implements Clock.
+func (f *Fake) After(d time.Duration) <-chan time.Time { return f.NewTimer(d).C() }
+
+// AfterFunc implements Clock. The callback runs synchronously inside
+// Advance/AdvanceTo when the deadline is reached.
+func (f *Fake) AfterFunc(d time.Duration, fn func()) Timer {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	ft := &fakeTimer{
+		clk:     f,
+		ch:      make(chan time.Time, 1),
+		fn:      fn,
+		when:    f.now.Add(d),
+		pending: true,
+		seq:     f.nextSeq,
+	}
+	f.nextSeq++
+	heap.Push(&f.timers, ft)
+	return ft
+}
+
+// Sleep implements Clock. With a fake clock Sleep blocks until some other
+// goroutine advances time past the deadline.
+func (f *Fake) Sleep(d time.Duration) { <-f.After(d) }
+
+type fakeTimer struct {
+	clk     *Fake
+	ch      chan time.Time
+	fn      func() // non-nil for AfterFunc timers
+	when    time.Time
+	pending bool
+	seq     uint64 // FIFO tie-break for equal deadlines
+	index   int
+}
+
+func (t *fakeTimer) C() <-chan time.Time { return t.ch }
+
+func (t *fakeTimer) Stop() bool {
+	t.clk.mu.Lock()
+	defer t.clk.mu.Unlock()
+	if !t.pending {
+		return false
+	}
+	t.pending = false
+	heap.Remove(&t.clk.timers, t.index)
+	return true
+}
+
+func (t *fakeTimer) Reset(d time.Duration) bool {
+	t.clk.mu.Lock()
+	defer t.clk.mu.Unlock()
+	was := t.pending
+	if t.pending {
+		heap.Remove(&t.clk.timers, t.index)
+	}
+	// Drain a stale fire so a reset timer delivers only the new deadline.
+	select {
+	case <-t.ch:
+	default:
+	}
+	t.when = t.clk.now.Add(d)
+	t.pending = true
+	heap.Push(&t.clk.timers, t)
+	return was
+}
+
+type timerHeap []*fakeTimer
+
+func (h timerHeap) Len() int { return len(h) }
+func (h timerHeap) Less(i, j int) bool {
+	if h[i].when.Equal(h[j].when) {
+		return h[i].seq < h[j].seq
+	}
+	return h[i].when.Before(h[j].when)
+}
+func (h timerHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *timerHeap) Push(x any) {
+	t := x.(*fakeTimer)
+	t.index = len(*h)
+	*h = append(*h, t)
+}
+func (h *timerHeap) Pop() any {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return t
+}

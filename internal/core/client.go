@@ -1,0 +1,43 @@
+package core
+
+import (
+	"errors"
+
+	"repro/internal/clock"
+	"repro/internal/stats"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// OpenClient implements open group communication (§2.6): a node outside
+// the Raincore group sends a message to any member, and that member
+// forwards it to the entire group with the usual atomicity and ordering
+// guarantees.
+type OpenClient struct {
+	id NodeID
+	tr *transport.Transport
+}
+
+// NewOpenClient builds a client with its own transport. The client ID must
+// not collide with a member ID.
+func NewOpenClient(id NodeID, conns []transport.PacketConn, clk clock.Clock, reg *stats.Registry, cfg transport.Config) (*OpenClient, error) {
+	if id == wire.NoNode {
+		return nil, errors.New("core: client ID must be non-zero")
+	}
+	return &OpenClient{id: id, tr: transport.New(id, conns, clk, reg, cfg)}, nil
+}
+
+// SetMember registers a member's addresses as a forwarding target.
+func (c *OpenClient) SetMember(id NodeID, addrs []transport.Addr) {
+	c.tr.SetPeer(id, addrs)
+}
+
+// Send forwards payload into the group through the given member. The call
+// blocks until the member acknowledged receipt (not group-wide delivery).
+func (c *OpenClient) Send(via NodeID, payload []byte, safe bool) error {
+	f := wire.Forward{From: c.id, Safe: safe, Payload: payload}
+	return c.tr.SendSync(via, wire.EncodeForward(&f))
+}
+
+// Close releases the client's transport.
+func (c *OpenClient) Close() error { return c.tr.Close() }

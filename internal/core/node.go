@@ -1,0 +1,576 @@
+// Package core is the Raincore Distributed Session Service: the public,
+// runnable form of the protocols in internal/ring. A Node owns one protocol
+// state machine, drives it with a single event loop, and exposes group
+// membership, atomic reliable multicast with agreed or safe ordering
+// (§2.6), and the token-based mutual exclusion service (§2.7) on top of
+// the Raincore Transport Service (§2.1).
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/ring"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// NodeID re-exports the cluster member identity.
+type NodeID = wire.NodeID
+
+// Delivery is one multicast message handed to the application, in the
+// agreed total order.
+type Delivery struct {
+	Origin  NodeID
+	Seq     uint64
+	Safe    bool
+	Payload []byte
+}
+
+// MembershipEvent reports a change of the node's membership view.
+type MembershipEvent struct {
+	Members []NodeID
+	Epoch   uint64
+}
+
+// SysEvent reports an ordered system announcement (node joined/removed,
+// group merged). These arrive in the same total order as Deliveries, which
+// is what replicated state machines such as the lock manager key off.
+type SysEvent struct {
+	Kind    wire.SysKind
+	Subject NodeID
+	Origin  NodeID
+}
+
+// Handlers are the application callbacks. They are invoked from the node's
+// event loop: they observe a consistent total order and must not block.
+type Handlers struct {
+	// OnDeliver receives application multicasts in agreed total order.
+	OnDeliver func(Delivery)
+	// OnMembership receives membership view changes.
+	OnMembership func(MembershipEvent)
+	// OnSys receives ordered system announcements.
+	OnSys func(SysEvent)
+	// OnShutdown is called once when the node stops itself (voluntary
+	// leave, critical resource loss, quorum loss).
+	OnShutdown func(reason string)
+}
+
+// Config assembles a node.
+type Config struct {
+	// ID is the node identity (required, non-zero).
+	ID NodeID
+	// Ring tunes the protocol timers, eligible membership and quorum.
+	// Ring.ID is overwritten with ID.
+	Ring ring.Config
+	// Transport tunes the reliable unicast layer.
+	Transport transport.Config
+	// Clock defaults to the real clock.
+	Clock clock.Clock
+	// Registry defaults to a private registry.
+	Registry *stats.Registry
+	// Trace, when non-nil, records protocol events for diagnostics.
+	Trace *trace.Log
+}
+
+// ErrStopped is returned by operations on a stopped node.
+var ErrStopped = errors.New("core: node stopped")
+
+// Node is one member of a Raincore cluster.
+type Node struct {
+	id  NodeID
+	clk clock.Clock
+	reg *stats.Registry
+	tr  *transport.Transport
+	sm  *ring.SM
+	trc *trace.Log
+
+	events chan ring.Event
+	done   chan struct{}
+	loopWG sync.WaitGroup
+
+	timers    [ring.NumTimers]clock.Timer
+	timerGen  [ring.NumTimers]uint64
+	handlers  Handlers
+	handlerMu sync.Mutex
+
+	// Snapshot state maintained by the loop, read by API methods.
+	mu          sync.Mutex
+	members     []NodeID
+	epoch       uint64
+	state       ring.NodeState
+	stopped     bool
+	lastToken   time.Time
+	submitTimes []time.Time // FIFO of Multicast submit times for latency
+	lockWaiter  chan struct{}
+	lockHeld    bool
+
+	stopOnce sync.Once
+}
+
+// NewNode builds a node over the given transport conns (one per local
+// physical address). Call Start to boot it as a singleton group; groups
+// assemble via the eligible-membership discovery protocol or Join.
+func NewNode(cfg Config, conns []transport.PacketConn) (*Node, error) {
+	if cfg.ID == wire.NoNode {
+		return nil, errors.New("core: Config.ID must be non-zero")
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = clock.NewReal()
+	}
+	if cfg.Registry == nil {
+		cfg.Registry = stats.NewRegistry()
+	}
+	cfg.Ring.ID = cfg.ID
+	if cfg.Ring.SeqBase == 0 {
+		// New incarnations must not reuse sequence numbers: derive the
+		// base from the wall clock.
+		cfg.Ring.SeqBase = uint64(time.Now().UnixNano())
+	}
+	n := &Node{
+		id:     cfg.ID,
+		clk:    cfg.Clock,
+		reg:    cfg.Registry,
+		sm:     ring.New(cfg.Ring),
+		trc:    cfg.Trace,
+		events: make(chan ring.Event, 1024),
+		done:   make(chan struct{}),
+		state:  ring.Down,
+	}
+	n.tr = transport.New(cfg.ID, conns, cfg.Clock, cfg.Registry, cfg.Transport)
+	n.tr.SetHandler(n.onPacket)
+	return n, nil
+}
+
+// ID returns the node identity.
+func (n *Node) ID() NodeID { return n.id }
+
+// Stats returns the node's metric registry.
+func (n *Node) Stats() *stats.Registry { return n.reg }
+
+// Transport exposes the transport layer for peer registration.
+func (n *Node) Transport() *transport.Transport { return n.tr }
+
+// SetPeer registers a peer's physical addresses.
+func (n *Node) SetPeer(id NodeID, addrs []transport.Addr) { n.tr.SetPeer(id, addrs) }
+
+// SetHandlers installs the application callbacks. Must be called before
+// Start to observe every event.
+func (n *Node) SetHandlers(h Handlers) {
+	n.handlerMu.Lock()
+	defer n.handlerMu.Unlock()
+	n.handlers = h
+}
+
+func (n *Node) getHandlers() Handlers {
+	n.handlerMu.Lock()
+	defer n.handlerMu.Unlock()
+	return n.handlers
+}
+
+// Start boots the node as a singleton group and begins the event loop.
+func (n *Node) Start() {
+	n.loopWG.Add(1)
+	go n.loop()
+	n.post(ring.EvStart{})
+}
+
+// post enqueues an event for the loop; drops if the node stopped.
+func (n *Node) post(ev ring.Event) {
+	select {
+	case <-n.done:
+	case n.events <- ev:
+	}
+}
+
+// loop is the single goroutine that owns the state machine.
+func (n *Node) loop() {
+	defer n.loopWG.Done()
+	for {
+		select {
+		case <-n.done:
+			return
+		case ev := <-n.events:
+			n.countTaskSwitch(ev)
+			n.traceEvent(ev)
+			acts := n.sm.Step(ev)
+			n.execute(acts)
+		}
+	}
+}
+
+// countTaskSwitch implements the paper's §4.1 CPU overhead metric: one
+// task switch per wake-up of the group-communication layer, i.e. per
+// received protocol packet and per protocol timer fire. Transport-level
+// acknowledgements and delivery notifications are handled in the
+// transport's context (like NIC interrupts in the paper's model) and do
+// not count; neither do local API calls, which run on application time.
+func (n *Node) countTaskSwitch(ev ring.Event) {
+	switch ev.(type) {
+	case ring.EvTokenReceived, ring.Ev911Received, ring.Ev911ReplyReceived,
+		ring.EvBodyodorReceived, ring.EvForwardReceived, ring.EvTimer:
+		n.reg.Counter(stats.MetricTaskSwitches).Inc()
+	}
+}
+
+// traceEvent records notable protocol events when tracing is enabled.
+func (n *Node) traceEvent(ev ring.Event) {
+	if n.trc == nil {
+		return
+	}
+	switch e := ev.(type) {
+	case ring.EvTokenReceived:
+		n.trc.Add(trace.KindTokenRecv, "from %v epoch=%d seq=%d msgs=%d",
+			e.From, e.Tok.Epoch, e.Tok.Seq, len(e.Tok.Msgs))
+	case ring.EvTokenSendFailed:
+		n.trc.Add(trace.KindTokenLostPeer, "pass to %v failed (epoch=%d seq=%d)", e.To, e.Epoch, e.Seq)
+	case ring.Ev911Received:
+		n.trc.Add(trace.Kind911, "911 from %v copy=(%d,%d)", e.M.From, e.M.Epoch, e.M.Seq)
+	}
+}
+
+// onPacket decodes a session message from the transport and posts it.
+func (n *Node) onPacket(from wire.NodeID, payload []byte) {
+	env, err := wire.Decode(payload)
+	if err != nil {
+		return // corrupt or foreign frame
+	}
+	switch env.Kind {
+	case wire.KindToken:
+		n.post(ring.EvTokenReceived{From: from, Tok: env.Token})
+	case wire.Kind911:
+		n.post(ring.Ev911Received{M: *env.M911})
+	case wire.Kind911Reply:
+		n.post(ring.Ev911ReplyReceived{M: *env.M911R})
+	case wire.KindBodyodor:
+		n.post(ring.EvBodyodorReceived{M: *env.Bodyodor})
+	case wire.KindForward:
+		n.post(ring.EvForwardReceived{M: *env.Forward})
+	}
+}
+
+// execute applies the state machine's actions to the outside world.
+func (n *Node) execute(acts []ring.Action) {
+	for _, a := range acts {
+		switch act := a.(type) {
+		case ring.ActSendToken:
+			n.sendToken(act)
+		case ring.ActSend911:
+			m := act.M
+			to := act.To
+			n.tr.Send(to, wire.Encode911(&m), func(err error) {
+				if err != nil {
+					n.post(ring.Ev911SendFailed{To: to, ReqID: m.ReqID})
+				}
+			})
+		case ring.ActSend911Reply:
+			m := act.M
+			n.tr.Send(act.To, wire.Encode911Reply(&m), nil)
+		case ring.ActSendBodyodor:
+			m := act.M
+			n.tr.Send(act.To, wire.EncodeBodyodor(&m), nil)
+		case ring.ActSetTimer:
+			n.setTimer(act.Kind, act.D)
+		case ring.ActStopTimer:
+			n.stopTimer(act.Kind)
+		case ring.ActDeliver:
+			n.deliver(act.Msg)
+		case ring.ActMembershipChanged:
+			n.mu.Lock()
+			n.members = append([]NodeID(nil), act.Members...)
+			n.epoch = act.Epoch
+			n.mu.Unlock()
+			if n.trc != nil {
+				n.trc.Add(trace.KindMembership, "view %v epoch=%d", act.Members, act.Epoch)
+			}
+			if h := n.getHandlers().OnMembership; h != nil {
+				h(MembershipEvent{Members: act.Members, Epoch: act.Epoch})
+			}
+		case ring.ActStateChanged:
+			n.mu.Lock()
+			n.state = act.State
+			n.mu.Unlock()
+			if n.trc != nil {
+				n.trc.Add(trace.KindStateChange, "%v", act.State)
+			}
+		case ring.ActHoldGranted:
+			n.mu.Lock()
+			n.lockHeld = true
+			w := n.lockWaiter
+			n.lockWaiter = nil
+			n.mu.Unlock()
+			if w != nil {
+				close(w)
+			}
+		case ring.ActTokenRegenerated:
+			n.reg.Counter(stats.MetricTokenRegens).Inc()
+			if n.trc != nil {
+				n.trc.Add(trace.KindRegen, "regenerated epoch=%d", act.Epoch)
+			}
+		case ring.ActMergeCompleted:
+			n.reg.Counter(stats.MetricMerges).Inc()
+			if n.trc != nil {
+				n.trc.Add(trace.KindMerge, "merged view %v epoch=%d", act.Members, act.Epoch)
+			}
+		case ring.ActShutdown:
+			n.mu.Lock()
+			n.stopped = true
+			n.mu.Unlock()
+			if h := n.getHandlers().OnShutdown; h != nil {
+				h(act.Reason)
+			}
+			go n.Close() // release resources outside the loop
+		}
+	}
+}
+
+func (n *Node) sendToken(act ring.ActSendToken) {
+	tok := act.Tok
+	to := act.To
+	n.observeTokenInterval()
+	n.tr.Send(to, wire.EncodeToken(tok), func(err error) {
+		if err != nil {
+			n.post(ring.EvTokenSendFailed{To: to, Epoch: tok.Epoch, Seq: tok.Seq})
+			return
+		}
+		n.reg.Counter(stats.MetricTokenPasses).Inc()
+		if n.trc != nil {
+			n.trc.Add(trace.KindTokenPass, "to %v epoch=%d seq=%d", to, tok.Epoch, tok.Seq)
+		}
+		n.post(ring.EvTokenAcked{To: to, Epoch: tok.Epoch, Seq: tok.Seq})
+	})
+}
+
+// observeTokenInterval records the spacing of outgoing token passes, which
+// over a full ring equals the token round-trip (§4.1's L).
+func (n *Node) observeTokenInterval() {
+	now := n.clk.Now()
+	n.mu.Lock()
+	last := n.lastToken
+	n.lastToken = now
+	n.mu.Unlock()
+	if !last.IsZero() {
+		n.reg.Histogram(stats.HistTokenRoundTrip).Observe(now.Sub(last))
+	}
+}
+
+func (n *Node) deliver(m wire.Message) {
+	n.reg.Counter(stats.MetricMsgsDelivered).Inc()
+	h := n.getHandlers()
+	if m.Sys != wire.SysApp {
+		if h.OnSys != nil {
+			h.OnSys(SysEvent{Kind: m.Sys, Subject: m.Subject, Origin: m.Origin})
+		}
+		return
+	}
+	if m.Origin == n.id {
+		n.mu.Lock()
+		if len(n.submitTimes) > 0 {
+			n.reg.Histogram(stats.HistMulticastLatency).Observe(n.clk.Now().Sub(n.submitTimes[0]))
+			n.submitTimes = n.submitTimes[1:]
+		}
+		n.mu.Unlock()
+	}
+	if h.OnDeliver != nil {
+		h.OnDeliver(Delivery{Origin: m.Origin, Seq: m.Seq, Safe: m.Safe, Payload: m.Payload})
+	}
+}
+
+func (n *Node) setTimer(kind ring.TimerKind, d time.Duration) {
+	if t := n.timers[kind]; t != nil {
+		t.Stop()
+	}
+	n.mu.Lock()
+	n.timerGen[kind]++
+	gen := n.timerGen[kind]
+	n.mu.Unlock()
+	k := kind
+	n.timers[kind] = n.clk.AfterFunc(d, func() {
+		n.mu.Lock()
+		valid := n.timerGen[k] == gen
+		n.mu.Unlock()
+		if valid {
+			n.post(ring.EvTimer{Kind: k})
+		}
+	})
+}
+
+func (n *Node) stopTimer(kind ring.TimerKind) {
+	if t := n.timers[kind]; t != nil {
+		t.Stop()
+	}
+	n.mu.Lock()
+	n.timerGen[kind]++
+	n.mu.Unlock()
+}
+
+// Multicast submits a payload for atomic reliable multicast with agreed
+// ordering (§2.6). Delivery to the local application happens through the
+// OnDeliver handler like everywhere else.
+func (n *Node) Multicast(payload []byte) error {
+	return n.submit(payload, false)
+}
+
+// MulticastSafe submits a payload with safe ordering: delivery is withheld
+// until every member provably holds the message (§2.6).
+func (n *Node) MulticastSafe(payload []byte) error {
+	return n.submit(payload, true)
+}
+
+func (n *Node) submit(payload []byte, safe bool) error {
+	n.mu.Lock()
+	if n.stopped {
+		n.mu.Unlock()
+		return ErrStopped
+	}
+	n.submitTimes = append(n.submitTimes, n.clk.Now())
+	n.mu.Unlock()
+	n.reg.Counter(stats.MetricMsgsSent).Inc()
+	n.post(ring.EvSubmit{Payload: append([]byte(nil), payload...), Safe: safe})
+	return nil
+}
+
+// Members returns the current membership view.
+func (n *Node) Members() []NodeID {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return append([]NodeID(nil), n.members...)
+}
+
+// Epoch returns the current group epoch.
+func (n *Node) Epoch() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.epoch
+}
+
+// State returns the node's protocol state.
+func (n *Node) State() ring.NodeState {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.state
+}
+
+// Stopped reports whether the node shut down.
+func (n *Node) Stopped() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.stopped
+}
+
+// Lock acquires the cluster master lock (§2.7): it returns once this node
+// holds the token and the token is pinned. While held, no other node can
+// be EATING, so changes to shared state are authoritative.
+func (n *Node) Lock(ctx context.Context) error {
+	n.mu.Lock()
+	if n.stopped {
+		n.mu.Unlock()
+		return ErrStopped
+	}
+	if n.lockHeld {
+		n.mu.Unlock()
+		return errors.New("core: master lock already held by this node")
+	}
+	if n.lockWaiter != nil {
+		n.mu.Unlock()
+		return errors.New("core: concurrent Lock in progress")
+	}
+	w := make(chan struct{})
+	n.lockWaiter = w
+	n.mu.Unlock()
+	n.post(ring.EvHoldRequest{})
+	select {
+	case <-w:
+		return nil
+	case <-ctx.Done():
+		n.mu.Lock()
+		stillWaiting := n.lockWaiter == w
+		if stillWaiting {
+			n.lockWaiter = nil
+		}
+		held := n.lockHeld
+		n.mu.Unlock()
+		if !stillWaiting && held {
+			// Granted concurrently with cancellation: release it.
+			n.Unlock()
+		} else {
+			n.post(ring.EvHoldRelease{})
+		}
+		return ctx.Err()
+	case <-n.done:
+		return ErrStopped
+	}
+}
+
+// Unlock releases the master lock and lets the token circulate again.
+func (n *Node) Unlock() {
+	n.mu.Lock()
+	n.lockHeld = false
+	n.mu.Unlock()
+	n.post(ring.EvHoldRelease{})
+}
+
+// Join sends a 911 join request to a known member (§2.3). The group admits
+// this node and sends it the token; membership change is observable via
+// OnMembership. Join is best-effort: retry until Members grows.
+func (n *Node) Join(seed NodeID) error {
+	n.mu.Lock()
+	stopped := n.stopped
+	n.mu.Unlock()
+	if stopped {
+		return ErrStopped
+	}
+	m := wire.Msg911{From: n.id, Epoch: 0, Seq: 0, ReqID: uint64(time.Now().UnixNano())}
+	errCh := make(chan error, 1)
+	n.tr.Send(seed, wire.Encode911(&m), func(err error) { errCh <- err })
+	if err := <-errCh; err != nil {
+		return fmt.Errorf("core: join via %v: %w", seed, err)
+	}
+	return nil
+}
+
+// Leave removes the node from the group gracefully and stops it.
+func (n *Node) Leave() {
+	n.post(ring.EvLeave{})
+}
+
+// FailCriticalResource reports a critical resource failure (§2.4): the
+// node removes itself from the group and shuts down.
+func (n *Node) FailCriticalResource(name string) {
+	n.post(ring.EvCriticalResourceFailed{Resource: name})
+}
+
+// SetEligible replaces the eligible membership online (§2.4).
+func (n *Node) SetEligible(ids []NodeID) {
+	n.post(ring.EvSetEligible{IDs: ids})
+}
+
+// Close stops the event loop and the transport. It does not announce a
+// graceful leave; use Leave for that.
+func (n *Node) Close() error {
+	n.stopOnce.Do(func() {
+		close(n.done)
+		n.loopWG.Wait()
+		for _, t := range n.timers {
+			if t != nil {
+				t.Stop()
+			}
+		}
+		n.mu.Lock()
+		n.stopped = true
+		w := n.lockWaiter
+		n.lockWaiter = nil
+		n.mu.Unlock()
+		if w != nil {
+			close(w)
+		}
+		n.tr.Close()
+	})
+	return nil
+}

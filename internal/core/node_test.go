@@ -1,0 +1,440 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/simnet"
+	"repro/internal/stats"
+	"repro/internal/wire"
+)
+
+// recorder collects deliveries and events per node, concurrency-safe.
+type recorder struct {
+	mu       sync.Mutex
+	byNode   map[NodeID][]Delivery
+	sys      map[NodeID][]SysEvent
+	shutdown map[NodeID]string
+}
+
+func newRecorder() *recorder {
+	return &recorder{
+		byNode:   make(map[NodeID][]Delivery),
+		sys:      make(map[NodeID][]SysEvent),
+		shutdown: make(map[NodeID]string),
+	}
+}
+
+func (r *recorder) handlers(id NodeID) Handlers {
+	return Handlers{
+		OnDeliver: func(d Delivery) {
+			r.mu.Lock()
+			r.byNode[id] = append(r.byNode[id], d)
+			r.mu.Unlock()
+		},
+		OnSys: func(e SysEvent) {
+			r.mu.Lock()
+			r.sys[id] = append(r.sys[id], e)
+			r.mu.Unlock()
+		},
+		OnShutdown: func(reason string) {
+			r.mu.Lock()
+			r.shutdown[id] = reason
+			r.mu.Unlock()
+		},
+	}
+}
+
+func (r *recorder) payloads(id NodeID) []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []string
+	for _, d := range r.byNode[id] {
+		out = append(out, string(d.Payload))
+	}
+	return out
+}
+
+func (r *recorder) waitPayload(t *testing.T, id NodeID, want string, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		for _, p := range r.payloads(id) {
+			if p == want {
+				return
+			}
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("node %v never delivered %q; got %v", id, want, r.payloads(id))
+}
+
+func startCluster(t *testing.T, n int, rec *recorder) *TestCluster {
+	t.Helper()
+	tc, err := NewTestCluster(ClusterOptions{
+		N:        n,
+		Handlers: rec.handlers,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(tc.Close)
+	if err := tc.WaitAssembled(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	return tc
+}
+
+func TestClusterAssembles(t *testing.T) {
+	rec := newRecorder()
+	tc := startCluster(t, 4, rec)
+	for _, id := range tc.IDs {
+		got := wire.SortedIDs(tc.Nodes[id].Members())
+		if len(got) != 4 {
+			t.Fatalf("node %v members = %v", id, got)
+		}
+	}
+}
+
+func TestMulticastReachesAllNodes(t *testing.T) {
+	rec := newRecorder()
+	tc := startCluster(t, 4, rec)
+	if err := tc.Nodes[2].Multicast([]byte("hello group")); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range tc.IDs {
+		rec.waitPayload(t, id, "hello group", 5*time.Second)
+	}
+}
+
+func TestSafeMulticastReachesAllNodes(t *testing.T) {
+	rec := newRecorder()
+	tc := startCluster(t, 3, rec)
+	if err := tc.Nodes[1].MulticastSafe([]byte("safe msg")); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range tc.IDs {
+		rec.waitPayload(t, id, "safe msg", 5*time.Second)
+	}
+}
+
+func TestAgreedOrderingUnderConcurrentSenders(t *testing.T) {
+	rec := newRecorder()
+	tc := startCluster(t, 4, rec)
+	const perNode = 10
+	for i := 0; i < perNode; i++ {
+		for _, id := range tc.IDs {
+			if err := tc.Nodes[id].Multicast([]byte(fmt.Sprintf("m-%v-%d", id, i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	want := perNode * len(tc.IDs)
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		done := true
+		for _, id := range tc.IDs {
+			if len(rec.payloads(id)) < want {
+				done = false
+			}
+		}
+		if done {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// All nodes must agree on the exact global order (§2.6).
+	ref := rec.payloads(1)
+	if len(ref) != want {
+		t.Fatalf("node 1 delivered %d of %d", len(ref), want)
+	}
+	for _, id := range tc.IDs[1:] {
+		got := rec.payloads(id)
+		if len(got) != want {
+			t.Fatalf("node %v delivered %d of %d", id, len(got), want)
+		}
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("order diverges at %d: node %v has %q, node 1 has %q", i, id, got[i], ref[i])
+			}
+		}
+	}
+}
+
+func TestCrashFailoverShrinksMembership(t *testing.T) {
+	rec := newRecorder()
+	tc := startCluster(t, 4, rec)
+	tc.Net.SetNodeDown(Addr(3), true)
+	if err := tc.WaitMembership(10*time.Second, 1, 2, 4); err != nil {
+		t.Fatal(err)
+	}
+	// The removal is announced as an ordered system event.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		rec.mu.Lock()
+		var seen bool
+		for _, e := range rec.sys[1] {
+			if e.Kind == wire.SysNodeRemoved && e.Subject == 3 {
+				seen = true
+			}
+		}
+		rec.mu.Unlock()
+		if seen {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Multicast still works for survivors.
+	if err := tc.Nodes[1].Multicast([]byte("post-failure")); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []NodeID{1, 2, 4} {
+		rec.waitPayload(t, id, "post-failure", 5*time.Second)
+	}
+}
+
+func TestNodeRejoinsAfterIsolationHeals(t *testing.T) {
+	rec := newRecorder()
+	tc := startCluster(t, 3, rec)
+	tc.Net.Partition([]simnet.Addr{Addr(1), Addr(2)}, []simnet.Addr{Addr(3)})
+	if err := tc.WaitMembership(10*time.Second, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	tc.Net.Heal()
+	if err := tc.WaitAssembled(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPartitionSplitAndMerge(t *testing.T) {
+	rec := newRecorder()
+	tc := startCluster(t, 4, rec)
+	tc.Net.Partition([]simnet.Addr{Addr(1), Addr(2)}, []simnet.Addr{Addr(3), Addr(4)})
+	if err := tc.WaitMembership(10*time.Second, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := tc.WaitMembership(10*time.Second, 3, 4); err != nil {
+		t.Fatal(err)
+	}
+	// Both halves keep serving multicasts.
+	tc.Nodes[1].Multicast([]byte("left"))
+	tc.Nodes[3].Multicast([]byte("right"))
+	rec.waitPayload(t, 2, "left", 5*time.Second)
+	rec.waitPayload(t, 4, "right", 5*time.Second)
+	tc.Net.Heal()
+	if err := tc.WaitAssembled(15 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	tc.Nodes[2].Multicast([]byte("reunified"))
+	for _, id := range tc.IDs {
+		rec.waitPayload(t, id, "reunified", 5*time.Second)
+	}
+}
+
+func TestMasterLockMutualExclusion(t *testing.T) {
+	rec := newRecorder()
+	tc := startCluster(t, 3, rec)
+	var mu sync.Mutex
+	inCS := 0
+	maxCS := 0
+	var wg sync.WaitGroup
+	for _, id := range tc.IDs {
+		wg.Add(1)
+		go func(id NodeID) {
+			defer wg.Done()
+			for i := 0; i < 3; i++ {
+				ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+				if err := tc.Nodes[id].Lock(ctx); err != nil {
+					cancel()
+					t.Errorf("node %v lock: %v", id, err)
+					return
+				}
+				mu.Lock()
+				inCS++
+				if inCS > maxCS {
+					maxCS = inCS
+				}
+				mu.Unlock()
+				time.Sleep(2 * time.Millisecond)
+				mu.Lock()
+				inCS--
+				mu.Unlock()
+				tc.Nodes[id].Unlock()
+				cancel()
+			}
+		}(id)
+	}
+	wg.Wait()
+	if maxCS != 1 {
+		t.Fatalf("max concurrent critical sections = %d, want 1", maxCS)
+	}
+}
+
+func TestLockContextCancellation(t *testing.T) {
+	rec := newRecorder()
+	tc := startCluster(t, 2, rec)
+	// Node 1 takes and holds the lock.
+	ctx := context.Background()
+	if err := tc.Nodes[1].Lock(ctx); err != nil {
+		t.Fatal(err)
+	}
+	defer tc.Nodes[1].Unlock()
+	// Node 2's attempt times out cleanly.
+	ctx2, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := tc.Nodes[2].Lock(ctx2); err == nil {
+		tc.Nodes[2].Unlock()
+		t.Fatal("lock acquired while node 1 held it")
+	}
+}
+
+func TestOpenGroupClient(t *testing.T) {
+	rec := newRecorder()
+	tc := startCluster(t, 3, rec)
+	ep, err := tc.Net.Endpoint("client-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := NewOpenClient(1000, []transportConn{transportSim(ep)}, nil, stats.NewRegistry(), transportCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	cl.SetMember(2, []transportAddr{transportAddr(Addr(2))})
+	if err := cl.Send(2, []byte("from outside"), false); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range tc.IDs {
+		rec.waitPayload(t, id, "from outside", 5*time.Second)
+	}
+	// The forwarding member is the origin inside the group.
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	for _, d := range rec.byNode[1] {
+		if string(d.Payload) == "from outside" && d.Origin != 2 {
+			t.Fatalf("origin = %v, want forwarding member 2", d.Origin)
+		}
+	}
+}
+
+func TestVoluntaryLeaveAnnounced(t *testing.T) {
+	rec := newRecorder()
+	tc := startCluster(t, 3, rec)
+	tc.Nodes[3].Leave()
+	if err := tc.WaitMembership(10*time.Second, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	rec.mu.Lock()
+	reason := rec.shutdown[3]
+	rec.mu.Unlock()
+	if reason == "" {
+		t.Fatal("no shutdown callback on leaving node")
+	}
+}
+
+func TestCriticalResourceShutdown(t *testing.T) {
+	rec := newRecorder()
+	tc := startCluster(t, 3, rec)
+	tc.Nodes[2].FailCriticalResource("internet-uplink")
+	if err := tc.WaitMembership(10*time.Second, 1, 3); err != nil {
+		t.Fatal(err)
+	}
+	if !tc.Nodes[2].Stopped() {
+		t.Fatal("node 2 still running after critical resource failure")
+	}
+}
+
+func TestJoinViaSeed(t *testing.T) {
+	// A node with no eligible membership configured joins via an
+	// explicit 911 to a seed member (§2.3).
+	rec := newRecorder()
+	tc, err := NewTestCluster(ClusterOptions{N: 2, Handlers: rec.handlers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(tc.Close)
+	if err := tc.WaitAssembled(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Build node 7 by hand with empty eligible membership.
+	ep, err := tc.Net.Endpoint("node-7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{ID: 7, Ring: FastRing()}
+	n7, err := NewNode(cfg, []transportConn{transportSim(ep)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { n7.Close() })
+	n7.SetHandlers(rec.handlers(7))
+	n7.SetPeer(1, []transportAddr{transportAddr(Addr(1))})
+	n7.SetPeer(2, []transportAddr{transportAddr(Addr(2))})
+	tc.Nodes[1].SetPeer(7, []transportAddr{"node-7"})
+	tc.Nodes[2].SetPeer(7, []transportAddr{"node-7"})
+	n7.Start()
+	if err := n7.Join(1); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if len(n7.Members()) == 3 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got := wire.SortedIDs(n7.Members()); len(got) != 3 {
+		t.Fatalf("joiner members = %v, want 3", got)
+	}
+	tc.Nodes[1].Multicast([]byte("welcome"))
+	rec.waitPayload(t, 7, "welcome", 5*time.Second)
+}
+
+func TestMulticastAfterCloseFails(t *testing.T) {
+	rec := newRecorder()
+	tc := startCluster(t, 2, rec)
+	tc.Nodes[1].Close()
+	if err := tc.Nodes[1].Multicast([]byte("x")); err == nil {
+		t.Fatal("multicast on closed node succeeded")
+	}
+}
+
+func TestTaskSwitchCounterAdvances(t *testing.T) {
+	rec := newRecorder()
+	tc := startCluster(t, 3, rec)
+	before := tc.Nodes[1].Stats().Counter(stats.MetricTaskSwitches).Load()
+	time.Sleep(50 * time.Millisecond)
+	after := tc.Nodes[1].Stats().Counter(stats.MetricTaskSwitches).Load()
+	if after <= before {
+		t.Fatal("task switch counter not advancing with a circulating token")
+	}
+}
+
+func TestLossyNetworkStillDelivers(t *testing.T) {
+	rec := newRecorder()
+	tc, err := NewTestCluster(ClusterOptions{
+		N:        3,
+		Handlers: rec.handlers,
+		Net:      simnetOptions(0.2, 17),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(tc.Close)
+	if err := tc.WaitAssembled(20 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := tc.Nodes[1].Multicast([]byte(fmt.Sprintf("lossy-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, id := range tc.IDs {
+		for i := 0; i < 5; i++ {
+			rec.waitPayload(t, id, fmt.Sprintf("lossy-%d", i), 20*time.Second)
+		}
+	}
+}

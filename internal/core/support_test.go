@@ -1,0 +1,26 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/simnet"
+	"repro/internal/transport"
+)
+
+// Shorthands keeping the integration tests readable.
+
+type transportConn = transport.PacketConn
+
+type transportAddr = transport.Addr
+
+func transportSim(ep *simnet.Endpoint) transport.PacketConn { return transport.NewSimConn(ep) }
+
+func transportCfg() transport.Config {
+	cfg := transport.DefaultConfig()
+	cfg.AckTimeout = 10 * time.Millisecond
+	return cfg
+}
+
+func simnetOptions(loss float64, seed int64) simnet.Options {
+	return simnet.Options{Default: simnet.Profile{Loss: loss}, Seed: seed}
+}

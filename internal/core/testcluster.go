@@ -1,0 +1,167 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/ring"
+	"repro/internal/simnet"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// TestCluster assembles a full Raincore cluster over a simulated network.
+// It is exported (rather than living in a _test file) because the
+// benchmark harness, the Rainwall simulator and the examples all build on
+// it; it is not part of the stable public API.
+type TestCluster struct {
+	Net   *simnet.Network
+	Nodes map[NodeID]*Node
+	IDs   []NodeID
+}
+
+// ClusterOptions tune NewTestCluster.
+type ClusterOptions struct {
+	// N is the number of nodes (IDs 1..N).
+	N int
+	// Ring overrides the protocol timers; ID and Eligible are filled in.
+	Ring ring.Config
+	// Transport overrides the transport config.
+	Transport transport.Config
+	// Net overrides the simulated network profile.
+	Net simnet.Options
+	// Handlers, when non-nil, is invoked per node before Start so tests
+	// can subscribe to deliveries.
+	Handlers func(id NodeID) Handlers
+	// DeferStart leaves the nodes unstarted; callers attach layers (for
+	// example dds replicas) and then call StartAll. Layers must observe
+	// the ordered stream from the very first event.
+	DeferStart bool
+}
+
+// FastRing is a protocol config with tight timers for simulation: the
+// token circulates every few milliseconds, failure detection converges in
+// tens of milliseconds.
+func FastRing() ring.Config {
+	return ring.Config{
+		TokenHold:        2 * time.Millisecond,
+		HungryTimeout:    40 * time.Millisecond,
+		StarvingRetry:    30 * time.Millisecond,
+		BodyodorInterval: 20 * time.Millisecond,
+	}
+}
+
+// PaperRing approximates the deployment regime implied by the paper's
+// fail-over numbers (§3.2): sub-two-second recovery.
+func PaperRing() ring.Config {
+	return ring.Config{
+		TokenHold:        100 * time.Millisecond,
+		HungryTimeout:    500 * time.Millisecond,
+		StarvingRetry:    400 * time.Millisecond,
+		BodyodorInterval: time.Second,
+	}
+}
+
+// Addr returns the simnet address of a node.
+func Addr(id NodeID) simnet.Addr { return simnet.Addr(fmt.Sprintf("node-%d", id)) }
+
+// NewTestCluster builds and starts an N-node cluster. All nodes are
+// mutually eligible, so they assemble into one group via discovery.
+func NewTestCluster(opts ClusterOptions) (*TestCluster, error) {
+	if opts.N <= 0 {
+		return nil, fmt.Errorf("core: cluster size %d", opts.N)
+	}
+	if opts.Ring.TokenHold == 0 {
+		opts.Ring = FastRing()
+	}
+	if opts.Transport.Attempts == 0 {
+		opts.Transport = transport.DefaultConfig()
+		opts.Transport.AckTimeout = 10 * time.Millisecond
+	}
+	net := simnet.New(opts.Net)
+	tc := &TestCluster{Net: net, Nodes: make(map[NodeID]*Node)}
+	var ids []NodeID
+	for i := 1; i <= opts.N; i++ {
+		ids = append(ids, NodeID(i))
+	}
+	tc.IDs = ids
+	for _, id := range ids {
+		ep, err := net.Endpoint(Addr(id))
+		if err != nil {
+			net.Close()
+			return nil, err
+		}
+		rc := opts.Ring
+		rc.Eligible = ids
+		rc.SeqBase = uint64(id) << 32 // deterministic distinct bases
+		n, err := NewNode(Config{ID: id, Ring: rc, Transport: opts.Transport},
+			[]transport.PacketConn{transport.NewSimConn(ep)})
+		if err != nil {
+			net.Close()
+			return nil, err
+		}
+		tc.Nodes[id] = n
+	}
+	for _, id := range ids {
+		for _, other := range ids {
+			if other != id {
+				tc.Nodes[id].SetPeer(other, []transport.Addr{transport.Addr(Addr(other))})
+			}
+		}
+	}
+	for _, id := range ids {
+		if opts.Handlers != nil {
+			tc.Nodes[id].SetHandlers(opts.Handlers(id))
+		}
+	}
+	if !opts.DeferStart {
+		tc.StartAll()
+	}
+	return tc, nil
+}
+
+// StartAll boots every node; used with DeferStart.
+func (tc *TestCluster) StartAll() {
+	for _, id := range tc.IDs {
+		tc.Nodes[id].Start()
+	}
+}
+
+// WaitAssembled blocks until every node's view equals the full ID set, or
+// the timeout elapses.
+func (tc *TestCluster) WaitAssembled(timeout time.Duration) error {
+	return tc.WaitMembership(timeout, tc.IDs...)
+}
+
+// WaitMembership blocks until every listed node's view is exactly the
+// listed set.
+func (tc *TestCluster) WaitMembership(timeout time.Duration, want ...NodeID) error {
+	deadline := time.Now().Add(timeout)
+	wantSorted := fmt.Sprint(wire.SortedIDs(want))
+	for time.Now().Before(deadline) {
+		ok := true
+		for _, id := range want {
+			if fmt.Sprint(wire.SortedIDs(tc.Nodes[id].Members())) != wantSorted {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return nil
+		}
+		time.Sleep(time.Millisecond)
+	}
+	var views []string
+	for _, id := range want {
+		views = append(views, fmt.Sprintf("%v:%v", id, wire.SortedIDs(tc.Nodes[id].Members())))
+	}
+	return fmt.Errorf("core: membership did not converge to %s within %v (%v)", wantSorted, timeout, views)
+}
+
+// Close stops all nodes and the network.
+func (tc *TestCluster) Close() {
+	for _, n := range tc.Nodes {
+		n.Close()
+	}
+	tc.Net.Close()
+}

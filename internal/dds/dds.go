@@ -1,0 +1,719 @@
+// Package dds is the slice of the Raincore Distributed Data Service the
+// paper describes (§2.7, §5): a distributed lock manager whose named locks
+// can be held without keeping the token, and a replicated key-value map
+// for cluster state (virtual IP assignments, connection tables, load
+// figures).
+//
+// Both are replicated state machines driven by the session service's
+// agreed total order: every replica applies the same operations in the
+// same sequence, so no further coordination is needed. Membership changes
+// arrive as ordered system messages, which lets every replica release a
+// dead node's locks at the same logical instant. Joiners and merged
+// groups converge through ordered snapshots (state transfer).
+package dds
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/wire"
+)
+
+// Service is one node's replica of the distributed data service.
+type Service struct {
+	node *core.Node
+	id   core.NodeID
+
+	mu      sync.Mutex
+	locks   map[string]*lockState
+	kv      map[string][]byte
+	nextReq uint64
+
+	// Local waiters.
+	lockWait map[uint64]chan struct{} // reqID -> granted
+	opWait   map[uint64]chan struct{} // reqID -> applied locally
+	pending  map[uint64]pendingAcquire
+
+	// State-transfer mode: while syncing, operations are buffered and
+	// replayed after the snapshot applies.
+	syncing   bool
+	buffer    []bufferedOp
+	syncTimer *time.Timer
+	// applied records, per origin, the highest multicast sequence whose
+	// dds op this replica has applied. It rides inside snapshots so a
+	// receiving replica can replay exactly the buffered ops the snapshot
+	// does not already include.
+	applied map[core.NodeID]uint64
+	// recent is a bounded log of applied ops (in apply order). When an
+	// authoritative broadcast snapshot arrives at a replica that was not
+	// syncing, the ops ordered between the snapshot's capture and its
+	// delivery would otherwise be erased by the overwrite; the replica
+	// replays them from this log. evictedHigh tracks, per origin, the
+	// highest sequence ever evicted, so a replica can tell when the log
+	// no longer covers a snapshot's gap and must skip it.
+	recent      []bufferedOp
+	evictedHigh map[core.NodeID]uint64
+
+	watchers    []func(key string, val []byte, deleted bool)
+	app         core.Handlers
+	memberCount int
+	lowest      core.NodeID
+	closed      bool
+}
+
+type lockState struct {
+	owner    core.NodeID
+	ownerReq uint64
+	queue    []lockReq
+}
+
+type lockReq struct {
+	node  core.NodeID
+	reqID uint64
+}
+
+type pendingAcquire struct {
+	name  string
+	reqID uint64
+}
+
+type bufferedOp struct {
+	origin core.NodeID
+	seq    uint64
+	op     op
+}
+
+// snapshotWait bounds how long a syncing replica waits before requesting
+// a snapshot explicitly (covers an admitter dying mid-transfer).
+const snapshotWait = 2 * time.Second
+
+// New attaches a data service replica to a session node. It installs the
+// node's handlers; the application's own handlers go through SetAppHandlers
+// so both layers observe the same ordered stream.
+func New(node *core.Node) *Service {
+	s := &Service{
+		node:     node,
+		id:       node.ID(),
+		locks:    make(map[string]*lockState),
+		kv:       make(map[string][]byte),
+		lockWait: make(map[uint64]chan struct{}),
+		opWait:   make(map[uint64]chan struct{}),
+		pending:  make(map[uint64]pendingAcquire),
+		applied:  make(map[core.NodeID]uint64),
+
+		evictedHigh: make(map[core.NodeID]uint64),
+	}
+	node.SetHandlers(core.Handlers{
+		OnDeliver:    s.onDeliver,
+		OnSys:        s.onSys,
+		OnMembership: s.onMembership,
+		OnShutdown:   s.onShutdown,
+	})
+	return s
+}
+
+// SetAppHandlers registers the application's handlers; deliveries that are
+// not data-service operations pass through in order.
+func (s *Service) SetAppHandlers(h core.Handlers) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.app = h
+}
+
+// Node returns the underlying session node.
+func (s *Service) Node() *core.Node { return s.node }
+
+// --- public API: locks ---
+
+// ErrNotHolder is returned by Unlock when this node does not hold the lock.
+var ErrNotHolder = errors.New("dds: not the lock holder")
+
+// Lock acquires the named lock, blocking until granted or ctx is done.
+// Unlike the token master-lock (§2.7), the lock is held without pinning
+// the token.
+func (s *Service) Lock(ctx context.Context, name string) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return errors.New("dds: service closed")
+	}
+	s.nextReq++
+	reqID := s.nextReq
+	ch := make(chan struct{})
+	s.lockWait[reqID] = ch
+	s.pending[reqID] = pendingAcquire{name: name, reqID: reqID}
+	s.mu.Unlock()
+
+	if err := s.node.Multicast(encodeAcquire(name, reqID)); err != nil {
+		s.dropWaiter(reqID)
+		return err
+	}
+	select {
+	case <-ch:
+		return nil
+	case <-ctx.Done():
+		s.dropWaiter(reqID)
+		// Withdraw the queued request so it cannot be granted later.
+		_ = s.node.Multicast(encodeCancel(name, reqID))
+		return ctx.Err()
+	}
+}
+
+func (s *Service) dropWaiter(reqID uint64) {
+	s.mu.Lock()
+	delete(s.lockWait, reqID)
+	delete(s.pending, reqID)
+	s.mu.Unlock()
+}
+
+// Unlock releases the named lock held by this node.
+func (s *Service) Unlock(name string) error {
+	s.mu.Lock()
+	st := s.locks[name]
+	if st == nil || st.owner != s.id {
+		s.mu.Unlock()
+		return ErrNotHolder
+	}
+	reqID := st.ownerReq
+	s.mu.Unlock()
+	return s.node.Multicast(encodeRelease(name, reqID))
+}
+
+// Holder reports the current owner of the named lock.
+func (s *Service) Holder(name string) (core.NodeID, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.locks[name]
+	if st == nil || st.owner == wire.NoNode {
+		return wire.NoNode, false
+	}
+	return st.owner, true
+}
+
+// --- public API: replicated map ---
+
+// Set writes key=val cluster-wide and returns once the write has applied
+// locally (read-your-writes).
+func (s *Service) Set(ctx context.Context, key string, val []byte) error {
+	return s.doOp(ctx, func(reqID uint64) []byte { return encodeSet(key, val, reqID) })
+}
+
+// Delete removes a key cluster-wide.
+func (s *Service) Delete(ctx context.Context, key string) error {
+	return s.doOp(ctx, func(reqID uint64) []byte { return encodeDel(key, reqID) })
+}
+
+func (s *Service) doOp(ctx context.Context, build func(reqID uint64) []byte) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return errors.New("dds: service closed")
+	}
+	s.nextReq++
+	reqID := s.nextReq
+	ch := make(chan struct{})
+	s.opWait[reqID] = ch
+	s.mu.Unlock()
+	if err := s.node.Multicast(build(reqID)); err != nil {
+		s.mu.Lock()
+		delete(s.opWait, reqID)
+		s.mu.Unlock()
+		return err
+	}
+	select {
+	case <-ch:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		delete(s.opWait, reqID)
+		s.mu.Unlock()
+		return ctx.Err()
+	}
+}
+
+// Get reads a key from the local replica.
+func (s *Service) Get(key string) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.kv[key]
+	if !ok {
+		return nil, false
+	}
+	return append([]byte(nil), v...), true
+}
+
+// Keys lists the local replica's keys.
+func (s *Service) Keys() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.kv))
+	for k := range s.kv {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Watch registers a callback for key changes, invoked in apply order.
+func (s *Service) Watch(fn func(key string, val []byte, deleted bool)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.watchers = append(s.watchers, fn)
+}
+
+// --- ordered event handlers ---
+
+// onDeliver routes one ordered delivery: data-service ops apply to the
+// replica; everything else passes through to the application.
+func (s *Service) onDeliver(d core.Delivery) {
+	op, ok := decodeOp(d.Payload)
+	if !ok {
+		s.mu.Lock()
+		h := s.app.OnDeliver
+		s.mu.Unlock()
+		if h != nil {
+			h(d)
+		}
+		return
+	}
+	s.mu.Lock()
+	if s.syncing && op.kind != opSnapshot {
+		s.buffer = append(s.buffer, bufferedOp{origin: d.Origin, seq: d.Seq, op: op})
+		s.mu.Unlock()
+		return
+	}
+	s.applyFilteredLocked(d.Origin, d.Seq, op)
+	s.mu.Unlock()
+}
+
+// onSys handles ordered membership announcements.
+func (s *Service) onSys(e core.SysEvent) {
+	switch e.Kind {
+	case wire.SysNodeRemoved:
+		s.mu.Lock()
+		s.releaseDeadLocked(e.Subject)
+		s.mu.Unlock()
+	case wire.SysNodeJoined:
+		if e.Subject == s.id && e.Origin != s.id {
+			// We just joined an existing group: buffer until the
+			// admitter's snapshot arrives.
+			s.enterSync()
+		} else if e.Origin == s.id {
+			// We admitted the joiner: capture state at this ordered
+			// position and send it (targeted at the joiner).
+			snap := s.capture(e.Subject)
+			go s.node.Multicast(snap)
+		}
+	case wire.SysGroupMerged:
+		// Both sides' replicas may have diverged: everyone resyncs to
+		// the merging node's state, buffering until it arrives.
+		if e.Origin == s.id {
+			snap := s.capture(wire.NoNode) // NoNode = all replicas
+			s.enterSync()
+			go s.node.Multicast(snap)
+		} else {
+			s.enterSync()
+		}
+	}
+	s.mu.Lock()
+	h := s.app.OnSys
+	s.mu.Unlock()
+	if h != nil {
+		h(e)
+	}
+}
+
+func (s *Service) onMembership(e core.MembershipEvent) {
+	s.mu.Lock()
+	s.memberCount = len(e.Members)
+	s.lowest = wire.NoNode
+	for _, m := range e.Members {
+		if s.lowest == wire.NoNode || m < s.lowest {
+			s.lowest = m
+		}
+	}
+	h := s.app.OnMembership
+	s.mu.Unlock()
+	if h != nil {
+		h(e)
+	}
+}
+
+func (s *Service) onShutdown(reason string) {
+	s.mu.Lock()
+	s.closed = true
+	h := s.app.OnShutdown
+	s.mu.Unlock()
+	if h != nil {
+		h(reason)
+	}
+}
+
+// enterSync starts buffering ops until a snapshot applies. If none arrives
+// within snapshotWait (the snapshot sender may have died), the replica
+// requests one explicitly.
+func (s *Service) enterSync() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.syncing {
+		return
+	}
+	s.syncing = true
+	s.buffer = nil
+	s.armSyncTimerLocked()
+}
+
+func (s *Service) armSyncTimerLocked() {
+	if s.syncTimer != nil {
+		s.syncTimer.Stop()
+	}
+	s.syncTimer = time.AfterFunc(snapshotWait, func() {
+		s.mu.Lock()
+		stillSyncing := s.syncing
+		if stillSyncing && s.id == s.lowest {
+			// Nobody is going to send us a snapshot (the sender died, or
+			// every replica is syncing). As the deterministic leader,
+			// adopt the buffered state, then publish an authoritative
+			// snapshot so every replica resyncs to the same state at the
+			// same ordered position.
+			buf := s.buffer
+			s.buffer = nil
+			s.syncing = false
+			for _, b := range buf {
+				s.applyFilteredLocked(b.origin, b.seq, b.op)
+			}
+			snap := s.captureTargetLocked(wire.NoNode)
+			s.mu.Unlock()
+			go s.node.Multicast(snap)
+			return
+		}
+		if stillSyncing {
+			s.armSyncTimerLocked()
+		}
+		s.mu.Unlock()
+		if stillSyncing {
+			_ = s.node.Multicast(encodeSnapReq())
+		}
+	})
+}
+
+// --- replicated state machine ---
+
+// applyFilteredLocked applies an op unless the applied vector shows a
+// snapshot already covered it. A filtered op from this node itself must
+// still wake its local waiter: the op's effect is present in the snapshot
+// state, so the caller's request has succeeded.
+func (s *Service) applyFilteredLocked(origin core.NodeID, seq uint64, o op) {
+	if seq <= s.applied[origin] {
+		if origin == s.id {
+			s.ackCoveredSelfOpLocked(o)
+		}
+		return
+	}
+	s.applied[origin] = seq
+	if o.kind != opSnapshot && o.kind != opSnapReq {
+		s.logRecentLocked(origin, seq, o)
+	}
+	s.applyLocked(origin, o)
+}
+
+// recentLogCap bounds the replay log; snapshots older than this many ops
+// cannot be applied by an up-to-date replica and are skipped instead.
+const recentLogCap = 4096
+
+func (s *Service) logRecentLocked(origin core.NodeID, seq uint64, o op) {
+	if len(s.recent) >= recentLogCap {
+		old := s.recent[0]
+		if old.seq > s.evictedHigh[old.origin] {
+			s.evictedHigh[old.origin] = old.seq
+		}
+		s.recent = s.recent[1:]
+	}
+	s.recent = append(s.recent, bufferedOp{origin: origin, seq: seq, op: o})
+}
+
+// ackCoveredSelfOpLocked wakes waiters for a self-op whose effect arrived
+// via snapshot rather than direct application.
+func (s *Service) ackCoveredSelfOpLocked(o op) {
+	switch o.kind {
+	case opSet, opDel:
+		s.signalOpLocked(s.id, o.reqID)
+	case opAcquire:
+		st := s.locks[o.key]
+		if st != nil && st.owner == s.id && st.ownerReq == o.reqID {
+			s.grantLocked(s.id, o.reqID)
+		}
+		// If the snapshot shows us queued, the grant fires when a later
+		// release promotes us; if absent, the pending re-request logic
+		// in applySnapshotLocked re-submits.
+	}
+}
+
+// applyLocked applies one op; caller holds s.mu.
+func (s *Service) applyLocked(origin core.NodeID, o op) {
+	switch o.kind {
+	case opAcquire:
+		s.applyAcquireLocked(origin, o)
+	case opRelease:
+		s.applyReleaseLocked(origin, o)
+	case opCancel:
+		s.applyCancelLocked(origin, o)
+	case opSet:
+		s.kv[o.key] = append([]byte(nil), o.val...)
+		s.notifyLocked(o.key, o.val, false)
+		s.signalOpLocked(origin, o.reqID)
+	case opDel:
+		delete(s.kv, o.key)
+		s.notifyLocked(o.key, nil, true)
+		s.signalOpLocked(origin, o.reqID)
+	case opSnapshot:
+		s.applySnapshotLocked(origin, o)
+	case opSnapReq:
+		// Deterministic responder: the lowest live member other than
+		// the requester captures at this ordered position.
+		if s.id != origin && s.id == s.responderLocked(origin) && !s.syncing {
+			snap := s.captureTargetLocked(origin)
+			go s.node.Multicast(snap)
+		}
+	}
+}
+
+func (s *Service) responderLocked(requester core.NodeID) core.NodeID {
+	members := s.node.Members()
+	best := wire.NoNode
+	for _, m := range members {
+		if m == requester {
+			continue
+		}
+		if best == wire.NoNode || m < best {
+			best = m
+		}
+	}
+	return best
+}
+
+func (s *Service) applyAcquireLocked(origin core.NodeID, o op) {
+	st := s.locks[o.key]
+	if st == nil {
+		st = &lockState{}
+		s.locks[o.key] = st
+	}
+	if st.owner == wire.NoNode {
+		st.owner = origin
+		st.ownerReq = o.reqID
+		s.grantLocked(origin, o.reqID)
+	} else {
+		st.queue = append(st.queue, lockReq{node: origin, reqID: o.reqID})
+	}
+}
+
+func (s *Service) applyReleaseLocked(origin core.NodeID, o op) {
+	st := s.locks[o.key]
+	if st == nil || st.owner != origin || st.ownerReq != o.reqID {
+		return // stale release
+	}
+	s.promoteLocked(o.key, st)
+}
+
+func (s *Service) applyCancelLocked(origin core.NodeID, o op) {
+	st := s.locks[o.key]
+	if st == nil {
+		return
+	}
+	if st.owner == origin && st.ownerReq == o.reqID {
+		// Granted before the cancellation was ordered: treat as release.
+		s.promoteLocked(o.key, st)
+		return
+	}
+	for i, q := range st.queue {
+		if q.node == origin && q.reqID == o.reqID {
+			st.queue = append(st.queue[:i], st.queue[i+1:]...)
+			return
+		}
+	}
+}
+
+func (s *Service) promoteLocked(name string, st *lockState) {
+	if len(st.queue) == 0 {
+		st.owner = wire.NoNode
+		st.ownerReq = 0
+		delete(s.locks, name)
+		return
+	}
+	next := st.queue[0]
+	st.queue = st.queue[1:]
+	st.owner = next.node
+	st.ownerReq = next.reqID
+	s.grantLocked(next.node, next.reqID)
+}
+
+// grantLocked wakes the local waiter when this replica's node became owner.
+func (s *Service) grantLocked(node core.NodeID, reqID uint64) {
+	if node != s.id {
+		return
+	}
+	if ch, ok := s.lockWait[reqID]; ok {
+		delete(s.lockWait, reqID)
+		delete(s.pending, reqID)
+		close(ch)
+	}
+}
+
+func (s *Service) signalOpLocked(origin core.NodeID, reqID uint64) {
+	if origin != s.id {
+		return
+	}
+	if ch, ok := s.opWait[reqID]; ok {
+		delete(s.opWait, reqID)
+		close(ch)
+	}
+}
+
+// releaseDeadLocked frees every lock and queue position owned by a node
+// that left the membership; ordered, so all replicas do this at the same
+// logical instant (§2.7).
+func (s *Service) releaseDeadLocked(dead core.NodeID) {
+	for name, st := range s.locks {
+		filtered := st.queue[:0]
+		for _, q := range st.queue {
+			if q.node != dead {
+				filtered = append(filtered, q)
+			}
+		}
+		st.queue = filtered
+		if st.owner == dead {
+			s.promoteLocked(name, st)
+		}
+	}
+}
+
+func (s *Service) notifyLocked(key string, val []byte, deleted bool) {
+	for _, w := range s.watchers {
+		w(key, val, deleted)
+	}
+}
+
+// applySnapshotLocked installs a snapshot and replays buffered ops.
+func (s *Service) applySnapshotLocked(origin core.NodeID, o op) {
+	if o.target != wire.NoNode {
+		// Targeted at one (joining) replica: others skip it, and the
+		// target applies it only while waiting for state transfer.
+		if o.target != s.id {
+			return
+		}
+		if !s.syncing {
+			return
+		}
+	}
+	// Broadcast snapshots (merge resync, fallback resync) are
+	// authoritative for every replica, syncing or not: each one is an
+	// ordered point where any divergence — for example from the
+	// time-based sync fallback racing a snapshot — is healed. A replica
+	// that was NOT syncing has applied ops ordered between the snapshot's
+	// capture and its delivery; those must be replayed from the recent-op
+	// log after the overwrite, or the snapshot must be skipped when the
+	// log no longer covers the gap.
+	var gapReplay []bufferedOp
+	if !s.syncing {
+		st0, err0 := decodeSnapshotState(o.val)
+		if err0 != nil {
+			return
+		}
+		snapApplied := st0.applied
+		for origin, mine := range s.applied {
+			if mine > snapApplied[origin] && s.evictedHigh[origin] > snapApplied[origin] {
+				return // gap not covered by the log: keep our state
+			}
+		}
+		for _, b := range s.recent {
+			if b.seq > snapApplied[b.origin] {
+				gapReplay = append(gapReplay, b)
+			}
+		}
+	}
+	st, err := decodeSnapshotState(o.val)
+	if err != nil {
+		return
+	}
+	old := s.kv
+	s.kv = st.kv
+	s.locks = st.locks
+	s.applied = st.applied
+	if s.applied == nil {
+		s.applied = make(map[core.NodeID]uint64)
+	}
+	// The snapshot is a new lineage baseline: ops applied before it must
+	// never be replayed on top of a later snapshot (they may come from a
+	// pre-merge lineage the snapshot supersedes). Clearing the log and
+	// raising evictedHigh to the baseline also makes any STALE snapshot —
+	// one captured before this baseline — deterministically skipped by
+	// the coverage check instead of rewinding state.
+	s.recent = nil
+	s.evictedHigh = make(map[core.NodeID]uint64, len(s.applied))
+	for o, v := range s.applied {
+		s.evictedHigh[o] = v
+	}
+	s.syncing = false
+	if s.syncTimer != nil {
+		s.syncTimer.Stop()
+	}
+	// Watchers must observe the state transfer: notify the diff between
+	// the replaced state and the snapshot, in stable (key-sorted) order.
+	var changed []string
+	for k, v := range s.kv {
+		if ov, ok := old[k]; !ok || string(ov) != string(v) {
+			changed = append(changed, k)
+		}
+	}
+	sort.Strings(changed)
+	for _, k := range changed {
+		s.notifyLocked(k, s.kv[k], false)
+	}
+	var removed []string
+	for k := range old {
+		if _, ok := s.kv[k]; !ok {
+			removed = append(removed, k)
+		}
+	}
+	sort.Strings(removed)
+	for _, k := range removed {
+		s.notifyLocked(k, nil, true)
+	}
+	buf := s.buffer
+	s.buffer = nil
+	for _, b := range gapReplay {
+		s.applyFilteredLocked(b.origin, b.seq, b.op)
+	}
+	for _, b := range buf {
+		s.applyFilteredLocked(b.origin, b.seq, b.op)
+	}
+	// Local requests still in flight need no recovery here: the ring's
+	// atomic multicast guarantees a live origin's message is eventually
+	// delivered (the outbox and token copies survive regeneration and
+	// merges), and the applied-vector filter plus ackCoveredSelfOpLocked
+	// handle the snapshot-covered case.
+}
+
+// captureLocked snapshots the current state for the given target (NoNode
+// = all replicas). Callers run inside an ordered handler, so the capture
+// point is a well-defined position in the total order.
+func (s *Service) capture(target core.NodeID) []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.captureTargetLocked(target)
+}
+
+func (s *Service) captureTargetLocked(target core.NodeID) []byte {
+	return encodeSnapshot(target, snapshotState{kv: s.kv, locks: s.locks, applied: s.applied})
+}
+
+// String summarizes the replica (diagnostics).
+func (s *Service) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return fmt.Sprintf("dds{node=%v keys=%d locks=%d syncing=%v}", s.id, len(s.kv), len(s.locks), s.syncing)
+}

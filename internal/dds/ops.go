@@ -1,0 +1,271 @@
+package dds
+
+import (
+	"encoding/binary"
+	"errors"
+
+	"repro/internal/core"
+	"repro/internal/wire"
+)
+
+// Data-service operations ride inside ordinary Raincore multicasts. The
+// first two bytes distinguish them from application payloads.
+
+const (
+	ddsMagic   = 0xD5
+	ddsVersion = 1
+)
+
+type opKind byte
+
+const (
+	opAcquire opKind = iota + 1
+	opRelease
+	opCancel
+	opSet
+	opDel
+	opSnapshot
+	opSnapReq
+)
+
+type op struct {
+	kind   opKind
+	key    string
+	val    []byte
+	reqID  uint64
+	target core.NodeID
+}
+
+func header(kind opKind) []byte { return []byte{ddsMagic, ddsVersion, byte(kind)} }
+
+func appendStr(b []byte, s string) []byte {
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(s)))
+	return append(b, s...)
+}
+
+func appendBytes(b, p []byte) []byte {
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(p)))
+	return append(b, p...)
+}
+
+func encodeAcquire(name string, reqID uint64) []byte {
+	b := header(opAcquire)
+	b = appendStr(b, name)
+	return binary.LittleEndian.AppendUint64(b, reqID)
+}
+
+func encodeRelease(name string, reqID uint64) []byte {
+	b := header(opRelease)
+	b = appendStr(b, name)
+	return binary.LittleEndian.AppendUint64(b, reqID)
+}
+
+func encodeCancel(name string, reqID uint64) []byte {
+	b := header(opCancel)
+	b = appendStr(b, name)
+	return binary.LittleEndian.AppendUint64(b, reqID)
+}
+
+func encodeSet(key string, val []byte, reqID uint64) []byte {
+	b := header(opSet)
+	b = appendStr(b, key)
+	b = appendBytes(b, val)
+	return binary.LittleEndian.AppendUint64(b, reqID)
+}
+
+func encodeDel(key string, reqID uint64) []byte {
+	b := header(opDel)
+	b = appendStr(b, key)
+	return binary.LittleEndian.AppendUint64(b, reqID)
+}
+
+func encodeSnapReq() []byte { return header(opSnapReq) }
+
+// decodeOp parses a data-service op; ok=false means the payload belongs to
+// the application.
+func decodeOp(p []byte) (op, bool) {
+	if len(p) < 3 || p[0] != ddsMagic || p[1] != ddsVersion {
+		return op{}, false
+	}
+	r := opReader{buf: p[3:]}
+	o := op{kind: opKind(p[2])}
+	var err error
+	switch o.kind {
+	case opAcquire, opRelease, opCancel, opDel:
+		if o.key, err = r.str(); err == nil {
+			o.reqID, err = r.u64()
+		}
+	case opSet:
+		if o.key, err = r.str(); err == nil {
+			if o.val, err = r.bytes(); err == nil {
+				o.reqID, err = r.u64()
+			}
+		}
+	case opSnapshot:
+		var t uint32
+		if t, err = r.u32(); err == nil {
+			o.target = core.NodeID(t)
+			o.val, err = r.bytes()
+		}
+	case opSnapReq:
+	default:
+		return op{}, false
+	}
+	if err != nil {
+		return op{}, false
+	}
+	return o, true
+}
+
+// --- snapshot state codec ---
+
+type snapshotState struct {
+	kv      map[string][]byte
+	locks   map[string]*lockState
+	applied map[core.NodeID]uint64
+}
+
+func encodeSnapshot(target core.NodeID, st snapshotState) []byte {
+	b := header(opSnapshot)
+	b = binary.LittleEndian.AppendUint32(b, uint32(target))
+	body := encodeSnapshotState(st)
+	return appendBytes(b, body)
+}
+
+func encodeSnapshotState(st snapshotState) []byte {
+	var b []byte
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(st.kv)))
+	for k, v := range st.kv {
+		b = appendStr(b, k)
+		b = appendBytes(b, v)
+	}
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(st.locks)))
+	for name, ls := range st.locks {
+		b = appendStr(b, name)
+		b = binary.LittleEndian.AppendUint32(b, uint32(ls.owner))
+		b = binary.LittleEndian.AppendUint64(b, ls.ownerReq)
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(ls.queue)))
+		for _, q := range ls.queue {
+			b = binary.LittleEndian.AppendUint32(b, uint32(q.node))
+			b = binary.LittleEndian.AppendUint64(b, q.reqID)
+		}
+	}
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(st.applied)))
+	for node, seq := range st.applied {
+		b = binary.LittleEndian.AppendUint32(b, uint32(node))
+		b = binary.LittleEndian.AppendUint64(b, seq)
+	}
+	return b
+}
+
+func decodeSnapshotState(p []byte) (snapshotState, error) {
+	r := opReader{buf: p}
+	st := snapshotState{kv: make(map[string][]byte), locks: make(map[string]*lockState)}
+	nkv, err := r.u32()
+	if err != nil {
+		return st, err
+	}
+	for i := uint32(0); i < nkv; i++ {
+		k, err := r.str()
+		if err != nil {
+			return st, err
+		}
+		v, err := r.bytes()
+		if err != nil {
+			return st, err
+		}
+		st.kv[k] = v
+	}
+	nlocks, err := r.u32()
+	if err != nil {
+		return st, err
+	}
+	for i := uint32(0); i < nlocks; i++ {
+		name, err := r.str()
+		if err != nil {
+			return st, err
+		}
+		owner, err := r.u32()
+		if err != nil {
+			return st, err
+		}
+		ownerReq, err := r.u64()
+		if err != nil {
+			return st, err
+		}
+		qlen, err := r.u32()
+		if err != nil {
+			return st, err
+		}
+		ls := &lockState{owner: wire.NodeID(owner), ownerReq: ownerReq}
+		for j := uint32(0); j < qlen; j++ {
+			node, err := r.u32()
+			if err != nil {
+				return st, err
+			}
+			reqID, err := r.u64()
+			if err != nil {
+				return st, err
+			}
+			ls.queue = append(ls.queue, lockReq{node: wire.NodeID(node), reqID: reqID})
+		}
+		st.locks[name] = ls
+	}
+	st.applied = make(map[core.NodeID]uint64)
+	napp, err := r.u32()
+	if err != nil {
+		return st, err
+	}
+	for i := uint32(0); i < napp; i++ {
+		node, err := r.u32()
+		if err != nil {
+			return st, err
+		}
+		seq, err := r.u64()
+		if err != nil {
+			return st, err
+		}
+		st.applied[wire.NodeID(node)] = seq
+	}
+	return st, nil
+}
+
+type opReader struct{ buf []byte }
+
+var errShort = errors.New("dds: truncated op")
+
+func (r *opReader) u32() (uint32, error) {
+	if len(r.buf) < 4 {
+		return 0, errShort
+	}
+	v := binary.LittleEndian.Uint32(r.buf)
+	r.buf = r.buf[4:]
+	return v, nil
+}
+
+func (r *opReader) u64() (uint64, error) {
+	if len(r.buf) < 8 {
+		return 0, errShort
+	}
+	v := binary.LittleEndian.Uint64(r.buf)
+	r.buf = r.buf[8:]
+	return v, nil
+}
+
+func (r *opReader) bytes() ([]byte, error) {
+	n, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if uint32(len(r.buf)) < n {
+		return nil, errShort
+	}
+	v := append([]byte(nil), r.buf[:n]...)
+	r.buf = r.buf[n:]
+	return v, nil
+}
+
+func (r *opReader) str() (string, error) {
+	b, err := r.bytes()
+	return string(b), err
+}

@@ -1,0 +1,146 @@
+package dds
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/simnet"
+)
+
+// TestRandomOpsConverge drives random Set/Delete/Lock/Unlock traffic from
+// all replicas concurrently, then checks that every replica's key-value
+// state and lock table are identical — the replicated-state-machine
+// property under contention.
+func TestRandomOpsConverge(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		seed := seed
+		t.Run(fmt.Sprint(seed), func(t *testing.T) {
+			dc := startDDS(t, 3)
+			ctx := context.Background()
+			done := make(chan struct{})
+			for _, id := range dc.tc.IDs {
+				id := id
+				go func() {
+					rng := rand.New(rand.NewSource(seed + int64(id)))
+					defer func() { done <- struct{}{} }()
+					held := map[string]bool{}
+					for i := 0; i < 30; i++ {
+						key := fmt.Sprintf("k%d", rng.Intn(5))
+						lock := fmt.Sprintf("l%d", rng.Intn(3))
+						switch rng.Intn(4) {
+						case 0:
+							_ = dc.svcs[id].Set(ctx, key, []byte(fmt.Sprintf("%v-%d", id, i)))
+						case 1:
+							_ = dc.svcs[id].Delete(ctx, key)
+						case 2:
+							if !held[lock] {
+								lctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+								if dc.svcs[id].Lock(lctx, lock) == nil {
+									held[lock] = true
+								}
+								cancel()
+							}
+						default:
+							if held[lock] {
+								if dc.svcs[id].Unlock(lock) == nil {
+									held[lock] = false
+								}
+							}
+						}
+					}
+					for lock := range held {
+						if held[lock] {
+							_ = dc.svcs[id].Unlock(lock)
+						}
+					}
+				}()
+			}
+			for range dc.tc.IDs {
+				<-done
+			}
+			// Let the last writes circulate, then compare replicas.
+			time.Sleep(300 * time.Millisecond)
+			ref := dc.svcs[1]
+			deadline := time.Now().Add(5 * time.Second)
+			for time.Now().Before(deadline) {
+				if replicasEqual(dc) {
+					return
+				}
+				time.Sleep(5 * time.Millisecond)
+			}
+			for _, id := range dc.tc.IDs {
+				t.Logf("replica %v: keys=%v", id, dc.svcs[id].Keys())
+			}
+			_ = ref
+			t.Fatal("replicas did not converge after random ops")
+		})
+	}
+}
+
+func replicasEqual(dc *ddsCluster) bool {
+	ref := dc.svcs[dc.tc.IDs[0]]
+	refKeys := map[string]string{}
+	for _, k := range ref.Keys() {
+		v, _ := ref.Get(k)
+		refKeys[k] = string(v)
+	}
+	for _, id := range dc.tc.IDs[1:] {
+		svc := dc.svcs[id]
+		keys := svc.Keys()
+		if len(keys) != len(refKeys) {
+			return false
+		}
+		for _, k := range keys {
+			v, _ := svc.Get(k)
+			if refKeys[k] != string(v) {
+				return false
+			}
+		}
+		// Lock holders must agree too.
+		for i := 0; i < 3; i++ {
+			name := fmt.Sprintf("l%d", i)
+			h1, ok1 := ref.Holder(name)
+			h2, ok2 := svc.Holder(name)
+			if ok1 != ok2 || h1 != h2 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestConvergenceAcrossPartitionChurn mixes partitions into the random
+// traffic: after healing, all replicas converge to one state.
+func TestConvergenceAcrossPartitionChurn(t *testing.T) {
+	dc := startDDS(t, 3)
+	ctx := context.Background()
+	for round := 0; round < 3; round++ {
+		dc.tc.Net.Partition(
+			[]simnet.Addr{core.Addr(1), core.Addr(2)},
+			[]simnet.Addr{core.Addr(3)})
+		// Writes on both sides of the split.
+		sctx, cancel := context.WithTimeout(ctx, 3*time.Second)
+		_ = dc.svcs[1].Set(sctx, "shared", []byte(fmt.Sprintf("majority-%d", round)))
+		_ = dc.svcs[3].Set(sctx, "lonely", []byte(fmt.Sprintf("minority-%d", round)))
+		cancel()
+		dc.tc.Net.Heal()
+		if err := dc.tc.WaitAssembled(15 * time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if replicasEqual(dc) {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	for _, id := range dc.tc.IDs {
+		t.Logf("replica %v keys %v", id, dc.svcs[id].Keys())
+	}
+	t.Fatal("replicas diverged after partition churn")
+}

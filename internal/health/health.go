@@ -1,0 +1,192 @@
+// Package health implements the critical-resource monitor of §2.4/§3.2:
+// each member node watches a configurable set of critical resources
+// (applications, network interfaces, remote Internet links) and shuts
+// itself down — removing itself from the cluster so traffic shifts away —
+// when any of them fails.
+package health
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/clock"
+)
+
+// Check probes one resource; a non-nil error means the probe failed.
+type Check func() error
+
+// Config tunes the monitor.
+type Config struct {
+	// Interval between probe rounds.
+	Interval time.Duration
+	// FailThreshold is how many consecutive probe failures declare the
+	// resource dead; it absorbs transient glitches. Minimum 1.
+	FailThreshold int
+	// Clock defaults to the real clock.
+	Clock clock.Clock
+}
+
+// Monitor watches registered resources and reports the first failure.
+type Monitor struct {
+	cfg    Config
+	onFail func(resource string)
+
+	mu        sync.Mutex
+	resources map[string]*resource
+	timer     clock.Timer
+	running   bool
+	stopped   bool
+	fired     bool
+}
+
+type resource struct {
+	check    Check
+	failures int
+	manual   bool
+	healthy  bool
+}
+
+// NewMonitor builds a monitor; onFail is invoked at most once, with the
+// name of the first resource declared dead.
+func NewMonitor(cfg Config, onFail func(resource string)) *Monitor {
+	if cfg.Interval <= 0 {
+		cfg.Interval = time.Second
+	}
+	if cfg.FailThreshold < 1 {
+		cfg.FailThreshold = 1
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = clock.NewReal()
+	}
+	return &Monitor{cfg: cfg, onFail: onFail, resources: make(map[string]*resource)}
+}
+
+// Register adds a probed resource. Registering an existing name replaces
+// its check and resets its failure count.
+func (m *Monitor) Register(name string, check Check) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.resources[name] = &resource{check: check}
+}
+
+// RegisterManual adds a resource whose health is set externally with
+// SetHealthy (e.g. a link-state callback). It starts healthy.
+func (m *Monitor) RegisterManual(name string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.resources[name] = &resource{manual: true, healthy: true}
+}
+
+// SetHealthy updates a manual resource. Marking it unhealthy counts as one
+// probe failure per monitoring round until restored.
+func (m *Monitor) SetHealthy(name string, healthy bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if r, ok := m.resources[name]; ok && r.manual {
+		r.healthy = healthy
+		if healthy {
+			r.failures = 0
+		}
+	}
+}
+
+// Start begins probing. It is idempotent.
+func (m *Monitor) Start() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.running || m.stopped {
+		return
+	}
+	m.running = true
+	m.armLocked()
+}
+
+func (m *Monitor) armLocked() {
+	m.timer = m.cfg.Clock.AfterFunc(m.cfg.Interval, m.round)
+}
+
+// round probes every resource once.
+func (m *Monitor) round() {
+	m.mu.Lock()
+	if m.stopped {
+		m.mu.Unlock()
+		return
+	}
+	type probe struct {
+		name  string
+		check Check
+	}
+	var probes []probe
+	for name, r := range m.resources {
+		if r.manual {
+			if !r.healthy {
+				r.failures++
+			}
+			continue
+		}
+		probes = append(probes, probe{name, r.check})
+	}
+	m.mu.Unlock()
+
+	// Run checks without holding the lock: probes may be slow.
+	results := make(map[string]error, len(probes))
+	for _, p := range probes {
+		results[p.name] = p.check()
+	}
+
+	m.mu.Lock()
+	var dead string
+	for name, err := range results {
+		r, ok := m.resources[name]
+		if !ok {
+			continue
+		}
+		if err != nil {
+			r.failures++
+		} else {
+			r.failures = 0
+		}
+	}
+	for name, r := range m.resources {
+		if r.failures >= m.cfg.FailThreshold {
+			dead = name
+			break
+		}
+	}
+	if dead != "" && !m.fired {
+		m.fired = true
+		cb := m.onFail
+		m.mu.Unlock()
+		if cb != nil {
+			cb(dead)
+		}
+		return // a dead critical resource stops the monitor (§2.4)
+	}
+	if m.running && !m.stopped {
+		m.armLocked()
+	}
+	m.mu.Unlock()
+}
+
+// Stop halts probing.
+func (m *Monitor) Stop() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.stopped = true
+	m.running = false
+	if m.timer != nil {
+		m.timer.Stop()
+	}
+}
+
+// Status summarizes resource states for diagnostics.
+func (m *Monitor) Status() string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := ""
+	for name, r := range m.resources {
+		out += fmt.Sprintf("%s: failures=%d\n", name, r.failures)
+	}
+	return out
+}

@@ -1,0 +1,166 @@
+package health
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+)
+
+func TestHealthyResourcesNeverFire(t *testing.T) {
+	clk := clock.NewFake(time.Time{})
+	fired := make(chan string, 1)
+	m := NewMonitor(Config{Interval: time.Second, Clock: clk}, func(r string) { fired <- r })
+	m.Register("ok", func() error { return nil })
+	m.Start()
+	for i := 0; i < 10; i++ {
+		clk.Advance(time.Second)
+	}
+	select {
+	case r := <-fired:
+		t.Fatalf("healthy resource %q reported dead", r)
+	default:
+	}
+}
+
+func TestFailureThreshold(t *testing.T) {
+	clk := clock.NewFake(time.Time{})
+	fired := make(chan string, 1)
+	m := NewMonitor(Config{Interval: time.Second, FailThreshold: 3, Clock: clk}, func(r string) { fired <- r })
+	var mu sync.Mutex
+	failing := false
+	m.Register("uplink", func() error {
+		mu.Lock()
+		defer mu.Unlock()
+		if failing {
+			return errors.New("down")
+		}
+		return nil
+	})
+	m.Start()
+	clk.Advance(time.Second) // healthy round
+	mu.Lock()
+	failing = true
+	mu.Unlock()
+	clk.Advance(time.Second)
+	clk.Advance(time.Second)
+	select {
+	case <-fired:
+		t.Fatal("fired before threshold")
+	default:
+	}
+	clk.Advance(time.Second) // third consecutive failure
+	select {
+	case r := <-fired:
+		if r != "uplink" {
+			t.Fatalf("fired for %q", r)
+		}
+	default:
+		t.Fatal("did not fire at threshold")
+	}
+}
+
+func TestRecoveryResetsCount(t *testing.T) {
+	clk := clock.NewFake(time.Time{})
+	fired := make(chan string, 1)
+	m := NewMonitor(Config{Interval: time.Second, FailThreshold: 2, Clock: clk}, func(r string) { fired <- r })
+	var mu sync.Mutex
+	fail := false
+	m.Register("flappy", func() error {
+		mu.Lock()
+		defer mu.Unlock()
+		if fail {
+			return errors.New("x")
+		}
+		return nil
+	})
+	m.Start()
+	for i := 0; i < 5; i++ {
+		mu.Lock()
+		fail = true
+		mu.Unlock()
+		clk.Advance(time.Second) // one failure
+		mu.Lock()
+		fail = false
+		mu.Unlock()
+		clk.Advance(time.Second) // recovery resets
+	}
+	select {
+	case <-fired:
+		t.Fatal("flapping below threshold fired")
+	default:
+	}
+}
+
+func TestManualResource(t *testing.T) {
+	clk := clock.NewFake(time.Time{})
+	fired := make(chan string, 1)
+	m := NewMonitor(Config{Interval: time.Second, FailThreshold: 2, Clock: clk}, func(r string) { fired <- r })
+	m.RegisterManual("cable")
+	m.Start()
+	clk.Advance(time.Second)
+	m.SetHealthy("cable", false)
+	clk.Advance(time.Second)
+	clk.Advance(time.Second)
+	select {
+	case r := <-fired:
+		if r != "cable" {
+			t.Fatalf("fired for %q", r)
+		}
+	default:
+		t.Fatal("manual resource failure not reported")
+	}
+}
+
+func TestFiresAtMostOnce(t *testing.T) {
+	clk := clock.NewFake(time.Time{})
+	var mu sync.Mutex
+	count := 0
+	m := NewMonitor(Config{Interval: time.Second, Clock: clk}, func(string) {
+		mu.Lock()
+		count++
+		mu.Unlock()
+	})
+	m.Register("dead", func() error { return errors.New("x") })
+	m.Start()
+	for i := 0; i < 5; i++ {
+		clk.Advance(time.Second)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if count != 1 {
+		t.Fatalf("onFail invoked %d times, want 1", count)
+	}
+}
+
+func TestStopHaltsProbing(t *testing.T) {
+	clk := clock.NewFake(time.Time{})
+	var mu sync.Mutex
+	probes := 0
+	m := NewMonitor(Config{Interval: time.Second, Clock: clk}, nil)
+	m.Register("r", func() error {
+		mu.Lock()
+		probes++
+		mu.Unlock()
+		return nil
+	})
+	m.Start()
+	clk.Advance(time.Second)
+	m.Stop()
+	clk.Advance(5 * time.Second)
+	mu.Lock()
+	defer mu.Unlock()
+	if probes != 1 {
+		t.Fatalf("probes = %d after stop, want 1", probes)
+	}
+}
+
+func TestStatusListsResources(t *testing.T) {
+	m := NewMonitor(Config{}, nil)
+	m.Register("a", func() error { return nil })
+	if s := m.Status(); s == "" {
+		t.Fatal("empty status")
+	}
+}

@@ -1,0 +1,296 @@
+// Package hierarchy implements the hierarchical extension the paper lists
+// as ongoing work (§5): "the hierarchical design that extends the
+// scalability of the protocol". The cluster is partitioned into cells,
+// each running its own local token ring; the leader of every cell (its
+// lowest member, the cell bridge) additionally participates in a global
+// token ring. A global multicast travels: origin cell's ring -> origin
+// bridge -> global ring -> every bridge -> each cell's ring -> every node.
+//
+// Ordering: all global multicasts are delivered to applications only
+// through the global ring's agreed order (even in the origin cell), so
+// every node in every cell observes the same total order of global
+// messages. Local multicasts stay inside their cell with the usual cell
+// ordering. Token traffic therefore scales with cell size plus the number
+// of cells rather than with the full cluster size — the scalability the
+// paper is after.
+//
+// Bridge fail-over is automatic: when a cell's leader changes, the new
+// leader joins the global ring (the old bridge is removed by the global
+// ring's failure detection). Messages already handed to a bridge that
+// dies before forwarding are lost to remote cells (best effort across
+// bridge fail-over); in-cell delivery guarantees are unaffected.
+package hierarchy
+
+import (
+	"encoding/binary"
+	"errors"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/wire"
+)
+
+// GlobalDelivery is one cross-cell multicast delivered in global order.
+type GlobalDelivery struct {
+	OriginCell int
+	Origin     core.NodeID
+	Seq        uint64
+	Payload    []byte
+}
+
+// Handlers are the application callbacks at the hierarchy level.
+type Handlers struct {
+	// OnGlobal receives cross-cell multicasts in the global total order.
+	OnGlobal func(GlobalDelivery)
+	// OnLocal receives cell-local multicasts (plain payloads submitted
+	// through the cell node's own Multicast).
+	OnLocal func(core.Delivery)
+	// OnMembership mirrors the cell node's membership events.
+	OnMembership func(core.MembershipEvent)
+	// OnBridgeChange reports this node acquiring or losing bridge duty.
+	OnBridgeChange func(isBridge bool)
+}
+
+// GlobalNodeFactory creates this node's presence on the global plane; it
+// is invoked whenever the node becomes its cell's bridge and the returned
+// node is closed when it stops being the bridge.
+type GlobalNodeFactory func() (*core.Node, error)
+
+// Service runs on every node of every cell.
+type Service struct {
+	cellID int
+	local  *core.Node
+	newGN  GlobalNodeFactory
+
+	mu       sync.Mutex
+	handlers Handlers
+	isBridge bool
+	global   *core.Node
+	nextSeq  uint64
+	closed   bool
+}
+
+// New attaches the hierarchy layer to a cell node. It installs the cell
+// node's handlers; call before the node starts.
+func New(cellID int, local *core.Node, factory GlobalNodeFactory) *Service {
+	s := &Service{cellID: cellID, local: local, newGN: factory}
+	local.SetHandlers(core.Handlers{
+		OnDeliver:    s.onLocalDeliver,
+		OnMembership: s.onMembership,
+		OnShutdown:   func(string) { s.Close() },
+	})
+	return s
+}
+
+// SetHandlers installs the application callbacks.
+func (s *Service) SetHandlers(h Handlers) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.handlers = h
+}
+
+// CellID returns this node's cell.
+func (s *Service) CellID() int { return s.cellID }
+
+// IsBridge reports whether this node currently bridges its cell.
+func (s *Service) IsBridge() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.isBridge
+}
+
+// GlobalMembers returns the global ring membership as seen by this node's
+// bridge, or nil when this node is not the bridge.
+func (s *Service) GlobalMembers() []core.NodeID {
+	s.mu.Lock()
+	g := s.global
+	s.mu.Unlock()
+	if g == nil {
+		return nil
+	}
+	return g.Members()
+}
+
+// MulticastGlobal submits a payload for delivery to every node of every
+// cell, in a single global total order.
+func (s *Service) MulticastGlobal(payload []byte) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return errors.New("hierarchy: service closed")
+	}
+	s.nextSeq++
+	seq := s.nextSeq
+	s.mu.Unlock()
+	// Phase 1 (toBridge): ride the cell ring to the bridge; the bridge
+	// forwards, nobody delivers.
+	return s.local.Multicast(encodeHier(hierToBridge, s.cellID, s.local.ID(), seq, payload))
+}
+
+// MulticastLocal submits a cell-local multicast (ordinary cell semantics).
+func (s *Service) MulticastLocal(payload []byte) error {
+	return s.local.Multicast(payload)
+}
+
+// onLocalDeliver routes cell-ring deliveries.
+func (s *Service) onLocalDeliver(d core.Delivery) {
+	kind, cell, origin, seq, payload, ok := decodeHier(d.Payload)
+	if !ok {
+		s.mu.Lock()
+		h := s.handlers.OnLocal
+		s.mu.Unlock()
+		if h != nil {
+			h(d)
+		}
+		return
+	}
+	switch kind {
+	case hierToBridge:
+		// Only the bridge acts; the message is not an app delivery yet.
+		s.mu.Lock()
+		g := s.global
+		bridge := s.isBridge
+		s.mu.Unlock()
+		if bridge && g != nil {
+			_ = g.Multicast(encodeHier(hierGlobal, cell, origin, seq, payload))
+		}
+	case hierFanOut:
+		s.mu.Lock()
+		h := s.handlers.OnGlobal
+		s.mu.Unlock()
+		if h != nil {
+			h(GlobalDelivery{OriginCell: cell, Origin: origin, Seq: seq, Payload: payload})
+		}
+	}
+}
+
+// onMembership tracks cell leadership: the lowest member bridges.
+func (s *Service) onMembership(e core.MembershipEvent) {
+	lead := wire.NoNode
+	for _, m := range e.Members {
+		if lead == wire.NoNode || m < lead {
+			lead = m
+		}
+	}
+	shouldBridge := lead == s.local.ID()
+	s.mu.Lock()
+	h := s.handlers.OnMembership
+	change := shouldBridge != s.isBridge && !s.closed
+	s.mu.Unlock()
+	if change {
+		if shouldBridge {
+			s.becomeBridge()
+		} else {
+			s.resignBridge()
+		}
+	}
+	if h != nil {
+		h(e)
+	}
+}
+
+// becomeBridge joins the global ring.
+func (s *Service) becomeBridge() {
+	g, err := s.newGN()
+	if err != nil {
+		return // stay non-bridge; the next membership event retries
+	}
+	g.SetHandlers(core.Handlers{OnDeliver: s.onGlobalDeliver})
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		g.Close()
+		return
+	}
+	s.isBridge = true
+	s.global = g
+	cb := s.handlers.OnBridgeChange
+	s.mu.Unlock()
+	g.Start()
+	if cb != nil {
+		cb(true)
+	}
+}
+
+// resignBridge leaves the global ring.
+func (s *Service) resignBridge() {
+	s.mu.Lock()
+	g := s.global
+	s.global = nil
+	s.isBridge = false
+	cb := s.handlers.OnBridgeChange
+	s.mu.Unlock()
+	if g != nil {
+		g.Leave()
+		g.Close()
+	}
+	if cb != nil {
+		cb(false)
+	}
+}
+
+// onGlobalDeliver receives a global-ring message at this bridge and fans
+// it out into the local cell; every cell's bridge does the same, so all
+// cells deliver global messages in the global ring's order.
+func (s *Service) onGlobalDeliver(d core.Delivery) {
+	kind, cell, origin, seq, payload, ok := decodeHier(d.Payload)
+	if !ok || kind != hierGlobal {
+		return
+	}
+	_ = s.local.Multicast(encodeHier(hierFanOut, cell, origin, seq, payload))
+}
+
+// Close stops the hierarchy layer (and the global node if bridging).
+func (s *Service) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	g := s.global
+	s.global = nil
+	s.isBridge = false
+	s.mu.Unlock()
+	if g != nil {
+		g.Close()
+	}
+}
+
+// --- hierarchy payload codec ---
+
+const hierMagic = 0xA7
+
+type hierKind byte
+
+const (
+	// hierToBridge rides the origin cell's ring toward its bridge.
+	hierToBridge hierKind = 1
+	// hierGlobal rides the global ring between bridges.
+	hierGlobal hierKind = 2
+	// hierFanOut rides each cell's ring for final delivery.
+	hierFanOut hierKind = 3
+)
+
+func encodeHier(kind hierKind, cell int, origin core.NodeID, seq uint64, payload []byte) []byte {
+	b := make([]byte, 0, 18+len(payload))
+	b = append(b, hierMagic, byte(kind))
+	b = binary.LittleEndian.AppendUint32(b, uint32(cell))
+	b = binary.LittleEndian.AppendUint32(b, uint32(origin))
+	b = binary.LittleEndian.AppendUint64(b, seq)
+	return append(b, payload...)
+}
+
+func decodeHier(p []byte) (hierKind, int, core.NodeID, uint64, []byte, bool) {
+	if len(p) < 18 || p[0] != hierMagic {
+		return 0, 0, 0, 0, nil, false
+	}
+	kind := hierKind(p[1])
+	if kind < hierToBridge || kind > hierFanOut {
+		return 0, 0, 0, 0, nil, false
+	}
+	cell := int(binary.LittleEndian.Uint32(p[2:]))
+	origin := core.NodeID(binary.LittleEndian.Uint32(p[6:]))
+	seq := binary.LittleEndian.Uint64(p[10:])
+	return kind, cell, origin, seq, p[18:], true
+}

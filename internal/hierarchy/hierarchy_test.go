@@ -1,0 +1,411 @@
+package hierarchy
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ring"
+	"repro/internal/simnet"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// hcluster is a multi-cell hierarchy over one simulated network.
+type hcluster struct {
+	net      *simnet.Network
+	services map[core.NodeID]*Service
+	nodes    map[core.NodeID]*core.Node
+	cells    map[int][]core.NodeID
+
+	mu     sync.Mutex
+	global map[core.NodeID][]string // global deliveries per node
+	local  map[core.NodeID][]string
+}
+
+func localAddr(id core.NodeID) simnet.Addr  { return simnet.Addr(fmt.Sprintf("l-%d", id)) }
+func globalAddr(id core.NodeID) simnet.Addr { return simnet.Addr(fmt.Sprintf("g-%d", id)) }
+
+// testRing is forgiving about scheduling hiccups: in-process tests share
+// one machine, so aggressive LAN-grade timeouts would generate failure
+// detector false alarms (§2.3) and make the assertions racy.
+func testRing(eligible []core.NodeID) ring.Config {
+	rc := core.FastRing()
+	rc.TokenHold = 3 * time.Millisecond
+	rc.HungryTimeout = 200 * time.Millisecond
+	rc.StarvingRetry = 150 * time.Millisecond
+	rc.Eligible = eligible
+	return rc
+}
+
+// buildHierarchy creates cells of the given sizes. Node IDs are
+// cellIndex*100 + i.
+func buildHierarchy(t *testing.T, cellSizes ...int) *hcluster {
+	t.Helper()
+	h := &hcluster{
+		net:      simnet.New(simnet.Options{Seed: 3}),
+		services: make(map[core.NodeID]*Service),
+		nodes:    make(map[core.NodeID]*core.Node),
+		cells:    make(map[int][]core.NodeID),
+		global:   make(map[core.NodeID][]string),
+		local:    make(map[core.NodeID][]string),
+	}
+	t.Cleanup(func() {
+		for _, s := range h.services {
+			s.Close()
+		}
+		for _, n := range h.nodes {
+			n.Close()
+		}
+		h.net.Close()
+	})
+	tcfg := transport.DefaultConfig()
+	tcfg.AckTimeout = 25 * time.Millisecond
+	tcfg.Attempts = 5
+
+	var allIDs []core.NodeID
+	for ci, size := range cellSizes {
+		for i := 1; i <= size; i++ {
+			id := core.NodeID(ci*100 + i)
+			h.cells[ci] = append(h.cells[ci], id)
+			allIDs = append(allIDs, id)
+		}
+	}
+	for ci, ids := range h.cells {
+		for _, id := range ids {
+			ep, err := h.net.Endpoint(localAddr(id))
+			if err != nil {
+				t.Fatal(err)
+			}
+			node, err := core.NewNode(core.Config{
+				ID:        id,
+				Ring:      testRing(ids),
+				Transport: tcfg,
+			}, []transport.PacketConn{transport.NewSimConn(ep)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, other := range ids {
+				if other != id {
+					node.SetPeer(other, []transport.Addr{transport.Addr(localAddr(other))})
+				}
+			}
+			h.nodes[id] = node
+
+			id := id
+			factory := func() (*core.Node, error) {
+				gep, err := h.net.Endpoint(globalAddr(id))
+				if err != nil {
+					return nil, err
+				}
+				gn, err := core.NewNode(core.Config{
+					ID:        id,
+					Ring:      testRing(allIDs),
+					Transport: tcfg,
+				}, []transport.PacketConn{transport.NewSimConn(gep)})
+				if err != nil {
+					return nil, err
+				}
+				for _, other := range allIDs {
+					if other != id {
+						gn.SetPeer(other, []transport.Addr{transport.Addr(globalAddr(other))})
+					}
+				}
+				return gn, nil
+			}
+			svc := New(ci, node, factory)
+			svc.SetHandlers(Handlers{
+				OnGlobal: func(d GlobalDelivery) {
+					h.mu.Lock()
+					h.global[id] = append(h.global[id], string(d.Payload))
+					h.mu.Unlock()
+				},
+				OnLocal: func(d core.Delivery) {
+					h.mu.Lock()
+					h.local[id] = append(h.local[id], string(d.Payload))
+					h.mu.Unlock()
+				},
+			})
+			h.services[id] = svc
+		}
+	}
+	for _, node := range h.nodes {
+		node.Start()
+	}
+	return h
+}
+
+func (h *hcluster) globals(id core.NodeID) []string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]string(nil), h.global[id]...)
+}
+
+func (h *hcluster) locals(id core.NodeID) []string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]string(nil), h.local[id]...)
+}
+
+// waitCells waits until every cell assembled and has a bridge on the
+// global ring covering all cells.
+func (h *hcluster) waitReady(t *testing.T, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		ready := true
+		for _, ids := range h.cells {
+			live := 0
+			for _, id := range ids {
+				if !h.nodes[id].Stopped() {
+					live++
+				}
+			}
+			for _, id := range ids {
+				if !h.nodes[id].Stopped() && len(h.nodes[id].Members()) != live {
+					ready = false
+				}
+			}
+		}
+		// Every cell's bridge must see all cells on the global ring.
+		if ready && h.bridgesConverged() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	for id, svc := range h.services {
+		t.Logf("node %v: members=%v bridge=%v gm=%v",
+			id, h.nodes[id].Members(), svc.IsBridge(), svc.GlobalMembers())
+	}
+	t.Fatal("hierarchy never became ready")
+}
+
+// bridgesConverged reports whether every cell has exactly one bridge and
+// all bridges' global views equal the exact set of current bridges — view
+// *identity*, not just size, because stale views from transient bridges
+// can have the right length while the ring is still split.
+func (h *hcluster) bridgesConverged() bool {
+	var bridges []core.NodeID
+	for _, ids := range h.cells {
+		var b core.NodeID
+		for _, id := range ids {
+			if h.services[id].IsBridge() {
+				if b != wire.NoNode {
+					return false // two bridges in one cell: still churning
+				}
+				b = id
+			}
+		}
+		if b == wire.NoNode {
+			return false
+		}
+		bridges = append(bridges, b)
+	}
+	want := fmt.Sprint(wire.SortedIDs(bridges))
+	for _, b := range bridges {
+		if fmt.Sprint(wire.SortedIDs(h.services[b].GlobalMembers())) != want {
+			return false
+		}
+	}
+	return true
+}
+
+func (h *hcluster) waitGlobalCount(t *testing.T, want int, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		ok := true
+		for id, n := range h.nodes {
+			if n.Stopped() {
+				continue
+			}
+			if len(h.globals(id)) < want {
+				ok = false
+			}
+		}
+		if ok {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	for id := range h.nodes {
+		t.Logf("node %v globals: %v", id, h.globals(id))
+	}
+	t.Fatalf("not all nodes received %d global messages", want)
+}
+
+func TestGlobalMulticastReachesAllCells(t *testing.T) {
+	h := buildHierarchy(t, 3, 3)
+	h.waitReady(t, 20*time.Second)
+	if err := h.services[h.cells[0][1]].MulticastGlobal([]byte("cross-cell")); err != nil {
+		t.Fatal(err)
+	}
+	h.waitGlobalCount(t, 1, 10*time.Second)
+	for id := range h.nodes {
+		if got := h.globals(id); got[0] != "cross-cell" {
+			t.Fatalf("node %v got %v", id, got)
+		}
+	}
+}
+
+func TestGlobalOrderConsistentAcrossCells(t *testing.T) {
+	h := buildHierarchy(t, 3, 3, 2)
+	h.waitReady(t, 20*time.Second)
+	// Concurrent global multicasts from different cells.
+	const per = 5
+	var wg sync.WaitGroup
+	for ci, ids := range h.cells {
+		wg.Add(1)
+		go func(ci int, origin core.NodeID) {
+			defer wg.Done()
+			for k := 0; k < per; k++ {
+				if err := h.services[origin].MulticastGlobal([]byte(fmt.Sprintf("c%d-%d", ci, k))); err != nil {
+					t.Error(err)
+				}
+				time.Sleep(time.Millisecond)
+			}
+		}(ci, ids[len(ids)-1])
+	}
+	wg.Wait()
+	total := per * len(h.cells)
+	h.waitGlobalCount(t, total, 20*time.Second)
+	// Every node in every cell sees the same global order.
+	var refID core.NodeID
+	for id := range h.nodes {
+		refID = id
+		break
+	}
+	ref := h.globals(refID)
+	for id := range h.nodes {
+		got := h.globals(id)
+		if len(got) != len(ref) {
+			t.Fatalf("node %v has %d globals, ref %d", id, len(got), len(ref))
+		}
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("global order differs at %d: node %v=%q ref=%q", i, id, got[i], ref[i])
+			}
+		}
+	}
+}
+
+func TestLocalMulticastStaysInCell(t *testing.T) {
+	h := buildHierarchy(t, 2, 2)
+	h.waitReady(t, 20*time.Second)
+	if err := h.services[h.cells[0][0]].MulticastLocal([]byte("cell-0-only")); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if len(h.locals(h.cells[0][1])) == 1 {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	for _, id := range h.cells[0] {
+		if got := h.locals(id); len(got) != 1 || got[0] != "cell-0-only" {
+			t.Fatalf("cell-0 node %v locals = %v", id, got)
+		}
+	}
+	time.Sleep(50 * time.Millisecond)
+	for _, id := range h.cells[1] {
+		if got := h.locals(id); len(got) != 0 {
+			t.Fatalf("cell-1 node %v leaked locals %v", id, got)
+		}
+	}
+}
+
+func TestExactlyOneBridgePerCell(t *testing.T) {
+	h := buildHierarchy(t, 3, 3)
+	h.waitReady(t, 20*time.Second)
+	for ci, ids := range h.cells {
+		bridges := 0
+		for _, id := range ids {
+			if h.services[id].IsBridge() {
+				bridges++
+			}
+		}
+		if bridges != 1 {
+			t.Fatalf("cell %d has %d bridges, want 1", ci, bridges)
+		}
+	}
+}
+
+func TestBridgeFailover(t *testing.T) {
+	h := buildHierarchy(t, 3, 2)
+	h.waitReady(t, 20*time.Second)
+	// Kill cell 0's bridge (its leader, the lowest ID).
+	victim := h.cells[0][0]
+	if !h.services[victim].IsBridge() {
+		t.Fatalf("expected %v to bridge cell 0", victim)
+	}
+	h.net.SetNodeDown(localAddr(victim), true)
+	h.net.SetNodeDown(globalAddr(victim), true)
+	// A new bridge takes over and global traffic flows again.
+	deadline := time.Now().Add(20 * time.Second)
+	for time.Now().Before(deadline) {
+		if h.services[h.cells[0][1]].IsBridge() {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if !h.services[h.cells[0][1]].IsBridge() {
+		t.Fatal("no new bridge for cell 0")
+	}
+	// Wait for the new bridge to merge into the global ring: messages
+	// sent while the global ring is still split are best-effort (see the
+	// package comment).
+	deadline = time.Now().Add(20 * time.Second)
+	for time.Now().Before(deadline) {
+		if len(h.services[h.cells[0][1]].GlobalMembers()) == len(h.cells) {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if got := h.services[h.cells[0][1]].GlobalMembers(); len(got) != len(h.cells) {
+		t.Fatalf("new bridge global view = %v, want %d bridges", got, len(h.cells))
+	}
+	if err := h.services[h.cells[0][1]].MulticastGlobal([]byte("post-failover")); err != nil {
+		t.Fatal(err)
+	}
+	deadline = time.Now().Add(20 * time.Second)
+	for time.Now().Before(deadline) {
+		done := true
+		for id, n := range h.nodes {
+			if n.Stopped() || id == victim {
+				continue
+			}
+			found := false
+			for _, p := range h.globals(id) {
+				if p == "post-failover" {
+					found = true
+				}
+			}
+			if !found {
+				done = false
+			}
+		}
+		if done {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal("post-failover global multicast incomplete")
+}
+
+func TestHierCodec(t *testing.T) {
+	enc := encodeHier(hierGlobal, 7, 42, 99, []byte("pl"))
+	kind, cell, origin, seq, payload, ok := decodeHier(enc)
+	if !ok || kind != hierGlobal || cell != 7 || origin != 42 || seq != 99 || string(payload) != "pl" {
+		t.Fatalf("round trip: %v %v %v %v %q %v", kind, cell, origin, seq, payload, ok)
+	}
+	for _, bad := range [][]byte{nil, {hierMagic}, append([]byte{0x00, 1}, make([]byte, 16)...),
+		append([]byte{hierMagic, 9}, make([]byte, 16)...)} {
+		if _, _, _, _, _, ok := decodeHier(bad); ok {
+			t.Fatalf("decoded garbage %x", bad)
+		}
+	}
+	_ = wire.NoNode
+}

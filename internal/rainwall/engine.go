@@ -1,0 +1,107 @@
+package rainwall
+
+import (
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/wire"
+)
+
+// PacketEngine is the kernel-level balancing component of §3.2: it assigns
+// traffic to cluster nodes connection by connection. Assignment uses
+// rendezvous (highest-random-weight) hashing over the live membership:
+// every entry gateway computes the same target for a connection without
+// per-connection coordination, and a membership change moves only the
+// connections that belonged to the departed node — exactly the sticky
+// fail-over behaviour the paper's connection tables provide.
+type PacketEngine struct {
+	mu      sync.Mutex
+	members []core.NodeID
+	// conns caches assignments so established connections stay put even
+	// when new nodes join (connection stickiness); entries are dropped
+	// when their target leaves the membership.
+	conns map[uint64]core.NodeID
+}
+
+// NewPacketEngine returns an engine with an empty view.
+func NewPacketEngine() *PacketEngine {
+	return &PacketEngine{conns: make(map[uint64]core.NodeID)}
+}
+
+// SetMembers installs the current membership view. Connections assigned to
+// departed members are dropped from the table and will be re-assigned by
+// the next packet.
+func (e *PacketEngine) SetMembers(members []core.NodeID) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.members = append(e.members[:0:0], members...)
+	alive := make(map[core.NodeID]bool, len(members))
+	for _, m := range members {
+		alive[m] = true
+	}
+	for id, target := range e.conns {
+		if !alive[target] {
+			delete(e.conns, id)
+		}
+	}
+}
+
+// Members returns the engine's current view.
+func (e *PacketEngine) Members() []core.NodeID {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]core.NodeID(nil), e.members...)
+}
+
+// Assign returns the target node for a connection, creating a sticky
+// table entry on first sight. It returns NoNode when the view is empty.
+func (e *PacketEngine) Assign(connID uint64) core.NodeID {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if target, ok := e.conns[connID]; ok {
+		return target
+	}
+	target := rendezvous(connID, e.members)
+	if target != wire.NoNode {
+		e.conns[connID] = target
+	}
+	return target
+}
+
+// Forget removes a finished connection from the table.
+func (e *PacketEngine) Forget(connID uint64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	delete(e.conns, connID)
+}
+
+// Table reports the number of tracked connections.
+func (e *PacketEngine) Table() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.conns)
+}
+
+// rendezvous picks the member with the highest hash weight for the key.
+func rendezvous(key uint64, members []core.NodeID) core.NodeID {
+	best := wire.NoNode
+	var bestW uint64
+	for _, m := range members {
+		w := mix(key ^ (uint64(m) * 0x9E3779B97F4A7C15))
+		if best == wire.NoNode || w > bestW || (w == bestW && m < best) {
+			best = m
+			bestW = w
+		}
+	}
+	return best
+}
+
+// mix is a 64-bit finalizer (splitmix64) giving well-distributed weights.
+func mix(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}

@@ -1,0 +1,130 @@
+// Package rainwall reproduces the Rainwall application of §3.2: a
+// high-availability, load-balancing cluster of firewalls built on the
+// Raincore Distributed Services. Each gateway runs the session service,
+// the data service, the Virtual IP manager and a kernel-level-style packet
+// engine that balances traffic connection by connection across the
+// cluster; critical-resource monitoring shifts traffic away from failed
+// nodes.
+//
+// The paper's evaluation hardware (Sun Ultra-5 gateways, Check Point
+// firewalls, HTTP clients and Apache servers on switched Fast Ethernet) is
+// replaced by a capacity-calibrated gateway model and an HTTP-like flow
+// generator; see DESIGN.md for why the substitution preserves the §4.2
+// scaling behaviour.
+package rainwall
+
+import "fmt"
+
+// Proto is a transport protocol in the firewall policy.
+type Proto uint8
+
+// Protocols understood by the policy engine.
+const (
+	TCP Proto = iota
+	UDP
+)
+
+// FiveTuple identifies a connection.
+type FiveTuple struct {
+	SrcIP   uint32
+	DstIP   uint32
+	SrcPort uint16
+	DstPort uint16
+	Proto   Proto
+}
+
+// String renders the tuple for logs.
+func (t FiveTuple) String() string {
+	p := "tcp"
+	if t.Proto == UDP {
+		p = "udp"
+	}
+	return fmt.Sprintf("%s %d.%d.%d.%d:%d -> %d.%d.%d.%d:%d",
+		p,
+		t.SrcIP>>24, t.SrcIP>>16&0xff, t.SrcIP>>8&0xff, t.SrcIP&0xff, t.SrcPort,
+		t.DstIP>>24, t.DstIP>>16&0xff, t.DstIP>>8&0xff, t.DstIP&0xff, t.DstPort)
+}
+
+// Verdict is a policy decision.
+type Verdict uint8
+
+// Policy verdicts.
+const (
+	Accept Verdict = iota
+	Drop
+)
+
+// Rule matches connections; zero fields are wildcards (except ports, which
+// use [Lo, Hi] ranges — a zero Hi means "any").
+type Rule struct {
+	Proto     *Proto
+	SrcNet    uint32 // network address, with SrcMask significant bits
+	SrcMask   uint8
+	DstNet    uint32
+	DstMask   uint8
+	DstPortLo uint16
+	DstPortHi uint16
+	Verdict   Verdict
+}
+
+func maskMatch(addr, net uint32, bits uint8) bool {
+	if bits == 0 {
+		return true
+	}
+	mask := ^uint32(0) << (32 - uint32(bits))
+	return addr&mask == net&mask
+}
+
+// Matches reports whether the rule applies to the tuple.
+func (r Rule) Matches(t FiveTuple) bool {
+	if r.Proto != nil && *r.Proto != t.Proto {
+		return false
+	}
+	if !maskMatch(t.SrcIP, r.SrcNet, r.SrcMask) {
+		return false
+	}
+	if !maskMatch(t.DstIP, r.DstNet, r.DstMask) {
+		return false
+	}
+	if r.DstPortHi != 0 {
+		if t.DstPort < r.DstPortLo || t.DstPort > r.DstPortHi {
+			return false
+		}
+	} else if r.DstPortLo != 0 && t.DstPort != r.DstPortLo {
+		return false
+	}
+	return true
+}
+
+// Policy is an ordered rule chain with a default verdict, the shape every
+// firewall of the era used.
+type Policy struct {
+	Rules   []Rule
+	Default Verdict
+}
+
+// Evaluate returns the verdict of the first matching rule.
+func (p *Policy) Evaluate(t FiveTuple) Verdict {
+	for _, r := range p.Rules {
+		if r.Matches(t) {
+			return r.Verdict
+		}
+	}
+	return p.Default
+}
+
+// AllowAll is the permissive policy used when only load behaviour matters.
+func AllowAll() *Policy { return &Policy{Default: Accept} }
+
+// WebOnly allows TCP to ports 80 and 443 and drops everything else — the
+// classic front-of-server-farm policy from the paper's Figure 1 scenario.
+func WebOnly() *Policy {
+	tcp := TCP
+	return &Policy{
+		Rules: []Rule{
+			{Proto: &tcp, DstPortLo: 80, DstPortHi: 80, Verdict: Accept},
+			{Proto: &tcp, DstPortLo: 443, DstPortHi: 443, Verdict: Accept},
+		},
+		Default: Drop,
+	}
+}

@@ -1,0 +1,129 @@
+package rainwall
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Flow is one client connection traversing the cluster: HTTP-like traffic
+// from a client toward the server farm behind the firewalls.
+type Flow struct {
+	ID    uint64
+	Tuple FiveTuple
+	// VIP indexes the virtual IP the client resolved for the cluster.
+	VIP int
+	// RateBps is the flow's offered load in bits per second.
+	RateBps float64
+}
+
+// Workload is a set of concurrent flows with a target aggregate rate.
+type Workload struct {
+	Flows []Flow
+	// TotalBps is the aggregate offered load.
+	TotalBps float64
+}
+
+// WorkloadConfig parameterizes the generator.
+type WorkloadConfig struct {
+	// Seed makes the workload reproducible.
+	Seed int64
+	// Flows is the number of concurrent connections.
+	Flows int
+	// TotalBps is the aggregate offered load in bits per second.
+	TotalBps float64
+	// VIPs is the number of virtual IPs clients spread across.
+	VIPs int
+	// WebTraffic aims flows at ports 80/443 (matching the WebOnly
+	// policy); otherwise destination ports are uniform in [1, 65535].
+	WebTraffic bool
+}
+
+// NewWorkload generates flows whose sizes follow a heavy-tailed lognormal
+// distribution (the classic shape of web transfer sizes), normalized so
+// they sum to TotalBps.
+func NewWorkload(cfg WorkloadConfig) *Workload {
+	if cfg.Flows <= 0 {
+		cfg.Flows = 100
+	}
+	if cfg.VIPs <= 0 {
+		cfg.VIPs = 1
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	raw := make([]float64, cfg.Flows)
+	sum := 0.0
+	for i := range raw {
+		// Lognormal with sigma 1.0: a few elephants, many mice.
+		raw[i] = math.Exp(rng.NormFloat64())
+		sum += raw[i]
+	}
+	w := &Workload{TotalBps: cfg.TotalBps}
+	for i := 0; i < cfg.Flows; i++ {
+		dstPort := uint16(1 + rng.Intn(65535))
+		if cfg.WebTraffic {
+			if rng.Intn(4) == 0 {
+				dstPort = 443
+			} else {
+				dstPort = 80
+			}
+		}
+		f := Flow{
+			// Connection IDs embed the seed so distinct workloads model
+			// distinct connections (per-connection caches are sticky).
+			ID: uint64(cfg.Seed)<<32 | uint64(i+1),
+			Tuple: FiveTuple{
+				SrcIP:   0x0A010000 | uint32(rng.Intn(1<<16)), // 10.1.x.x clients
+				DstIP:   0xC0A80000 | uint32(rng.Intn(1<<8)),  // 192.168.0.x servers
+				SrcPort: uint16(1024 + rng.Intn(64000)),
+				DstPort: dstPort,
+				Proto:   TCP,
+			},
+			VIP:     rng.Intn(cfg.VIPs),
+			RateBps: cfg.TotalBps * raw[i] / sum,
+		}
+		w.Flows = append(w.Flows, f)
+	}
+	return w
+}
+
+// Churn models connection turnover: every interval, Fraction of the flows
+// end and are replaced by fresh connections (new IDs, same aggregate
+// rate). Real web traffic is dominated by short connections, and churn is
+// what lets a recovered gateway win traffic back despite connection
+// stickiness.
+type Churn struct {
+	// Every n ticks, replace Fraction of the flows.
+	EveryTicks int
+	Fraction   float64
+	rng        *rand.Rand
+	nextID     uint64
+}
+
+// NewChurn builds a churn model.
+func NewChurn(seed int64, everyTicks int, fraction float64) *Churn {
+	if everyTicks <= 0 {
+		everyTicks = 10
+	}
+	if fraction <= 0 || fraction > 1 {
+		fraction = 0.1
+	}
+	return &Churn{
+		EveryTicks: everyTicks,
+		Fraction:   fraction,
+		rng:        rand.New(rand.NewSource(seed)),
+		nextID:     uint64(seed)<<40 | 1<<39, // disjoint from workload IDs
+	}
+}
+
+// Apply replaces a fraction of flows with fresh connections when the tick
+// is on the churn boundary.
+func (c *Churn) Apply(w *Workload, tick int) {
+	if tick == 0 || tick%c.EveryTicks != 0 {
+		return
+	}
+	n := int(float64(len(w.Flows)) * c.Fraction)
+	for k := 0; k < n; k++ {
+		i := c.rng.Intn(len(w.Flows))
+		c.nextID++
+		w.Flows[i].ID = c.nextID // a new connection with the same traffic profile
+	}
+}

@@ -1,0 +1,60 @@
+package ring
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// BenchmarkStepTokenReceive measures the pure state machine's cost of one
+// token arrival carrying typical piggybacked traffic — the hot path of the
+// whole protocol.
+func BenchmarkStepTokenReceive(b *testing.B) {
+	s := New(Config{ID: 1})
+	s.Step(EvStart{})
+	members := []wire.NodeID{1, 2, 3, 4}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tok := &wire.Token{
+			Epoch:   2,
+			Seq:     uint64(10 + i),
+			Members: members,
+			Msgs: []wire.Message{
+				{Origin: 2, Seq: uint64(i)*4 + 1, Visited: 1, Payload: make([]byte, 128)},
+				{Origin: 3, Seq: uint64(i)*4 + 2, Visited: 2, Payload: make([]byte, 128)},
+			},
+		}
+		s.Step(EvTokenReceived{From: 4, Tok: tok})
+		s.Step(EvTimer{Kind: TimerTokenHold})
+		s.Step(EvTokenAcked{To: 2, Epoch: 2, Seq: uint64(10+i) + 1})
+	}
+}
+
+// BenchmarkStepSubmit measures message submission while holding the token.
+func BenchmarkStepSubmit(b *testing.B) {
+	s := New(Config{ID: 1})
+	s.Step(EvStart{})
+	payload := make([]byte, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Step(EvSubmit{Payload: payload})
+	}
+}
+
+// BenchmarkFullVirtualRound measures a complete simulated 8-node token
+// round on the deterministic harness (no I/O, no real time).
+func BenchmarkFullVirtualRound(b *testing.B) {
+	ids := []wire.NodeID{1, 2, 3, 4, 5, 6, 7, 8}
+	c := newCluster(b, defaultCfg(ids...), ids...)
+	c.startAll()
+	c.run(2 * time.Second)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// One hold interval per member approximates one full round.
+		c.run(8 * 5 * time.Millisecond)
+	}
+}

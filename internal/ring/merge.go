@@ -1,0 +1,149 @@
+package ring
+
+import "repro/internal/wire"
+
+// This file implements the split-brain recovery protocols of §2.4: the
+// Raincore Discovery Protocol (BODYODOR beacons against the configured
+// Eligible Membership) and the Raincore Merge Protocol (TBM tokens, with
+// group-ID ordering as the deadlock-free tie-breaker).
+
+// sendBodyodors beacons to every eligible node absent from the current
+// membership (§2.4).
+func (s *SM) sendBodyodors(acts *[]Action) {
+	if s.stopped || len(s.members) == 0 {
+		return
+	}
+	gid := s.GroupID()
+	for id := range s.eligible {
+		if s.isMember(id) {
+			continue
+		}
+		*acts = append(*acts, ActSendBodyodor{
+			To: id,
+			M:  wire.Bodyodor{From: s.id, GroupID: gid, Epoch: s.copyEpoch},
+		})
+	}
+}
+
+// onBodyodor handles a discovery beacon. The beacon is a merge-join
+// request if and only if the sender's group ID is lower than ours (§2.4);
+// the strict ordering makes multi-way merges deadlock-free.
+func (s *SM) onBodyodor(m wire.Bodyodor, acts *[]Action) {
+	if m.From == s.id || s.isMember(m.From) || !s.eligible[m.From] {
+		return
+	}
+	if m.GroupID >= s.GroupID() {
+		// Their beacons to us are ignored; our beacons to them will make
+		// them absorb us instead.
+		return
+	}
+	s.queueMerge(m.From)
+	if s.possessed != nil && !s.passing {
+		s.processMerges(s.possessed, acts)
+	}
+}
+
+// queueMerge records a merge target, deduplicated.
+func (s *SM) queueMerge(id wire.NodeID) {
+	for _, t := range s.pendingMerges {
+		if t == id {
+			return
+		}
+	}
+	s.pendingMerges = append(s.pendingMerges, id)
+}
+
+// processMerges sends our token, marked TBM, to the first pending merge
+// target (§2.4): wait for our token, check the sender is absent, add it to
+// the membership, set the TBM flag, send it the token.
+func (s *SM) processMerges(tok *wire.Token, acts *[]Action) {
+	if s.passing || s.holding {
+		return
+	}
+	for len(s.pendingMerges) > 0 {
+		target := s.pendingMerges[0]
+		s.pendingMerges = s.pendingMerges[1:]
+		if tok.HasMember(target) {
+			continue // already merged through another path
+		}
+		tok.InsertAfter(s.id, target)
+		s.adoptMembersFromLocal(tok, false, acts)
+		if s.stopped {
+			return
+		}
+		tok.TBM = true
+		tok.Seq++
+		s.passing = true
+		s.passTBM = true
+		s.passTo = target
+		s.passEpoch, s.passSeq = tok.Epoch, tok.Seq
+		s.noteCopy(tok)
+		*acts = append(*acts, ActSendToken{To: target, Tok: tok.Clone()})
+		return
+	}
+}
+
+// mergeHeldTokens merges the TBM tokens we received from other groups with
+// our own token (§2.4): union the memberships, concatenate the multicast
+// messages, bump the epoch, and continue with a single token.
+func (s *SM) mergeHeldTokens(acts *[]Action) {
+	tok := s.possessed
+	if tok == nil || s.passing || len(s.tbmTokens) == 0 {
+		return
+	}
+	maxEpoch, maxSeq := tok.Epoch, tok.Seq
+	for _, other := range s.tbmTokens {
+		for _, m := range other.Members {
+			if !tok.HasMember(m) {
+				tok.Members = append(tok.Members, m)
+			}
+		}
+		// Concatenate messages, skipping IDs already on our token.
+		have := make(map[wire.MessageID]bool, len(tok.Msgs))
+		for i := range tok.Msgs {
+			have[tok.Msgs[i].ID()] = true
+		}
+		for _, m := range other.Msgs {
+			if !have[m.ID()] {
+				tok.Msgs = append(tok.Msgs, m)
+			}
+		}
+		if other.Epoch > maxEpoch {
+			maxEpoch = other.Epoch
+		}
+		if other.Seq > maxSeq {
+			maxSeq = other.Seq
+		}
+	}
+	s.tbmTokens = nil
+	tok.Epoch = maxEpoch + 1
+	tok.Seq = maxSeq + 1
+	tok.TBM = false
+	// Every message restarts its round under the merged membership: no
+	// member is counted yet; our own ingest below counts us first.
+	for i := range tok.Msgs {
+		tok.Msgs[i].Visited = 0
+	}
+	s.adoptMembersFromLocal(tok, false, acts)
+	if s.stopped {
+		return
+	}
+	s.appendSysMerge(tok, acts)
+	s.ingest(tok, acts)
+	s.noteCopy(tok)
+	*acts = append(*acts, ActMergeCompleted{Members: s.Members(), Epoch: tok.Epoch})
+	*acts = append(*acts, ActSetTimer{Kind: TimerTokenHold, D: s.cfg.TokenHold})
+}
+
+// appendSysMerge announces the merge in the agreed total order.
+func (s *SM) appendSysMerge(tok *wire.Token, acts *[]Action) {
+	s.nextSeq++
+	m := wire.Message{
+		Origin:  s.id,
+		Seq:     s.nextSeq,
+		Sys:     wire.SysGroupMerged,
+		Subject: tok.GroupID(),
+		Visited: 0, // counted by the ingest that follows
+	}
+	tok.Msgs = append(tok.Msgs, m)
+}

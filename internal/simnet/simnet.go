@@ -1,0 +1,441 @@
+// Package simnet is an in-memory packet network standing in for the
+// switched Fast Ethernet testbed of the paper's evaluation. It offers the
+// unreliable unicast datagram service the Raincore Transport Service
+// requires (§2.1), with per-link latency, jitter, loss, bandwidth
+// serialization, link cuts and group partitions, so failure scenarios
+// (split brain, cable pulls, lossy links) run deterministically on a laptop.
+package simnet
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// Addr is a network address. One node may own several addresses to model
+// the paper's redundant-link configuration (§2.1).
+type Addr string
+
+// Profile describes one direction of a link.
+type Profile struct {
+	// Latency is the base propagation delay; Jitter adds a uniform
+	// random extra in [0, Jitter).
+	Latency time.Duration
+	Jitter  time.Duration
+	// Loss is the independent drop probability in [0, 1].
+	Loss float64
+	// BandwidthBps serializes packets: a packet of S bytes occupies the
+	// link for S*8/BandwidthBps seconds. Zero means infinite.
+	BandwidthBps int64
+	// MTU drops packets larger than this many bytes. Zero means no limit.
+	MTU int
+}
+
+// Options configure a Network.
+type Options struct {
+	// Default is the profile applied to links without an override.
+	Default Profile
+	// Seed makes loss and jitter deterministic.
+	Seed int64
+	// InboxDepth bounds each endpoint's receive queue; overflowing
+	// packets are dropped (counted in Dropped). Zero means 4096.
+	InboxDepth int
+}
+
+// Network is the simulated switch fabric.
+type Network struct {
+	mu        sync.Mutex
+	endpoints map[Addr]*Endpoint
+	overrides map[linkKey]Profile
+	cut       map[linkKey]bool
+	partition map[Addr]int // addr -> group index; absent means group 0
+	partOn    bool
+	down      map[Addr]bool
+	lastBusy  map[linkKey]time.Time // bandwidth serialization horizon
+	queues    map[linkKey]*linkQueue
+	def       Profile
+	rng       *rand.Rand
+	inboxN    int
+	reg       *stats.Registry
+	done      chan struct{}
+	closed    bool
+}
+
+type linkKey struct{ from, to Addr }
+
+// linkQueue delivers packets of one directed link in FIFO order: a single
+// goroutine sleeps until each packet's arrival time, so equal or close
+// deadlines cannot be reordered by timer races.
+type linkQueue struct {
+	ch chan timedPacket
+}
+
+type timedPacket struct {
+	arrival time.Time
+	from    Addr
+	to      Addr
+	payload []byte
+}
+
+const linkQueueDepth = 1 << 14
+
+func (n *Network) linkQueueLocked(key linkKey) *linkQueue {
+	q, ok := n.queues[key]
+	if !ok {
+		q = &linkQueue{ch: make(chan timedPacket, linkQueueDepth)}
+		n.queues[key] = q
+		go n.runLink(q)
+	}
+	return q
+}
+
+func (n *Network) runLink(q *linkQueue) {
+	for {
+		select {
+		case <-n.done:
+			return
+		case p := <-q.ch:
+			if wait := time.Until(p.arrival); wait > 0 {
+				select {
+				case <-n.done:
+					return
+				case <-time.After(wait):
+				}
+			}
+			n.deliver(p.from, p.to, p.payload)
+		}
+	}
+}
+
+// Metric names specific to the simulated network.
+const (
+	MetricDropLoss      = "simnet_drop_loss"
+	MetricDropCut       = "simnet_drop_cut"
+	MetricDropPartition = "simnet_drop_partition"
+	MetricDropDown      = "simnet_drop_down"
+	MetricDropOverflow  = "simnet_drop_overflow"
+	MetricDropMTU       = "simnet_drop_mtu"
+	MetricDelivered     = "simnet_delivered"
+)
+
+// New creates an empty network.
+func New(opts Options) *Network {
+	if opts.InboxDepth <= 0 {
+		opts.InboxDepth = 4096
+	}
+	return &Network{
+		endpoints: make(map[Addr]*Endpoint),
+		overrides: make(map[linkKey]Profile),
+		cut:       make(map[linkKey]bool),
+		partition: make(map[Addr]int),
+		down:      make(map[Addr]bool),
+		lastBusy:  make(map[linkKey]time.Time),
+		queues:    make(map[linkKey]*linkQueue),
+		def:       opts.Default,
+		rng:       rand.New(rand.NewSource(opts.Seed)),
+		inboxN:    opts.InboxDepth,
+		reg:       stats.NewRegistry(),
+		done:      make(chan struct{}),
+	}
+}
+
+// Stats exposes the network's drop and delivery counters.
+func (n *Network) Stats() *stats.Registry { return n.reg }
+
+// Endpoint registers addr and returns its endpoint. Registering a
+// duplicate address is an error.
+func (n *Network) Endpoint(addr Addr) (*Endpoint, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil, errors.New("simnet: network closed")
+	}
+	if _, dup := n.endpoints[addr]; dup {
+		return nil, fmt.Errorf("simnet: address %q already registered", addr)
+	}
+	e := &Endpoint{
+		net:   n,
+		addr:  addr,
+		inbox: make(chan packet, n.inboxN),
+		done:  make(chan struct{}),
+	}
+	n.endpoints[addr] = e
+	go e.dispatch()
+	return e, nil
+}
+
+// MustEndpoint is Endpoint for tests and examples where registration
+// cannot fail.
+func (n *Network) MustEndpoint(addr Addr) *Endpoint {
+	e, err := n.Endpoint(addr)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// SetDefaultProfile replaces the default link profile.
+func (n *Network) SetDefaultProfile(p Profile) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.def = p
+}
+
+// SetLinkProfile overrides the profile of the directed link from -> to.
+func (n *Network) SetLinkProfile(from, to Addr, p Profile) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.overrides[linkKey{from, to}] = p
+}
+
+// CutLink severs both directions between a and b — the paper's unplugged
+// cable (§3.2). In-flight packets are still dropped at delivery time.
+func (n *Network) CutLink(a, b Addr) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.cut[linkKey{a, b}] = true
+	n.cut[linkKey{b, a}] = true
+}
+
+// RestoreLink undoes CutLink.
+func (n *Network) RestoreLink(a, b Addr) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.cut, linkKey{a, b})
+	delete(n.cut, linkKey{b, a})
+}
+
+// Partition splits the network into the given groups; traffic across
+// groups is dropped. Addresses not listed fall into group 0. This induces
+// the split-brain scenario of §2.4.
+func (n *Network) Partition(groups ...[]Addr) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.partition = make(map[Addr]int)
+	for i, g := range groups {
+		for _, a := range g {
+			n.partition[a] = i
+		}
+	}
+	n.partOn = true
+}
+
+// Heal removes the partition.
+func (n *Network) Heal() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.partition = make(map[Addr]int)
+	n.partOn = false
+}
+
+// SetNodeDown silences an address entirely (crash model): it neither sends
+// nor receives while down.
+func (n *Network) SetNodeDown(a Addr, isDown bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if isDown {
+		n.down[a] = true
+	} else {
+		delete(n.down, a)
+	}
+}
+
+// Close shuts down all endpoints.
+func (n *Network) Close() {
+	n.mu.Lock()
+	eps := make([]*Endpoint, 0, len(n.endpoints))
+	for _, e := range n.endpoints {
+		eps = append(eps, e)
+	}
+	alreadyClosed := n.closed
+	n.closed = true
+	n.mu.Unlock()
+	if !alreadyClosed {
+		close(n.done)
+	}
+	for _, e := range eps {
+		e.Close()
+	}
+}
+
+// blockedLocked reports whether a packet from -> to would be discarded by
+// topology state (cut, partition, down). Caller holds n.mu.
+func (n *Network) blockedLocked(from, to Addr) (string, bool) {
+	if n.down[from] || n.down[to] {
+		return MetricDropDown, true
+	}
+	if n.cut[linkKey{from, to}] {
+		return MetricDropCut, true
+	}
+	if n.partOn && n.partition[from] != n.partition[to] {
+		return MetricDropPartition, true
+	}
+	return "", false
+}
+
+// send is invoked by Endpoint.Send with the network lock NOT held.
+func (n *Network) send(from, to Addr, payload []byte) error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return errors.New("simnet: network closed")
+	}
+	if reason, blocked := n.blockedLocked(from, to); blocked {
+		n.reg.Counter(reason).Inc()
+		n.mu.Unlock()
+		return nil // unreliable medium: silent drop
+	}
+	key := linkKey{from, to}
+	prof, ok := n.overrides[key]
+	if !ok {
+		prof = n.def
+	}
+	if prof.MTU > 0 && len(payload) > prof.MTU {
+		n.reg.Counter(MetricDropMTU).Inc()
+		n.mu.Unlock()
+		return nil
+	}
+	if prof.Loss > 0 && n.rng.Float64() < prof.Loss {
+		n.reg.Counter(MetricDropLoss).Inc()
+		n.mu.Unlock()
+		return nil
+	}
+	delay := prof.Latency
+	if prof.Jitter > 0 {
+		delay += time.Duration(n.rng.Int63n(int64(prof.Jitter)))
+	}
+	now := time.Now()
+	arrival := now.Add(delay)
+	if prof.BandwidthBps > 0 {
+		busy := time.Duration(float64(len(payload)*8) / float64(prof.BandwidthBps) * float64(time.Second))
+		horizon := n.lastBusy[key]
+		if horizon.Before(now) {
+			horizon = now
+		}
+		horizon = horizon.Add(busy)
+		n.lastBusy[key] = horizon
+		if a := horizon.Add(delay); a.After(arrival) {
+			arrival = a
+		}
+	}
+	// Copy the payload: the caller may reuse its buffer.
+	data := append([]byte(nil), payload...)
+	q := n.linkQueueLocked(key)
+	n.mu.Unlock()
+
+	select {
+	case q.ch <- timedPacket{arrival: arrival, from: from, to: to, payload: data}:
+	default:
+		n.reg.Counter(MetricDropOverflow).Inc()
+	}
+	return nil
+}
+
+func (n *Network) deliver(from, to Addr, payload []byte) {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	// Topology is re-checked at delivery so a cable cut also kills
+	// packets already in flight.
+	if reason, blocked := n.blockedLocked(from, to); blocked {
+		n.reg.Counter(reason).Inc()
+		n.mu.Unlock()
+		return
+	}
+	e, ok := n.endpoints[to]
+	n.mu.Unlock()
+	if !ok {
+		return
+	}
+	select {
+	case e.inbox <- packet{from: from, payload: payload}:
+		n.reg.Counter(MetricDelivered).Inc()
+	default:
+		n.reg.Counter(MetricDropOverflow).Inc()
+	}
+}
+
+type packet struct {
+	from    Addr
+	payload []byte
+}
+
+// Endpoint is one registered address on the network. It satisfies the
+// transport.PacketConn contract.
+type Endpoint struct {
+	net  *Network
+	addr Addr
+
+	mu      sync.Mutex
+	handler func(from Addr, payload []byte)
+	closed  bool
+
+	inbox chan packet
+	done  chan struct{}
+}
+
+// Addr returns the endpoint's address.
+func (e *Endpoint) Addr() Addr { return e.addr }
+
+// LocalAddrs returns the endpoint's single address.
+func (e *Endpoint) LocalAddrs() []Addr { return []Addr{e.addr} }
+
+// Send transmits payload to the given address with best-effort semantics:
+// a nil error means "accepted by the medium", not "delivered".
+func (e *Endpoint) Send(to Addr, payload []byte) error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return errors.New("simnet: endpoint closed")
+	}
+	e.mu.Unlock()
+	return e.net.send(e.addr, to, payload)
+}
+
+// SetReceiver installs the receive callback. Packets arriving before a
+// receiver is installed are queued (up to the inbox depth).
+func (e *Endpoint) SetReceiver(fn func(from Addr, payload []byte)) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.handler = fn
+}
+
+// Close unregisters the endpoint and stops its dispatcher.
+func (e *Endpoint) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	e.mu.Unlock()
+	close(e.done)
+	e.net.mu.Lock()
+	delete(e.net.endpoints, e.addr)
+	e.net.mu.Unlock()
+	return nil
+}
+
+// dispatch serializes handler invocations per endpoint, preserving per-link
+// FIFO order for packets that survive the medium.
+func (e *Endpoint) dispatch() {
+	for {
+		select {
+		case <-e.done:
+			return
+		case p := <-e.inbox:
+			e.mu.Lock()
+			h := e.handler
+			e.mu.Unlock()
+			if h != nil {
+				h(p.from, p.payload)
+			}
+		}
+	}
+}

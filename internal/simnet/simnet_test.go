@@ -1,0 +1,327 @@
+package simnet
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// collect installs a receiver that appends payloads into a mutex-guarded
+// slice and returns a reader.
+func collect(e *Endpoint) func() []string {
+	var mu sync.Mutex
+	var got []string
+	e.SetReceiver(func(_ Addr, p []byte) {
+		mu.Lock()
+		got = append(got, string(p))
+		mu.Unlock()
+	})
+	return func() []string {
+		mu.Lock()
+		defer mu.Unlock()
+		return append([]string(nil), got...)
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool, msg string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("timeout: " + msg)
+}
+
+func TestBasicDelivery(t *testing.T) {
+	n := New(Options{})
+	defer n.Close()
+	a := n.MustEndpoint("a")
+	b := n.MustEndpoint("b")
+	got := collect(b)
+	if err := a.Send("b", []byte("hi")); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return len(got()) == 1 }, "packet not delivered")
+	if got()[0] != "hi" {
+		t.Fatalf("payload = %q", got()[0])
+	}
+}
+
+func TestPayloadCopied(t *testing.T) {
+	n := New(Options{})
+	defer n.Close()
+	a := n.MustEndpoint("a")
+	b := n.MustEndpoint("b")
+	got := collect(b)
+	buf := []byte("orig")
+	if err := a.Send("b", buf); err != nil {
+		t.Fatal(err)
+	}
+	buf[0] = 'X' // sender reuses its buffer immediately
+	waitFor(t, func() bool { return len(got()) == 1 }, "packet not delivered")
+	if got()[0] != "orig" {
+		t.Fatalf("payload aliased sender buffer: %q", got()[0])
+	}
+}
+
+func TestLatency(t *testing.T) {
+	n := New(Options{Default: Profile{Latency: 30 * time.Millisecond}})
+	defer n.Close()
+	a := n.MustEndpoint("a")
+	b := n.MustEndpoint("b")
+	var deliveredAt atomic.Int64
+	b.SetReceiver(func(Addr, []byte) { deliveredAt.Store(time.Now().UnixNano()) })
+	start := time.Now()
+	a.Send("b", []byte("x"))
+	waitFor(t, func() bool { return deliveredAt.Load() != 0 }, "no delivery")
+	if lat := time.Duration(deliveredAt.Load() - start.UnixNano()); lat < 25*time.Millisecond {
+		t.Fatalf("latency %v, want >= ~30ms", lat)
+	}
+}
+
+func TestLossDropsRoughlyProportionally(t *testing.T) {
+	n := New(Options{Default: Profile{Loss: 0.5}, Seed: 7})
+	defer n.Close()
+	a := n.MustEndpoint("a")
+	b := n.MustEndpoint("b")
+	got := collect(b)
+	const total = 2000
+	for i := 0; i < total; i++ {
+		a.Send("b", []byte{byte(i)})
+	}
+	time.Sleep(50 * time.Millisecond)
+	delivered := len(got())
+	if delivered < total/4 || delivered > 3*total/4 {
+		t.Fatalf("delivered %d of %d with 50%% loss", delivered, total)
+	}
+	if n.Stats().Counter(MetricDropLoss).Load()+int64(delivered) != total {
+		t.Fatalf("loss counter %d + delivered %d != %d",
+			n.Stats().Counter(MetricDropLoss).Load(), delivered, total)
+	}
+}
+
+func TestCutLinkAndRestore(t *testing.T) {
+	n := New(Options{})
+	defer n.Close()
+	a := n.MustEndpoint("a")
+	b := n.MustEndpoint("b")
+	got := collect(b)
+	n.CutLink("a", "b")
+	a.Send("b", []byte("lost"))
+	time.Sleep(10 * time.Millisecond)
+	if len(got()) != 0 {
+		t.Fatal("packet crossed a cut link")
+	}
+	if n.Stats().Counter(MetricDropCut).Load() == 0 {
+		t.Fatal("cut drop not counted")
+	}
+	n.RestoreLink("a", "b")
+	a.Send("b", []byte("ok"))
+	waitFor(t, func() bool { return len(got()) == 1 }, "restored link did not deliver")
+}
+
+func TestCutKillsInFlight(t *testing.T) {
+	n := New(Options{Default: Profile{Latency: 50 * time.Millisecond}})
+	defer n.Close()
+	a := n.MustEndpoint("a")
+	b := n.MustEndpoint("b")
+	got := collect(b)
+	a.Send("b", []byte("x"))
+	n.CutLink("a", "b") // cut while packet is in flight
+	time.Sleep(100 * time.Millisecond)
+	if len(got()) != 0 {
+		t.Fatal("in-flight packet survived the cut")
+	}
+}
+
+func TestPartitionAndHeal(t *testing.T) {
+	n := New(Options{})
+	defer n.Close()
+	a := n.MustEndpoint("a")
+	b := n.MustEndpoint("b")
+	c := n.MustEndpoint("c")
+	gotB := collect(b)
+	gotC := collect(c)
+	n.Partition([]Addr{"a", "b"}, []Addr{"c"})
+	a.Send("b", []byte("same-side"))
+	a.Send("c", []byte("cross"))
+	waitFor(t, func() bool { return len(gotB()) == 1 }, "same-side blocked")
+	time.Sleep(10 * time.Millisecond)
+	if len(gotC()) != 0 {
+		t.Fatal("cross-partition packet delivered")
+	}
+	n.Heal()
+	a.Send("c", []byte("healed"))
+	waitFor(t, func() bool { return len(gotC()) == 1 }, "healed partition did not deliver")
+}
+
+func TestNodeDown(t *testing.T) {
+	n := New(Options{})
+	defer n.Close()
+	a := n.MustEndpoint("a")
+	b := n.MustEndpoint("b")
+	got := collect(b)
+	n.SetNodeDown("b", true)
+	a.Send("b", []byte("x"))
+	time.Sleep(10 * time.Millisecond)
+	if len(got()) != 0 {
+		t.Fatal("down node received a packet")
+	}
+	n.SetNodeDown("b", false)
+	a.Send("b", []byte("y"))
+	waitFor(t, func() bool { return len(got()) == 1 }, "revived node did not receive")
+	// A down sender cannot transmit either.
+	n.SetNodeDown("a", true)
+	a.Send("b", []byte("z"))
+	time.Sleep(10 * time.Millisecond)
+	if len(got()) != 1 {
+		t.Fatal("down sender transmitted")
+	}
+}
+
+func TestMTU(t *testing.T) {
+	n := New(Options{Default: Profile{MTU: 10}})
+	defer n.Close()
+	a := n.MustEndpoint("a")
+	b := n.MustEndpoint("b")
+	got := collect(b)
+	a.Send("b", make([]byte, 11))
+	a.Send("b", make([]byte, 10))
+	waitFor(t, func() bool { return len(got()) == 1 }, "MTU-sized packet dropped")
+	if n.Stats().Counter(MetricDropMTU).Load() != 1 {
+		t.Fatal("oversized packet not counted")
+	}
+}
+
+func TestPerLinkProfileOverride(t *testing.T) {
+	n := New(Options{Default: Profile{}})
+	defer n.Close()
+	a := n.MustEndpoint("a")
+	b := n.MustEndpoint("b")
+	got := collect(b)
+	n.SetLinkProfile("a", "b", Profile{Loss: 1.0})
+	a.Send("b", []byte("x"))
+	time.Sleep(10 * time.Millisecond)
+	if len(got()) != 0 {
+		t.Fatal("override loss=1.0 still delivered")
+	}
+}
+
+func TestDuplicateAddressRejected(t *testing.T) {
+	n := New(Options{})
+	defer n.Close()
+	n.MustEndpoint("a")
+	if _, err := n.Endpoint("a"); err == nil {
+		t.Fatal("duplicate registration succeeded")
+	}
+}
+
+func TestSendAfterEndpointClose(t *testing.T) {
+	n := New(Options{})
+	defer n.Close()
+	a := n.MustEndpoint("a")
+	n.MustEndpoint("b")
+	a.Close()
+	if err := a.Send("b", []byte("x")); err == nil {
+		t.Fatal("send on closed endpoint succeeded")
+	}
+}
+
+func TestNetworkCloseStopsTraffic(t *testing.T) {
+	n := New(Options{})
+	a := n.MustEndpoint("a")
+	n.MustEndpoint("b")
+	n.Close()
+	if err := a.Send("b", []byte("x")); err == nil {
+		t.Fatal("send on closed network succeeded")
+	}
+	if _, err := n.Endpoint("c"); err == nil {
+		t.Fatal("register on closed network succeeded")
+	}
+}
+
+func TestFIFOPerLink(t *testing.T) {
+	n := New(Options{Default: Profile{Latency: time.Millisecond}})
+	defer n.Close()
+	a := n.MustEndpoint("a")
+	b := n.MustEndpoint("b")
+	got := collect(b)
+	const total = 200
+	for i := 0; i < total; i++ {
+		a.Send("b", []byte{byte(i)})
+	}
+	waitFor(t, func() bool { return len(got()) == total }, "not all delivered")
+	for i, p := range got() {
+		if p[0] != byte(i) {
+			t.Fatalf("packet %d out of order: got %d", i, p[0])
+		}
+	}
+}
+
+func TestBandwidthSerialization(t *testing.T) {
+	// 8 KB/s: a 1000-byte packet occupies the link for ~1s; three packets
+	// must take >= ~2s to all arrive. Use small numbers to keep the test
+	// fast: 800_000 bps -> 1000 B = 10ms serialization.
+	n := New(Options{Default: Profile{BandwidthBps: 800_000}})
+	defer n.Close()
+	a := n.MustEndpoint("a")
+	b := n.MustEndpoint("b")
+	var last atomic.Int64
+	var count atomic.Int32
+	b.SetReceiver(func(Addr, []byte) {
+		last.Store(time.Now().UnixNano())
+		count.Add(1)
+	})
+	start := time.Now()
+	for i := 0; i < 3; i++ {
+		a.Send("b", make([]byte, 1000))
+	}
+	waitFor(t, func() bool { return count.Load() == 3 }, "bandwidth-limited packets missing")
+	elapsed := time.Duration(last.Load() - start.UnixNano())
+	if elapsed < 25*time.Millisecond {
+		t.Fatalf("3 x 10ms packets arrived in %v, want >= ~30ms", elapsed)
+	}
+}
+
+func TestInboxOverflowCounted(t *testing.T) {
+	n := New(Options{InboxDepth: 1})
+	defer n.Close()
+	a := n.MustEndpoint("a")
+	b := n.MustEndpoint("b")
+	// No receiver: dispatcher drains slowly only when handler installed;
+	// with no handler installed the dispatcher still consumes, so stall it
+	// with a blocking handler instead.
+	block := make(chan struct{})
+	var first sync.Once
+	b.SetReceiver(func(Addr, []byte) {
+		first.Do(func() { <-block })
+	})
+	for i := 0; i < 50; i++ {
+		a.Send("b", []byte{1})
+	}
+	waitFor(t, func() bool {
+		return n.Stats().Counter(MetricDropOverflow).Load() > 0
+	}, "overflow never counted")
+	close(block)
+}
+
+func TestDeterministicLossWithSeed(t *testing.T) {
+	run := func() int64 {
+		n := New(Options{Default: Profile{Loss: 0.3}, Seed: 42})
+		defer n.Close()
+		a := n.MustEndpoint("a")
+		n.MustEndpoint("b")
+		for i := 0; i < 500; i++ {
+			a.Send("b", []byte{1})
+		}
+		time.Sleep(20 * time.Millisecond)
+		return n.Stats().Counter(MetricDropLoss).Load()
+	}
+	if x, y := run(), run(); x != y {
+		t.Fatalf("same seed produced different loss: %d vs %d", x, y)
+	}
+}

@@ -1,0 +1,101 @@
+package stats
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Histogram records durations and reports order statistics. It keeps raw
+// samples up to a bound, then reservoir-samples, which is plenty for the
+// latency distributions in the benchmarks while bounding memory.
+type Histogram struct {
+	mu      sync.Mutex
+	samples []time.Duration
+	count   int64
+	max     time.Duration
+	sum     time.Duration
+	// rngState drives the reservoir replacement choice; a tiny xorshift
+	// keeps the package free of math/rand seeding concerns.
+	rngState uint64
+}
+
+const histReservoir = 4096
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{rngState: 0x9E3779B97F4A7C15, samples: make([]time.Duration, 0, 64)}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(d time.Duration) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.count++
+	h.sum += d
+	if d > h.max {
+		h.max = d
+	}
+	if len(h.samples) < histReservoir {
+		h.samples = append(h.samples, d)
+		return
+	}
+	// Vitter's algorithm R.
+	h.rngState ^= h.rngState << 13
+	h.rngState ^= h.rngState >> 7
+	h.rngState ^= h.rngState << 17
+	if idx := h.rngState % uint64(h.count); idx < uint64(len(h.samples)) {
+		h.samples[idx] = d
+	}
+}
+
+// HistogramSummary is a point-in-time digest of a histogram.
+type HistogramSummary struct {
+	Count int64
+	Mean  time.Duration
+	P50   time.Duration
+	P90   time.Duration
+	P99   time.Duration
+	Max   time.Duration
+}
+
+// Summary computes order statistics over the retained samples.
+func (h *Histogram) Summary() HistogramSummary {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := HistogramSummary{Count: h.count, Max: h.max}
+	if h.count > 0 {
+		s.Mean = h.sum / time.Duration(h.count)
+	}
+	if len(h.samples) == 0 {
+		return s
+	}
+	sorted := make([]time.Duration, len(h.samples))
+	copy(sorted, h.samples)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	q := func(p float64) time.Duration {
+		idx := int(p * float64(len(sorted)-1))
+		return sorted[idx]
+	}
+	s.P50 = q(0.50)
+	s.P90 = q(0.90)
+	s.P99 = q(0.99)
+	return s
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Reset discards all samples.
+func (h *Histogram) Reset() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.samples = h.samples[:0]
+	h.count = 0
+	h.max = 0
+	h.sum = 0
+}

@@ -1,0 +1,200 @@
+// Package stats collects the metrics the paper's evaluation is built on:
+// packets and bytes on the wire, CPU task switches (each wake-up of the
+// group-communication layer on a node that is otherwise processing network
+// traffic, §4.1), and latency distributions.
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n may be negative only for test correction; protocol code
+// must only add non-negative deltas).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Reset zeroes the counter and returns the previous value.
+func (c *Counter) Reset() int64 { return c.v.Swap(0) }
+
+// Gauge is an atomically updated instantaneous value.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores n.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adjusts the gauge by delta.
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// Registry is a named collection of counters, gauges and histograms. The
+// zero value is not usable; call NewRegistry.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the counter with the given name, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge with the given name, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram with the given name, creating it on
+// first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = NewHistogram()
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Snapshot returns the current counter and gauge values, sorted by name in
+// the rendered form. Histograms are summarized by count/p50/p99/max.
+type Snapshot struct {
+	Counters   map[string]int64
+	Gauges     map[string]int64
+	Histograms map[string]HistogramSummary
+}
+
+// Snapshot captures all metric values at a point in time.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Snapshot{
+		Counters:   make(map[string]int64, len(r.counters)),
+		Gauges:     make(map[string]int64, len(r.gauges)),
+		Histograms: make(map[string]HistogramSummary, len(r.histograms)),
+	}
+	for n, c := range r.counters {
+		s.Counters[n] = c.Load()
+	}
+	for n, g := range r.gauges {
+		s.Gauges[n] = g.Load()
+	}
+	for n, h := range r.histograms {
+		s.Histograms[n] = h.Summary()
+	}
+	return s
+}
+
+// String renders the snapshot as stable, sorted lines for logs and tests.
+func (s Snapshot) String() string {
+	var b strings.Builder
+	names := make([]string, 0, len(s.Counters))
+	for n := range s.Counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(&b, "counter %s = %d\n", n, s.Counters[n])
+	}
+	names = names[:0]
+	for n := range s.Gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(&b, "gauge %s = %d\n", n, s.Gauges[n])
+	}
+	names = names[:0]
+	for n := range s.Histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		h := s.Histograms[n]
+		fmt.Fprintf(&b, "histogram %s = count=%d p50=%v p99=%v max=%v\n",
+			n, h.Count, h.P50, h.P99, h.Max)
+	}
+	return b.String()
+}
+
+// Canonical metric names used across the repo. Keeping them here avoids
+// typo-split counters between packages.
+const (
+	// MetricTaskSwitches counts wake-ups of the group-communication
+	// layer: one per received protocol packet and one per protocol timer
+	// fire (§4.1's CPU overhead metric).
+	MetricTaskSwitches = "task_switches"
+	// MetricPacketsSent / MetricPacketsRecv count wire packets.
+	MetricPacketsSent = "packets_sent"
+	MetricPacketsRecv = "packets_recv"
+	// MetricBytesSent / MetricBytesRecv count wire payload bytes.
+	MetricBytesSent = "bytes_sent"
+	MetricBytesRecv = "bytes_recv"
+	// MetricRetransmits counts transport-level retransmissions.
+	MetricRetransmits = "retransmits"
+	// MetricSendFailures counts failure-on-delivery notifications.
+	MetricSendFailures = "send_failures"
+	// MetricTokenPasses counts confirmed token handoffs.
+	MetricTokenPasses = "token_passes"
+	// MetricTokenRegens counts 911 token regenerations.
+	MetricTokenRegens = "token_regens"
+	// MetricMsgsDelivered counts multicast messages delivered upward.
+	MetricMsgsDelivered = "msgs_delivered"
+	// MetricMsgsSent counts multicast messages submitted by this node.
+	MetricMsgsSent = "msgs_sent"
+	// MetricMerges counts completed group merges.
+	MetricMerges = "merges"
+	// HistMulticastLatency is submit-to-deliver latency at the origin.
+	HistMulticastLatency = "multicast_latency"
+	// HistTokenRoundTrip is the token's full-ring round-trip time.
+	HistTokenRoundTrip = "token_round_trip"
+)
+
+// Rate converts a counter delta observed over an elapsed duration into a
+// per-second rate. It guards against zero and negative durations.
+func Rate(delta int64, elapsed time.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(delta) / elapsed.Seconds()
+}

@@ -1,0 +1,166 @@
+package stats
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterBasics(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if got := c.Load(); got != 5 {
+		t.Fatalf("Load = %d, want 5", got)
+	}
+	if got := c.Reset(); got != 5 {
+		t.Fatalf("Reset returned %d, want 5", got)
+	}
+	if got := c.Load(); got != 0 {
+		t.Fatalf("Load after Reset = %d, want 0", got)
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Load(); got != workers*per {
+		t.Fatalf("Load = %d, want %d", got, workers*per)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(10)
+	g.Add(-3)
+	if got := g.Load(); got != 7 {
+		t.Fatalf("Load = %d, want 7", got)
+	}
+}
+
+func TestRegistryReturnsSameInstance(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("x") != r.Counter("x") {
+		t.Fatal("Counter(x) returned distinct instances")
+	}
+	if r.Gauge("y") != r.Gauge("y") {
+		t.Fatal("Gauge(y) returned distinct instances")
+	}
+	if r.Histogram("z") != r.Histogram("z") {
+		t.Fatal("Histogram(z) returned distinct instances")
+	}
+}
+
+func TestRegistrySnapshotAndString(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a").Add(2)
+	r.Gauge("b").Set(9)
+	r.Histogram("c").Observe(time.Millisecond)
+	s := r.Snapshot()
+	if s.Counters["a"] != 2 || s.Gauges["b"] != 9 || s.Histograms["c"].Count != 1 {
+		t.Fatalf("bad snapshot: %+v", s)
+	}
+	out := s.String()
+	for _, want := range []string{"counter a = 2", "gauge b = 9", "histogram c"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("String() missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramSummary(t *testing.T) {
+	h := NewHistogram()
+	for i := 1; i <= 100; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	s := h.Summary()
+	if s.Count != 100 {
+		t.Fatalf("Count = %d, want 100", s.Count)
+	}
+	if s.Max != 100*time.Millisecond {
+		t.Fatalf("Max = %v, want 100ms", s.Max)
+	}
+	if s.P50 < 40*time.Millisecond || s.P50 > 60*time.Millisecond {
+		t.Fatalf("P50 = %v, want around 50ms", s.P50)
+	}
+	if s.Mean < 45*time.Millisecond || s.Mean > 55*time.Millisecond {
+		t.Fatalf("Mean = %v, want around 50.5ms", s.Mean)
+	}
+	if s.P99 < s.P90 || s.P90 < s.P50 {
+		t.Fatalf("quantiles not monotone: %+v", s)
+	}
+}
+
+func TestHistogramReservoirBounded(t *testing.T) {
+	h := NewHistogram()
+	for i := 0; i < 3*histReservoir; i++ {
+		h.Observe(time.Duration(i))
+	}
+	if got := len(h.samples); got > histReservoir {
+		t.Fatalf("reservoir grew to %d, cap %d", got, histReservoir)
+	}
+	if got := h.Count(); got != int64(3*histReservoir) {
+		t.Fatalf("Count = %d, want %d", got, 3*histReservoir)
+	}
+}
+
+func TestHistogramEmptySummary(t *testing.T) {
+	s := NewHistogram().Summary()
+	if s.Count != 0 || s.P50 != 0 || s.Max != 0 || s.Mean != 0 {
+		t.Fatalf("empty summary not zero: %+v", s)
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(time.Second)
+	h.Reset()
+	if h.Count() != 0 {
+		t.Fatal("Count after Reset != 0")
+	}
+	if s := h.Summary(); s.Max != 0 {
+		t.Fatalf("Max after Reset = %v", s.Max)
+	}
+}
+
+func TestRate(t *testing.T) {
+	if got := Rate(100, time.Second); got != 100 {
+		t.Fatalf("Rate = %v, want 100", got)
+	}
+	if got := Rate(100, 0); got != 0 {
+		t.Fatalf("Rate with zero elapsed = %v, want 0", got)
+	}
+	if got := Rate(50, 500*time.Millisecond); got != 100 {
+		t.Fatalf("Rate = %v, want 100", got)
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := NewHistogram()
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				h.Observe(time.Duration(j))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := h.Count(); got != 2000 {
+		t.Fatalf("Count = %d, want 2000", got)
+	}
+}

@@ -1,0 +1,159 @@
+// Package trace is a lightweight structured event log for protocol
+// diagnostics: a fixed-capacity ring buffer of timestamped events that
+// the session runtime feeds and operators dump when something looks off.
+// It deliberately avoids any I/O on the hot path.
+package trace
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Kind classifies trace events.
+type Kind uint8
+
+// Event kinds recorded by the session runtime.
+const (
+	// KindTokenRecv is a token arrival.
+	KindTokenRecv Kind = iota
+	// KindTokenPass is a confirmed token handoff.
+	KindTokenPass
+	// KindTokenLostPeer is a failed pass (failure detection fired).
+	KindTokenLostPeer
+	// KindStateChange is a HUNGRY/EATING/STARVING/DOWN transition.
+	KindStateChange
+	// KindMembership is a membership view change.
+	KindMembership
+	// KindDeliver is an application delivery.
+	KindDeliver
+	// Kind911 is a 911 sent or received.
+	Kind911
+	// KindRegen is a token regeneration.
+	KindRegen
+	// KindMerge is a completed group merge.
+	KindMerge
+	// KindCustom is free-form.
+	KindCustom
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindTokenRecv:
+		return "token-recv"
+	case KindTokenPass:
+		return "token-pass"
+	case KindTokenLostPeer:
+		return "token-lost-peer"
+	case KindStateChange:
+		return "state"
+	case KindMembership:
+		return "membership"
+	case KindDeliver:
+		return "deliver"
+	case Kind911:
+		return "911"
+	case KindRegen:
+		return "regen"
+	case KindMerge:
+		return "merge"
+	default:
+		return "custom"
+	}
+}
+
+// Event is one trace record.
+type Event struct {
+	At   time.Time
+	Kind Kind
+	Msg  string
+}
+
+// Log is a concurrency-safe fixed-capacity ring buffer of events. The zero
+// value is unusable; call New.
+type Log struct {
+	mu    sync.Mutex
+	buf   []Event
+	next  int
+	total uint64
+	// filter, when non-zero, drops kinds whose bit is cleared.
+	filter uint32
+}
+
+// New returns a log holding up to capacity events (minimum 16).
+func New(capacity int) *Log {
+	if capacity < 16 {
+		capacity = 16
+	}
+	return &Log{buf: make([]Event, 0, capacity)}
+}
+
+// SetFilter restricts recording to the given kinds; no kinds = record all.
+func (l *Log) SetFilter(kinds ...Kind) {
+	var f uint32
+	for _, k := range kinds {
+		f |= 1 << k
+	}
+	l.mu.Lock()
+	l.filter = f
+	l.mu.Unlock()
+}
+
+// Add records an event.
+func (l *Log) Add(kind Kind, format string, args ...any) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.filter != 0 && l.filter&(1<<kind) == 0 {
+		return
+	}
+	ev := Event{At: time.Now(), Kind: kind, Msg: fmt.Sprintf(format, args...)}
+	if len(l.buf) < cap(l.buf) {
+		l.buf = append(l.buf, ev)
+	} else {
+		l.buf[l.next] = ev
+	}
+	l.next = (l.next + 1) % cap(l.buf)
+	l.total++
+}
+
+// Total reports how many events were ever recorded (including overwritten).
+func (l *Log) Total() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.total
+}
+
+// Events returns the retained events in chronological order.
+func (l *Log) Events() []Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.buf) < cap(l.buf) {
+		return append([]Event(nil), l.buf...)
+	}
+	out := make([]Event, 0, len(l.buf))
+	out = append(out, l.buf[l.next:]...)
+	out = append(out, l.buf[:l.next]...)
+	return out
+}
+
+// Dump renders the retained events, newest last.
+func (l *Log) Dump() string {
+	var b strings.Builder
+	for _, e := range l.Events() {
+		fmt.Fprintf(&b, "%s %-16s %s\n", e.At.Format("15:04:05.000000"), e.Kind, e.Msg)
+	}
+	return b.String()
+}
+
+// CountKind reports how many retained events have the given kind.
+func (l *Log) CountKind(kind Kind) int {
+	n := 0
+	for _, e := range l.Events() {
+		if e.Kind == kind {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,124 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestAddAndEvents(t *testing.T) {
+	l := New(16)
+	l.Add(KindTokenRecv, "seq=%d", 1)
+	l.Add(KindDeliver, "payload %q", "x")
+	evs := l.Events()
+	if len(evs) != 2 {
+		t.Fatalf("events = %d", len(evs))
+	}
+	if evs[0].Kind != KindTokenRecv || evs[0].Msg != "seq=1" {
+		t.Fatalf("ev0 = %+v", evs[0])
+	}
+	if evs[1].Msg != `payload "x"` {
+		t.Fatalf("ev1 = %+v", evs[1])
+	}
+}
+
+func TestRingBufferWrapsChronologically(t *testing.T) {
+	l := New(16)
+	for i := 0; i < 40; i++ {
+		l.Add(KindCustom, "%d", i)
+	}
+	evs := l.Events()
+	if len(evs) != 16 {
+		t.Fatalf("retained %d, want 16", len(evs))
+	}
+	if evs[0].Msg != "24" || evs[15].Msg != "39" {
+		t.Fatalf("window = %s..%s, want 24..39", evs[0].Msg, evs[15].Msg)
+	}
+	if l.Total() != 40 {
+		t.Fatalf("total = %d", l.Total())
+	}
+}
+
+func TestFilter(t *testing.T) {
+	l := New(16)
+	l.SetFilter(KindRegen, KindMerge)
+	l.Add(KindTokenRecv, "dropped")
+	l.Add(KindRegen, "kept")
+	l.Add(KindMerge, "kept too")
+	if got := len(l.Events()); got != 2 {
+		t.Fatalf("events = %d, want filtered 2", got)
+	}
+	// Clearing the filter records everything again.
+	l.SetFilter()
+	l.Add(KindTokenRecv, "now kept")
+	if got := len(l.Events()); got != 3 {
+		t.Fatalf("events = %d after filter clear", got)
+	}
+}
+
+func TestDumpFormat(t *testing.T) {
+	l := New(16)
+	l.Add(KindMembership, "view [1 2 3]")
+	out := l.Dump()
+	if !strings.Contains(out, "membership") || !strings.Contains(out, "view [1 2 3]") {
+		t.Fatalf("dump = %q", out)
+	}
+}
+
+func TestCountKind(t *testing.T) {
+	l := New(32)
+	for i := 0; i < 5; i++ {
+		l.Add(Kind911, "n")
+	}
+	l.Add(KindRegen, "r")
+	if got := l.CountKind(Kind911); got != 5 {
+		t.Fatalf("CountKind(911) = %d", got)
+	}
+	if got := l.CountKind(KindRegen); got != 1 {
+		t.Fatalf("CountKind(regen) = %d", got)
+	}
+}
+
+func TestMinimumCapacity(t *testing.T) {
+	l := New(1)
+	for i := 0; i < 20; i++ {
+		l.Add(KindCustom, "%d", i)
+	}
+	if got := len(l.Events()); got != 16 {
+		t.Fatalf("minimum capacity = %d, want 16", got)
+	}
+}
+
+func TestConcurrentAdd(t *testing.T) {
+	l := New(64)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				l.Add(KindDeliver, "x")
+			}
+		}()
+	}
+	wg.Wait()
+	if l.Total() != 800 {
+		t.Fatalf("total = %d", l.Total())
+	}
+	if len(l.Events()) != 64 {
+		t.Fatalf("retained = %d", len(l.Events()))
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	kinds := []Kind{KindTokenRecv, KindTokenPass, KindTokenLostPeer, KindStateChange,
+		KindMembership, KindDeliver, Kind911, KindRegen, KindMerge, KindCustom}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if s == "" || seen[s] {
+			t.Fatalf("kind %d string %q duplicate or empty", k, s)
+		}
+		seen[s] = true
+	}
+}

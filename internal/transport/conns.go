@@ -1,0 +1,123 @@
+package transport
+
+import (
+	"errors"
+	"net"
+	"sync"
+
+	"repro/internal/simnet"
+)
+
+// SimConn adapts a simnet.Endpoint to the PacketConn interface.
+type SimConn struct{ ep *simnet.Endpoint }
+
+// NewSimConn wraps a simulated endpoint.
+func NewSimConn(ep *simnet.Endpoint) *SimConn { return &SimConn{ep: ep} }
+
+// Send implements PacketConn.
+func (c *SimConn) Send(to Addr, payload []byte) error {
+	return c.ep.Send(simnet.Addr(to), payload)
+}
+
+// SetReceiver implements PacketConn.
+func (c *SimConn) SetReceiver(fn func(from Addr, payload []byte)) {
+	c.ep.SetReceiver(func(from simnet.Addr, payload []byte) {
+		fn(Addr(from), payload)
+	})
+}
+
+// Close implements PacketConn.
+func (c *SimConn) Close() error { return c.ep.Close() }
+
+// Addr returns the endpoint's address.
+func (c *SimConn) Addr() Addr { return Addr(c.ep.Addr()) }
+
+// UDPConn adapts a net.UDPConn to the PacketConn interface, the typical
+// production implementation named by the paper (§2.1).
+type UDPConn struct {
+	conn *net.UDPConn
+
+	mu      sync.Mutex
+	handler func(from Addr, payload []byte)
+	closed  bool
+	done    chan struct{}
+}
+
+// maxUDPDatagram bounds receive buffers; tokens carrying many piggybacked
+// messages stay well under this on a LAN with jumbo-frame-free MTUs because
+// the session layer flushes per round.
+const maxUDPDatagram = 64 * 1024
+
+// ListenUDP opens a UDP socket on the given address ("127.0.0.1:0" for an
+// ephemeral test port) and starts its receive loop.
+func ListenUDP(addr string) (*UDPConn, error) {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := net.ListenUDP("udp", ua)
+	if err != nil {
+		return nil, err
+	}
+	c := &UDPConn{conn: conn, done: make(chan struct{})}
+	go c.readLoop()
+	return c, nil
+}
+
+// LocalAddr returns the bound address, usable as a peer Addr on other nodes.
+func (c *UDPConn) LocalAddr() Addr { return Addr(c.conn.LocalAddr().String()) }
+
+// Send implements PacketConn.
+func (c *UDPConn) Send(to Addr, payload []byte) error {
+	ua, err := net.ResolveUDPAddr("udp", string(to))
+	if err != nil {
+		return err
+	}
+	_, err = c.conn.WriteToUDP(payload, ua)
+	return err
+}
+
+// SetReceiver implements PacketConn.
+func (c *UDPConn) SetReceiver(fn func(from Addr, payload []byte)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.handler = fn
+}
+
+// Close implements PacketConn.
+func (c *UDPConn) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	close(c.done)
+	return c.conn.Close()
+}
+
+func (c *UDPConn) readLoop() {
+	buf := make([]byte, maxUDPDatagram)
+	for {
+		n, from, err := c.conn.ReadFromUDP(buf)
+		if err != nil {
+			select {
+			case <-c.done:
+				return
+			default:
+			}
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			continue
+		}
+		payload := append([]byte(nil), buf[:n]...)
+		c.mu.Lock()
+		h := c.handler
+		c.mu.Unlock()
+		if h != nil {
+			h(Addr(from.String()), payload)
+		}
+	}
+}

@@ -1,0 +1,431 @@
+// Package transport implements the Raincore Transport Service (§2.1): an
+// atomic point-to-point packet unicast with acknowledgement, sitting on an
+// unreliable datagram interface (UDP in production, simnet in tests).
+//
+// It differs from TCP exactly as the paper prescribes:
+//
+//  1. A packet is either completely delivered or not delivered at all;
+//     there are no connections or streams, hence no connection state to
+//     track as nodes go up and down.
+//  2. Each node may have multiple physical addresses (redundant links);
+//     the send strategy targets them in sequential or parallel order.
+//  3. The caller is notified on acknowledgement AND when all sending
+//     efforts have failed — the failure-on-delivery notification that
+//     serves as the session layer's local-view failure detector.
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/stats"
+	"repro/internal/wire"
+)
+
+// Addr is a network address of a peer link.
+type Addr string
+
+// PacketConn is the unreliable unicast interface the service requires
+// (§2.1). simnet endpoints and the UDP adapter both satisfy it via the
+// Conn wrapper types in this package.
+type PacketConn interface {
+	// Send transmits best-effort; nil error means accepted by the medium.
+	Send(to Addr, payload []byte) error
+	// SetReceiver installs the receive callback.
+	SetReceiver(fn func(from Addr, payload []byte))
+	// Close releases the conn.
+	Close() error
+}
+
+// Strategy selects how multiple physical addresses are used (§2.1).
+type Strategy uint8
+
+const (
+	// Sequential rotates through (local conn, remote addr) combinations,
+	// one per attempt.
+	Sequential Strategy = iota
+	// Parallel sends every attempt on all combinations at once.
+	Parallel
+)
+
+// Config tunes the service.
+type Config struct {
+	// AckTimeout is how long one attempt waits for an acknowledgement.
+	AckTimeout time.Duration
+	// Attempts is the total number of send attempts before the
+	// failure-on-delivery notification fires. Minimum 1.
+	Attempts int
+	// Strategy picks sequential or parallel multi-address sending.
+	Strategy Strategy
+	// DedupWindow bounds the per-sender duplicate-suppression window.
+	DedupWindow int
+}
+
+// DefaultConfig mirrors an aggressive LAN setup: the paper's failure
+// detector is deliberately fast (§2.2).
+func DefaultConfig() Config {
+	return Config{
+		AckTimeout:  20 * time.Millisecond,
+		Attempts:    3,
+		Strategy:    Sequential,
+		DedupWindow: 4096,
+	}
+}
+
+// ErrDeliveryFailed is reported when all sending efforts have failed; it is
+// the failure-on-delivery notification of §2.1.
+var ErrDeliveryFailed = errors.New("transport: delivery failed")
+
+// ErrClosed is reported for operations on a closed transport.
+var ErrClosed = errors.New("transport: closed")
+
+// ErrUnknownPeer is reported when the destination has no known addresses.
+var ErrUnknownPeer = errors.New("transport: unknown peer")
+
+// Transport is one node's instance of the Raincore Transport Service.
+type Transport struct {
+	local wire.NodeID
+	conns []PacketConn
+	clk   clock.Clock
+	reg   *stats.Registry
+	cfg   Config
+
+	mu      sync.Mutex
+	peers   map[wire.NodeID][]Addr
+	pending map[uint64]chan struct{}
+	dedup   map[wire.NodeID]*dedupWindow
+	handler func(from wire.NodeID, payload []byte)
+	closed  bool
+	// closedCh unblocks in-flight send loops on Close; a closed ack
+	// channel must never be used for that, since it signals success.
+	closedCh chan struct{}
+
+	nextMsgID atomic.Uint64
+	wg        sync.WaitGroup
+}
+
+// New creates a transport bound to the given local conns (one per physical
+// address). reg may be nil, in which case a private registry is used.
+func New(local wire.NodeID, conns []PacketConn, clk clock.Clock, reg *stats.Registry, cfg Config) *Transport {
+	if len(conns) == 0 {
+		panic("transport: need at least one PacketConn")
+	}
+	if clk == nil {
+		clk = clock.NewReal()
+	}
+	if reg == nil {
+		reg = stats.NewRegistry()
+	}
+	if cfg.Attempts < 1 {
+		cfg.Attempts = 1
+	}
+	if cfg.AckTimeout <= 0 {
+		cfg.AckTimeout = DefaultConfig().AckTimeout
+	}
+	if cfg.DedupWindow <= 0 {
+		cfg.DedupWindow = DefaultConfig().DedupWindow
+	}
+	t := &Transport{
+		local:    local,
+		conns:    conns,
+		clk:      clk,
+		reg:      reg,
+		cfg:      cfg,
+		peers:    make(map[wire.NodeID][]Addr),
+		pending:  make(map[uint64]chan struct{}),
+		dedup:    make(map[wire.NodeID]*dedupWindow),
+		closedCh: make(chan struct{}),
+	}
+	for _, c := range conns {
+		conn := c
+		conn.SetReceiver(func(from Addr, payload []byte) {
+			t.receive(conn, from, payload)
+		})
+	}
+	return t
+}
+
+// Local returns this node's ID.
+func (t *Transport) Local() wire.NodeID { return t.local }
+
+// Stats returns the metrics registry.
+func (t *Transport) Stats() *stats.Registry { return t.reg }
+
+// SetPeer registers the physical addresses of a peer, replacing previous
+// ones. Multiple addresses enable the redundant-link resilience of §2.1.
+func (t *Transport) SetPeer(id wire.NodeID, addrs []Addr) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.peers[id] = append([]Addr(nil), addrs...)
+}
+
+// Peer returns the registered addresses of a peer.
+func (t *Transport) Peer(id wire.NodeID) []Addr {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Addr(nil), t.peers[id]...)
+}
+
+// Peers lists all registered peer IDs.
+func (t *Transport) Peers() []wire.NodeID {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]wire.NodeID, 0, len(t.peers))
+	for id := range t.peers {
+		out = append(out, id)
+	}
+	return out
+}
+
+// SetHandler installs the upward delivery callback. It must be set before
+// traffic is expected; packets arriving without a handler are acknowledged
+// and dropped.
+func (t *Transport) SetHandler(fn func(from wire.NodeID, payload []byte)) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.handler = fn
+}
+
+// Send performs the atomic reliable unicast. done is invoked exactly once,
+// from a separate goroutine, with nil on acknowledged delivery or
+// ErrDeliveryFailed after all attempts are exhausted. A nil done is
+// permitted for fire-and-forget reliability.
+func (t *Transport) Send(to wire.NodeID, payload []byte, done func(error)) {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		if done != nil {
+			done(ErrClosed)
+		}
+		return
+	}
+	addrs := t.peers[to]
+	if len(addrs) == 0 {
+		t.mu.Unlock()
+		if done != nil {
+			done(fmt.Errorf("%w: %v", ErrUnknownPeer, to))
+		}
+		return
+	}
+	msgID := t.nextMsgID.Add(1)
+	acked := make(chan struct{})
+	t.pending[msgID] = acked
+	// The Add must be ordered with the closed check (same critical
+	// section) or it races with Close's Wait.
+	t.wg.Add(1)
+	t.mu.Unlock()
+
+	frame := encodeFrame(frameData, t.local, msgID, payload)
+	go t.sendLoop(to, addrs, msgID, frame, acked, done)
+}
+
+// SendSync is Send but blocking, for callers without their own event loop.
+func (t *Transport) SendSync(to wire.NodeID, payload []byte) error {
+	ch := make(chan error, 1)
+	t.Send(to, payload, func(err error) { ch <- err })
+	return <-ch
+}
+
+// sendLoop drives the attempt schedule for one message.
+func (t *Transport) sendLoop(to wire.NodeID, addrs []Addr, msgID uint64, frame []byte, acked chan struct{}, done func(error)) {
+	defer t.wg.Done()
+	defer func() {
+		t.mu.Lock()
+		delete(t.pending, msgID)
+		t.mu.Unlock()
+	}()
+	combos := len(t.conns) * len(addrs)
+	for attempt := 0; attempt < t.cfg.Attempts; attempt++ {
+		if attempt > 0 {
+			t.reg.Counter(stats.MetricRetransmits).Inc()
+		}
+		switch t.cfg.Strategy {
+		case Parallel:
+			for ci := range t.conns {
+				for ai := range addrs {
+					t.emit(t.conns[ci], addrs[ai], frame)
+				}
+			}
+		default: // Sequential
+			combo := attempt % combos
+			conn := t.conns[combo%len(t.conns)]
+			addr := addrs[combo%len(addrs)]
+			t.emit(conn, addr, frame)
+		}
+		timer := t.clk.NewTimer(t.cfg.AckTimeout)
+		select {
+		case <-acked:
+			timer.Stop()
+			if done != nil {
+				done(nil)
+			}
+			return
+		case <-t.closedCh:
+			timer.Stop()
+			if done != nil {
+				done(ErrClosed)
+			}
+			return
+		case <-timer.C():
+		}
+	}
+	t.reg.Counter(stats.MetricSendFailures).Inc()
+	if done != nil {
+		done(fmt.Errorf("%w: to %v after %d attempts", ErrDeliveryFailed, to, t.cfg.Attempts))
+	}
+}
+
+func (t *Transport) emit(conn PacketConn, to Addr, frame []byte) {
+	t.reg.Counter(stats.MetricPacketsSent).Inc()
+	t.reg.Counter(stats.MetricBytesSent).Add(int64(len(frame)))
+	_ = conn.Send(to, frame) // best-effort; retries cover transient errors
+}
+
+// receive parses one incoming frame.
+func (t *Transport) receive(conn PacketConn, from Addr, payload []byte) {
+	kind, src, msgID, body, err := decodeFrame(payload)
+	if err != nil {
+		return // not ours / corrupt: ignore
+	}
+	t.reg.Counter(stats.MetricPacketsRecv).Inc()
+	t.reg.Counter(stats.MetricBytesRecv).Add(int64(len(payload)))
+	switch kind {
+	case frameAck:
+		t.mu.Lock()
+		ch, ok := t.pending[msgID]
+		if ok {
+			delete(t.pending, msgID)
+		}
+		t.mu.Unlock()
+		if ok {
+			close(ch)
+		}
+	case frameData:
+		// Always acknowledge, even duplicates: the previous ack may have
+		// been lost.
+		ack := encodeFrame(frameAck, t.local, msgID, nil)
+		t.reg.Counter(stats.MetricPacketsSent).Inc()
+		t.reg.Counter(stats.MetricBytesSent).Add(int64(len(ack)))
+		_ = conn.Send(from, ack)
+
+		t.mu.Lock()
+		win, ok := t.dedup[src]
+		if !ok {
+			win = newDedupWindow(t.cfg.DedupWindow)
+			t.dedup[src] = win
+		}
+		fresh := win.observe(msgID)
+		h := t.handler
+		t.mu.Unlock()
+		if fresh && h != nil {
+			h(src, body)
+		}
+	}
+}
+
+// Close shuts the transport down. In-flight sends complete with ErrClosed
+// or their natural outcome.
+func (t *Transport) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	t.mu.Unlock()
+	// Release all send loops promptly; they report ErrClosed.
+	close(t.closedCh)
+	t.wg.Wait()
+	var first error
+	for _, c := range t.conns {
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// --- frame codec ---
+//
+//	byte 0     magic 0xC7
+//	byte 1     frame kind (1 data, 2 ack)
+//	bytes 2-5  src NodeID (LE)
+//	bytes 6-13 msgID (LE)
+//	bytes 14.. payload (data frames only)
+
+const frameMagic = 0xC7
+
+type frameKind byte
+
+const (
+	frameData frameKind = 1
+	frameAck  frameKind = 2
+)
+
+const frameHeaderLen = 14
+
+func encodeFrame(kind frameKind, src wire.NodeID, msgID uint64, payload []byte) []byte {
+	b := make([]byte, frameHeaderLen, frameHeaderLen+len(payload))
+	b[0] = frameMagic
+	b[1] = byte(kind)
+	binary.LittleEndian.PutUint32(b[2:], uint32(src))
+	binary.LittleEndian.PutUint64(b[6:], msgID)
+	return append(b, payload...)
+}
+
+func decodeFrame(b []byte) (frameKind, wire.NodeID, uint64, []byte, error) {
+	if len(b) < frameHeaderLen {
+		return 0, 0, 0, nil, errors.New("transport: short frame")
+	}
+	if b[0] != frameMagic {
+		return 0, 0, 0, nil, errors.New("transport: bad magic")
+	}
+	kind := frameKind(b[1])
+	if kind != frameData && kind != frameAck {
+		return 0, 0, 0, nil, errors.New("transport: bad frame kind")
+	}
+	src := wire.NodeID(binary.LittleEndian.Uint32(b[2:]))
+	msgID := binary.LittleEndian.Uint64(b[6:])
+	return kind, src, msgID, b[frameHeaderLen:], nil
+}
+
+// dedupWindow suppresses duplicate msgIDs per sender. IDs are assigned from
+// a per-sender counter, so "msgID <= maxSeen-window" identifies stale
+// retransmissions even after the explicit set is pruned.
+type dedupWindow struct {
+	window  uint64
+	maxSeen uint64
+	seen    map[uint64]struct{}
+}
+
+func newDedupWindow(window int) *dedupWindow {
+	return &dedupWindow{window: uint64(window), seen: make(map[uint64]struct{})}
+}
+
+// observe reports whether msgID is fresh, recording it.
+func (w *dedupWindow) observe(msgID uint64) bool {
+	if msgID+w.window <= w.maxSeen {
+		return false // far older than anything we track: duplicate
+	}
+	if _, dup := w.seen[msgID]; dup {
+		return false
+	}
+	w.seen[msgID] = struct{}{}
+	if msgID > w.maxSeen {
+		w.maxSeen = msgID
+	}
+	// Prune entries that fell out of the window.
+	if uint64(len(w.seen)) > 2*w.window {
+		for id := range w.seen {
+			if id+w.window <= w.maxSeen {
+				delete(w.seen, id)
+			}
+		}
+	}
+	return true
+}

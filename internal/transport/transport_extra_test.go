@@ -1,0 +1,187 @@
+package transport
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/simnet"
+	"repro/internal/wire"
+)
+
+func TestZeroLengthPayload(t *testing.T) {
+	ta, tb, _ := pair(t, simnet.Profile{}, DefaultConfig())
+	got := make(chan int, 1)
+	tb.SetHandler(func(_ wire.NodeID, p []byte) { got <- len(p) })
+	if err := ta.SendSync(2, nil); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case n := <-got:
+		if n != 0 {
+			t.Fatalf("payload length = %d, want 0", n)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("empty payload never delivered")
+	}
+}
+
+func TestLargePayload(t *testing.T) {
+	ta, tb, _ := pair(t, simnet.Profile{}, DefaultConfig())
+	want := make([]byte, 48*1024)
+	for i := range want {
+		want[i] = byte(i)
+	}
+	got := make(chan []byte, 1)
+	tb.SetHandler(func(_ wire.NodeID, p []byte) { got <- p })
+	if err := ta.SendSync(2, want); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case p := <-got:
+		if len(p) != len(want) {
+			t.Fatalf("payload length = %d, want %d", len(p), len(want))
+		}
+		for i := range p {
+			if p[i] != want[i] {
+				t.Fatalf("payload corrupted at %d", i)
+			}
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("large payload never delivered")
+	}
+}
+
+func TestSendPayloadIsolated(t *testing.T) {
+	ta, tb, _ := pair(t, simnet.Profile{}, DefaultConfig())
+	got := make(chan string, 1)
+	tb.SetHandler(func(_ wire.NodeID, p []byte) { got <- string(p) })
+	buf := []byte("abc")
+	done := make(chan error, 1)
+	ta.Send(2, buf, func(err error) { done <- err })
+	buf[0] = 'X' // mutate immediately after the async call
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case p := <-got:
+		if p != "abc" {
+			t.Fatalf("payload = %q, want isolation from caller buffer", p)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no delivery")
+	}
+}
+
+func TestConcurrentSetPeerAndSend(t *testing.T) {
+	ta, tb, _ := pair(t, simnet.Profile{}, DefaultConfig())
+	tb.SetHandler(func(wire.NodeID, []byte) {})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				ta.SetPeer(2, []Addr{"b"})
+				_ = ta.SendSync(2, []byte{1})
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestPeersListing(t *testing.T) {
+	ta, _, _ := pair(t, simnet.Profile{}, DefaultConfig())
+	ta.SetPeer(7, []Addr{"x", "y"})
+	found := false
+	for _, id := range ta.Peers() {
+		if id == 7 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("peer 7 not listed")
+	}
+	if got := ta.Peer(7); len(got) != 2 || got[0] != "x" {
+		t.Fatalf("Peer(7) = %v", got)
+	}
+}
+
+func TestNilDoneCallback(t *testing.T) {
+	ta, tb, _ := pair(t, simnet.Profile{}, DefaultConfig())
+	delivered := make(chan struct{}, 1)
+	tb.SetHandler(func(wire.NodeID, []byte) {
+		select {
+		case delivered <- struct{}{}:
+		default:
+		}
+	})
+	ta.Send(2, []byte("fire and forget"), nil) // must not panic
+	select {
+	case <-delivered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("fire-and-forget send not delivered")
+	}
+}
+
+func TestCloseDuringInflightSends(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.AckTimeout = 50 * time.Millisecond
+	cfg.Attempts = 10
+	ta, _, n := pair(t, simnet.Profile{}, cfg)
+	n.SetNodeDown("b", true) // sends will retry until close
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs <- ta.SendSync(2, []byte{1})
+		}()
+	}
+	time.Sleep(20 * time.Millisecond)
+	ta.Close()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err == nil {
+			t.Fatal("send to a dead peer succeeded")
+		}
+		if !errors.Is(err, ErrDeliveryFailed) && !errors.Is(err, ErrClosed) && err.Error() == "" {
+			t.Fatalf("unexpected error %v", err)
+		}
+	}
+}
+
+func TestAckFromUnexpectedSourceIgnored(t *testing.T) {
+	// A stray ack frame for an unknown msgID must not panic or corrupt
+	// state.
+	n := simnet.New(simnet.Options{})
+	defer n.Close()
+	ta := New(1, []PacketConn{NewSimConn(n.MustEndpoint("a"))}, nil, nil, DefaultConfig())
+	defer ta.Close()
+	stray := n.MustEndpoint("stranger")
+	frame := encodeFrame(frameAck, 99, 424242, nil)
+	if err := stray.Send("a", frame); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(10 * time.Millisecond) // nothing to assert beyond no panic
+}
+
+func TestGarbageFramesIgnored(t *testing.T) {
+	n := simnet.New(simnet.Options{})
+	defer n.Close()
+	ta := New(1, []PacketConn{NewSimConn(n.MustEndpoint("a"))}, nil, nil, DefaultConfig())
+	defer ta.Close()
+	handled := false
+	ta.SetHandler(func(wire.NodeID, []byte) { handled = true })
+	stray := n.MustEndpoint("g")
+	for _, payload := range [][]byte{nil, {1}, []byte("not a frame"), make([]byte, 100)} {
+		stray.Send("a", payload)
+	}
+	time.Sleep(10 * time.Millisecond)
+	if handled {
+		t.Fatal("garbage frame reached the handler")
+	}
+}

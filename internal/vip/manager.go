@@ -1,0 +1,243 @@
+package vip
+
+import (
+	"context"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dds"
+	"repro/internal/wire"
+)
+
+// Manager runs on every cluster member. The assignment of virtual IPs to
+// members is shared through the Raincore Distributed Data Service, the
+// cluster master lock serializes reassignment (§3.1), and each member
+// claims its assigned VIPs by sending gratuitous ARP on the subnet.
+type Manager struct {
+	svc    *dds.Service
+	id     core.NodeID
+	subnet *Subnet
+	pool   []IP
+	macOf  func(core.NodeID) MAC
+
+	owned map[IP]bool
+	memCh chan []core.NodeID
+	done  chan struct{}
+}
+
+// keyFor names the replicated-map key of a virtual IP's assignment.
+func keyFor(ip IP) string { return "vip/" + string(ip) }
+
+// NewManager builds a manager over an attached data service. All members
+// must configure the same pool. macOf maps a member to its (fixed) MAC.
+func NewManager(svc *dds.Service, subnet *Subnet, pool []IP, macOf func(core.NodeID) MAC) *Manager {
+	m := &Manager{
+		svc:    svc,
+		id:     svc.Node().ID(),
+		subnet: subnet,
+		pool:   append([]IP(nil), pool...),
+		macOf:  macOf,
+		owned:  make(map[IP]bool),
+		memCh:  make(chan []core.NodeID, 64),
+		done:   make(chan struct{}),
+	}
+	sort.Slice(m.pool, func(i, j int) bool { return m.pool[i] < m.pool[j] })
+	return m
+}
+
+// Start subscribes the manager to cluster events. Call before the node
+// starts, chained through the data service's app handlers.
+func (m *Manager) Start(app core.Handlers) {
+	inner := app
+	m.svc.SetAppHandlers(core.Handlers{
+		OnDeliver: inner.OnDeliver,
+		OnSys:     inner.OnSys,
+		OnMembership: func(e core.MembershipEvent) {
+			select {
+			case m.memCh <- e.Members:
+			default:
+			}
+			if inner.OnMembership != nil {
+				inner.OnMembership(e)
+			}
+		},
+		OnShutdown: func(reason string) {
+			m.Stop()
+			if inner.OnShutdown != nil {
+				inner.OnShutdown(reason)
+			}
+		},
+	})
+	// Claim assignments as they appear in the replicated map; the watch
+	// callback runs in apply order on the node's event loop, so the
+	// gratuitous ARP fires the moment the assignment is learned.
+	m.svc.Watch(func(key string, val []byte, deleted bool) {
+		ip, ok := ipFromKey(key)
+		if !ok {
+			return
+		}
+		owner := core.NodeID(0)
+		if !deleted {
+			owner = parseOwner(val)
+		}
+		if owner == m.id {
+			// Gratuitous ARP is idempotent; advertise on every
+			// assignment event so a stale subnet binding (for example
+			// from a pre-merge singleton era) is always corrected.
+			m.owned[ip] = true
+			m.subnet.GratuitousARP(ip, m.macOf(m.id))
+		} else {
+			delete(m.owned, ip)
+		}
+	})
+	go m.loop()
+	go m.readvertise()
+}
+
+// readvertise periodically re-sends gratuitous ARP for owned VIPs, healing
+// any subnet staleness caused by reordered advertisements, and — when this
+// node is the leader — reconciles the assignment table. Reconciliation is
+// needed because during a merge, the leaders of both pre-merge sub-groups
+// each held their own group's master lock, so a stale leader's writes can
+// be ordered after the new leader's; no further membership event would
+// correct that, but this loop does.
+func (m *Manager) readvertise() {
+	ticker := time.NewTicker(200 * time.Millisecond)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-m.done:
+			return
+		case <-ticker.C:
+			for _, ip := range m.Owned() {
+				m.subnet.GratuitousARP(ip, m.macOf(m.id))
+			}
+			m.reconcile()
+		}
+	}
+}
+
+// reconcile nudges the rebalancer when the leader observes a table that
+// diverges from the desired assignment for the current membership.
+func (m *Manager) reconcile() {
+	members := m.svc.Node().Members()
+	if len(members) == 0 {
+		return
+	}
+	sorted := wire.SortedIDs(members)
+	if sorted[0] != m.id {
+		return
+	}
+	for i, ip := range m.pool {
+		want := sorted[i%len(sorted)]
+		cur, ok := m.svc.Get(keyFor(ip))
+		if !ok || parseOwner(cur) != want {
+			select {
+			case m.memCh <- members:
+			default:
+			}
+			return
+		}
+	}
+}
+
+// Stop halts the rebalancing loop.
+func (m *Manager) Stop() {
+	select {
+	case <-m.done:
+	default:
+		close(m.done)
+	}
+}
+
+// loop rebalances on membership changes. Only the group leader (lowest
+// member ID) performs the reassignment, under the cluster master lock so
+// no two nodes ever write conflicting assignments (§3.1).
+func (m *Manager) loop() {
+	for {
+		select {
+		case <-m.done:
+			return
+		case members := <-m.memCh:
+			m.rebalance(members)
+		}
+	}
+}
+
+func (m *Manager) rebalance(members []core.NodeID) {
+	if len(members) == 0 {
+		return
+	}
+	sorted := wire.SortedIDs(members)
+	if sorted[0] != m.id {
+		return // not the leader
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	node := m.svc.Node()
+	if err := node.Lock(ctx); err != nil {
+		return // membership changed again or we are shutting down
+	}
+	defer node.Unlock()
+	for i, ip := range m.pool {
+		owner := sorted[i%len(sorted)]
+		cur, ok := m.svc.Get(keyFor(ip))
+		if ok && parseOwner(cur) == owner {
+			continue // already correctly assigned
+		}
+		setCtx, setCancel := context.WithTimeout(context.Background(), 10*time.Second)
+		err := m.svc.Set(setCtx, keyFor(ip), encodeOwner(owner))
+		setCancel()
+		if err != nil {
+			return
+		}
+	}
+}
+
+// Owned lists the virtual IPs this member currently serves.
+func (m *Manager) Owned() []IP {
+	// The owned map is only mutated from the node's event loop (watch
+	// callback); reads race benignly for diagnostics, but we serialize
+	// through the replicated map for correctness.
+	var out []IP
+	for _, ip := range m.pool {
+		if v, ok := m.svc.Get(keyFor(ip)); ok && parseOwner(v) == m.id {
+			out = append(out, ip)
+		}
+	}
+	return out
+}
+
+// Assignments snapshots the full VIP table from the local replica.
+func (m *Manager) Assignments() map[IP]core.NodeID {
+	out := make(map[IP]core.NodeID, len(m.pool))
+	for _, ip := range m.pool {
+		if v, ok := m.svc.Get(keyFor(ip)); ok {
+			out[ip] = parseOwner(v)
+		}
+	}
+	return out
+}
+
+// Pool returns the configured pool.
+func (m *Manager) Pool() []IP { return append([]IP(nil), m.pool...) }
+
+func ipFromKey(key string) (IP, bool) {
+	if !strings.HasPrefix(key, "vip/") {
+		return "", false
+	}
+	return IP(strings.TrimPrefix(key, "vip/")), true
+}
+
+func encodeOwner(id core.NodeID) []byte {
+	return []byte{byte(id), byte(id >> 8), byte(id >> 16), byte(id >> 24)}
+}
+
+func parseOwner(b []byte) core.NodeID {
+	if len(b) < 4 {
+		return 0
+	}
+	return core.NodeID(uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24)
+}

@@ -1,0 +1,76 @@
+// Package vip implements the Virtual IP manager of §3.1: a pool of highly
+// available virtual IPs is mutually exclusively assigned to cluster
+// members; on failures the Raincore session service detects the dead node
+// and the manager promptly moves its virtual IPs to healthy members,
+// refreshing the subnet's ARP caches with gratuitous ARP. MAC addresses
+// never move — only the IP-to-MAC bindings change.
+package vip
+
+import (
+	"sync"
+	"time"
+)
+
+// MAC is a hardware address (never moves between nodes, §3.1).
+type MAC string
+
+// IP is a virtual IP address from the managed pool.
+type IP string
+
+// ARPEvent records one gratuitous ARP on the subnet, for diagnostics and
+// fail-over measurements.
+type ARPEvent struct {
+	IP   IP
+	MAC  MAC
+	Time time.Time
+}
+
+// Subnet simulates the L2 segment the cluster and its neighbors share: an
+// ARP cache mapping virtual IPs to MACs, refreshed by gratuitous ARP
+// exactly as the paper describes. Neighboring routers and clients resolve
+// a virtual IP through Lookup; traffic for an unmapped or stale IP is lost
+// until the next gratuitous ARP.
+type Subnet struct {
+	mu  sync.Mutex
+	arp map[IP]MAC
+	log []ARPEvent
+}
+
+// NewSubnet returns an empty subnet.
+func NewSubnet() *Subnet {
+	return &Subnet{arp: make(map[IP]MAC)}
+}
+
+// GratuitousARP rebinds ip to mac on every neighbor's ARP cache.
+func (s *Subnet) GratuitousARP(ip IP, mac MAC) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.arp[ip] = mac
+	s.log = append(s.log, ARPEvent{IP: ip, MAC: mac, Time: time.Now()})
+}
+
+// Lookup resolves a virtual IP to the MAC currently bound to it.
+func (s *Subnet) Lookup(ip IP) (MAC, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	mac, ok := s.arp[ip]
+	return mac, ok
+}
+
+// Bindings snapshots the ARP cache.
+func (s *Subnet) Bindings() map[IP]MAC {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[IP]MAC, len(s.arp))
+	for ip, mac := range s.arp {
+		out[ip] = mac
+	}
+	return out
+}
+
+// Events returns the gratuitous-ARP history.
+func (s *Subnet) Events() []ARPEvent {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]ARPEvent(nil), s.log...)
+}

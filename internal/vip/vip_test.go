@@ -1,0 +1,231 @@
+package vip
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dds"
+	"repro/internal/wire"
+)
+
+// vipCluster is a full stack: session cluster + dds + vip managers + subnet.
+type vipCluster struct {
+	tc       *core.TestCluster
+	subnet   *Subnet
+	managers map[core.NodeID]*Manager
+	pool     []IP
+}
+
+func macFor(id core.NodeID) MAC { return MAC(fmt.Sprintf("02:00:00:00:00:%02x", uint32(id))) }
+
+func startVIP(t *testing.T, n, vips int) *vipCluster {
+	t.Helper()
+	tc, err := core.NewTestCluster(core.ClusterOptions{N: n, DeferStart: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(tc.Close)
+	vc := &vipCluster{tc: tc, subnet: NewSubnet(), managers: make(map[core.NodeID]*Manager)}
+	for i := 0; i < vips; i++ {
+		vc.pool = append(vc.pool, IP(fmt.Sprintf("10.0.0.%d", 100+i)))
+	}
+	for id, node := range tc.Nodes {
+		svc := dds.New(node)
+		mgr := NewManager(svc, vc.subnet, vc.pool, macFor)
+		mgr.Start(core.Handlers{})
+		vc.managers[id] = mgr
+	}
+	tc.StartAll()
+	if err := tc.WaitAssembled(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	return vc
+}
+
+// waitAllBound waits until every pool VIP resolves on the subnet to the
+// MAC of a member in want.
+func (vc *vipCluster) waitAllBound(t *testing.T, timeout time.Duration, want ...core.NodeID) {
+	t.Helper()
+	valid := map[MAC]bool{}
+	for _, id := range want {
+		valid[macFor(id)] = true
+	}
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		ok := true
+		for _, ip := range vc.pool {
+			mac, bound := vc.subnet.Lookup(ip)
+			if !bound || !valid[mac] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("VIPs not bound to %v within %v: %v", want, timeout, vc.subnet.Bindings())
+}
+
+// waitConsistentAssignments waits until every live manager's replica shows
+// the final deterministic assignment: pool[i] owned by sorted(want)[i %
+// len(want)], identical on all listed nodes. (The leader's rebalances are
+// asynchronous, so intermediate tables from smaller views are expected.)
+func (vc *vipCluster) waitConsistentAssignments(t *testing.T, timeout time.Duration, want ...core.NodeID) {
+	t.Helper()
+	sorted := wire.SortedIDs(want)
+	expect := map[IP]core.NodeID{}
+	pool := append([]IP(nil), vc.pool...)
+	sortIPs(pool)
+	for i, ip := range pool {
+		expect[ip] = sorted[i%len(sorted)]
+	}
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		ok := true
+		for _, id := range want {
+			got := vc.managers[id].Assignments()
+			for ip, owner := range expect {
+				if got[ip] != owner {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				break
+			}
+		}
+		if ok {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	for _, id := range want {
+		t.Logf("node %v assignments: %v", id, vc.managers[id].Assignments())
+	}
+	t.Fatalf("assignments did not converge to %v within %v", expect, timeout)
+}
+
+func sortIPs(ips []IP) {
+	for i := 1; i < len(ips); i++ {
+		for j := i; j > 0 && ips[j] < ips[j-1]; j-- {
+			ips[j], ips[j-1] = ips[j-1], ips[j]
+		}
+	}
+}
+
+func TestAllVIPsAssignedAndAdvertised(t *testing.T) {
+	vc := startVIP(t, 3, 6)
+	vc.waitConsistentAssignments(t, 10*time.Second, 1, 2, 3)
+	vc.waitAllBound(t, 10*time.Second, 1, 2, 3)
+	// Assignment is balanced: 6 VIPs over 3 nodes = 2 each.
+	counts := map[core.NodeID]int{}
+	for _, owner := range vc.managers[1].Assignments() {
+		counts[owner]++
+	}
+	for id, c := range counts {
+		if c != 2 {
+			t.Fatalf("node %v owns %d VIPs, want 2 (%v)", id, c, vc.managers[1].Assignments())
+		}
+	}
+}
+
+func TestAssignmentsMutuallyExclusive(t *testing.T) {
+	vc := startVIP(t, 3, 5)
+	vc.waitAllBound(t, 10*time.Second, 1, 2, 3)
+	// Each VIP has exactly one owner in the replicated table on every node.
+	for _, id := range vc.tc.IDs {
+		asn := vc.managers[id].Assignments()
+		if len(asn) != 5 {
+			t.Fatalf("node %v sees %d assignments, want 5", id, len(asn))
+		}
+	}
+}
+
+func TestFailoverMovesVIPs(t *testing.T) {
+	vc := startVIP(t, 3, 6)
+	vc.waitConsistentAssignments(t, 10*time.Second, 1, 2, 3)
+	vc.waitAllBound(t, 10*time.Second, 1, 2, 3)
+	// With 6 VIPs balanced over 3 nodes, the victim owns 2.
+	before := 0
+	for _, owner := range vc.managers[1].Assignments() {
+		if owner == 3 {
+			before++
+		}
+	}
+	if before == 0 {
+		t.Fatal("victim owns no VIPs; test cannot exercise failover")
+	}
+	vc.tc.Net.SetNodeDown(core.Addr(3), true)
+	// All VIPs must land on the survivors.
+	vc.waitAllBound(t, 15*time.Second, 1, 2)
+}
+
+func TestVIPsNeverDisappear(t *testing.T) {
+	// Kill nodes one at a time down to a single survivor: the paper's
+	// promise is that the virtual IPs remain available as long as one
+	// physical node is up (§3.1).
+	vc := startVIP(t, 3, 4)
+	vc.waitAllBound(t, 10*time.Second, 1, 2, 3)
+	vc.tc.Net.SetNodeDown(core.Addr(3), true)
+	vc.waitAllBound(t, 15*time.Second, 1, 2)
+	vc.tc.Net.SetNodeDown(core.Addr(2), true)
+	vc.waitAllBound(t, 15*time.Second, 1)
+}
+
+func TestLeaderFailover(t *testing.T) {
+	// Killing the leader (lowest ID) hands reassignment to the next one.
+	vc := startVIP(t, 3, 3)
+	vc.waitAllBound(t, 10*time.Second, 1, 2, 3)
+	vc.tc.Net.SetNodeDown(core.Addr(1), true)
+	vc.waitAllBound(t, 15*time.Second, 2, 3)
+}
+
+func TestMACsNeverMove(t *testing.T) {
+	vc := startVIP(t, 2, 4)
+	vc.waitAllBound(t, 10*time.Second, 1, 2)
+	vc.tc.Net.SetNodeDown(core.Addr(2), true)
+	vc.waitAllBound(t, 15*time.Second, 1)
+	// Every gratuitous ARP ever sent used a member's fixed MAC.
+	valid := map[MAC]bool{macFor(1): true, macFor(2): true}
+	for _, e := range vc.subnet.Events() {
+		if !valid[e.MAC] {
+			t.Fatalf("gratuitous ARP with unknown MAC %s", e.MAC)
+		}
+	}
+}
+
+func TestOwnedReflectsAssignment(t *testing.T) {
+	vc := startVIP(t, 2, 4)
+	vc.waitConsistentAssignments(t, 10*time.Second, 1, 2)
+	total := 0
+	for _, id := range vc.tc.IDs {
+		total += len(vc.managers[id].Owned())
+	}
+	if total != 4 {
+		t.Fatalf("sum of Owned() = %d, want 4", total)
+	}
+}
+
+func TestSubnetBasics(t *testing.T) {
+	s := NewSubnet()
+	if _, ok := s.Lookup("10.0.0.1"); ok {
+		t.Fatal("empty subnet resolved an IP")
+	}
+	s.GratuitousARP("10.0.0.1", "02:00:00:00:00:01")
+	mac, ok := s.Lookup("10.0.0.1")
+	if !ok || mac != "02:00:00:00:00:01" {
+		t.Fatalf("lookup = %v %v", mac, ok)
+	}
+	s.GratuitousARP("10.0.0.1", "02:00:00:00:00:02")
+	mac, _ = s.Lookup("10.0.0.1")
+	if mac != "02:00:00:00:00:02" {
+		t.Fatal("gratuitous ARP did not rebind")
+	}
+	if len(s.Events()) != 2 {
+		t.Fatalf("events = %d, want 2", len(s.Events()))
+	}
+}

@@ -1,0 +1,404 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Codec format: every session message is
+//
+//	byte 0      version (currently 1)
+//	byte 1      Kind
+//	bytes 2..   kind-specific body, little-endian fixed-width integers,
+//	            byte slices length-prefixed with uint32
+//
+// The format is versioned so a rolling-upgraded cluster can reject frames
+// it does not understand instead of misparsing them.
+
+// Version is the wire format version emitted by this package.
+const Version = 1
+
+// Limits protect against corrupt or hostile frames.
+const (
+	// MaxMembers bounds the membership list in a token.
+	MaxMembers = 1 << 12
+	// MaxMessages bounds piggybacked messages per token.
+	MaxMessages = 1 << 16
+	// MaxPayload bounds one multicast payload.
+	MaxPayload = 1 << 24
+)
+
+// Decode errors.
+var (
+	ErrTruncated  = errors.New("wire: truncated message")
+	ErrBadVersion = errors.New("wire: unsupported version")
+	ErrBadKind    = errors.New("wire: unknown message kind")
+	ErrTooLarge   = errors.New("wire: field exceeds limit")
+	ErrTrailing   = errors.New("wire: trailing bytes after message")
+)
+
+// Envelope is a decoded session message: exactly one of the pointer fields
+// is non-nil, matching Kind.
+type Envelope struct {
+	Kind     Kind
+	Token    *Token
+	M911     *Msg911
+	M911R    *Msg911Reply
+	Bodyodor *Bodyodor
+	Forward  *Forward
+}
+
+// EncodeToken serializes a TOKEN message.
+func EncodeToken(t *Token) []byte {
+	// Pre-size: header + fixed fields + members + messages.
+	n := 2 + 8 + 8 + 1 + 4 + 4*len(t.Members) + 4
+	for _, m := range t.Msgs {
+		n += msgEncodedSize(&m)
+	}
+	b := make([]byte, 0, n)
+	b = append(b, Version, byte(KindToken))
+	b = appendU64(b, t.Epoch)
+	b = appendU64(b, t.Seq)
+	b = append(b, boolByte(t.TBM))
+	b = appendU32(b, uint32(len(t.Members)))
+	for _, m := range t.Members {
+		b = appendU32(b, uint32(m))
+	}
+	b = appendU32(b, uint32(len(t.Msgs)))
+	for i := range t.Msgs {
+		b = appendMessage(b, &t.Msgs[i])
+	}
+	return b
+}
+
+// Encode911 serializes a 911 request.
+func Encode911(m *Msg911) []byte {
+	b := make([]byte, 0, 2+4+8+8+8)
+	b = append(b, Version, byte(Kind911))
+	b = appendU32(b, uint32(m.From))
+	b = appendU64(b, m.Epoch)
+	b = appendU64(b, m.Seq)
+	b = appendU64(b, m.ReqID)
+	return b
+}
+
+// Encode911Reply serializes a 911 reply.
+func Encode911Reply(m *Msg911Reply) []byte {
+	b := make([]byte, 0, 2+4+8+2+8+8)
+	b = append(b, Version, byte(Kind911Reply))
+	b = appendU32(b, uint32(m.From))
+	b = appendU64(b, m.ReqID)
+	b = append(b, boolByte(m.Grant), boolByte(m.JoinPending))
+	b = appendU64(b, m.Epoch)
+	b = appendU64(b, m.Seq)
+	return b
+}
+
+// EncodeBodyodor serializes a discovery beacon.
+func EncodeBodyodor(m *Bodyodor) []byte {
+	b := make([]byte, 0, 2+4+4+8)
+	b = append(b, Version, byte(KindBodyodor))
+	b = appendU32(b, uint32(m.From))
+	b = appendU32(b, uint32(m.GroupID))
+	b = appendU64(b, m.Epoch)
+	return b
+}
+
+// EncodeForward serializes an open-group forward.
+func EncodeForward(m *Forward) []byte {
+	b := make([]byte, 0, 2+4+1+4+len(m.Payload))
+	b = append(b, Version, byte(KindForward))
+	b = appendU32(b, uint32(m.From))
+	b = append(b, boolByte(m.Safe))
+	b = appendBytes(b, m.Payload)
+	return b
+}
+
+// Decode parses a session message. It validates the version, kind, bounds
+// and exact length.
+func Decode(b []byte) (*Envelope, error) {
+	if len(b) < 2 {
+		return nil, ErrTruncated
+	}
+	if b[0] != Version {
+		return nil, fmt.Errorf("%w: got %d want %d", ErrBadVersion, b[0], Version)
+	}
+	kind := Kind(b[1])
+	r := reader{buf: b[2:]}
+	env := &Envelope{Kind: kind}
+	var err error
+	switch kind {
+	case KindToken:
+		env.Token, err = decodeToken(&r)
+	case Kind911:
+		env.M911, err = decode911(&r)
+	case Kind911Reply:
+		env.M911R, err = decode911Reply(&r)
+	case KindBodyodor:
+		env.Bodyodor, err = decodeBodyodor(&r)
+	case KindForward:
+		env.Forward, err = decodeForward(&r)
+	default:
+		return nil, fmt.Errorf("%w: %d", ErrBadKind, uint8(kind))
+	}
+	if err != nil {
+		return nil, err
+	}
+	if len(r.buf) != 0 {
+		return nil, fmt.Errorf("%w: %d bytes", ErrTrailing, len(r.buf))
+	}
+	return env, nil
+}
+
+func decodeToken(r *reader) (*Token, error) {
+	t := &Token{}
+	var err error
+	if t.Epoch, err = r.u64(); err != nil {
+		return nil, err
+	}
+	if t.Seq, err = r.u64(); err != nil {
+		return nil, err
+	}
+	tbm, err := r.u8()
+	if err != nil {
+		return nil, err
+	}
+	t.TBM = tbm != 0
+	nm, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if nm > MaxMembers {
+		return nil, fmt.Errorf("%w: %d members", ErrTooLarge, nm)
+	}
+	t.Members = make([]NodeID, nm)
+	for i := range t.Members {
+		v, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		t.Members[i] = NodeID(v)
+	}
+	nmsg, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if nmsg > MaxMessages {
+		return nil, fmt.Errorf("%w: %d messages", ErrTooLarge, nmsg)
+	}
+	t.Msgs = make([]Message, nmsg)
+	for i := range t.Msgs {
+		if err := decodeMessage(r, &t.Msgs[i]); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+func decode911(r *reader) (*Msg911, error) {
+	m := &Msg911{}
+	from, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	m.From = NodeID(from)
+	if m.Epoch, err = r.u64(); err != nil {
+		return nil, err
+	}
+	if m.Seq, err = r.u64(); err != nil {
+		return nil, err
+	}
+	if m.ReqID, err = r.u64(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func decode911Reply(r *reader) (*Msg911Reply, error) {
+	m := &Msg911Reply{}
+	from, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	m.From = NodeID(from)
+	if m.ReqID, err = r.u64(); err != nil {
+		return nil, err
+	}
+	g, err := r.u8()
+	if err != nil {
+		return nil, err
+	}
+	jp, err := r.u8()
+	if err != nil {
+		return nil, err
+	}
+	m.Grant, m.JoinPending = g != 0, jp != 0
+	if m.Epoch, err = r.u64(); err != nil {
+		return nil, err
+	}
+	if m.Seq, err = r.u64(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func decodeBodyodor(r *reader) (*Bodyodor, error) {
+	m := &Bodyodor{}
+	from, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	gid, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	m.From, m.GroupID = NodeID(from), NodeID(gid)
+	if m.Epoch, err = r.u64(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func decodeForward(r *reader) (*Forward, error) {
+	m := &Forward{}
+	from, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	m.From = NodeID(from)
+	safe, err := r.u8()
+	if err != nil {
+		return nil, err
+	}
+	m.Safe = safe != 0
+	if m.Payload, err = r.bytes(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func msgEncodedSize(m *Message) int {
+	return 4 + 8 + 1 + 4 + 1 + 1 + 2 + 4 + len(m.Payload)
+}
+
+func appendMessage(b []byte, m *Message) []byte {
+	b = appendU32(b, uint32(m.Origin))
+	b = appendU64(b, m.Seq)
+	b = append(b, byte(m.Sys))
+	b = appendU32(b, uint32(m.Subject))
+	b = append(b, boolByte(m.Safe), byte(m.Phase))
+	b = appendU16(b, m.Visited)
+	b = appendBytes(b, m.Payload)
+	return b
+}
+
+func decodeMessage(r *reader, m *Message) error {
+	origin, err := r.u32()
+	if err != nil {
+		return err
+	}
+	m.Origin = NodeID(origin)
+	if m.Seq, err = r.u64(); err != nil {
+		return err
+	}
+	sys, err := r.u8()
+	if err != nil {
+		return err
+	}
+	m.Sys = SysKind(sys)
+	subject, err := r.u32()
+	if err != nil {
+		return err
+	}
+	m.Subject = NodeID(subject)
+	safe, err := r.u8()
+	if err != nil {
+		return err
+	}
+	m.Safe = safe != 0
+	phase, err := r.u8()
+	if err != nil {
+		return err
+	}
+	m.Phase = Phase(phase)
+	if m.Visited, err = r.u16(); err != nil {
+		return err
+	}
+	if m.Payload, err = r.bytes(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// --- primitive append/read helpers ---
+
+func boolByte(b bool) byte {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func appendU16(b []byte, v uint16) []byte { return binary.LittleEndian.AppendUint16(b, v) }
+func appendU32(b []byte, v uint32) []byte { return binary.LittleEndian.AppendUint32(b, v) }
+func appendU64(b []byte, v uint64) []byte { return binary.LittleEndian.AppendUint64(b, v) }
+
+func appendBytes(b, p []byte) []byte {
+	b = appendU32(b, uint32(len(p)))
+	return append(b, p...)
+}
+
+type reader struct{ buf []byte }
+
+func (r *reader) u8() (byte, error) {
+	if len(r.buf) < 1 {
+		return 0, ErrTruncated
+	}
+	v := r.buf[0]
+	r.buf = r.buf[1:]
+	return v, nil
+}
+
+func (r *reader) u16() (uint16, error) {
+	if len(r.buf) < 2 {
+		return 0, ErrTruncated
+	}
+	v := binary.LittleEndian.Uint16(r.buf)
+	r.buf = r.buf[2:]
+	return v, nil
+}
+
+func (r *reader) u32() (uint32, error) {
+	if len(r.buf) < 4 {
+		return 0, ErrTruncated
+	}
+	v := binary.LittleEndian.Uint32(r.buf)
+	r.buf = r.buf[4:]
+	return v, nil
+}
+
+func (r *reader) u64() (uint64, error) {
+	if len(r.buf) < 8 {
+		return 0, ErrTruncated
+	}
+	v := binary.LittleEndian.Uint64(r.buf)
+	r.buf = r.buf[8:]
+	return v, nil
+}
+
+func (r *reader) bytes() ([]byte, error) {
+	n, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if n > MaxPayload {
+		return nil, fmt.Errorf("%w: %d byte payload", ErrTooLarge, n)
+	}
+	if uint32(len(r.buf)) < n {
+		return nil, ErrTruncated
+	}
+	v := append([]byte(nil), r.buf[:n]...)
+	r.buf = r.buf[n:]
+	return v, nil
+}

@@ -1,0 +1,275 @@
+package wire
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestTokenRoundTrip(t *testing.T) {
+	tok := &Token{
+		Epoch:   3,
+		Seq:     1234,
+		TBM:     true,
+		Members: []NodeID{1, 5, 9},
+		Msgs: []Message{
+			{Origin: 1, Seq: 7, Sys: SysApp, Safe: true, Phase: PhaseRelease, Visited: 2, Payload: []byte("hello")},
+			{Origin: 5, Seq: 1, Sys: SysNodeRemoved, Subject: 9, Visited: 1, Payload: []byte{}},
+		},
+	}
+	env, err := Decode(EncodeToken(tok))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Kind != KindToken || env.Token == nil {
+		t.Fatalf("bad envelope: %+v", env)
+	}
+	got := env.Token
+	if got.Epoch != tok.Epoch || got.Seq != tok.Seq || got.TBM != tok.TBM {
+		t.Fatalf("header mismatch: %+v vs %+v", got, tok)
+	}
+	if !reflect.DeepEqual(got.Members, tok.Members) {
+		t.Fatalf("members = %v, want %v", got.Members, tok.Members)
+	}
+	if len(got.Msgs) != 2 {
+		t.Fatalf("msgs = %d, want 2", len(got.Msgs))
+	}
+	m := got.Msgs[0]
+	if m.Origin != 1 || m.Seq != 7 || !m.Safe || m.Phase != PhaseRelease ||
+		m.Visited != 2 || !bytes.Equal(m.Payload, []byte("hello")) {
+		t.Fatalf("msg[0] = %+v", m)
+	}
+	if got.Msgs[1].Sys != SysNodeRemoved || got.Msgs[1].Subject != 9 {
+		t.Fatalf("msg[1] = %+v", got.Msgs[1])
+	}
+}
+
+func TestEmptyTokenRoundTrip(t *testing.T) {
+	env, err := Decode(EncodeToken(&Token{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(env.Token.Members) != 0 || len(env.Token.Msgs) != 0 {
+		t.Fatalf("empty token decoded to %+v", env.Token)
+	}
+}
+
+func Test911RoundTrip(t *testing.T) {
+	in := &Msg911{From: 42, Epoch: 2, Seq: 99, ReqID: 7}
+	env, err := Decode(Encode911(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Kind != Kind911 || !reflect.DeepEqual(env.M911, in) {
+		t.Fatalf("decoded %+v, want %+v", env.M911, in)
+	}
+}
+
+func Test911ReplyRoundTrip(t *testing.T) {
+	for _, in := range []*Msg911Reply{
+		{From: 1, ReqID: 5, Grant: true, Epoch: 1, Seq: 10},
+		{From: 2, ReqID: 6, Grant: false, JoinPending: true, Epoch: 3, Seq: 0},
+	} {
+		env, err := Decode(Encode911Reply(in))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(env.M911R, in) {
+			t.Fatalf("decoded %+v, want %+v", env.M911R, in)
+		}
+	}
+}
+
+func TestBodyodorRoundTrip(t *testing.T) {
+	in := &Bodyodor{From: 9, GroupID: 3, Epoch: 4}
+	env, err := Decode(EncodeBodyodor(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(env.Bodyodor, in) {
+		t.Fatalf("decoded %+v, want %+v", env.Bodyodor, in)
+	}
+}
+
+func TestForwardRoundTrip(t *testing.T) {
+	in := &Forward{From: 11, Safe: true, Payload: []byte("outside message")}
+	env, err := Decode(EncodeForward(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Forward.From != 11 || !env.Forward.Safe ||
+		!bytes.Equal(env.Forward.Payload, in.Payload) {
+		t.Fatalf("decoded %+v, want %+v", env.Forward, in)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   []byte
+	}{
+		{"empty", nil},
+		{"one byte", []byte{Version}},
+		{"bad version", []byte{99, byte(KindToken)}},
+		{"bad kind", []byte{Version, 0}},
+		{"unknown kind", []byte{Version, 200}},
+		{"truncated token", []byte{Version, byte(KindToken), 1, 2, 3}},
+		{"truncated 911", []byte{Version, byte(Kind911), 1}},
+	}
+	for _, c := range cases {
+		if _, err := Decode(c.in); err == nil {
+			t.Errorf("%s: Decode succeeded, want error", c.name)
+		}
+	}
+}
+
+func TestDecodeTrailingBytes(t *testing.T) {
+	b := Encode911(&Msg911{From: 1})
+	b = append(b, 0xFF)
+	if _, err := Decode(b); err == nil {
+		t.Fatal("Decode with trailing bytes succeeded")
+	}
+}
+
+func TestDecodeOversizedMemberCount(t *testing.T) {
+	// Hand-craft a token frame claiming 2^20 members.
+	b := []byte{Version, byte(KindToken)}
+	b = appendU64(b, 1) // epoch
+	b = appendU64(b, 1) // seq
+	b = append(b, 0)    // tbm
+	b = appendU32(b, MaxMembers+1)
+	if _, err := Decode(b); err == nil {
+		t.Fatal("Decode accepted oversized member count")
+	}
+}
+
+func TestDecodeOversizedPayload(t *testing.T) {
+	b := []byte{Version, byte(KindForward)}
+	b = appendU32(b, 1)            // from
+	b = append(b, 0)               // safe
+	b = appendU32(b, MaxPayload+1) // claimed payload length
+	b = append(b, make([]byte, 8)...)
+	if _, err := Decode(b); err == nil {
+		t.Fatal("Decode accepted oversized payload")
+	}
+}
+
+// TestTokenRoundTripProperty drives random tokens through the codec.
+func TestTokenRoundTripProperty(t *testing.T) {
+	f := func(epoch, seq uint64, tbm bool, memberSeed int64, msgSeed int64) bool {
+		rng := rand.New(rand.NewSource(memberSeed))
+		tok := &Token{Epoch: epoch, Seq: seq, TBM: tbm}
+		for i := 0; i < rng.Intn(8); i++ {
+			tok.Members = append(tok.Members, NodeID(rng.Uint32()))
+		}
+		mrng := rand.New(rand.NewSource(msgSeed))
+		for i := 0; i < mrng.Intn(5); i++ {
+			p := make([]byte, mrng.Intn(64))
+			mrng.Read(p)
+			tok.Msgs = append(tok.Msgs, Message{
+				Origin:  NodeID(mrng.Uint32()),
+				Seq:     mrng.Uint64(),
+				Sys:     SysKind(mrng.Intn(4)),
+				Subject: NodeID(mrng.Uint32()),
+				Safe:    mrng.Intn(2) == 0,
+				Phase:   Phase(mrng.Intn(2)),
+				Visited: uint16(mrng.Intn(100)),
+				Payload: p,
+			})
+		}
+		env, err := Decode(EncodeToken(tok))
+		if err != nil {
+			return false
+		}
+		got := env.Token
+		if got.Epoch != tok.Epoch || got.Seq != tok.Seq || got.TBM != tok.TBM {
+			return false
+		}
+		if len(got.Members) != len(tok.Members) || len(got.Msgs) != len(tok.Msgs) {
+			return false
+		}
+		for i := range tok.Members {
+			if got.Members[i] != tok.Members[i] {
+				return false
+			}
+		}
+		for i := range tok.Msgs {
+			a, b := got.Msgs[i], tok.Msgs[i]
+			if a.Origin != b.Origin || a.Seq != b.Seq || a.Sys != b.Sys ||
+				a.Subject != b.Subject || a.Safe != b.Safe || a.Phase != b.Phase ||
+				a.Visited != b.Visited || !bytes.Equal(a.Payload, b.Payload) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDecodeNeverPanics feeds random garbage to Decode; it must return an
+// error or a message, never panic.
+func TestDecodeNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 5000; i++ {
+		b := make([]byte, rng.Intn(200))
+		rng.Read(b)
+		if len(b) > 0 && rng.Intn(2) == 0 {
+			b[0] = Version // exercise the per-kind decoders too
+			if len(b) > 1 {
+				b[1] = byte(1 + rng.Intn(5))
+			}
+		}
+		_, _ = Decode(b) // must not panic
+	}
+}
+
+// TestDecodeMutatedFrames flips bytes in valid frames; decoding must not
+// panic and must either fail or produce a structurally valid message.
+func TestDecodeMutatedFrames(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	base := EncodeToken(&Token{
+		Epoch:   1,
+		Seq:     5,
+		Members: []NodeID{1, 2, 3},
+		Msgs:    []Message{{Origin: 1, Seq: 1, Payload: []byte("xyz")}},
+	})
+	for i := 0; i < 2000; i++ {
+		b := append([]byte(nil), base...)
+		for k := 0; k < 1+rng.Intn(4); k++ {
+			b[rng.Intn(len(b))] ^= byte(1 + rng.Intn(255))
+		}
+		env, err := Decode(b)
+		if err == nil && env.Kind == KindToken && env.Token == nil {
+			t.Fatal("decoded token envelope with nil token")
+		}
+	}
+}
+
+func BenchmarkEncodeToken(b *testing.B) {
+	tok := &Token{Epoch: 1, Seq: 100, Members: []NodeID{1, 2, 3, 4, 5, 6, 7, 8}}
+	for i := 0; i < 16; i++ {
+		tok.Msgs = append(tok.Msgs, Message{Origin: 1, Seq: uint64(i), Payload: make([]byte, 256)})
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		EncodeToken(tok)
+	}
+}
+
+func BenchmarkDecodeToken(b *testing.B) {
+	tok := &Token{Epoch: 1, Seq: 100, Members: []NodeID{1, 2, 3, 4, 5, 6, 7, 8}}
+	for i := 0; i < 16; i++ {
+		tok.Msgs = append(tok.Msgs, Message{Origin: 1, Seq: uint64(i), Payload: make([]byte, 256)})
+	}
+	enc := EncodeToken(tok)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

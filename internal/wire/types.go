@@ -1,0 +1,291 @@
+// Package wire defines the Raincore session-layer message formats (§2.2 -
+// §2.4 of the paper) and their binary encoding. Everything that crosses the
+// network between cluster members is one of the types here, serialized with
+// the codec in codec.go and carried inside a Raincore Transport frame.
+package wire
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NodeID identifies a cluster member. The paper uses the lowest node ID in
+// the current membership as the group ID (§2.4), so IDs must be totally
+// ordered; we use uint32.
+type NodeID uint32
+
+// NoNode is the zero NodeID, never a valid member.
+const NoNode NodeID = 0
+
+// String renders a NodeID as "n<id>".
+func (id NodeID) String() string { return fmt.Sprintf("n%d", id) }
+
+// Kind discriminates session-layer messages.
+type Kind uint8
+
+const (
+	// KindToken is the TOKEN: authoritative membership, sequence number
+	// and piggybacked multicast messages (§2.2).
+	KindToken Kind = iota + 1
+	// Kind911 is the token-recovery / join request (§2.3).
+	Kind911
+	// Kind911Reply carries a grant or denial of a 911 request.
+	Kind911Reply
+	// KindBodyodor is the discovery beacon sent to eligible members that
+	// are not in the current group (§2.4).
+	KindBodyodor
+	// KindForward is an open-group message handed to one member for
+	// multicast into the group (§2.6).
+	KindForward
+)
+
+// String names the message kind.
+func (k Kind) String() string {
+	switch k {
+	case KindToken:
+		return "TOKEN"
+	case Kind911:
+		return "911"
+	case Kind911Reply:
+		return "911REPLY"
+	case KindBodyodor:
+		return "BODYODOR"
+	case KindForward:
+		return "FORWARD"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// SysKind tags system messages that the ring protocol itself multicasts so
+// that every replica observes membership changes at the same point in the
+// agreed total order (needed by the distributed lock manager, §2.7).
+type SysKind uint8
+
+const (
+	// SysApp is an ordinary application multicast.
+	SysApp SysKind = iota
+	// SysNodeRemoved announces that the origin removed a node from the
+	// membership (failure detection, §2.2).
+	SysNodeRemoved
+	// SysNodeJoined announces that the origin admitted a node (§2.3).
+	SysNodeJoined
+	// SysGroupMerged announces a completed group merge (§2.4).
+	SysGroupMerged
+)
+
+// String names the system-message kind.
+func (k SysKind) String() string {
+	switch k {
+	case SysApp:
+		return "APP"
+	case SysNodeRemoved:
+		return "NODE-REMOVED"
+	case SysNodeJoined:
+		return "NODE-JOINED"
+	case SysGroupMerged:
+		return "GROUP-MERGED"
+	default:
+		return fmt.Sprintf("SysKind(%d)", uint8(k))
+	}
+}
+
+// Phase is the delivery phase of a safely ordered message (§2.6): it rides
+// the token one round to collect receipts, then a second round to release
+// delivery.
+type Phase uint8
+
+const (
+	// PhaseCollect is the first round: members buffer the message.
+	PhaseCollect Phase = iota
+	// PhaseRelease is the second round: members deliver the buffered
+	// message, now known to be held by the entire membership.
+	PhaseRelease
+)
+
+// Message is one multicast message piggybacked on the TOKEN.
+type Message struct {
+	// Origin is the multicasting member; Seq is its per-origin sequence
+	// number. (Origin, Seq) is the message identity used for dedup.
+	Origin NodeID
+	Seq    uint64
+	// Sys distinguishes application payloads from ordered system
+	// announcements; Subject is the affected node for system messages.
+	Sys     SysKind
+	Subject NodeID
+	// Safe selects safe ordering (§2.6); Phase tracks its progress.
+	Safe  bool
+	Phase Phase
+	// Visited counts ring members that have seen the message in the
+	// current phase, including the origin. When Visited reaches the
+	// membership size the phase is complete.
+	Visited uint16
+	// Payload is the opaque application payload.
+	Payload []byte
+}
+
+// ID returns the (origin, seq) identity of the message.
+func (m Message) ID() MessageID { return MessageID{m.Origin, m.Seq} }
+
+// MessageID identifies a multicast message for dedup.
+type MessageID struct {
+	Origin NodeID
+	Seq    uint64
+}
+
+// Token is the single circulating TOKEN (§2.2). It carries the
+// authoritative group membership, a per-hop sequence number, and the
+// piggybacked multicast messages.
+type Token struct {
+	// Epoch counts token regenerations and merges; it breaks ties when a
+	// stale token copy and a regenerated token collide.
+	Epoch uint64
+	// Seq increments by one on every hop (§2.2).
+	Seq uint64
+	// Members is the ring order; Members[0] is not special, the ring is
+	// the cyclic order of this slice. The group ID (§2.4) is the lowest
+	// NodeID in Members.
+	Members []NodeID
+	// TBM marks a token sent to another group's representative To Be
+	// Merged (§2.4).
+	TBM bool
+	// Msgs are the piggybacked multicast messages in agreed total order.
+	Msgs []Message
+}
+
+// GroupID returns the group identifier: the lowest member ID, or NoNode for
+// an empty membership (§2.4).
+func (t *Token) GroupID() NodeID {
+	g := NoNode
+	for _, m := range t.Members {
+		if g == NoNode || m < g {
+			g = m
+		}
+	}
+	return g
+}
+
+// HasMember reports whether id is in the token's membership.
+func (t *Token) HasMember(id NodeID) bool {
+	for _, m := range t.Members {
+		if m == id {
+			return true
+		}
+	}
+	return false
+}
+
+// Successor returns the member after id in ring order. It returns id itself
+// for a singleton ring and NoNode if id is not a member.
+func (t *Token) Successor(id NodeID) NodeID {
+	for i, m := range t.Members {
+		if m == id {
+			return t.Members[(i+1)%len(t.Members)]
+		}
+	}
+	return NoNode
+}
+
+// RemoveMember deletes id from the membership, preserving ring order. It
+// reports whether the member was present.
+func (t *Token) RemoveMember(id NodeID) bool {
+	for i, m := range t.Members {
+		if m == id {
+			t.Members = append(t.Members[:i], t.Members[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// InsertAfter inserts newID immediately after anchor in ring order. If
+// anchor is absent the new member is appended. Inserting an existing member
+// is a no-op. This implements the paper's re-join placement where the ring
+// ABCD becomes ACBD after C admits B (§2.3).
+func (t *Token) InsertAfter(anchor, newID NodeID) {
+	if t.HasMember(newID) {
+		return
+	}
+	for i, m := range t.Members {
+		if m == anchor {
+			t.Members = append(t.Members, NoNode)
+			copy(t.Members[i+2:], t.Members[i+1:])
+			t.Members[i+1] = newID
+			return
+		}
+	}
+	t.Members = append(t.Members, newID)
+}
+
+// Clone deep-copies the token, including messages; the local copy each node
+// retains for 911 recovery (§2.3) must not alias live token state.
+func (t *Token) Clone() *Token {
+	c := &Token{Epoch: t.Epoch, Seq: t.Seq, TBM: t.TBM}
+	c.Members = append([]NodeID(nil), t.Members...)
+	c.Msgs = make([]Message, len(t.Msgs))
+	for i, m := range t.Msgs {
+		c.Msgs[i] = m
+		c.Msgs[i].Payload = append([]byte(nil), m.Payload...)
+	}
+	return c
+}
+
+// Fresher reports whether token copy a is strictly fresher than b, ordering
+// by (Epoch, Seq).
+func Fresher(aEpoch, aSeq, bEpoch, bSeq uint64) bool {
+	if aEpoch != bEpoch {
+		return aEpoch > bEpoch
+	}
+	return aSeq > bSeq
+}
+
+// Msg911 requests the right to regenerate the TOKEN, or, when sent by a
+// non-member, requests admission to the group (§2.3).
+type Msg911 struct {
+	// From is the requester; Epoch/Seq identify its freshest token copy.
+	From  NodeID
+	Epoch uint64
+	Seq   uint64
+	// ReqID distinguishes retries so stale replies are ignored.
+	ReqID uint64
+}
+
+// Msg911Reply answers a 911 request.
+type Msg911Reply struct {
+	From  NodeID
+	ReqID uint64
+	// Grant is true when the replier's token copy is no fresher than the
+	// requester's and the replier does not hold the live token.
+	Grant bool
+	// JoinPending is true when the replier treated the 911 as a join
+	// request because the requester is not in its membership (§2.3).
+	JoinPending bool
+	// Epoch/Seq describe the replier's copy, letting a denied requester
+	// learn how stale it is.
+	Epoch uint64
+	Seq   uint64
+}
+
+// Bodyodor is the discovery beacon (§2.4): node ID and group ID of the
+// sender's current group.
+type Bodyodor struct {
+	From    NodeID
+	GroupID NodeID
+	Epoch   uint64
+}
+
+// Forward carries an open-group message from outside (or from the app on a
+// member) to be multicast by the receiving member (§2.6).
+type Forward struct {
+	From NodeID
+	Safe bool
+	// Payload is multicast into the group by the receiver.
+	Payload []byte
+}
+
+// SortedIDs returns a sorted copy of ids; useful for stable logs and tests.
+func SortedIDs(ids []NodeID) []NodeID {
+	out := append([]NodeID(nil), ids...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,210 @@
+package wire
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestGroupID(t *testing.T) {
+	cases := []struct {
+		members []NodeID
+		want    NodeID
+	}{
+		{nil, NoNode},
+		{[]NodeID{5}, 5},
+		{[]NodeID{9, 3, 7}, 3},
+		{[]NodeID{1, 2, 3}, 1},
+	}
+	for _, c := range cases {
+		tok := Token{Members: c.members}
+		if got := tok.GroupID(); got != c.want {
+			t.Errorf("GroupID(%v) = %v, want %v", c.members, got, c.want)
+		}
+	}
+}
+
+func TestSuccessor(t *testing.T) {
+	tok := Token{Members: []NodeID{1, 2, 3, 4}}
+	cases := []struct{ id, want NodeID }{
+		{1, 2}, {2, 3}, {4, 1}, {9, NoNode},
+	}
+	for _, c := range cases {
+		if got := tok.Successor(c.id); got != c.want {
+			t.Errorf("Successor(%v) = %v, want %v", c.id, got, c.want)
+		}
+	}
+	single := Token{Members: []NodeID{7}}
+	if got := single.Successor(7); got != 7 {
+		t.Errorf("singleton Successor = %v, want 7", got)
+	}
+}
+
+func TestRemoveMember(t *testing.T) {
+	tok := Token{Members: []NodeID{1, 2, 3}}
+	if !tok.RemoveMember(2) {
+		t.Fatal("RemoveMember(2) = false")
+	}
+	if want := []NodeID{1, 3}; !reflect.DeepEqual(tok.Members, want) {
+		t.Fatalf("Members = %v, want %v", tok.Members, want)
+	}
+	if tok.RemoveMember(2) {
+		t.Fatal("second RemoveMember(2) = true")
+	}
+}
+
+func TestInsertAfter(t *testing.T) {
+	// Paper §2.3: ring ABCD, B removed -> ACD; C admits B -> ACBD.
+	tok := Token{Members: []NodeID{1, 3, 4}} // A=1 C=3 D=4
+	tok.InsertAfter(3, 2)                    // C admits B=2
+	if want := []NodeID{1, 3, 2, 4}; !reflect.DeepEqual(tok.Members, want) {
+		t.Fatalf("Members = %v, want %v (ACBD)", tok.Members, want)
+	}
+	// Inserting an existing member is a no-op.
+	tok.InsertAfter(1, 2)
+	if want := []NodeID{1, 3, 2, 4}; !reflect.DeepEqual(tok.Members, want) {
+		t.Fatalf("duplicate insert changed members: %v", tok.Members)
+	}
+	// Unknown anchor appends.
+	tok.InsertAfter(99, 5)
+	if want := []NodeID{1, 3, 2, 4, 5}; !reflect.DeepEqual(tok.Members, want) {
+		t.Fatalf("Members = %v, want %v", tok.Members, want)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	tok := &Token{
+		Epoch:   2,
+		Seq:     10,
+		Members: []NodeID{1, 2},
+		Msgs:    []Message{{Origin: 1, Seq: 1, Payload: []byte("abc")}},
+	}
+	c := tok.Clone()
+	c.Members[0] = 99
+	c.Msgs[0].Payload[0] = 'z'
+	c.Msgs[0].Seq = 42
+	if tok.Members[0] != 1 {
+		t.Fatal("Clone aliased Members")
+	}
+	if tok.Msgs[0].Payload[0] != 'a' {
+		t.Fatal("Clone aliased Payload")
+	}
+	if tok.Msgs[0].Seq != 1 {
+		t.Fatal("Clone aliased Msgs")
+	}
+}
+
+func TestFresher(t *testing.T) {
+	cases := []struct {
+		aE, aS, bE, bS uint64
+		want           bool
+	}{
+		{1, 5, 1, 4, true},
+		{1, 4, 1, 5, false},
+		{2, 0, 1, 99, true},
+		{1, 99, 2, 0, false},
+		{1, 5, 1, 5, false},
+	}
+	for _, c := range cases {
+		if got := Fresher(c.aE, c.aS, c.bE, c.bS); got != c.want {
+			t.Errorf("Fresher(%d,%d vs %d,%d) = %v, want %v", c.aE, c.aS, c.bE, c.bS, got, c.want)
+		}
+	}
+}
+
+func TestInsertAfterProperty(t *testing.T) {
+	// Property: InsertAfter always results in a membership that contains
+	// the new node exactly once and preserves all previous members.
+	f := func(membersRaw []uint32, anchorRaw, newRaw uint32) bool {
+		seen := map[NodeID]bool{}
+		var members []NodeID
+		for _, m := range membersRaw {
+			id := NodeID(m%100 + 1)
+			if !seen[id] {
+				seen[id] = true
+				members = append(members, id)
+			}
+		}
+		tok := Token{Members: append([]NodeID(nil), members...)}
+		anchor := NodeID(anchorRaw%100 + 1)
+		newID := NodeID(newRaw%100 + 1)
+		tok.InsertAfter(anchor, newID)
+		count := 0
+		for _, m := range tok.Members {
+			if m == newID {
+				count++
+			}
+		}
+		if count != 1 {
+			return false
+		}
+		for _, m := range members {
+			if !tok.HasMember(m) {
+				return false
+			}
+		}
+		wantLen := len(members)
+		if !seen[newID] {
+			wantLen++
+		}
+		return len(tok.Members) == wantLen
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSortedIDs(t *testing.T) {
+	in := []NodeID{3, 1, 2}
+	got := SortedIDs(in)
+	if want := []NodeID{1, 2, 3}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("SortedIDs = %v, want %v", got, want)
+	}
+	if !reflect.DeepEqual(in, []NodeID{3, 1, 2}) {
+		t.Fatal("SortedIDs mutated its input")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		KindToken:    "TOKEN",
+		Kind911:      "911",
+		Kind911Reply: "911REPLY",
+		KindBodyodor: "BODYODOR",
+		KindForward:  "FORWARD",
+		Kind(99):     "Kind(99)",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestSysKindString(t *testing.T) {
+	cases := map[SysKind]string{
+		SysApp:         "APP",
+		SysNodeRemoved: "NODE-REMOVED",
+		SysNodeJoined:  "NODE-JOINED",
+		SysGroupMerged: "GROUP-MERGED",
+		SysKind(42):    "SysKind(42)",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("SysKind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestNodeIDString(t *testing.T) {
+	if got := NodeID(7).String(); got != "n7" {
+		t.Fatalf("NodeID(7).String() = %q, want n7", got)
+	}
+}
+
+func TestMessageID(t *testing.T) {
+	m := Message{Origin: 3, Seq: 9}
+	if got := m.ID(); got != (MessageID{3, 9}) {
+		t.Fatalf("ID() = %+v", got)
+	}
+}

@@ -1,0 +1,72 @@
+// Package raincore is the public face of this reproduction of "The
+// Raincore Distributed Session Service for Networking Elements" (Fan &
+// Bruck, IPPS 2001). It re-exports the session service (group membership,
+// atomic reliable multicast with agreed and safe ordering, token-based
+// mutual exclusion), the transport service, and the application layers the
+// paper builds on top: the distributed data service, the Virtual IP
+// manager, and the Rainwall firewall cluster.
+//
+// Quick start (see examples/quickstart for the runnable version):
+//
+//	node, _ := raincore.NewNode(raincore.Config{ID: 1, Ring: raincore.FastRing()}, conns)
+//	node.SetHandlers(raincore.Handlers{OnDeliver: func(d raincore.Delivery) { ... }})
+//	node.Start()
+//	node.Multicast([]byte("state update"))
+package raincore
+
+import (
+	"repro/internal/core"
+	"repro/internal/ring"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// Core session-service types.
+type (
+	// NodeID identifies a cluster member.
+	NodeID = core.NodeID
+	// Node is one member of a Raincore cluster.
+	Node = core.Node
+	// Config assembles a node.
+	Config = core.Config
+	// Handlers are the ordered application callbacks.
+	Handlers = core.Handlers
+	// Delivery is one multicast message in agreed total order.
+	Delivery = core.Delivery
+	// MembershipEvent reports a membership view change.
+	MembershipEvent = core.MembershipEvent
+	// SysEvent is an ordered system announcement (join/removal/merge).
+	SysEvent = core.SysEvent
+	// OpenClient sends open-group messages from outside the cluster.
+	OpenClient = core.OpenClient
+	// RingConfig tunes the token-ring protocol timers.
+	RingConfig = ring.Config
+	// TransportConfig tunes the reliable unicast layer.
+	TransportConfig = transport.Config
+	// PacketConn is the unreliable datagram interface the transport
+	// service runs over (§2.1).
+	PacketConn = transport.PacketConn
+	// Addr is a transport-level peer address.
+	Addr = transport.Addr
+)
+
+// NoNode is the zero NodeID.
+const NoNode = wire.NoNode
+
+// NewNode builds a cluster member over the given transport conns.
+func NewNode(cfg Config, conns []PacketConn) (*Node, error) {
+	return core.NewNode(cfg, conns)
+}
+
+// NewOpenClient builds an open-group client (§2.6).
+var NewOpenClient = core.NewOpenClient
+
+// ListenUDP opens a real UDP conn, the production transport of §2.1.
+var ListenUDP = transport.ListenUDP
+
+// FastRing returns tight simulation timers (milliseconds).
+var FastRing = core.FastRing
+
+// PaperRing returns timers matching the paper's deployment regime
+// (sub-two-second fail-over, §3.2).
+var PaperRing = core.PaperRing

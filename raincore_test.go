@@ -1,0 +1,221 @@
+package raincore
+
+// Façade-level tests: drive the public API end to end over real UDP
+// loopback sockets and over the simulated network, the two transports a
+// downstream user would pick between.
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/simnet"
+	"repro/internal/transport"
+)
+
+// udpTrio builds a 3-node cluster over loopback UDP through the public API.
+func udpTrio(t *testing.T) ([]*Node, func(NodeID) []string) {
+	t.Helper()
+	ids := []NodeID{1, 2, 3}
+	var udps []*transport.UDPConn
+	var addrs []Addr
+	for range ids {
+		c, err := ListenUDP("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		udps = append(udps, c)
+		addrs = append(addrs, c.LocalAddr())
+	}
+	var mu sync.Mutex
+	got := map[NodeID][]string{}
+	var nodes []*Node
+	for i, id := range ids {
+		ring := FastRing()
+		ring.Eligible = ids
+		node, err := NewNode(Config{ID: id, Ring: ring}, []PacketConn{udps[i]})
+		if err != nil {
+			t.Fatal(err)
+		}
+		id := id
+		node.SetHandlers(Handlers{OnDeliver: func(d Delivery) {
+			mu.Lock()
+			got[id] = append(got[id], string(d.Payload))
+			mu.Unlock()
+		}})
+		nodes = append(nodes, node)
+	}
+	for i := range nodes {
+		for j, id := range ids {
+			if i != j {
+				nodes[i].SetPeer(id, []Addr{addrs[j]})
+			}
+		}
+	}
+	for _, n := range nodes {
+		n.Start()
+	}
+	t.Cleanup(func() {
+		for _, n := range nodes {
+			n.Close()
+		}
+	})
+	reader := func(id NodeID) []string {
+		mu.Lock()
+		defer mu.Unlock()
+		return append([]string(nil), got[id]...)
+	}
+	return nodes, reader
+}
+
+func waitMembers(t *testing.T, n *Node, want int, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if len(n.Members()) == want {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("membership = %v, want %d members", n.Members(), want)
+}
+
+func TestPublicAPIOverUDP(t *testing.T) {
+	nodes, got := udpTrio(t)
+	for _, n := range nodes {
+		waitMembers(t, n, 3, 15*time.Second)
+	}
+	for i, n := range nodes {
+		if err := n.Multicast([]byte(fmt.Sprintf("m%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if len(got(1)) == 3 && len(got(2)) == 3 && len(got(3)) == 3 {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	// Agreed ordering across real sockets.
+	ref := got(1)
+	if len(ref) != 3 {
+		t.Fatalf("node 1 delivered %v", ref)
+	}
+	for _, id := range []NodeID{2, 3} {
+		g := got(id)
+		for k := range ref {
+			if g[k] != ref[k] {
+				t.Fatalf("order differs on UDP: node %v %v vs node 1 %v", id, g, ref)
+			}
+		}
+	}
+}
+
+func TestPublicAPIMasterLockOverUDP(t *testing.T) {
+	nodes, _ := udpTrio(t)
+	for _, n := range nodes {
+		waitMembers(t, n, 3, 15*time.Second)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := nodes[0].Lock(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// While locked, another node's attempt must time out.
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel2()
+	if err := nodes[1].Lock(ctx2); err == nil {
+		t.Fatal("two nodes held the master lock")
+	}
+	nodes[0].Unlock()
+	ctx3, cancel3 := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel3()
+	if err := nodes[1].Lock(ctx3); err != nil {
+		t.Fatalf("lock after release: %v", err)
+	}
+	nodes[1].Unlock()
+}
+
+func TestPublicAPIGracefulLeave(t *testing.T) {
+	nodes, _ := udpTrio(t)
+	for _, n := range nodes {
+		waitMembers(t, n, 3, 15*time.Second)
+	}
+	nodes[2].Leave()
+	waitMembers(t, nodes[0], 2, 10*time.Second)
+	waitMembers(t, nodes[1], 2, 10*time.Second)
+	if !nodes[2].Stopped() {
+		t.Fatal("departed node not stopped")
+	}
+}
+
+func TestOpenClientThroughFacade(t *testing.T) {
+	net := simnet.New(simnet.Options{})
+	defer net.Close()
+	ids := []NodeID{1, 2}
+	var nodes []*Node
+	var mu sync.Mutex
+	delivered := map[NodeID]int{}
+	for _, id := range ids {
+		ring := FastRing()
+		ring.Eligible = ids
+		conn := transport.NewSimConn(net.MustEndpoint(simnet.Addr(fmt.Sprintf("n%d", id))))
+		node, err := NewNode(Config{ID: id, Ring: ring}, []PacketConn{conn})
+		if err != nil {
+			t.Fatal(err)
+		}
+		id := id
+		node.SetHandlers(Handlers{OnDeliver: func(Delivery) {
+			mu.Lock()
+			delivered[id]++
+			mu.Unlock()
+		}})
+		nodes = append(nodes, node)
+	}
+	nodes[0].SetPeer(2, []Addr{"n2"})
+	nodes[1].SetPeer(1, []Addr{"n1"})
+	for _, n := range nodes {
+		n.Start()
+	}
+	defer func() {
+		for _, n := range nodes {
+			n.Close()
+		}
+	}()
+	waitMembers(t, nodes[0], 2, 15*time.Second)
+
+	cl, err := NewOpenClient(500, []PacketConn{transport.NewSimConn(net.MustEndpoint("client"))},
+		nil, nil, TransportConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	cl.SetMember(1, []Addr{"n1"})
+	if err := cl.Send(1, []byte("open group"), false); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		mu.Lock()
+		both := delivered[1] >= 1 && delivered[2] >= 1
+		mu.Unlock()
+		if both {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal("open-group message did not reach all members")
+}
+
+func TestRingPresets(t *testing.T) {
+	fast, paper := FastRing(), PaperRing()
+	if fast.TokenHold >= paper.TokenHold {
+		t.Fatal("FastRing should circulate faster than PaperRing")
+	}
+	if paper.HungryTimeout != 500*time.Millisecond {
+		t.Fatalf("PaperRing hungry timeout = %v, want the §3.2 regime", paper.HungryTimeout)
+	}
+}
