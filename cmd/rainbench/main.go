@@ -8,6 +8,10 @@
 //	rainbench -exp all          # run everything
 //	rainbench -exp e3           # only the Figure 3 reproduction
 //	rainbench -exp e1,e2,a3     # a comma-separated subset
+//	rainbench e5                # positional form of -exp e5
+//
+// e5 (the sharded multi-ring scaling run) additionally persists its rows
+// to BENCH_E5.json (override with -e5-out).
 package main
 
 import (
@@ -22,17 +26,48 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiments to run: all or a comma list of e1,e2,e3,e4,a1,a2,a3")
+	exp := flag.String("exp", "all", "experiments to run: all or a comma list of e1,e2,e3,e4,e5,a1,a2,a3")
+	e5Out := flag.String("e5-out", "BENCH_E5.json", "where e5 persists its baseline rows")
 	flag.Parse()
 
+	known := []string{"e1", "e2", "e3", "e4", "e5", "a1", "a2", "a3"}
+	selection := *exp
+	// Positional form: `rainbench e5` == `rainbench -exp e5`. Mixing the
+	// two would silently drop one, so it is an error; so is an unknown
+	// name (flag.Parse stops at the first positional argument, which
+	// would otherwise swallow misplaced flags like `rainbench e5
+	// -e5-out=x` without a trace).
+	if args := flag.Args(); len(args) > 0 {
+		expSet := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "exp" {
+				expSet = true
+			}
+		})
+		if expSet {
+			log.Fatalf("rainbench: use either -exp or positional experiment names, not both (got -exp %q and %v)", *exp, args)
+		}
+		selection = strings.Join(args, ",")
+	}
 	want := map[string]bool{}
-	if *exp == "all" {
-		for _, e := range []string{"e1", "e2", "e3", "e4", "a1", "a2", "a3"} {
+	if strings.TrimSpace(strings.ToLower(selection)) == "all" {
+		for _, e := range known {
 			want[e] = true
 		}
 	} else {
-		for _, e := range strings.Split(*exp, ",") {
-			want[strings.TrimSpace(strings.ToLower(e))] = true
+		for _, e := range strings.Split(selection, ",") {
+			name := strings.TrimSpace(strings.ToLower(e))
+			valid := false
+			for _, k := range known {
+				if name == k {
+					valid = true
+					break
+				}
+			}
+			if !valid {
+				log.Fatalf("rainbench: unknown experiment %q (valid: all, %s; flags go before positional names)", name, strings.Join(known, ", "))
+			}
+			want[name] = true
 		}
 	}
 
@@ -72,6 +107,18 @@ func main() {
 			log.Fatalf("E4: %v", err)
 		}
 		fmt.Println(experiments.E4Table(rows, cfg))
+	}
+	if want["e5"] {
+		cfg := experiments.DefaultE5()
+		rows, err := experiments.E5ShardScaling(cfg)
+		if err != nil {
+			log.Fatalf("E5: %v", err)
+		}
+		fmt.Println(experiments.E5Table(rows, cfg))
+		if err := experiments.WriteE5JSON(*e5Out, cfg, rows); err != nil {
+			log.Fatalf("E5: write baseline: %v", err)
+		}
+		fmt.Printf("e5 baseline written to %s\n\n", *e5Out)
 	}
 	if want["a1"] {
 		rows, err := experiments.A1SafeVsAgreed(4, 50)

@@ -21,6 +21,8 @@ import (
 	"os/signal"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -55,6 +57,7 @@ func main() {
 		id       = flag.Uint("id", 0, "this node's ID (required, non-zero)")
 		listen   = flag.String("listen", "127.0.0.1:0", "UDP listen address; repeatable via commas for redundant links")
 		peers    = peerList{}
+		rings    = flag.Int("rings", 1, "token rings sharded over this node (one shared transport)")
 		tokenMS  = flag.Int("token-hold", 100, "token hold interval in milliseconds")
 		hungryMS = flag.Int("hungry", 500, "hungry timeout in milliseconds")
 		beaconMS = flag.Int("bodyodor", 1000, "discovery beacon interval in milliseconds")
@@ -91,32 +94,50 @@ func main() {
 		Eligible:         eligible,
 		MinQuorum:        *quorum,
 	}
-	node, err := raincore.NewNode(raincore.Config{ID: raincore.NodeID(*id), Ring: ring}, conns)
+	rt, err := raincore.NewRuntime(raincore.RuntimeConfig{
+		ID:    raincore.NodeID(*id),
+		Rings: *rings,
+		Ring:  ring,
+	}, conns)
 	if err != nil {
 		log.Fatalf("raincored: %v", err)
 	}
 	for pid, addrs := range peers {
-		node.SetPeer(pid, addrs)
+		rt.SetPeer(pid, addrs)
 	}
 
-	done := make(chan struct{})
-	node.SetHandlers(raincore.Handlers{
-		OnDeliver: func(d raincore.Delivery) {
-			logger.Printf("deliver from %v seq=%d safe=%v: %q", d.Origin, d.Seq, d.Safe, d.Payload)
-		},
-		OnMembership: func(e raincore.MembershipEvent) {
-			logger.Printf("membership -> %v (epoch %d)", e.Members, e.Epoch)
-		},
-		OnSys: func(e raincore.SysEvent) {
-			logger.Printf("sys %v subject=%v origin=%v", e.Kind, e.Subject, e.Origin)
-		},
-		OnShutdown: func(reason string) {
-			logger.Printf("shutdown: %s", reason)
-			close(done)
-		},
-	})
-	node.Start()
-	logger.Printf("started; eligible membership %v", eligible)
+	// A node with a dead ring serves only part of the keyspace and the
+	// runtime cannot restart single rings, so the daemon fails fast:
+	// ringDown (first shutdown) exits the process for the supervisor to
+	// restart it whole. allDown additionally lets the SIGINT path wait
+	// until every ring has announced its leave.
+	ringDown := make(chan struct{})
+	allDown := make(chan struct{})
+	var firstDown sync.Once
+	var downRings atomic.Int32
+	for _, n := range rt.Nodes() {
+		r := n.Ring()
+		n.SetHandlers(raincore.Handlers{
+			OnDeliver: func(d raincore.Delivery) {
+				logger.Printf("[%v] deliver from %v seq=%d safe=%v: %q", r, d.Origin, d.Seq, d.Safe, d.Payload)
+			},
+			OnMembership: func(e raincore.MembershipEvent) {
+				logger.Printf("[%v] membership -> %v (epoch %d)", r, e.Members, e.Epoch)
+			},
+			OnSys: func(e raincore.SysEvent) {
+				logger.Printf("[%v] sys %v subject=%v origin=%v", r, e.Kind, e.Subject, e.Origin)
+			},
+			OnShutdown: func(reason string) {
+				logger.Printf("[%v] shutdown: %s", r, reason)
+				firstDown.Do(func() { close(ringDown) })
+				if int(downRings.Add(1)) == rt.Rings() {
+					close(allDown)
+				}
+			},
+		})
+	}
+	rt.Start()
+	logger.Printf("started %d ring(s); eligible membership %v", rt.Rings(), eligible)
 
 	if *announce > 0 {
 		go func() {
@@ -125,9 +146,11 @@ func main() {
 			n := 0
 			for range tick.C {
 				n++
-				if err := node.Multicast([]byte(fmt.Sprintf("heartbeat %d from n%d", n, *id))); err != nil {
-					return
-				}
+				// Round-robin heartbeats across the rings. A stopped
+				// ring must not silence the survivors, so errors skip
+				// to the next tick instead of ending the loop.
+				r := raincore.RingID(n % rt.Rings())
+				_ = rt.Multicast(r, []byte(fmt.Sprintf("heartbeat %d from n%d", n, *id)))
 			}
 		}()
 	}
@@ -136,14 +159,15 @@ func main() {
 			tick := time.NewTicker(*statsInt)
 			defer tick.Stop()
 			for range tick.C {
-				reg := node.Stats()
-				logger.Printf("stats: passes=%d switches=%d sent=%d recv=%d regens=%d merges=%d",
+				reg := rt.Stats()
+				logger.Printf("stats: passes=%d switches=%d sent=%d recv=%d regens=%d merges=%d healthy=%v",
 					reg.Counter(stats.MetricTokenPasses).Load(),
 					reg.Counter(stats.MetricTaskSwitches).Load(),
 					reg.Counter(stats.MetricPacketsSent).Load(),
 					reg.Counter(stats.MetricPacketsRecv).Load(),
 					reg.Counter(stats.MetricTokenRegens).Load(),
-					reg.Counter(stats.MetricMerges).Load())
+					reg.Counter(stats.MetricMerges).Load(),
+					rt.Healthy())
 			}
 		}()
 	}
@@ -153,13 +177,16 @@ func main() {
 	select {
 	case <-sig:
 		logger.Printf("interrupt: leaving the group")
-		node.Leave()
+		for _, n := range rt.Nodes() {
+			n.Leave()
+		}
 		select {
-		case <-done:
+		case <-allDown:
 		case <-time.After(3 * time.Second):
 		}
-	case <-done:
+	case <-ringDown:
+		logger.Printf("a ring shut down; exiting so the supervisor restarts the whole node")
 	}
-	node.Close()
+	rt.Close()
 	logger.Printf("bye")
 }

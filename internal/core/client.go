@@ -2,6 +2,7 @@ package core
 
 import (
 	"errors"
+	"fmt"
 
 	"repro/internal/clock"
 	"repro/internal/stats"
@@ -12,31 +13,66 @@ import (
 // OpenClient implements open group communication (§2.6): a node outside
 // the Raincore group sends a message to any member, and that member
 // forwards it to the entire group with the usual atomicity and ordering
-// guarantees.
+// guarantees. Against a sharded runtime the client targets one ring per
+// message; Send targets ring 0, SendRing picks the ring explicitly.
 type OpenClient struct {
-	id NodeID
-	tr *transport.Transport
+	id    NodeID
+	tr    *transport.Transport
+	rings int
 }
 
+// ErrIDCollision is returned when the client's ID collides with the ID of
+// the member it is addressing: the member's transport would misattribute
+// the client's frames to itself.
+var ErrIDCollision = errors.New("core: client ID collides with a member ID")
+
 // NewOpenClient builds a client with its own transport. The client ID must
-// not collide with a member ID.
+// be non-zero and must not collide with any member ID. The client assumes
+// a single-ring cluster until SetRings raises the shard count.
 func NewOpenClient(id NodeID, conns []transport.PacketConn, clk clock.Clock, reg *stats.Registry, cfg transport.Config) (*OpenClient, error) {
 	if id == wire.NoNode {
 		return nil, errors.New("core: client ID must be non-zero")
 	}
-	return &OpenClient{id: id, tr: transport.New(id, conns, clk, reg, cfg)}, nil
+	return &OpenClient{id: id, tr: transport.New(id, conns, clk, reg, cfg), rings: 1}, nil
+}
+
+// SetRings declares the cluster's shard count so SendRing can reject
+// out-of-range rings locally (the receiving member would silently drop
+// such a frame: its demux has no receiver for the ring).
+func (c *OpenClient) SetRings(n int) error {
+	if n < 1 {
+		return fmt.Errorf("core: ring count %d, want >= 1", n)
+	}
+	c.rings = n
+	return nil
 }
 
 // SetMember registers a member's addresses as a forwarding target.
-func (c *OpenClient) SetMember(id NodeID, addrs []transport.Addr) {
+func (c *OpenClient) SetMember(id NodeID, addrs []transport.Addr) error {
+	if id == c.id {
+		return fmt.Errorf("%w: %v", ErrIDCollision, id)
+	}
 	c.tr.SetPeer(id, addrs)
+	return nil
 }
 
-// Send forwards payload into the group through the given member. The call
+// Send forwards payload into ring 0 through the given member. The call
 // blocks until the member acknowledged receipt (not group-wide delivery).
 func (c *OpenClient) Send(via NodeID, payload []byte, safe bool) error {
+	return c.SendRing(wire.Ring0, via, payload, safe)
+}
+
+// SendRing forwards payload into the chosen ring of a sharded cluster
+// through the given member.
+func (c *OpenClient) SendRing(ring RingID, via NodeID, payload []byte, safe bool) error {
+	if int(ring) >= c.rings {
+		return fmt.Errorf("%w: %v of %d", ErrUnknownRing, ring, c.rings)
+	}
+	if via == c.id {
+		return fmt.Errorf("%w: %v", ErrIDCollision, via)
+	}
 	f := wire.Forward{From: c.id, Safe: safe, Payload: payload}
-	return c.tr.SendSync(via, wire.EncodeForward(&f))
+	return c.tr.SendSync(via, wire.EncodeForwardRing(ring, &f))
 }
 
 // Close releases the client's transport.

@@ -62,10 +62,17 @@ type Handlers struct {
 	OnShutdown func(reason string)
 }
 
+// RingID identifies one ring of a sharded multi-ring runtime.
+type RingID = wire.RingID
+
 // Config assembles a node.
 type Config struct {
 	// ID is the node identity (required, non-zero).
 	ID NodeID
+	// RingID selects which ring this node's protocol instance belongs
+	// to. Single-ring deployments leave it zero; a sharded Runtime runs
+	// one node per ring over a shared transport.
+	RingID RingID
 	// Ring tunes the protocol timers, eligible membership and quorum.
 	// Ring.ID is overwritten with ID.
 	Ring ring.Config
@@ -82,14 +89,21 @@ type Config struct {
 // ErrStopped is returned by operations on a stopped node.
 var ErrStopped = errors.New("core: node stopped")
 
-// Node is one member of a Raincore cluster.
+// Node is one member of a Raincore cluster (one protocol instance on one
+// ring).
 type Node struct {
-	id  NodeID
-	clk clock.Clock
-	reg *stats.Registry
-	tr  *transport.Transport
-	sm  *ring.SM
-	trc *trace.Log
+	id     NodeID
+	ringID RingID
+	clk    clock.Clock
+	reg    *stats.Registry
+	tr     *transport.Transport
+	sm     *ring.SM
+	trc    *trace.Log
+
+	// demux is non-nil when the node shares its transport with other
+	// rings; the node then owns only its ring registration, not the
+	// transport itself.
+	demux *transport.Demux
 
 	events chan ring.Event
 	done   chan struct{}
@@ -99,6 +113,10 @@ type Node struct {
 	timerGen  [ring.NumTimers]uint64
 	handlers  Handlers
 	handlerMu sync.Mutex
+	// stopHook is a supervisor callback (separate from Handlers so a
+	// Runtime can observe ring shutdowns without occupying the
+	// application's handler slot).
+	stopHook func(reason string)
 
 	// Snapshot state maintained by the loop, read by API methods.
 	mu          sync.Mutex
@@ -114,10 +132,8 @@ type Node struct {
 	stopOnce sync.Once
 }
 
-// NewNode builds a node over the given transport conns (one per local
-// physical address). Call Start to boot it as a singleton group; groups
-// assemble via the eligible-membership discovery protocol or Join.
-func NewNode(cfg Config, conns []transport.PacketConn) (*Node, error) {
+// newNode builds the transport-independent part of a node.
+func newNode(cfg Config) (*Node, error) {
 	if cfg.ID == wire.NoNode {
 		return nil, errors.New("core: Config.ID must be non-zero")
 	}
@@ -133,8 +149,9 @@ func NewNode(cfg Config, conns []transport.PacketConn) (*Node, error) {
 		// base from the wall clock.
 		cfg.Ring.SeqBase = uint64(time.Now().UnixNano())
 	}
-	n := &Node{
+	return &Node{
 		id:     cfg.ID,
+		ringID: cfg.RingID,
 		clk:    cfg.Clock,
 		reg:    cfg.Registry,
 		sm:     ring.New(cfg.Ring),
@@ -142,14 +159,52 @@ func NewNode(cfg Config, conns []transport.PacketConn) (*Node, error) {
 		events: make(chan ring.Event, 1024),
 		done:   make(chan struct{}),
 		state:  ring.Down,
+	}, nil
+}
+
+// NewNode builds a node over the given transport conns (one per local
+// physical address). The node owns the transport exclusively; use
+// NewNodeOnDemux to share one transport between several rings. Call Start
+// to boot it as a singleton group; groups assemble via the
+// eligible-membership discovery protocol or Join.
+func NewNode(cfg Config, conns []transport.PacketConn) (*Node, error) {
+	n, err := newNode(cfg)
+	if err != nil {
+		return nil, err
 	}
-	n.tr = transport.New(cfg.ID, conns, cfg.Clock, cfg.Registry, cfg.Transport)
+	n.tr = transport.New(cfg.ID, conns, cfg.Clock, n.reg, cfg.Transport)
 	n.tr.SetHandler(n.onPacket)
+	return n, nil
+}
+
+// NewNodeOnDemux builds a node on a shared transport: the node sends
+// through the demux's transport and receives only the frames addressed to
+// its cfg.RingID. Closing the node releases the ring registration but
+// leaves the shared transport (and the other rings on it) running; the
+// transport's owner — typically a Runtime — closes it.
+func NewNodeOnDemux(cfg Config, d *transport.Demux) (*Node, error) {
+	if cfg.Registry == nil {
+		// Share the transport's registry so per-ring protocol metrics
+		// and transport metrics aggregate in one place by default.
+		cfg.Registry = d.Transport().Stats()
+	}
+	n, err := newNode(cfg)
+	if err != nil {
+		return nil, err
+	}
+	n.tr = d.Transport()
+	n.demux = d
+	if err := d.Register(cfg.RingID, n.onPacket); err != nil {
+		return nil, err
+	}
 	return n, nil
 }
 
 // ID returns the node identity.
 func (n *Node) ID() NodeID { return n.id }
+
+// Ring returns the ring this node's protocol instance belongs to.
+func (n *Node) Ring() RingID { return n.ringID }
 
 // Stats returns the node's metric registry.
 func (n *Node) Stats() *stats.Registry { return n.reg }
@@ -172,6 +227,19 @@ func (n *Node) getHandlers() Handlers {
 	n.handlerMu.Lock()
 	defer n.handlerMu.Unlock()
 	return n.handlers
+}
+
+// setStopHook installs the supervisor shutdown callback.
+func (n *Node) setStopHook(fn func(reason string)) {
+	n.handlerMu.Lock()
+	defer n.handlerMu.Unlock()
+	n.stopHook = fn
+}
+
+func (n *Node) getStopHook() func(string) {
+	n.handlerMu.Lock()
+	defer n.handlerMu.Unlock()
+	return n.stopHook
 }
 
 // Start boots the node as a singleton group and begins the event loop.
@@ -241,6 +309,9 @@ func (n *Node) onPacket(from wire.NodeID, payload []byte) {
 	if err != nil {
 		return // corrupt or foreign frame
 	}
+	if env.Ring != n.ringID {
+		return // another ring's frame (only reachable without a demux)
+	}
 	switch env.Kind {
 	case wire.KindToken:
 		n.post(ring.EvTokenReceived{From: from, Tok: env.Token})
@@ -264,17 +335,17 @@ func (n *Node) execute(acts []ring.Action) {
 		case ring.ActSend911:
 			m := act.M
 			to := act.To
-			n.tr.Send(to, wire.Encode911(&m), func(err error) {
+			n.tr.Send(to, wire.Encode911Ring(n.ringID, &m), func(err error) {
 				if err != nil {
 					n.post(ring.Ev911SendFailed{To: to, ReqID: m.ReqID})
 				}
 			})
 		case ring.ActSend911Reply:
 			m := act.M
-			n.tr.Send(act.To, wire.Encode911Reply(&m), nil)
+			n.tr.Send(act.To, wire.Encode911ReplyRing(n.ringID, &m), nil)
 		case ring.ActSendBodyodor:
 			m := act.M
-			n.tr.Send(act.To, wire.EncodeBodyodor(&m), nil)
+			n.tr.Send(act.To, wire.EncodeBodyodorRing(n.ringID, &m), nil)
 		case ring.ActSetTimer:
 			n.setTimer(act.Kind, act.D)
 		case ring.ActStopTimer:
@@ -325,6 +396,9 @@ func (n *Node) execute(acts []ring.Action) {
 			if h := n.getHandlers().OnShutdown; h != nil {
 				h(act.Reason)
 			}
+			if hook := n.getStopHook(); hook != nil {
+				hook(act.Reason)
+			}
 			go n.Close() // release resources outside the loop
 		}
 	}
@@ -334,7 +408,7 @@ func (n *Node) sendToken(act ring.ActSendToken) {
 	tok := act.Tok
 	to := act.To
 	n.observeTokenInterval()
-	n.tr.Send(to, wire.EncodeToken(tok), func(err error) {
+	n.tr.Send(to, wire.EncodeTokenRing(n.ringID, tok), func(err error) {
 		if err != nil {
 			n.post(ring.EvTokenSendFailed{To: to, Epoch: tok.Epoch, Seq: tok.Seq})
 			return
@@ -528,7 +602,7 @@ func (n *Node) Join(seed NodeID) error {
 	}
 	m := wire.Msg911{From: n.id, Epoch: 0, Seq: 0, ReqID: uint64(time.Now().UnixNano())}
 	errCh := make(chan error, 1)
-	n.tr.Send(seed, wire.Encode911(&m), func(err error) { errCh <- err })
+	n.tr.Send(seed, wire.Encode911Ring(n.ringID, &m), func(err error) { errCh <- err })
 	if err := <-errCh; err != nil {
 		return fmt.Errorf("core: join via %v: %w", seed, err)
 	}
@@ -551,8 +625,10 @@ func (n *Node) SetEligible(ids []NodeID) {
 	n.post(ring.EvSetEligible{IDs: ids})
 }
 
-// Close stops the event loop and the transport. It does not announce a
-// graceful leave; use Leave for that.
+// Close stops the event loop and releases the node's transport resources:
+// an exclusively owned transport is closed, a shared (demux) transport only
+// loses this node's ring registration. It does not announce a graceful
+// leave; use Leave for that.
 func (n *Node) Close() error {
 	n.stopOnce.Do(func() {
 		close(n.done)
@@ -570,7 +646,11 @@ func (n *Node) Close() error {
 		if w != nil {
 			close(w)
 		}
-		n.tr.Close()
+		if n.demux != nil {
+			n.demux.Unregister(n.ringID)
+		} else {
+			n.tr.Close()
+		}
 	})
 	return nil
 }

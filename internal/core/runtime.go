@@ -1,0 +1,245 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/clock"
+	"repro/internal/ring"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// Runtime is the sharded multi-ring runtime: it owns one shared transport
+// (one set of PacketConns) and spawns and supervises S Node instances, one
+// per ring, demultiplexed by the RingID every wire frame carries. Each ring
+// circulates its own token and totally orders its own traffic, so the
+// aggregate ordered-multicast throughput of the runtime scales with the
+// number of rings while per-ring ordering is preserved — the keyspace
+// partitioning layer (dds.Sharded) maps keys onto rings.
+//
+// The paper's hierarchy composition (§ hierarchy) stacks groups vertically;
+// the runtime shards them horizontally over the same membership.
+type Runtime struct {
+	id    NodeID
+	tr    *transport.Transport
+	demux *transport.Demux
+	nodes []*Node
+	reg   *stats.Registry
+
+	mu       sync.Mutex
+	ringDown map[RingID]string // ring -> shutdown reason
+	closed   bool
+}
+
+// RuntimeConfig assembles a sharded runtime.
+type RuntimeConfig struct {
+	// ID is the node identity, shared by every ring (required, non-zero).
+	ID NodeID
+	// Rings is the shard count S (>= 1). Ring IDs are 0..Rings-1.
+	Rings int
+	// Ring is the per-ring protocol template; ID and SeqBase are filled
+	// in per instance.
+	Ring ring.Config
+	// Transport tunes the shared reliable unicast layer.
+	Transport transport.Config
+	// Clock defaults to the real clock.
+	Clock clock.Clock
+	// Registry defaults to a private registry shared by the transport
+	// and every ring, so runtime metrics aggregate across shards.
+	Registry *stats.Registry
+	// Trace, when non-nil, records protocol events of every ring.
+	Trace *trace.Log
+}
+
+// ErrUnknownRing is returned for a ring index outside the runtime's shard
+// count.
+var ErrUnknownRing = errors.New("core: unknown ring")
+
+// NewRuntime builds a runtime over the given conns. Nodes are created
+// unstarted so callers can attach per-ring layers (for example dds
+// replicas) before Start.
+func NewRuntime(cfg RuntimeConfig, conns []transport.PacketConn) (*Runtime, error) {
+	if cfg.ID == wire.NoNode {
+		return nil, errors.New("core: RuntimeConfig.ID must be non-zero")
+	}
+	if cfg.Rings <= 0 {
+		cfg.Rings = 1
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = clock.NewReal()
+	}
+	if cfg.Registry == nil {
+		cfg.Registry = stats.NewRegistry()
+	}
+	tr := transport.New(cfg.ID, conns, cfg.Clock, cfg.Registry, cfg.Transport)
+	demux := transport.NewDemux(tr)
+	r := &Runtime{
+		id:       cfg.ID,
+		tr:       tr,
+		demux:    demux,
+		reg:      cfg.Registry,
+		ringDown: make(map[RingID]string),
+	}
+	for i := 0; i < cfg.Rings; i++ {
+		rc := cfg.Ring
+		if rc.SeqBase != 0 {
+			// Distinct per-ring bases: each ring is an independent
+			// (origin, seq) namespace, but distinct bases keep traces
+			// unambiguous.
+			rc.SeqBase += uint64(i) << 24
+		}
+		n, err := NewNodeOnDemux(Config{
+			ID:        cfg.ID,
+			RingID:    RingID(i),
+			Ring:      rc,
+			Transport: cfg.Transport,
+			Clock:     cfg.Clock,
+			Registry:  cfg.Registry,
+			Trace:     cfg.Trace,
+		}, demux)
+		if err != nil {
+			r.Close()
+			return nil, fmt.Errorf("core: ring %d: %w", i, err)
+		}
+		ringID := RingID(i)
+		n.setStopHook(func(reason string) {
+			r.mu.Lock()
+			r.ringDown[ringID] = reason
+			r.mu.Unlock()
+		})
+		r.nodes = append(r.nodes, n)
+	}
+	return r, nil
+}
+
+// ID returns the runtime's node identity.
+func (r *Runtime) ID() NodeID { return r.id }
+
+// Rings returns the shard count S.
+func (r *Runtime) Rings() int { return len(r.nodes) }
+
+// Node returns the ring's protocol node, or nil for an out-of-range ring.
+func (r *Runtime) Node(ring RingID) *Node {
+	if int(ring) >= len(r.nodes) {
+		return nil
+	}
+	return r.nodes[ring]
+}
+
+// Nodes returns the per-ring nodes in ring order.
+func (r *Runtime) Nodes() []*Node { return append([]*Node(nil), r.nodes...) }
+
+// Transport exposes the shared transport for peer registration.
+func (r *Runtime) Transport() *transport.Transport { return r.tr }
+
+// Demux exposes the ring demultiplexer.
+func (r *Runtime) Demux() *transport.Demux { return r.demux }
+
+// Stats returns the runtime's aggregate metric registry.
+func (r *Runtime) Stats() *stats.Registry { return r.reg }
+
+// SetPeer registers a peer's physical addresses on the shared transport;
+// every ring reaches the peer through them.
+func (r *Runtime) SetPeer(id NodeID, addrs []transport.Addr) { r.tr.SetPeer(id, addrs) }
+
+// Start boots every ring.
+func (r *Runtime) Start() {
+	for _, n := range r.nodes {
+		n.Start()
+	}
+}
+
+// RingHealth is one ring's slice of the combined health view.
+type RingHealth struct {
+	Ring    RingID
+	State   ring.NodeState
+	Epoch   uint64
+	Members []NodeID
+	// Down carries the shutdown reason when the ring's node stopped
+	// itself (quorum loss, critical resource failure, voluntary leave).
+	Down   string
+	Exited bool
+}
+
+// Health returns the combined per-ring membership and health view.
+func (r *Runtime) Health() []RingHealth {
+	r.mu.Lock()
+	down := make(map[RingID]string, len(r.ringDown))
+	for k, v := range r.ringDown {
+		down[k] = v
+	}
+	r.mu.Unlock()
+	out := make([]RingHealth, len(r.nodes))
+	for i, n := range r.nodes {
+		out[i] = RingHealth{
+			Ring:    RingID(i),
+			State:   n.State(),
+			Epoch:   n.Epoch(),
+			Members: n.Members(),
+			Down:    down[RingID(i)],
+			Exited:  n.Stopped(),
+		}
+	}
+	return out
+}
+
+// Healthy reports whether every ring is running.
+func (r *Runtime) Healthy() bool {
+	for _, h := range r.Health() {
+		if h.Exited || h.Down != "" {
+			return false
+		}
+	}
+	return true
+}
+
+// Members returns the combined membership view: the set of nodes present
+// in every ring's membership. A peer mid-failure is typically detected by
+// some rings before others; the intersection is the conservative view a
+// sharded service can rely on across all shards.
+func (r *Runtime) Members() []NodeID {
+	if len(r.nodes) == 0 {
+		return nil
+	}
+	count := make(map[NodeID]int)
+	for _, n := range r.nodes {
+		for _, m := range n.Members() {
+			count[m]++
+		}
+	}
+	var out []NodeID
+	for id, c := range count {
+		if c == len(r.nodes) {
+			out = append(out, id)
+		}
+	}
+	return wire.SortedIDs(out)
+}
+
+// Multicast submits a payload on the given ring with agreed ordering.
+func (r *Runtime) Multicast(ring RingID, payload []byte) error {
+	n := r.Node(ring)
+	if n == nil {
+		return fmt.Errorf("%w: %v of %d", ErrUnknownRing, ring, len(r.nodes))
+	}
+	return n.Multicast(payload)
+}
+
+// Close stops every ring and then the shared transport.
+func (r *Runtime) Close() error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil
+	}
+	r.closed = true
+	r.mu.Unlock()
+	for _, n := range r.nodes {
+		n.Close()
+	}
+	return r.tr.Close()
+}

@@ -1,0 +1,267 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/stats"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// gridRecorder collects deliveries per (node, ring).
+type gridRecorder struct {
+	mu  sync.Mutex
+	got map[NodeID]map[RingID][]string
+}
+
+func newGridRecorder() *gridRecorder {
+	return &gridRecorder{got: map[NodeID]map[RingID][]string{}}
+}
+
+func (r *gridRecorder) handlers(id NodeID, ring RingID) Handlers {
+	return Handlers{OnDeliver: func(d Delivery) {
+		r.mu.Lock()
+		if r.got[id] == nil {
+			r.got[id] = map[RingID][]string{}
+		}
+		r.got[id][ring] = append(r.got[id][ring], string(d.Payload))
+		r.mu.Unlock()
+	}}
+}
+
+func (r *gridRecorder) payloads(id NodeID, ring RingID) []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]string(nil), r.got[id][ring]...)
+}
+
+func (r *gridRecorder) waitPayload(t *testing.T, id NodeID, ring RingID, want string, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		for _, p := range r.payloads(id, ring) {
+			if p == want {
+				return
+			}
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("node %v ring %v never delivered %q (got %v)", id, ring, want, r.payloads(id, ring))
+}
+
+// startGrid builds an N-node S-ring grid with per-ring recorders attached.
+func startGrid(t *testing.T, n, rings int, rec *gridRecorder) *TestGrid {
+	t.Helper()
+	g, err := NewTestGrid(GridOptions{N: n, Rings: rings, DeferStart: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(g.Close)
+	if rec != nil {
+		for _, id := range g.IDs {
+			for ring := 0; ring < rings; ring++ {
+				g.Runtimes[id].Node(RingID(ring)).SetHandlers(rec.handlers(id, RingID(ring)))
+			}
+		}
+	}
+	g.StartAll()
+	if err := g.WaitAssembled(20 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestRuntimeMultiRingAssembly checks that S rings over one shared
+// transport all converge to the full membership and stay isolated: a
+// multicast on one ring is delivered on that ring everywhere and on no
+// other ring.
+func TestRuntimeMultiRingAssembly(t *testing.T) {
+	rec := newGridRecorder()
+	g := startGrid(t, 3, 3, rec)
+	if err := g.Runtimes[1].Multicast(1, []byte("on-ring-1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Runtimes[2].Multicast(2, []byte("on-ring-2")); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range g.IDs {
+		rec.waitPayload(t, id, 1, "on-ring-1", 5*time.Second)
+		rec.waitPayload(t, id, 2, "on-ring-2", 5*time.Second)
+	}
+	// Isolation: nothing leaked onto ring 0, and the ring-1 payload did
+	// not appear on ring 2 or vice versa.
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	for _, id := range g.IDs {
+		if n := len(rec.got[id][0]); n != 0 {
+			t.Errorf("node %v ring 0 delivered %d messages, want 0", id, n)
+		}
+		for _, p := range rec.got[id][1] {
+			if p != "on-ring-1" {
+				t.Errorf("node %v ring 1 delivered %q", id, p)
+			}
+		}
+		for _, p := range rec.got[id][2] {
+			if p != "on-ring-2" {
+				t.Errorf("node %v ring 2 delivered %q", id, p)
+			}
+		}
+	}
+}
+
+func TestRuntimeUnknownRing(t *testing.T) {
+	g := startGrid(t, 2, 2, nil)
+	rt := g.Runtimes[1]
+	if err := rt.Multicast(5, []byte("x")); !errors.Is(err, ErrUnknownRing) {
+		t.Fatalf("Multicast on ring 5 = %v, want ErrUnknownRing", err)
+	}
+	if rt.Node(5) != nil {
+		t.Fatal("Node(5) != nil for a 2-ring runtime")
+	}
+	if rt.Rings() != 2 {
+		t.Fatalf("Rings() = %d, want 2", rt.Rings())
+	}
+}
+
+// TestRuntimeCombinedMembership checks the conservative combined view: a
+// failed node disappears from Members() once every ring detected it.
+func TestRuntimeCombinedMembership(t *testing.T) {
+	g := startGrid(t, 3, 2, nil)
+	got := g.Runtimes[1].Members()
+	if len(got) != 3 {
+		t.Fatalf("Members() = %v, want 3 nodes", got)
+	}
+	// Hard-kill node 3 (transport and all): both rings must converge.
+	g.Runtimes[3].Close()
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		m := g.Runtimes[1].Members()
+		if len(m) == 2 && m[0] == 1 && m[1] == 2 {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("combined view never converged: %v", g.Runtimes[1].Members())
+}
+
+// TestRuntimeSupervisionRingDown drives one ring's node through a
+// voluntary leave and checks the runtime's health view reflects the dead
+// ring while the others keep running.
+func TestRuntimeSupervisionRingDown(t *testing.T) {
+	g := startGrid(t, 2, 2, nil)
+	rt := g.Runtimes[2]
+	if !rt.Healthy() {
+		t.Fatalf("runtime unhealthy after assembly: %+v", rt.Health())
+	}
+	rt.Node(1).Leave()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) && rt.Healthy() {
+		time.Sleep(time.Millisecond)
+	}
+	h := rt.Health()
+	if len(h) != 2 {
+		t.Fatalf("health entries = %d, want 2", len(h))
+	}
+	if !h[1].Exited || h[1].Down == "" {
+		t.Fatalf("ring 1 health = %+v, want exited with reason", h[1])
+	}
+	if h[0].Exited {
+		t.Fatalf("ring 0 exited too: %+v", h[0])
+	}
+	// Ring 0 still orders traffic.
+	if err := rt.Multicast(0, []byte("still-alive")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOpenClientSendRing covers open-group forwarding into a chosen ring,
+// plus the ID-collision and unknown-ring error paths.
+func TestOpenClientSendRing(t *testing.T) {
+	rec := newGridRecorder()
+	g := startGrid(t, 3, 2, rec)
+	ep, err := g.Net.Endpoint("client-9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := NewOpenClient(900, []transportConn{transportSim(ep)}, nil, stats.NewRegistry(), transportCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.SetRings(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.SetMember(2, []transportAddr{transportAddr(Addr(2))}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Forward into ring 1 via member 2: all members deliver it on ring 1.
+	if err := cl.SendRing(1, 2, []byte("outside-ring-1"), false); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range g.IDs {
+		rec.waitPayload(t, id, 1, "outside-ring-1", 5*time.Second)
+	}
+	rec.mu.Lock()
+	for _, id := range g.IDs {
+		if n := len(rec.got[id][0]); n != 0 {
+			t.Errorf("node %v ring 0 delivered %d messages, want 0", id, n)
+		}
+	}
+	rec.mu.Unlock()
+
+	// Unknown ring: rejected locally, nothing sent.
+	if err := cl.SendRing(7, 2, []byte("x"), false); !errors.Is(err, ErrUnknownRing) {
+		t.Fatalf("SendRing(7) = %v, want ErrUnknownRing", err)
+	}
+	// ID collision: addressing a member with the client's own ID.
+	if err := cl.SendRing(0, 900, []byte("x"), false); !errors.Is(err, ErrIDCollision) {
+		t.Fatalf("SendRing(via=self) = %v, want ErrIDCollision", err)
+	}
+	if err := cl.SetMember(900, nil); !errors.Is(err, ErrIDCollision) {
+		t.Fatalf("SetMember(self) = %v, want ErrIDCollision", err)
+	}
+	if err := cl.SetRings(0); err == nil {
+		t.Fatal("SetRings(0) succeeded")
+	}
+}
+
+// TestNodeIgnoresForeignRingFrames checks the defence in depth on a node
+// without a demux: frames stamped with another ring are dropped even when
+// they arrive on its exclusive transport.
+func TestNodeIgnoresForeignRingFrames(t *testing.T) {
+	rec := newRecorder()
+	tc := startCluster(t, 2, rec)
+	// Hand node 1 a forward stamped for ring 3; its protocol node is on
+	// ring 0 and must ignore it.
+	ep, err := tc.Net.Endpoint("intruder")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := transport.New(99, []transportConn{transportSim(ep)}, nil, stats.NewRegistry(), transportCfg())
+	defer tr.Close()
+	tr.SetPeer(1, []transportAddr{transportAddr(Addr(1))})
+	f := wire.Forward{From: 99, Payload: []byte("foreign")}
+	if err := tr.SendSync(1, wire.EncodeForwardRing(3, &f)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.SendSync(1, wire.EncodeForwardRing(0, &f)); err != nil {
+		t.Fatal(err)
+	}
+	// The ring-0 forward is multicast and delivered; the ring-3 one is not.
+	rec.waitPayload(t, 1, "foreign", 5*time.Second)
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	count := 0
+	for _, d := range rec.byNode[1] {
+		if string(d.Payload) == "foreign" {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Fatalf("delivered %d copies, want 1 (ring-3 frame must be dropped)", count)
+	}
+}

@@ -165,3 +165,123 @@ func (tc *TestCluster) Close() {
 	}
 	tc.Net.Close()
 }
+
+// TestGrid assembles a sharded multi-ring cluster over a simulated
+// network: N runtimes (one per node), each hosting S rings over one shared
+// transport. The benchmark harness and the sharded-dds tests build on it.
+type TestGrid struct {
+	Net      *simnet.Network
+	Runtimes map[NodeID]*Runtime
+	IDs      []NodeID
+	Shards   int
+}
+
+// GridOptions tune NewTestGrid.
+type GridOptions struct {
+	// N is the number of nodes (IDs 1..N).
+	N int
+	// Rings is the shard count S (default 1).
+	Rings int
+	// Ring overrides the protocol timers; ID and Eligible are filled in.
+	Ring ring.Config
+	// Transport overrides the transport config.
+	Transport transport.Config
+	// Net overrides the simulated network profile.
+	Net simnet.Options
+	// DeferStart leaves the runtimes unstarted; callers attach layers
+	// (for example sharded dds replicas) and then call StartAll.
+	DeferStart bool
+}
+
+// NewTestGrid builds and (unless deferred) starts an N-node, S-ring grid.
+func NewTestGrid(opts GridOptions) (*TestGrid, error) {
+	if opts.N <= 0 {
+		return nil, fmt.Errorf("core: grid size %d", opts.N)
+	}
+	if opts.Rings <= 0 {
+		opts.Rings = 1
+	}
+	if opts.Ring.TokenHold == 0 {
+		opts.Ring = FastRing()
+	}
+	if opts.Transport.Attempts == 0 {
+		opts.Transport = transport.DefaultConfig()
+		opts.Transport.AckTimeout = 10 * time.Millisecond
+	}
+	net := simnet.New(opts.Net)
+	g := &TestGrid{Net: net, Runtimes: make(map[NodeID]*Runtime), Shards: opts.Rings}
+	var ids []NodeID
+	for i := 1; i <= opts.N; i++ {
+		ids = append(ids, NodeID(i))
+	}
+	g.IDs = ids
+	for _, id := range ids {
+		ep, err := net.Endpoint(Addr(id))
+		if err != nil {
+			g.Close()
+			return nil, err
+		}
+		rc := opts.Ring
+		rc.Eligible = ids
+		rc.SeqBase = uint64(id) << 32 // deterministic distinct bases
+		rt, err := NewRuntime(RuntimeConfig{
+			ID: id, Rings: opts.Rings, Ring: rc, Transport: opts.Transport,
+		}, []transport.PacketConn{transport.NewSimConn(ep)})
+		if err != nil {
+			g.Close()
+			return nil, err
+		}
+		g.Runtimes[id] = rt
+	}
+	for _, id := range ids {
+		for _, other := range ids {
+			if other != id {
+				g.Runtimes[id].SetPeer(other, []transport.Addr{transport.Addr(Addr(other))})
+			}
+		}
+	}
+	if !opts.DeferStart {
+		g.StartAll()
+	}
+	return g, nil
+}
+
+// StartAll boots every runtime; used with DeferStart.
+func (g *TestGrid) StartAll() {
+	for _, id := range g.IDs {
+		g.Runtimes[id].Start()
+	}
+}
+
+// WaitAssembled blocks until every ring of every runtime has converged to
+// the full ID set, or the timeout elapses.
+func (g *TestGrid) WaitAssembled(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	wantSorted := fmt.Sprint(wire.SortedIDs(g.IDs))
+	for time.Now().Before(deadline) {
+		ok := true
+		for _, id := range g.IDs {
+			if fmt.Sprint(g.Runtimes[id].Members()) != wantSorted {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return nil
+		}
+		time.Sleep(time.Millisecond)
+	}
+	var views []string
+	for _, id := range g.IDs {
+		views = append(views, fmt.Sprintf("%v:%v", id, g.Runtimes[id].Members()))
+	}
+	return fmt.Errorf("core: grid did not converge to %s within %v (%v)", wantSorted, timeout, views)
+}
+
+// Close stops all runtimes and the network.
+func (g *TestGrid) Close() {
+	for _, rt := range g.Runtimes {
+		rt.Close()
+	}
+	g.Net.Close()
+}

@@ -1,0 +1,125 @@
+package dds
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+)
+
+// Sharded routes the distributed data service across the rings of a
+// sharded multi-ring runtime. Keys and lock names are consistent-hashed
+// onto one Service replica per ring, so each ring totally orders only its
+// slice of the keyspace: per-key (and per-lock) ordering is preserved
+// while aggregate throughput scales with the ring count. Snapshot/state
+// transfer stays a per-shard concern — each underlying Service syncs its
+// own ring exactly as in the single-ring deployment.
+//
+// Cross-shard atomicity is intentionally NOT provided: two keys on
+// different shards are ordered independently, the same trade every
+// hash-sharded store makes.
+type Sharded struct {
+	shards []*Service
+	ring   *hashRing
+}
+
+// NewSharded builds the router over one Service replica per ring, in ring
+// order. The shard list is fixed for the lifetime of the router; every
+// node of the cluster must construct it with the same shard count.
+func NewSharded(shards []*Service) (*Sharded, error) {
+	if len(shards) == 0 {
+		return nil, errors.New("dds: sharded service needs at least one shard")
+	}
+	for i, s := range shards {
+		if s == nil {
+			return nil, fmt.Errorf("dds: shard %d is nil", i)
+		}
+	}
+	return &Sharded{
+		shards: append([]*Service(nil), shards...),
+		ring:   newHashRing(len(shards), defaultReplicas),
+	}, nil
+}
+
+// AttachSharded builds one Service replica per ring of the runtime and
+// routes across them. Call before Runtime.Start so every replica observes
+// its ring's ordered stream from the first event.
+func AttachSharded(rt *core.Runtime) (*Sharded, error) {
+	var shards []*Service
+	for _, n := range rt.Nodes() {
+		shards = append(shards, New(n))
+	}
+	return NewSharded(shards)
+}
+
+// NumShards returns the shard (ring) count.
+func (s *Sharded) NumShards() int { return len(s.shards) }
+
+// ShardFor returns the shard index owning the key or lock name.
+func (s *Sharded) ShardFor(key string) int { return s.ring.lookup(key) }
+
+// Shard returns the underlying per-ring replica (nil if out of range).
+func (s *Sharded) Shard(i int) *Service {
+	if i < 0 || i >= len(s.shards) {
+		return nil
+	}
+	return s.shards[i]
+}
+
+func (s *Sharded) forKey(key string) *Service { return s.shards[s.ring.lookup(key)] }
+
+// --- locks ---
+
+// Lock acquires the named lock on its owning shard, blocking until granted
+// or ctx is done.
+func (s *Sharded) Lock(ctx context.Context, name string) error {
+	return s.forKey(name).Lock(ctx, name)
+}
+
+// Unlock releases the named lock held by this node.
+func (s *Sharded) Unlock(name string) error { return s.forKey(name).Unlock(name) }
+
+// Holder reports the current owner of the named lock.
+func (s *Sharded) Holder(name string) (core.NodeID, bool) { return s.forKey(name).Holder(name) }
+
+// --- replicated map ---
+
+// Set writes key=val on the key's shard and returns once the write has
+// applied locally (read-your-writes).
+func (s *Sharded) Set(ctx context.Context, key string, val []byte) error {
+	return s.forKey(key).Set(ctx, key, val)
+}
+
+// Get reads a key from its shard's local replica.
+func (s *Sharded) Get(key string) ([]byte, bool) { return s.forKey(key).Get(key) }
+
+// Delete removes a key on its shard.
+func (s *Sharded) Delete(ctx context.Context, key string) error {
+	return s.forKey(key).Delete(ctx, key)
+}
+
+// Keys lists the union of all shards' keys, sorted.
+func (s *Sharded) Keys() []string {
+	var out []string
+	for _, sh := range s.shards {
+		out = append(out, sh.Keys()...)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Watch registers a callback for key changes on every shard. Callbacks for
+// one shard arrive in that shard's apply order; there is no cross-shard
+// order, matching the sharded consistency model.
+func (s *Sharded) Watch(fn func(key string, val []byte, deleted bool)) {
+	for _, sh := range s.shards {
+		sh.Watch(fn)
+	}
+}
+
+// String summarizes the router (diagnostics).
+func (s *Sharded) String() string {
+	return fmt.Sprintf("dds.Sharded{shards=%d}", len(s.shards))
+}

@@ -1,0 +1,243 @@
+package dds
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// shardedCluster builds a multi-ring grid with one Sharded router per node.
+type shardedCluster struct {
+	g    *core.TestGrid
+	svcs map[core.NodeID]*Sharded
+}
+
+func startSharded(t *testing.T, n, rings int) *shardedCluster {
+	t.Helper()
+	g, err := core.NewTestGrid(core.GridOptions{N: n, Rings: rings, DeferStart: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(g.Close)
+	sc := &shardedCluster{g: g, svcs: make(map[core.NodeID]*Sharded)}
+	for id, rt := range g.Runtimes {
+		s, err := AttachSharded(rt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc.svcs[id] = s
+	}
+	g.StartAll()
+	if err := g.WaitAssembled(20 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	return sc
+}
+
+func (sc *shardedCluster) waitKey(t *testing.T, id core.NodeID, key, want string, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if v, ok := sc.svcs[id].Get(key); ok && string(v) == want {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	v, _ := sc.svcs[id].Get(key)
+	t.Fatalf("node %v key %q = %q, want %q", id, key, v, want)
+}
+
+// TestShardedSetVisibleEverywhere writes enough keys to land on every
+// shard and checks each is readable on every node — and stored on the SAME
+// shard everywhere (the routers agree on the hash split).
+func TestShardedSetVisibleEverywhere(t *testing.T) {
+	sc := startSharded(t, 3, 4)
+	ctx := context.Background()
+	keys := make([]string, 16)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%d", i)
+		if err := sc.svcs[1].Set(ctx, keys[i], []byte(keys[i]+"-val")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	covered := map[int]bool{}
+	for _, k := range keys {
+		covered[sc.svcs[1].ShardFor(k)] = true
+	}
+	if len(covered) < 3 {
+		t.Fatalf("16 keys landed on only %d of 4 shards", len(covered))
+	}
+	for _, id := range sc.g.IDs {
+		for _, k := range keys {
+			sc.waitKey(t, id, k, k+"-val", 5*time.Second)
+		}
+	}
+	// The routers agree: a key is present exactly on its owning shard.
+	for _, k := range keys {
+		shard := sc.svcs[1].ShardFor(k)
+		for _, id := range sc.g.IDs {
+			if got := sc.svcs[id].ShardFor(k); got != shard {
+				t.Fatalf("node %v routes %q to shard %d, node 1 to %d", id, k, got, shard)
+			}
+			for i := 0; i < sc.svcs[id].NumShards(); i++ {
+				_, ok := sc.svcs[id].Shard(i).Get(k)
+				if want := i == shard; ok != want {
+					t.Fatalf("node %v shard %d has %q = %v, want %v", id, i, k, ok, want)
+				}
+			}
+		}
+	}
+}
+
+func TestShardedDeleteAndKeys(t *testing.T) {
+	sc := startSharded(t, 2, 2)
+	ctx := context.Background()
+	for i := 0; i < 8; i++ {
+		if err := sc.svcs[1].Set(ctx, fmt.Sprintf("k%d", i), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := len(sc.svcs[1].Keys()); got != 8 {
+		t.Fatalf("Keys() = %d entries, want 8", got)
+	}
+	if err := sc.svcs[1].Delete(ctx, "k3"); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range sc.svcs[1].Keys() {
+		if k == "k3" {
+			t.Fatal("k3 still listed after Delete")
+		}
+	}
+}
+
+// TestShardedLockMutualExclusion takes locks that hash onto different
+// shards from different nodes and checks per-lock mutual exclusion.
+func TestShardedLockMutualExclusion(t *testing.T) {
+	sc := startSharded(t, 3, 2)
+	ctx := context.Background()
+	names := []string{"lock-a", "lock-b", "lock-c", "lock-d"}
+	onShard := map[int]bool{}
+	for _, n := range names {
+		onShard[sc.svcs[1].ShardFor(n)] = true
+	}
+	if len(onShard) < 2 {
+		t.Fatalf("locks landed on %d shards, want both", len(onShard))
+	}
+	for _, name := range names {
+		if err := sc.svcs[1].Lock(ctx, name); err != nil {
+			t.Fatal(err)
+		}
+		if owner, ok := sc.svcs[1].Holder(name); !ok || owner != 1 {
+			t.Fatalf("holder(%s) = %v, %v", name, owner, ok)
+		}
+		// A second node must block until release.
+		acquired := make(chan error, 1)
+		go func(name string) { acquired <- sc.svcs[2].Lock(ctx, name) }(name)
+		select {
+		case err := <-acquired:
+			t.Fatalf("node 2 acquired %s while node 1 held it (err=%v)", name, err)
+		case <-time.After(50 * time.Millisecond):
+		}
+		if err := sc.svcs[1].Unlock(name); err != nil {
+			t.Fatal(err)
+		}
+		if err := <-acquired; err != nil {
+			t.Fatal(err)
+		}
+		if err := sc.svcs[2].Unlock(name); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestShardedWatch checks watchers fire for changes on every shard.
+func TestShardedWatch(t *testing.T) {
+	sc := startSharded(t, 2, 3)
+	var mu sync.Mutex
+	seen := map[string]string{}
+	sc.svcs[2].Watch(func(key string, val []byte, deleted bool) {
+		mu.Lock()
+		if deleted {
+			delete(seen, key)
+		} else {
+			seen[key] = string(val)
+		}
+		mu.Unlock()
+	})
+	ctx := context.Background()
+	for i := 0; i < 9; i++ {
+		if err := sc.svcs[1].Set(ctx, fmt.Sprintf("w%d", i), []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		mu.Lock()
+		n := len(seen)
+		mu.Unlock()
+		if n == 9 {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("watcher saw %d keys, want 9", len(seen))
+}
+
+func TestShardedConstructorValidation(t *testing.T) {
+	if _, err := NewSharded(nil); err == nil {
+		t.Fatal("NewSharded(nil) succeeded")
+	}
+	if _, err := NewSharded([]*Service{nil}); err == nil {
+		t.Fatal("NewSharded with nil shard succeeded")
+	}
+}
+
+// TestHashRingProperties checks determinism, full coverage and rough
+// balance of the consistent-hash split.
+func TestHashRingProperties(t *testing.T) {
+	h := newHashRing(4, defaultReplicas)
+	counts := make([]int, 4)
+	for i := 0; i < 4096; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		s := h.lookup(k)
+		if s != h.lookup(k) {
+			t.Fatal("lookup not deterministic")
+		}
+		counts[s]++
+	}
+	for s, c := range counts {
+		if c == 0 {
+			t.Fatalf("shard %d received no keys: %v", s, counts)
+		}
+		if c < 4096/4/4 || c > 4096*3/4 {
+			t.Fatalf("shard %d badly unbalanced: %v", s, counts)
+		}
+	}
+	// One shard trivially owns everything.
+	h1 := newHashRing(1, defaultReplicas)
+	if h1.lookup("anything") != 0 {
+		t.Fatal("single-shard ring must map everything to shard 0")
+	}
+	// Consistency: growing 4 -> 5 shards must not reshuffle keys that
+	// stay on their shard — only a minority may move.
+	h5 := newHashRing(5, defaultReplicas)
+	moved := 0
+	for i := 0; i < 4096; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		a, b := h.lookup(k), h5.lookup(k)
+		if a != b {
+			if b != 4 {
+				// A key that moved between two OLD shards breaks the
+				// consistent-hashing property.
+				moved++
+			}
+		}
+	}
+	if moved > 4096/10 {
+		t.Fatalf("%d of 4096 keys moved between old shards on grow", moved)
+	}
+}

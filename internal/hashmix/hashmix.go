@@ -1,0 +1,17 @@
+// Package hashmix holds the 64-bit avalanche finalizer shared by the
+// repo's hashing call sites (rainwall's rendezvous weights, the dds
+// consistent-hash ring). One copy keeps the mixing behavior from drifting
+// between packages.
+package hashmix
+
+// Mix is the splitmix64 finalizer: full-avalanche mixing of a 64-bit
+// value, so even near-identical inputs (sequential keys, short strings)
+// spread uniformly over the whole range.
+func Mix(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}

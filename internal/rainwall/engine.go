@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/hashmix"
 	"repro/internal/wire"
 )
 
@@ -96,12 +97,5 @@ func rendezvous(key uint64, members []core.NodeID) core.NodeID {
 	return best
 }
 
-// mix is a 64-bit finalizer (splitmix64) giving well-distributed weights.
-func mix(x uint64) uint64 {
-	x ^= x >> 30
-	x *= 0xBF58476D1CE4E5B9
-	x ^= x >> 27
-	x *= 0x94D049BB133111EB
-	x ^= x >> 31
-	return x
-}
+// mix is the shared 64-bit finalizer giving well-distributed weights.
+func mix(x uint64) uint64 { return hashmix.Mix(x) }

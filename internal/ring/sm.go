@@ -30,6 +30,19 @@ type Config struct {
 	// MinQuorum, when > 0, shuts the node down if the membership drops
 	// below this size — the paper's quorum-decider strategy (§2.4).
 	MinQuorum int
+	// MaxBatch, when > 0, bounds how many queued multicasts this node
+	// attaches to the token per hop; the rest wait for the next visit.
+	// Bounding the batch keeps token frames within datagram limits and
+	// gives each ring a deterministic per-hop throughput ceiling (which
+	// the E5 shard-scaling benchmark measures against). Zero means
+	// unlimited. Singleton rings ignore the bound: their token never
+	// travels, so batching has nothing to protect. A master-lock holder
+	// (§2.7) is also exempt — capping it would deadlock an application
+	// that awaits its own multicast before unlocking — so everything it
+	// submits during the hold travels in one frame on release; do not
+	// bulk-multicast under the lock if datagram size is the reason for
+	// the bound (token frame chunking is a ROADMAP item).
+	MaxBatch int
 	// SeqBase seeds this node's per-origin multicast sequence numbers.
 	// It must be higher than any sequence the node used in a previous
 	// incarnation, or peers will suppress its messages as duplicates;
@@ -91,6 +104,11 @@ type SM struct {
 	outbox    []outMsg
 	delivered map[wire.MessageID]bool
 	highWater map[wire.NodeID]uint64
+	// attachUsed counts outbox attachments during the current token
+	// possession; MaxBatch bounds it per possession, not per
+	// attachOutbox call, so submissions arriving while the token is
+	// held cannot bypass the per-hop budget.
+	attachUsed int
 
 	// Master lock (§2.7).
 	holdRequested bool
@@ -329,6 +347,7 @@ func (s *SM) onToken(e EvTokenReceived, acts *[]Action) {
 	// A fresh token supersedes any pass still awaiting acknowledgement.
 	s.possessed = tok
 	s.passing = false
+	s.attachUsed = 0 // a new possession starts a fresh attach budget
 	s.setState(Eating, acts)
 	*acts = append(*acts, ActStopTimer{Kind: TimerHungry})
 	*acts = append(*acts, ActStopTimer{Kind: TimerStarvingRetry})
@@ -441,7 +460,23 @@ func (s *SM) appendSys(tok *wire.Token, kind wire.SysKind, subject wire.NodeID, 
 // delivers the agreed-ordered ones locally (the origin's position in the
 // total order is its attach point, §2.6).
 func (s *SM) attachOutbox(tok *wire.Token, acts *[]Action) {
-	for _, om := range s.outbox {
+	limit := len(s.outbox)
+	// The batch budget bounds how much one possession adds to the
+	// traveling token frame. A node pinning the token under the master
+	// lock (§2.7) is exempt: its token is not traveling, and capping it
+	// would recreate the deadlock flushIfPossessed exists to prevent —
+	// a lock holder waiting on its own (budget-starved) multicast.
+	if s.cfg.MaxBatch > 0 && len(tok.Members) > 1 && !s.holding {
+		budget := s.cfg.MaxBatch - s.attachUsed
+		if budget < 0 {
+			budget = 0
+		}
+		if limit > budget {
+			limit = budget
+		}
+		s.attachUsed += limit
+	}
+	for _, om := range s.outbox[:limit] {
 		s.nextSeq++
 		m := wire.Message{
 			Origin:  s.id,
@@ -457,7 +492,7 @@ func (s *SM) attachOutbox(tok *wire.Token, acts *[]Action) {
 		}
 		tok.Msgs = append(tok.Msgs, m)
 	}
-	s.outbox = s.outbox[:0]
+	s.outbox = s.outbox[:copy(s.outbox, s.outbox[limit:])]
 	// A singleton ring never passes the token, so complete local cycles
 	// here: visited==1 >= members==1 prunes agreed messages and walks
 	// safe messages through their phases.

@@ -160,6 +160,7 @@ func (s *SM) regenerate(acts *[]Action) {
 	}
 	s.possessed = tok
 	s.passing = false
+	s.attachUsed = 0 // regeneration starts a fresh possession and budget
 	s.clear911()
 	s.setState(Eating, acts)
 	*acts = append(*acts, ActStopTimer{Kind: TimerHungry})

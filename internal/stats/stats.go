@@ -184,6 +184,9 @@ const (
 	MetricMsgsSent = "msgs_sent"
 	// MetricMerges counts completed group merges.
 	MetricMerges = "merges"
+	// MetricDemuxDrops counts frames addressed to a ring the local
+	// demultiplexer has no receiver for.
+	MetricDemuxDrops = "demux_drops"
 	// HistMulticastLatency is submit-to-deliver latency at the origin.
 	HistMulticastLatency = "multicast_latency"
 	// HistTokenRoundTrip is the token's full-ring round-trip time.

@@ -1,0 +1,88 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/stats"
+	"repro/internal/wire"
+)
+
+// Demux fans one Transport out to multiple rings. The sharded multi-ring
+// runtime runs S independent token rings over the same nodes; all of them
+// share one Transport (one set of PacketConns, one ack/retry machinery,
+// one dedup window per peer) and the demultiplexer routes each received
+// session frame to the receiver registered for the frame's RingID.
+//
+// Version-1 frames carry no RingID and route to ring 0, so a ring-0
+// receiver transparently serves not-yet-upgraded peers.
+type Demux struct {
+	tr *Transport
+
+	mu    sync.RWMutex
+	rings map[wire.RingID]func(from wire.NodeID, payload []byte)
+}
+
+// NewDemux wraps a transport, taking over its handler slot. Receivers are
+// attached per ring with Register; frames for unregistered rings are
+// dropped and counted under MetricDemuxDrops.
+func NewDemux(tr *Transport) *Demux {
+	d := &Demux{tr: tr, rings: make(map[wire.RingID]func(from wire.NodeID, payload []byte))}
+	tr.SetHandler(d.dispatch)
+	return d
+}
+
+// Transport returns the shared underlying transport.
+func (d *Demux) Transport() *Transport { return d.tr }
+
+// Register installs the receiver for one ring. It fails if the ring
+// already has a receiver, so two nodes cannot silently fight over a ring.
+func (d *Demux) Register(ring wire.RingID, fn func(from wire.NodeID, payload []byte)) error {
+	if fn == nil {
+		return fmt.Errorf("transport: nil receiver for ring %v", ring)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, taken := d.rings[ring]; taken {
+		return fmt.Errorf("transport: ring %v already registered", ring)
+	}
+	d.rings[ring] = fn
+	return nil
+}
+
+// Unregister removes the receiver for one ring; subsequent frames for it
+// are dropped.
+func (d *Demux) Unregister(ring wire.RingID) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	delete(d.rings, ring)
+}
+
+// Rings lists the rings that currently have receivers.
+func (d *Demux) Rings() []wire.RingID {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	out := make([]wire.RingID, 0, len(d.rings))
+	for r := range d.rings {
+		out = append(out, r)
+	}
+	return out
+}
+
+// dispatch routes one delivered payload by its frame's RingID. Corrupt
+// frames are dropped here exactly as a single ring's decoder would drop
+// them; frames for unknown rings count as demux drops.
+func (d *Demux) dispatch(from wire.NodeID, payload []byte) {
+	ring, err := wire.PeekRing(payload)
+	if err != nil {
+		return
+	}
+	d.mu.RLock()
+	fn := d.rings[ring]
+	d.mu.RUnlock()
+	if fn == nil {
+		d.tr.Stats().Counter(stats.MetricDemuxDrops).Inc()
+		return
+	}
+	fn(from, payload)
+}

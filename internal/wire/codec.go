@@ -8,16 +8,39 @@ import (
 
 // Codec format: every session message is
 //
-//	byte 0      version (currently 1)
+//	byte 0      version (currently 2)
 //	byte 1      Kind
-//	bytes 2..   kind-specific body, little-endian fixed-width integers,
+//	bytes 2-5   RingID (version 2 only, little-endian uint32)
+//	bytes ..    kind-specific body, little-endian fixed-width integers,
 //	            byte slices length-prefixed with uint32
 //
 // The format is versioned so a rolling-upgraded cluster can reject frames
-// it does not understand instead of misparsing them.
+// it does not understand instead of misparsing them. Version 1 predates the
+// sharded multi-ring runtime and has no RingID field; such frames decode as
+// ring 0.
+//
+// Rolling-upgrade interop is BIDIRECTIONAL on ring 0 and one-way
+// elsewhere: ring-0 frames are emitted in the version-1 format (a
+// version-1 binary must keep decoding them, or a mixed cluster would
+// silently destroy the token — the transport acks a frame before the
+// session layer decodes it, so the sender would believe the pass
+// succeeded while the old member drops it). Frames for any other ring are
+// emitted as version 2 with an explicit RingID; version-1 members cannot
+// decode those, which is harmless because a version-1 binary cannot host
+// extra rings in the first place. Decode accepts both versions for every
+// ring, so version-2 ring-0 frames (from a future emitter) also work.
 
-// Version is the wire format version emitted by this package.
-const Version = 1
+const (
+	// VersionSingle is the legacy single-ring format: no RingID field,
+	// ring 0 implied. Still emitted for ring-0 frames (see above).
+	VersionSingle = 1
+	// VersionMulti is the current format: the frame carries the RingID
+	// of the ring it belongs to.
+	VersionMulti = 2
+)
+
+// Version is the wire format version emitted for non-zero rings.
+const Version = VersionMulti
 
 // Limits protect against corrupt or hostile frames.
 const (
@@ -39,9 +62,11 @@ var (
 )
 
 // Envelope is a decoded session message: exactly one of the pointer fields
-// is non-nil, matching Kind.
+// is non-nil, matching Kind. Ring is the ring the frame belongs to; version-1
+// frames always decode with Ring 0.
 type Envelope struct {
 	Kind     Kind
+	Ring     RingID
 	Token    *Token
 	M911     *Msg911
 	M911R    *Msg911Reply
@@ -49,15 +74,32 @@ type Envelope struct {
 	Forward  *Forward
 }
 
-// EncodeToken serializes a TOKEN message.
-func EncodeToken(t *Token) []byte {
+// header appends the frame header: version 1 for ring 0 (rolling-upgrade
+// interop with single-ring members), version 2 with the RingID otherwise.
+func header(b []byte, ring RingID, kind Kind) []byte {
+	if ring == Ring0 {
+		return append(b, VersionSingle, byte(kind))
+	}
+	b = append(b, VersionMulti, byte(kind))
+	return appendU32(b, uint32(ring))
+}
+
+// headerLen is the encoded size of the version-2 header (the version-1
+// header is 2 bytes); encoders pre-size with the larger one.
+const headerLen = 6
+
+// EncodeToken serializes a TOKEN message for ring 0.
+func EncodeToken(t *Token) []byte { return EncodeTokenRing(Ring0, t) }
+
+// EncodeTokenRing serializes a TOKEN message for the given ring.
+func EncodeTokenRing(ring RingID, t *Token) []byte {
 	// Pre-size: header + fixed fields + members + messages.
-	n := 2 + 8 + 8 + 1 + 4 + 4*len(t.Members) + 4
+	n := headerLen + 8 + 8 + 1 + 4 + 4*len(t.Members) + 4
 	for _, m := range t.Msgs {
 		n += msgEncodedSize(&m)
 	}
 	b := make([]byte, 0, n)
-	b = append(b, Version, byte(KindToken))
+	b = header(b, ring, KindToken)
 	b = appendU64(b, t.Epoch)
 	b = appendU64(b, t.Seq)
 	b = append(b, boolByte(t.TBM))
@@ -72,10 +114,13 @@ func EncodeToken(t *Token) []byte {
 	return b
 }
 
-// Encode911 serializes a 911 request.
-func Encode911(m *Msg911) []byte {
-	b := make([]byte, 0, 2+4+8+8+8)
-	b = append(b, Version, byte(Kind911))
+// Encode911 serializes a 911 request for ring 0.
+func Encode911(m *Msg911) []byte { return Encode911Ring(Ring0, m) }
+
+// Encode911Ring serializes a 911 request for the given ring.
+func Encode911Ring(ring RingID, m *Msg911) []byte {
+	b := make([]byte, 0, headerLen+4+8+8+8)
+	b = header(b, ring, Kind911)
 	b = appendU32(b, uint32(m.From))
 	b = appendU64(b, m.Epoch)
 	b = appendU64(b, m.Seq)
@@ -83,10 +128,13 @@ func Encode911(m *Msg911) []byte {
 	return b
 }
 
-// Encode911Reply serializes a 911 reply.
-func Encode911Reply(m *Msg911Reply) []byte {
-	b := make([]byte, 0, 2+4+8+2+8+8)
-	b = append(b, Version, byte(Kind911Reply))
+// Encode911Reply serializes a 911 reply for ring 0.
+func Encode911Reply(m *Msg911Reply) []byte { return Encode911ReplyRing(Ring0, m) }
+
+// Encode911ReplyRing serializes a 911 reply for the given ring.
+func Encode911ReplyRing(ring RingID, m *Msg911Reply) []byte {
+	b := make([]byte, 0, headerLen+4+8+2+8+8)
+	b = header(b, ring, Kind911Reply)
 	b = appendU32(b, uint32(m.From))
 	b = appendU64(b, m.ReqID)
 	b = append(b, boolByte(m.Grant), boolByte(m.JoinPending))
@@ -95,38 +143,75 @@ func Encode911Reply(m *Msg911Reply) []byte {
 	return b
 }
 
-// EncodeBodyodor serializes a discovery beacon.
-func EncodeBodyodor(m *Bodyodor) []byte {
-	b := make([]byte, 0, 2+4+4+8)
-	b = append(b, Version, byte(KindBodyodor))
+// EncodeBodyodor serializes a discovery beacon for ring 0.
+func EncodeBodyodor(m *Bodyodor) []byte { return EncodeBodyodorRing(Ring0, m) }
+
+// EncodeBodyodorRing serializes a discovery beacon for the given ring.
+func EncodeBodyodorRing(ring RingID, m *Bodyodor) []byte {
+	b := make([]byte, 0, headerLen+4+4+8)
+	b = header(b, ring, KindBodyodor)
 	b = appendU32(b, uint32(m.From))
 	b = appendU32(b, uint32(m.GroupID))
 	b = appendU64(b, m.Epoch)
 	return b
 }
 
-// EncodeForward serializes an open-group forward.
-func EncodeForward(m *Forward) []byte {
-	b := make([]byte, 0, 2+4+1+4+len(m.Payload))
-	b = append(b, Version, byte(KindForward))
+// EncodeForward serializes an open-group forward for ring 0.
+func EncodeForward(m *Forward) []byte { return EncodeForwardRing(Ring0, m) }
+
+// EncodeForwardRing serializes an open-group forward for the given ring.
+func EncodeForwardRing(ring RingID, m *Forward) []byte {
+	b := make([]byte, 0, headerLen+4+1+4+len(m.Payload))
+	b = header(b, ring, KindForward)
 	b = appendU32(b, uint32(m.From))
 	b = append(b, boolByte(m.Safe))
 	b = appendBytes(b, m.Payload)
 	return b
 }
 
+// PeekRing extracts the RingID of an encoded frame without decoding the
+// body. It is the transport demultiplexer's routing key: version-1 frames
+// report ring 0, version-2 frames report their RingID field.
+func PeekRing(b []byte) (RingID, error) {
+	if len(b) < 2 {
+		return Ring0, ErrTruncated
+	}
+	switch b[0] {
+	case VersionSingle:
+		return Ring0, nil
+	case VersionMulti:
+		if len(b) < headerLen {
+			return Ring0, ErrTruncated
+		}
+		return RingID(binary.LittleEndian.Uint32(b[2:])), nil
+	default:
+		return Ring0, fmt.Errorf("%w: got %d", ErrBadVersion, b[0])
+	}
+}
+
 // Decode parses a session message. It validates the version, kind, bounds
-// and exact length.
+// and exact length. Both the current version-2 format and the legacy
+// version-1 (single-ring) format are accepted; version-1 frames decode
+// with Ring 0.
 func Decode(b []byte) (*Envelope, error) {
 	if len(b) < 2 {
 		return nil, ErrTruncated
 	}
-	if b[0] != Version {
-		return nil, fmt.Errorf("%w: got %d want %d", ErrBadVersion, b[0], Version)
-	}
 	kind := Kind(b[1])
 	r := reader{buf: b[2:]}
 	env := &Envelope{Kind: kind}
+	switch b[0] {
+	case VersionSingle:
+		// Legacy single-ring frame: no RingID field, ring 0 implied.
+	case VersionMulti:
+		ring, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		env.Ring = RingID(ring)
+	default:
+		return nil, fmt.Errorf("%w: got %d want %d or %d", ErrBadVersion, b[0], VersionSingle, VersionMulti)
+	}
 	var err error
 	switch kind {
 	case KindToken:

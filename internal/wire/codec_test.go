@@ -105,6 +105,115 @@ func TestForwardRoundTrip(t *testing.T) {
 	}
 }
 
+// legacyV1 rewrites a version-2 frame into the legacy version-1 format by
+// dropping the RingID field. It lets the cross-version tests exercise the
+// decoder against frames a not-yet-upgraded member would emit.
+func legacyV1(v2 []byte) []byte {
+	if len(v2) < headerLen || v2[0] != VersionMulti {
+		panic("legacyV1: not a version-2 frame")
+	}
+	out := []byte{VersionSingle, v2[1]}
+	return append(out, v2[headerLen:]...)
+}
+
+// v2Ring0 rewrites a version-1 frame into its version-2 ring-0 equivalent
+// (a future emitter may stamp ring 0 explicitly; Decode must accept it).
+func v2Ring0(v1 []byte) []byte {
+	if len(v1) < 2 || v1[0] != VersionSingle {
+		panic("v2Ring0: not a version-1 frame")
+	}
+	out := []byte{VersionMulti, v1[1], 0, 0, 0, 0}
+	return append(out, v1[2:]...)
+}
+
+// TestCrossVersionDecode verifies the rolling-upgrade guarantees: ring-0
+// frames are EMITTED in the version-1 format (so not-yet-upgraded members
+// keep decoding them and the token survives a mixed cluster), and the
+// decoder accepts the version-2 ring-0 form identically.
+func TestCrossVersionDecode(t *testing.T) {
+	frames := map[string][]byte{
+		"token": EncodeToken(&Token{
+			Epoch: 7, Seq: 19, Members: []NodeID{1, 2, 3},
+			Msgs: []Message{{Origin: 2, Seq: 5, Safe: true, Visited: 1, Payload: []byte("m")}},
+		}),
+		"911":      Encode911(&Msg911{From: 4, Epoch: 1, Seq: 2, ReqID: 3}),
+		"911reply": Encode911Reply(&Msg911Reply{From: 5, ReqID: 3, Grant: true, Epoch: 1, Seq: 2}),
+		"bodyodor": EncodeBodyodor(&Bodyodor{From: 6, GroupID: 1, Epoch: 9}),
+		"forward":  EncodeForward(&Forward{From: 7, Safe: true, Payload: []byte("fw")}),
+	}
+	for name, v1 := range frames {
+		if v1[0] != VersionSingle {
+			t.Fatalf("%s: ring-0 emitted version = %d, want %d (v1 members must keep decoding ring 0)", name, v1[0], VersionSingle)
+		}
+		got, err := Decode(v1)
+		if err != nil {
+			t.Fatalf("%s: decode v1: %v", name, err)
+		}
+		want, err := Decode(v2Ring0(v1))
+		if err != nil {
+			t.Fatalf("%s: decode v2-ring0: %v", name, err)
+		}
+		if got.Ring != Ring0 || want.Ring != Ring0 {
+			t.Fatalf("%s: rings = %v/%v, want ring 0", name, got.Ring, want.Ring)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s: v1 decoded %+v, v2-ring0 decoded %+v", name, got, want)
+		}
+	}
+	// Non-zero rings emit version 2.
+	if f := Encode911Ring(1, &Msg911{From: 4}); f[0] != VersionMulti {
+		t.Fatalf("ring-1 emitted version = %d, want %d", f[0], VersionMulti)
+	}
+}
+
+// TestRingIDRoundTrip verifies every kind carries a non-zero RingID through
+// the version-2 codec.
+func TestRingIDRoundTrip(t *testing.T) {
+	const ring RingID = 3
+	frames := [][]byte{
+		EncodeTokenRing(ring, &Token{Epoch: 1, Seq: 2, Members: []NodeID{1}}),
+		Encode911Ring(ring, &Msg911{From: 1}),
+		Encode911ReplyRing(ring, &Msg911Reply{From: 1}),
+		EncodeBodyodorRing(ring, &Bodyodor{From: 1}),
+		EncodeForwardRing(ring, &Forward{From: 1, Payload: []byte("x")}),
+	}
+	for i, b := range frames {
+		env, err := Decode(b)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if env.Ring != ring {
+			t.Errorf("frame %d: ring = %v, want %v", i, env.Ring, ring)
+		}
+		peeked, err := PeekRing(b)
+		if err != nil || peeked != ring {
+			t.Errorf("frame %d: PeekRing = %v, %v, want %v", i, peeked, err, ring)
+		}
+	}
+}
+
+func TestPeekRing(t *testing.T) {
+	v2 := Encode911Ring(9, &Msg911{From: 1})
+	if r, err := PeekRing(v2); err != nil || r != 9 {
+		t.Fatalf("PeekRing(v2) = %v, %v", r, err)
+	}
+	if r, err := PeekRing(legacyV1(v2)); err != nil || r != Ring0 {
+		t.Fatalf("PeekRing(v1) = %v, %v", r, err)
+	}
+	if r, err := PeekRing(Encode911(&Msg911{From: 1})); err != nil || r != Ring0 {
+		t.Fatalf("PeekRing(emitted ring-0 frame) = %v, %v", r, err)
+	}
+	if _, err := PeekRing(nil); err == nil {
+		t.Fatal("PeekRing(nil) succeeded")
+	}
+	if _, err := PeekRing([]byte{VersionMulti, byte(Kind911), 1, 2}); err == nil {
+		t.Fatal("PeekRing accepted a truncated v2 header")
+	}
+	if _, err := PeekRing([]byte{99, byte(Kind911)}); err == nil {
+		t.Fatal("PeekRing accepted an unknown version")
+	}
+}
+
 func TestDecodeErrors(t *testing.T) {
 	cases := []struct {
 		name string
@@ -113,10 +222,13 @@ func TestDecodeErrors(t *testing.T) {
 		{"empty", nil},
 		{"one byte", []byte{Version}},
 		{"bad version", []byte{99, byte(KindToken)}},
-		{"bad kind", []byte{Version, 0}},
-		{"unknown kind", []byte{Version, 200}},
-		{"truncated token", []byte{Version, byte(KindToken), 1, 2, 3}},
-		{"truncated 911", []byte{Version, byte(Kind911), 1}},
+		{"bad kind", []byte{Version, 0, 0, 0, 0, 0}},
+		{"unknown kind", []byte{Version, 200, 0, 0, 0, 0}},
+		{"truncated ring", []byte{Version, byte(KindToken), 1, 2}},
+		{"truncated token", []byte{Version, byte(KindToken), 0, 0, 0, 0, 1, 2, 3}},
+		{"truncated 911", []byte{Version, byte(Kind911), 0, 0, 0, 0, 1}},
+		{"bad kind v1", []byte{VersionSingle, 0}},
+		{"truncated token v1", []byte{VersionSingle, byte(KindToken), 1, 2, 3}},
 	}
 	for _, c := range cases {
 		if _, err := Decode(c.in); err == nil {
@@ -136,6 +248,7 @@ func TestDecodeTrailingBytes(t *testing.T) {
 func TestDecodeOversizedMemberCount(t *testing.T) {
 	// Hand-craft a token frame claiming 2^20 members.
 	b := []byte{Version, byte(KindToken)}
+	b = appendU32(b, 0) // ring
 	b = appendU64(b, 1) // epoch
 	b = appendU64(b, 1) // seq
 	b = append(b, 0)    // tbm
@@ -147,6 +260,7 @@ func TestDecodeOversizedMemberCount(t *testing.T) {
 
 func TestDecodeOversizedPayload(t *testing.T) {
 	b := []byte{Version, byte(KindForward)}
+	b = appendU32(b, 0)            // ring
 	b = appendU32(b, 1)            // from
 	b = append(b, 0)               // safe
 	b = appendU32(b, MaxPayload+1) // claimed payload length

@@ -1,0 +1,110 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// fuzzSeeds returns encoded round-trip frames of every kind in both wire
+// versions, the seed corpus the fuzz targets start from.
+func fuzzSeeds() [][]byte {
+	tok := &Token{
+		Epoch: 3, Seq: 88, TBM: true, Members: []NodeID{1, 2, 9},
+		Msgs: []Message{
+			{Origin: 1, Seq: 4, Sys: SysApp, Safe: true, Phase: PhaseRelease, Visited: 2, Payload: []byte("payload")},
+			{Origin: 9, Seq: 1, Sys: SysNodeJoined, Subject: 2, Visited: 1},
+		},
+	}
+	frames := [][]byte{
+		EncodeToken(tok),
+		EncodeTokenRing(5, tok),
+		Encode911(&Msg911{From: 2, Epoch: 1, Seq: 7, ReqID: 11}),
+		Encode911Ring(3, &Msg911{From: 2, Epoch: 1, Seq: 7, ReqID: 11}),
+		Encode911Reply(&Msg911Reply{From: 3, ReqID: 11, Grant: true, JoinPending: true, Epoch: 2, Seq: 8}),
+		EncodeBodyodor(&Bodyodor{From: 4, GroupID: 1, Epoch: 6}),
+		EncodeBodyodorRing(1, &Bodyodor{From: 4, GroupID: 1, Epoch: 6}),
+		EncodeForward(&Forward{From: 5, Safe: true, Payload: []byte("forwarded")}),
+		EncodeForwardRing(2, &Forward{From: 5, Payload: []byte{}}),
+	}
+	var seeds [][]byte
+	for _, f := range frames {
+		seeds = append(seeds, f)
+		switch f[0] {
+		case VersionMulti:
+			// The version-1 rendering (RingID stripped, ring 0 implied).
+			seeds = append(seeds, append([]byte{VersionSingle, f[1]}, f[headerLen:]...))
+		case VersionSingle:
+			// The version-2 ring-0 rendering of an emitted ring-0 frame.
+			v2 := append([]byte{VersionMulti, f[1], 0, 0, 0, 0}, f[2:]...)
+			seeds = append(seeds, v2)
+		}
+	}
+	return seeds
+}
+
+// reencode serializes a decoded envelope back to bytes with its ring,
+// producing the canonical version-2 form.
+func reencode(env *Envelope) []byte {
+	switch env.Kind {
+	case KindToken:
+		return EncodeTokenRing(env.Ring, env.Token)
+	case Kind911:
+		return Encode911Ring(env.Ring, env.M911)
+	case Kind911Reply:
+		return Encode911ReplyRing(env.Ring, env.M911R)
+	case KindBodyodor:
+		return EncodeBodyodorRing(env.Ring, env.Bodyodor)
+	case KindForward:
+		return EncodeForwardRing(env.Ring, env.Forward)
+	}
+	return nil
+}
+
+// FuzzDecode drives arbitrary bytes through Decode. It must never panic,
+// and any frame it accepts must survive a canonical re-encode/decode cycle
+// byte-for-byte (so version-1 and version-2 inputs converge to the same
+// canonical form).
+func FuzzDecode(f *testing.F) {
+	for _, s := range fuzzSeeds() {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		env, err := Decode(data)
+		if err != nil {
+			return
+		}
+		enc := reencode(env)
+		if enc == nil {
+			t.Fatalf("decoded envelope with unknown kind %v", env.Kind)
+		}
+		env2, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("re-encoded frame failed to decode: %v", err)
+		}
+		enc2 := reencode(env2)
+		if !bytes.Equal(enc, enc2) {
+			t.Fatalf("canonical form not stable:\n first %x\nsecond %x", enc, enc2)
+		}
+	})
+}
+
+// FuzzPeekRing checks that the demultiplexer's cheap ring extraction agrees
+// with the full decoder whenever the latter accepts the frame.
+func FuzzPeekRing(f *testing.F) {
+	for _, s := range fuzzSeeds() {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		env, err := Decode(data)
+		if err != nil {
+			return
+		}
+		ring, err := PeekRing(data)
+		if err != nil {
+			t.Fatalf("Decode accepted a frame PeekRing rejects: %v", err)
+		}
+		if ring != env.Ring {
+			t.Fatalf("PeekRing = %v, Decode.Ring = %v", ring, env.Ring)
+		}
+	})
+}

@@ -17,6 +17,18 @@ type NodeID uint32
 // NoNode is the zero NodeID, never a valid member.
 const NoNode NodeID = 0
 
+// RingID identifies one ring (one circulating token and its total order)
+// within a sharded multi-ring runtime. A single-ring deployment uses ring
+// 0; legacy version-1 frames have no RingID field and decode as ring 0.
+type RingID uint32
+
+// Ring0 is the default ring: the only ring of a single-ring deployment and
+// the anchor ring of a sharded runtime.
+const Ring0 RingID = 0
+
+// String renders a RingID as "r<id>".
+func (r RingID) String() string { return fmt.Sprintf("r%d", r) }
+
 // String renders a NodeID as "n<id>".
 func (id NodeID) String() string { return fmt.Sprintf("n%d", id) }
 

@@ -16,6 +16,7 @@ package raincore
 
 import (
 	"repro/internal/core"
+	"repro/internal/dds"
 	"repro/internal/ring"
 	"repro/internal/transport"
 	"repro/internal/wire"
@@ -50,8 +51,40 @@ type (
 	Addr = transport.Addr
 )
 
+// Sharded multi-ring runtime types: S rings over one shared transport,
+// with the data-service keyspace consistent-hashed across them.
+type (
+	// RingID identifies one ring of a sharded runtime.
+	RingID = wire.RingID
+	// Runtime owns a shared transport and one protocol node per ring.
+	Runtime = core.Runtime
+	// RuntimeConfig assembles a sharded runtime.
+	RuntimeConfig = core.RuntimeConfig
+	// RingHealth is one ring's slice of the combined health view.
+	RingHealth = core.RingHealth
+	// ShardedDDS routes the distributed data service across the rings
+	// of a Runtime by consistent key hashing.
+	ShardedDDS = dds.Sharded
+)
+
 // NoNode is the zero NodeID.
 const NoNode = wire.NoNode
+
+// Ring0 is the default ring of a single-ring deployment and the anchor
+// ring of a sharded runtime.
+const Ring0 = wire.Ring0
+
+// NewRuntime builds a sharded multi-ring runtime over the given conns.
+func NewRuntime(cfg RuntimeConfig, conns []PacketConn) (*Runtime, error) {
+	return core.NewRuntime(cfg, conns)
+}
+
+// AttachShardedDDS builds one data-service replica per ring of the
+// runtime and routes keys and locks across them. Call before
+// Runtime.Start.
+func AttachShardedDDS(rt *Runtime) (*ShardedDDS, error) {
+	return dds.AttachSharded(rt)
+}
 
 // NewNode builds a cluster member over the given transport conns.
 func NewNode(cfg Config, conns []PacketConn) (*Node, error) {
