@@ -10,8 +10,10 @@
 //	rainbench -exp e1,e2,a3     # a comma-separated subset
 //	rainbench e5                # positional form of -exp e5
 //
-// e5 (the sharded multi-ring scaling run) additionally persists its rows
-// to BENCH_E5.json (override with -e5-out).
+// e5 (the sharded multi-ring scaling run) persists its rows to
+// BENCH_E5.json (override with -e5-out); e6 (the elastic-resharding run)
+// persists to BENCH_E6.json (-e6-out) and refuses to overwrite an
+// existing baseline unless -force is given.
 package main
 
 import (
@@ -26,11 +28,13 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiments to run: all or a comma list of e1,e2,e3,e4,e5,a1,a2,a3")
+	exp := flag.String("exp", "all", "experiments to run: all or a comma list of e1,e2,e3,e4,e5,e6,a1,a2,a3")
 	e5Out := flag.String("e5-out", "BENCH_E5.json", "where e5 persists its baseline rows")
+	e6Out := flag.String("e6-out", "BENCH_E6.json", "where e6 persists its baseline")
+	force := flag.Bool("force", false, "overwrite an existing e6 baseline")
 	flag.Parse()
 
-	known := []string{"e1", "e2", "e3", "e4", "e5", "a1", "a2", "a3"}
+	known := []string{"e1", "e2", "e3", "e4", "e5", "e6", "a1", "a2", "a3"}
 	selection := *exp
 	// Positional form: `rainbench e5` == `rainbench -exp e5`. Mixing the
 	// two would silently drop one, so it is an error; so is an unknown
@@ -119,6 +123,21 @@ func main() {
 			log.Fatalf("E5: write baseline: %v", err)
 		}
 		fmt.Printf("e5 baseline written to %s\n\n", *e5Out)
+	}
+	if want["e6"] {
+		if _, err := os.Stat(*e6Out); err == nil && !*force {
+			log.Fatalf("rainbench: %s exists; pass -force to overwrite the baseline", *e6Out)
+		}
+		cfg := experiments.DefaultE6()
+		res, err := experiments.E6Resharding(cfg)
+		if err != nil {
+			log.Fatalf("E6: %v", err)
+		}
+		fmt.Println(experiments.E6Table(res, cfg))
+		if err := experiments.WriteE6JSON(*e6Out, cfg, res); err != nil {
+			log.Fatalf("E6: write baseline: %v", err)
+		}
+		fmt.Printf("e6 baseline written to %s\n\n", *e6Out)
 	}
 	if want["a1"] {
 		rows, err := experiments.A1SafeVsAgreed(4, 50)

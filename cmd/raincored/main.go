@@ -11,18 +11,32 @@
 //
 // Each node multicasts a heartbeat at -announce intervals and logs every
 // delivery, membership change and system event. SIGINT leaves gracefully.
+//
+// With -admin ADDR the daemon serves an HTTP admin surface for elastic
+// resharding and health:
+//
+//	GET  /health       full health view (rings, routing epoch, demux drops)
+//	GET  /routing      the epoch-versioned routing table
+//	POST /rings/add    grow by one ring (call on every node; the lowest
+//	                   member coordinates the keyspace handoff)
+//	POST /rings/remove?ring=N  shrink, handing ring N's slice back
+//
+// With -dds the daemon hosts the sharded distributed data service, so
+// grows and shrinks migrate the keyspace through the ordered handoff.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"os/signal"
 	"strconv"
 	"strings"
 	"sync"
-	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -57,13 +71,15 @@ func main() {
 		id       = flag.Uint("id", 0, "this node's ID (required, non-zero)")
 		listen   = flag.String("listen", "127.0.0.1:0", "UDP listen address; repeatable via commas for redundant links")
 		peers    = peerList{}
-		rings    = flag.Int("rings", 1, "token rings sharded over this node (one shared transport)")
+		rings    = flag.Int("rings", 1, "initial token rings sharded over this node (one shared transport)")
 		tokenMS  = flag.Int("token-hold", 100, "token hold interval in milliseconds")
 		hungryMS = flag.Int("hungry", 500, "hungry timeout in milliseconds")
 		beaconMS = flag.Int("bodyodor", 1000, "discovery beacon interval in milliseconds")
 		quorum   = flag.Int("quorum", 0, "minimum membership before self-shutdown (0 disables)")
 		announce = flag.Duration("announce", 2*time.Second, "heartbeat multicast interval (0 disables)")
 		statsInt = flag.Duration("stats", 10*time.Second, "stats print interval (0 disables)")
+		admin    = flag.String("admin", "", "HTTP admin address for health and grow/shrink (empty disables)")
+		withDDS  = flag.Bool("dds", false, "host the sharded distributed data service (enables keyspace handoff on grow/shrink)")
 	)
 	flag.Var(peers, "peer", "peer as id=addr[,addr...]; repeat per peer")
 	flag.Parse()
@@ -108,16 +124,14 @@ func main() {
 
 	// A node with a dead ring serves only part of the keyspace and the
 	// runtime cannot restart single rings, so the daemon fails fast:
-	// ringDown (first shutdown) exits the process for the supervisor to
-	// restart it whole. allDown additionally lets the SIGINT path wait
-	// until every ring has announced its leave.
+	// ringDown (first unexpected shutdown) exits the process for the
+	// supervisor to restart it whole. A ring retired by an admin shrink
+	// also announces a shutdown, but its ring has already left the
+	// routing table — that one is deliberate and does not exit.
 	ringDown := make(chan struct{})
-	allDown := make(chan struct{})
 	var firstDown sync.Once
-	var downRings atomic.Int32
-	for _, n := range rt.Nodes() {
-		r := n.Ring()
-		n.SetHandlers(raincore.Handlers{
+	mkHandlers := func(r raincore.RingID) raincore.Handlers {
+		return raincore.Handlers{
 			OnDeliver: func(d raincore.Delivery) {
 				logger.Printf("[%v] deliver from %v seq=%d safe=%v: %q", r, d.Origin, d.Seq, d.Safe, d.Payload)
 			},
@@ -128,16 +142,97 @@ func main() {
 				logger.Printf("[%v] sys %v subject=%v origin=%v", r, e.Kind, e.Subject, e.Origin)
 			},
 			OnShutdown: func(reason string) {
+				if !rt.Routing().Has(r) {
+					logger.Printf("[%v] retired: %s", r, reason)
+					return
+				}
 				logger.Printf("[%v] shutdown: %s", r, reason)
 				firstDown.Do(func() { close(ringDown) })
-				if int(downRings.Add(1)) == rt.Rings() {
-					close(allDown)
-				}
 			},
-		})
+		}
 	}
+
+	var sharded *raincore.ShardedDDS
+	if *withDDS {
+		sharded, err = raincore.AttachShardedDDS(rt)
+		if err != nil {
+			log.Fatalf("raincored: attach dds: %v", err)
+		}
+		// The data service owns the node handler slots; the daemon's
+		// loggers ride the per-shard application pass-through.
+		for _, view := range rt.Routing().Rings {
+			sharded.Shard(int(view)).SetAppHandlers(mkHandlers(view))
+		}
+		logger.Printf("sharded dds attached across %d ring(s)", rt.Rings())
+	} else {
+		for _, n := range rt.Nodes() {
+			n.SetHandlers(mkHandlers(n.Ring()))
+		}
+	}
+	// Rings spawned later by admin grows get the same treatment. The dds
+	// spawn hook (when attached) registered first, so the shard exists
+	// by the time this one runs.
+	rt.OnRingSpawn(func(r raincore.RingID, n *raincore.Node) {
+		if sharded != nil {
+			sharded.Shard(int(r)).SetAppHandlers(mkHandlers(r))
+		} else {
+			n.SetHandlers(mkHandlers(r))
+		}
+	})
+	rt.RoutingWatch(func(v raincore.RoutingView) {
+		logger.Printf("routing -> %v", v)
+	})
+
 	rt.Start()
 	logger.Printf("started %d ring(s); eligible membership %v", rt.Rings(), eligible)
+
+	if *admin != "" {
+		mux := http.NewServeMux()
+		writeJSON := func(w http.ResponseWriter, v any) {
+			w.Header().Set("Content-Type", "application/json")
+			_ = json.NewEncoder(w).Encode(v)
+		}
+		mux.HandleFunc("GET /health", func(w http.ResponseWriter, r *http.Request) {
+			writeJSON(w, rt.HealthView())
+		})
+		mux.HandleFunc("GET /routing", func(w http.ResponseWriter, r *http.Request) {
+			writeJSON(w, rt.Routing())
+		})
+		mux.HandleFunc("POST /rings/add", func(w http.ResponseWriter, r *http.Request) {
+			ctx, cancel := context.WithTimeout(r.Context(), 60*time.Second)
+			defer cancel()
+			ringID, err := rt.AddRing(ctx)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusConflict)
+				return
+			}
+			logger.Printf("admin: grew to ring %v", ringID)
+			writeJSON(w, map[string]any{"ring": ringID, "routing": rt.Routing()})
+		})
+		mux.HandleFunc("POST /rings/remove", func(w http.ResponseWriter, r *http.Request) {
+			n, err := strconv.ParseUint(r.URL.Query().Get("ring"), 10, 32)
+			if err != nil {
+				http.Error(w, "want ?ring=N", http.StatusBadRequest)
+				return
+			}
+			ctx, cancel := context.WithTimeout(r.Context(), 60*time.Second)
+			defer cancel()
+			if err := rt.RemoveRing(ctx, raincore.RingID(n)); err != nil {
+				http.Error(w, err.Error(), http.StatusConflict)
+				return
+			}
+			logger.Printf("admin: removed ring %d", n)
+			writeJSON(w, map[string]any{"routing": rt.Routing()})
+		})
+		srv := &http.Server{Addr: *admin, Handler: mux}
+		go func() {
+			logger.Printf("admin surface on http://%s (GET /health /routing, POST /rings/add /rings/remove?ring=N)", *admin)
+			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				logger.Printf("admin: %v", err)
+			}
+		}()
+		defer srv.Close()
+	}
 
 	if *announce > 0 {
 		go func() {
@@ -146,10 +241,14 @@ func main() {
 			n := 0
 			for range tick.C {
 				n++
-				// Round-robin heartbeats across the rings. A stopped
-				// ring must not silence the survivors, so errors skip
-				// to the next tick instead of ending the loop.
-				r := raincore.RingID(n % rt.Rings())
+				// Round-robin heartbeats across the active rings of the
+				// current routing epoch. A stopped ring must not silence
+				// the survivors, so errors skip to the next tick.
+				view := rt.Routing()
+				if len(view.Rings) == 0 {
+					continue
+				}
+				r := view.Rings[n%len(view.Rings)]
 				_ = rt.Multicast(r, []byte(fmt.Sprintf("heartbeat %d from n%d", n, *id)))
 			}
 		}()
@@ -160,13 +259,17 @@ func main() {
 			defer tick.Stop()
 			for range tick.C {
 				reg := rt.Stats()
-				logger.Printf("stats: passes=%d switches=%d sent=%d recv=%d regens=%d merges=%d healthy=%v",
+				h := rt.HealthView()
+				logger.Printf("stats: epoch=%d rings=%d passes=%d switches=%d sent=%d recv=%d regens=%d merges=%d demux_drops=%d healthy=%v",
+					h.Routing.Epoch,
+					len(h.Routing.Rings),
 					reg.Counter(stats.MetricTokenPasses).Load(),
 					reg.Counter(stats.MetricTaskSwitches).Load(),
 					reg.Counter(stats.MetricPacketsSent).Load(),
 					reg.Counter(stats.MetricPacketsRecv).Load(),
 					reg.Counter(stats.MetricTokenRegens).Load(),
 					reg.Counter(stats.MetricMerges).Load(),
+					h.DemuxDrops,
 					rt.Healthy())
 			}
 		}()
@@ -180,9 +283,19 @@ func main() {
 		for _, n := range rt.Nodes() {
 			n.Leave()
 		}
-		select {
-		case <-allDown:
-		case <-time.After(3 * time.Second):
+		deadline := time.Now().Add(3 * time.Second)
+		for time.Now().Before(deadline) {
+			all := true
+			for _, n := range rt.Nodes() {
+				if !n.Stopped() {
+					all = false
+					break
+				}
+			}
+			if all {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
 		}
 	case <-ringDown:
 		logger.Printf("a ring shut down; exiting so the supervisor restarts the whole node")

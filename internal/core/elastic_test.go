@@ -1,0 +1,160 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/stats"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// TestAddRemoveRingWithoutResharder covers the pure-multicast elastic
+// path: with no keyspace layer attached, AddRing/RemoveRing flip the
+// routing table locally once the ring set is ready.
+func TestAddRemoveRingWithoutResharder(t *testing.T) {
+	rec := newGridRecorder()
+	g := startGrid(t, 2, 2, nil)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	var wg sync.WaitGroup
+	ids := make(map[NodeID]RingID)
+	errs := make(map[NodeID]error)
+	var mu sync.Mutex
+	for _, id := range g.IDs {
+		id := id
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rid, err := g.Runtimes[id].AddRing(ctx)
+			mu.Lock()
+			ids[id], errs[id] = rid, err
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	for _, id := range g.IDs {
+		if errs[id] != nil {
+			t.Fatalf("AddRing on %v: %v", id, errs[id])
+		}
+		if ids[id] != 2 {
+			t.Fatalf("AddRing on %v returned ring %v, want 2", id, ids[id])
+		}
+		view := g.Runtimes[id].Routing()
+		if view.Epoch != 2 || len(view.Rings) != 3 {
+			t.Fatalf("node %v routing = %v, want epoch 2 with 3 rings", id, view)
+		}
+		if g.Runtimes[id].Rings() != 3 {
+			t.Fatalf("node %v Rings() = %d", id, g.Runtimes[id].Rings())
+		}
+	}
+	// The grown ring orders traffic.
+	for _, id := range g.IDs {
+		g.Runtimes[id].Node(2).SetHandlers(rec.handlers(id, 2))
+	}
+	if err := g.Runtimes[1].Multicast(2, []byte("on-new-ring")); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range g.IDs {
+		rec.waitPayload(t, id, 2, "on-new-ring", 10*time.Second)
+	}
+
+	// Shrink ring 1 away: table flips, the node retires, health stays
+	// clean (a deliberate removal is not a failure).
+	for _, id := range g.IDs {
+		id := id
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			err := g.Runtimes[id].RemoveRing(ctx, 1)
+			mu.Lock()
+			errs[id] = err
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	for _, id := range g.IDs {
+		if errs[id] != nil {
+			t.Fatalf("RemoveRing on %v: %v", id, errs[id])
+		}
+		rt := g.Runtimes[id]
+		if view := rt.Routing(); view.Epoch != 3 || view.Has(1) {
+			t.Fatalf("node %v routing after remove = %v", id, view)
+		}
+		if rt.Node(1) != nil {
+			t.Fatalf("node %v still hosts ring 1", id)
+		}
+		if !rt.Healthy() {
+			t.Fatalf("node %v unhealthy after deliberate removal: %+v", id, rt.Health())
+		}
+	}
+}
+
+// TestRemoveRingValidation covers the error paths of the shrink API.
+func TestRemoveRingValidation(t *testing.T) {
+	g := startGrid(t, 1, 2, nil)
+	rt := g.Runtimes[1]
+	ctx := context.Background()
+	if err := rt.RemoveRing(ctx, 0); err == nil {
+		t.Fatal("removing ring 0 succeeded; it anchors version-1 peers")
+	}
+	if err := rt.RemoveRing(ctx, 7); !errors.Is(err, ErrUnknownRing) {
+		t.Fatalf("RemoveRing(7) = %v, want ErrUnknownRing", err)
+	}
+	if err := rt.RemoveRing(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.RemoveRing(ctx, 1); !errors.Is(err, ErrUnknownRing) {
+		t.Fatalf("second RemoveRing(1) = %v, want ErrUnknownRing", err)
+	}
+	if view := rt.Routing(); view.Epoch != 2 || len(view.Rings) != 1 {
+		t.Fatalf("routing = %v", view)
+	}
+	// The last ring is not removable.
+	if err := rt.RemoveRing(ctx, 0); err == nil {
+		t.Fatal("removing the last ring succeeded")
+	}
+}
+
+// TestHealthViewShowsDemuxDrops checks the mis-epoch'd-peer visibility:
+// frames for a ring this node does not host surface as counted drops in
+// the runtime health view instead of disappearing.
+func TestHealthViewShowsDemuxDrops(t *testing.T) {
+	g := startGrid(t, 2, 2, nil)
+	rt := g.Runtimes[1]
+	if h := rt.HealthView(); h.DemuxDrops != 0 || h.Routing.Epoch != 1 {
+		t.Fatalf("pristine health view: %+v", h)
+	}
+
+	// A peer on a different routing epoch sends to ring 7.
+	ep, err := g.Net.Endpoint("mis-epoch-peer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := transport.New(99, []transportConn{transportSim(ep)}, nil, stats.NewRegistry(), transportCfg())
+	defer tr.Close()
+	tr.SetPeer(1, []transportAddr{transportAddr(Addr(1))})
+	f := wire.Forward{From: 99, Payload: []byte("lost")}
+	if err := tr.SendSync(1, wire.EncodeForwardRing(7, &f)); err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		h := rt.HealthView()
+		if h.DemuxDrops > 0 && h.DropsByRing[7] > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("drop never surfaced in health view: %+v", h)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if n := rt.Stats().Counter(stats.MetricDemuxDrops).Load(); n == 0 {
+		t.Fatal("MetricDemuxDrops not incremented")
+	}
+}

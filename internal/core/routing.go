@@ -1,0 +1,378 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// RoutingView is an immutable snapshot of the runtime's routing table: the
+// set of active rings at one routing epoch. The Runtime owns the table;
+// the keyspace layer (dds.Sharded) consults it on every route and tooling
+// reads it for diagnostics. The epoch advances exactly once per completed
+// grow or shrink, and every consumer that caches a derived structure (for
+// example a consistent-hash ring) keys the cache on the epoch.
+type RoutingView struct {
+	// Epoch versions the table; 0 is never a valid epoch.
+	Epoch uint64
+	// Rings lists the active rings, ascending. Ring IDs are not
+	// necessarily contiguous: removing ring 1 from {0,1,2} leaves {0,2}.
+	Rings []RingID
+}
+
+func (v RoutingView) clone() RoutingView {
+	return RoutingView{Epoch: v.Epoch, Rings: append([]RingID(nil), v.Rings...)}
+}
+
+// Has reports whether the ring is in the view.
+func (v RoutingView) Has(id RingID) bool {
+	for _, r := range v.Rings {
+		if r == id {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the view for logs.
+func (v RoutingView) String() string {
+	return fmt.Sprintf("routing{epoch=%d rings=%v}", v.Epoch, v.Rings)
+}
+
+// Resharder migrates keyspace state between two routing epochs. The
+// runtime invokes it on the coordinating node (the lowest combined
+// member) after the rings of the new view have assembled; the
+// implementation must freeze the moving keyspace slice, snapshot it out
+// of the source shards, install it into the targets through their rings'
+// ordered streams, and publish the new epoch on every node (via
+// PublishRouting) before returning. Returning an error means the handoff
+// aborted and every node stays on the old epoch.
+type Resharder interface {
+	Reshard(ctx context.Context, old, new RoutingView) error
+}
+
+// Routing-table errors.
+var (
+	// ErrReshardInProgress rejects a second concurrent grow/shrink.
+	ErrReshardInProgress = errors.New("core: reshard already in progress")
+	// ErrReshardAborted reports a handoff that failed and rolled back to
+	// the old routing epoch; the ring set is unchanged and the operation
+	// can be retried.
+	ErrReshardAborted = errors.New("core: reshard aborted")
+)
+
+// Routing returns the current routing table.
+func (r *Runtime) Routing() RoutingView {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.table.clone()
+}
+
+// SetResharder attaches the keyspace migration layer consulted by AddRing
+// and RemoveRing. Without one, epoch flips move no data (pure multicast
+// deployments).
+func (r *Runtime) SetResharder(h Resharder) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.resharder = h
+}
+
+// OnRingSpawn registers a hook invoked for every dynamically spawned ring
+// after its node is built but before it starts, so layers (dds replicas)
+// can attach and observe the ring's ordered stream from the first event.
+// Hooks run in registration order.
+func (r *Runtime) OnRingSpawn(fn func(RingID, *Node)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.spawnHooks = append(r.spawnHooks, fn)
+}
+
+// RoutingWatch registers a callback invoked after every routing-epoch
+// publication with the new view.
+func (r *Runtime) RoutingWatch(fn func(RoutingView)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.watchers = append(r.watchers, fn)
+}
+
+// PublishRouting installs a new routing epoch. It is called by the
+// resharding layer when the handoff's flip applies on this node (every
+// node publishes the same view at its own flip position), and internally
+// for reshards that move no data. Stale epochs are ignored.
+func (r *Runtime) PublishRouting(view RoutingView) {
+	view = view.clone()
+	sort.Slice(view.Rings, func(i, j int) bool { return view.Rings[i] < view.Rings[j] })
+	r.mu.Lock()
+	if view.Epoch <= r.table.Epoch {
+		r.mu.Unlock()
+		return
+	}
+	r.table = view
+	r.resharding = false
+	close(r.tableCh)
+	r.tableCh = make(chan struct{})
+	watchers := make([]func(RoutingView), len(r.watchers))
+	copy(watchers, r.watchers)
+	r.mu.Unlock()
+	for _, fn := range watchers {
+		fn(view.clone())
+	}
+}
+
+// FailRouting records that the handoff targeting the given epoch aborted,
+// waking any AddRing/RemoveRing caller waiting for that epoch. The
+// resharding layer calls it when it observes an ordered abort.
+func (r *Runtime) FailRouting(epoch uint64, cause error) {
+	if cause == nil {
+		cause = ErrReshardAborted
+	}
+	r.mu.Lock()
+	if r.abortErrs[epoch] == nil {
+		r.abortErrs[epoch] = cause
+	}
+	close(r.tableCh)
+	r.tableCh = make(chan struct{})
+	r.mu.Unlock()
+}
+
+// waitEpoch blocks until the routing table reaches the epoch, the handoff
+// targeting it aborts, or ctx expires.
+func (r *Runtime) waitEpoch(ctx context.Context, epoch uint64) error {
+	for {
+		r.mu.Lock()
+		cur := r.table.Epoch
+		var cause error
+		if cur < epoch {
+			// A reached epoch outranks a late abort record (a handoff
+			// can only publish if it committed).
+			if cause = r.abortErrs[epoch]; cause != nil {
+				delete(r.abortErrs, epoch)
+			}
+		}
+		ch := r.tableCh
+		r.mu.Unlock()
+		if cause != nil {
+			return fmt.Errorf("%w: %v", ErrReshardAborted, cause)
+		}
+		if cur >= epoch {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-ch:
+		}
+	}
+}
+
+// beginReshard marks a grow/shrink in progress (one at a time per node).
+func (r *Runtime) beginReshard() (RoutingView, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return RoutingView{}, errors.New("core: runtime closed")
+	}
+	if r.resharding {
+		return RoutingView{}, ErrReshardInProgress
+	}
+	r.resharding = true
+	// A retry after an abort targets the same epoch number again; the
+	// stale abort record must not fail it preemptively.
+	delete(r.abortErrs, r.table.Epoch+1)
+	return r.table.clone(), nil
+}
+
+func (r *Runtime) endReshard() {
+	r.mu.Lock()
+	r.resharding = false
+	r.mu.Unlock()
+}
+
+// nextRingID picks the lowest ring id above every ring ever spawned, so a
+// re-grow after a shrink never reuses a removed ring's id (peers may still
+// hold frames for it). The high-water mark survives the removed ring's
+// node being dropped.
+func (r *Runtime) nextRingID() RingID {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	next := r.spawnedHigh
+	for _, id := range r.table.Rings {
+		if id >= next {
+			next = id + 1
+		}
+	}
+	return next
+}
+
+// isCoordinator reports whether this node should drive the handoff: the
+// lowest node in the combined membership, mirroring the paper's
+// lowest-ID group-leader convention (§2.4).
+func (r *Runtime) isCoordinator() bool {
+	m := r.Members()
+	return len(m) > 0 && m[0] == r.id
+}
+
+// AddRing grows the runtime by one ring. Every node of the cluster must
+// call AddRing (the ring assembles across nodes via the discovery
+// protocol, exactly like the initial rings); once the new ring's
+// membership matches the runtime's combined membership, the lowest member
+// coordinates the keyspace handoff and every node publishes the new
+// routing epoch at its ordered flip point. Callers on the other nodes
+// block until their node publishes the epoch or ctx expires.
+//
+// On abort (source or target ring dies mid-handoff, coordinator failure,
+// ctx expiry) the spawned ring is torn down, the routing table stays on
+// the old epoch, and the error wraps ErrReshardAborted where the abort
+// was observed protocol-side.
+func (r *Runtime) AddRing(ctx context.Context) (RingID, error) {
+	old, err := r.beginReshard()
+	if err != nil {
+		return 0, err
+	}
+	defer r.endReshard()
+	id := r.nextRingID()
+	n, err := r.spawnNode(id)
+	if err != nil {
+		return 0, err
+	}
+	r.mu.Lock()
+	hooks := make([]func(RingID, *Node), len(r.spawnHooks))
+	copy(hooks, r.spawnHooks)
+	r.mu.Unlock()
+	for _, fn := range hooks {
+		fn(id, n)
+	}
+	n.Start()
+	if err := r.waitRingAssembled(ctx, id); err != nil {
+		r.dropNode(id)
+		return 0, fmt.Errorf("core: ring %v never assembled: %w", id, err)
+	}
+	next := RoutingView{Epoch: old.Epoch + 1, Rings: append(append([]RingID(nil), old.Rings...), id)}
+	if err := r.commitReshard(ctx, old, next); err != nil {
+		if r.Routing().Has(id) {
+			// The ordered flip committed while this (typically
+			// follower-side ctx expiry) error raced it: the grow
+			// succeeded and the ring is live.
+			return id, nil
+		}
+		r.dropNode(id)
+		return 0, err
+	}
+	return id, nil
+}
+
+// RemoveRing shrinks the runtime by one ring, handing the ring's keyspace
+// slice off to the survivors. Like AddRing it must be called on every
+// node; the lowest member coordinates, the rest follow the epoch flip.
+// Ring 0 is not removable: it anchors version-1 frames and discovery.
+func (r *Runtime) RemoveRing(ctx context.Context, id RingID) error {
+	if id == wire.Ring0 {
+		return errors.New("core: ring 0 anchors version-1 peers and cannot be removed")
+	}
+	old, err := r.beginReshard()
+	if err != nil {
+		return err
+	}
+	defer r.endReshard()
+	if !old.Has(id) {
+		return fmt.Errorf("%w: %v", ErrUnknownRing, id)
+	}
+	if len(old.Rings) <= 1 {
+		return errors.New("core: cannot remove the last ring")
+	}
+	next := RoutingView{Epoch: old.Epoch + 1}
+	for _, rid := range old.Rings {
+		if rid != id {
+			next.Rings = append(next.Rings, rid)
+		}
+	}
+	if err := r.commitReshard(ctx, old, next); err != nil {
+		if r.Routing().Has(id) {
+			return err
+		}
+		// The flip committed while the error (typically a ctx expiry)
+		// raced it: finish the retirement.
+	}
+	r.retireNode(ctx, id)
+	return nil
+}
+
+// commitReshard drives (coordinator) or follows (everyone else) the epoch
+// transition. With no resharder attached there is no keyspace to migrate
+// and no ordered channel to synchronize on, so each node publishes
+// locally once its rings are ready.
+func (r *Runtime) commitReshard(ctx context.Context, old, next RoutingView) error {
+	r.mu.Lock()
+	resharder := r.resharder
+	r.mu.Unlock()
+	if resharder == nil {
+		r.PublishRouting(next)
+		return nil
+	}
+	if r.isCoordinator() {
+		if err := resharder.Reshard(ctx, old.clone(), next.clone()); err != nil {
+			return err
+		}
+		return nil
+	}
+	return r.waitEpoch(ctx, next.Epoch)
+}
+
+// retireNode gracefully stops a ring removed from the table: ordered
+// leave, bounded wait, then close.
+func (r *Runtime) retireNode(ctx context.Context, id RingID) {
+	r.mu.Lock()
+	n := r.nodes[id]
+	r.mu.Unlock()
+	if n == nil {
+		return
+	}
+	n.Leave()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) && !n.Stopped() {
+		select {
+		case <-ctx.Done():
+			deadline = time.Now()
+		default:
+		}
+		time.Sleep(time.Millisecond)
+	}
+	r.dropNode(id)
+}
+
+// waitRingAssembled blocks until the ring's membership matches the
+// runtime's combined membership (all peers spawned the ring too).
+func (r *Runtime) waitRingAssembled(ctx context.Context, id RingID) error {
+	n := r.Node(id)
+	if n == nil {
+		return fmt.Errorf("%w: %v", ErrUnknownRing, id)
+	}
+	for {
+		want := r.Members()
+		if len(want) > 0 && sameIDs(want, n.Members()) {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+}
+
+func sameIDs(a, b []NodeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	bs := wire.SortedIDs(b)
+	for i, id := range wire.SortedIDs(a) {
+		if bs[i] != id {
+			return false
+		}
+	}
+	return true
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 
 	"repro/internal/clock"
@@ -14,12 +15,17 @@ import (
 )
 
 // Runtime is the sharded multi-ring runtime: it owns one shared transport
-// (one set of PacketConns) and spawns and supervises S Node instances, one
-// per ring, demultiplexed by the RingID every wire frame carries. Each ring
+// (one set of PacketConns) and spawns and supervises one Node per ring,
+// demultiplexed by the RingID every wire frame carries. Each ring
 // circulates its own token and totally orders its own traffic, so the
 // aggregate ordered-multicast throughput of the runtime scales with the
 // number of rings while per-ring ordering is preserved — the keyspace
 // partitioning layer (dds.Sharded) maps keys onto rings.
+//
+// The ring set is elastic: the Runtime owns the epoch-versioned routing
+// table (see routing.go) that names the active rings, and AddRing /
+// RemoveRing grow and shrink it at runtime with an ordered keyspace
+// handoff when a Resharder is attached.
 //
 // The paper's hierarchy composition (§ hierarchy) stacks groups vertically;
 // the runtime shards them horizontally over the same membership.
@@ -27,19 +33,39 @@ type Runtime struct {
 	id    NodeID
 	tr    *transport.Transport
 	demux *transport.Demux
-	nodes []*Node
 	reg   *stats.Registry
 
+	// Spawn template for dynamically added rings.
+	clk          clock.Clock
+	trc          *trace.Log
+	ringTemplate ring.Config
+	transportCfg transport.Config
+
 	mu       sync.Mutex
-	ringDown map[RingID]string // ring -> shutdown reason
+	nodes    map[RingID]*Node // every spawned ring, including mid-handoff ones
+	table    RoutingView      // the published routing epoch
+	ringDown map[RingID]string
 	closed   bool
+	// spawnedHigh is the high-water mark of ring ids ever spawned, so a
+	// re-grow never reuses a removed ring's id even after its node is
+	// gone from the map (peers may still hold frames for it).
+	spawnedHigh RingID
+
+	// Elastic-resharding state (see routing.go).
+	resharding bool
+	resharder  Resharder
+	spawnHooks []func(RingID, *Node)
+	watchers   []func(RoutingView)
+	tableCh    chan struct{}    // closed and replaced on every publish/abort
+	abortErrs  map[uint64]error // target epoch -> abort cause
 }
 
 // RuntimeConfig assembles a sharded runtime.
 type RuntimeConfig struct {
 	// ID is the node identity, shared by every ring (required, non-zero).
 	ID NodeID
-	// Rings is the shard count S (>= 1). Ring IDs are 0..Rings-1.
+	// Rings is the initial shard count S (>= 1). Ring IDs are 0..Rings-1;
+	// AddRing and RemoveRing change the set at runtime.
 	Rings int
 	// Ring is the per-ring protocol template; ID and SeqBase are filled
 	// in per instance.
@@ -78,60 +104,124 @@ func NewRuntime(cfg RuntimeConfig, conns []transport.PacketConn) (*Runtime, erro
 	tr := transport.New(cfg.ID, conns, cfg.Clock, cfg.Registry, cfg.Transport)
 	demux := transport.NewDemux(tr)
 	r := &Runtime{
-		id:       cfg.ID,
-		tr:       tr,
-		demux:    demux,
-		reg:      cfg.Registry,
-		ringDown: make(map[RingID]string),
+		id:           cfg.ID,
+		tr:           tr,
+		demux:        demux,
+		reg:          cfg.Registry,
+		clk:          cfg.Clock,
+		trc:          cfg.Trace,
+		ringTemplate: cfg.Ring,
+		transportCfg: cfg.Transport,
+		nodes:        make(map[RingID]*Node),
+		ringDown:     make(map[RingID]string),
+		tableCh:      make(chan struct{}),
+		abortErrs:    make(map[uint64]error),
 	}
+	var rings []RingID
 	for i := 0; i < cfg.Rings; i++ {
-		rc := cfg.Ring
-		if rc.SeqBase != 0 {
-			// Distinct per-ring bases: each ring is an independent
-			// (origin, seq) namespace, but distinct bases keep traces
-			// unambiguous.
-			rc.SeqBase += uint64(i) << 24
-		}
-		n, err := NewNodeOnDemux(Config{
-			ID:        cfg.ID,
-			RingID:    RingID(i),
-			Ring:      rc,
-			Transport: cfg.Transport,
-			Clock:     cfg.Clock,
-			Registry:  cfg.Registry,
-			Trace:     cfg.Trace,
-		}, demux)
-		if err != nil {
+		if _, err := r.spawnNode(RingID(i)); err != nil {
 			r.Close()
-			return nil, fmt.Errorf("core: ring %d: %w", i, err)
+			return nil, err
 		}
-		ringID := RingID(i)
-		n.setStopHook(func(reason string) {
-			r.mu.Lock()
-			r.ringDown[ringID] = reason
-			r.mu.Unlock()
-		})
-		r.nodes = append(r.nodes, n)
+		rings = append(rings, RingID(i))
 	}
+	r.table = RoutingView{Epoch: 1, Rings: rings}
 	return r, nil
+}
+
+// spawnNode builds one ring's node on the shared demux and records it.
+// The node is returned unstarted.
+func (r *Runtime) spawnNode(id RingID) (*Node, error) {
+	rc := r.ringTemplate
+	if rc.SeqBase != 0 {
+		// Distinct per-ring bases: each ring is an independent
+		// (origin, seq) namespace, but distinct bases keep traces
+		// unambiguous.
+		rc.SeqBase += uint64(id) << 24
+	}
+	n, err := NewNodeOnDemux(Config{
+		ID:        r.id,
+		RingID:    id,
+		Ring:      rc,
+		Transport: r.transportCfg,
+		Clock:     r.clk,
+		Registry:  r.reg,
+		Trace:     r.trc,
+	}, r.demux)
+	if err != nil {
+		return nil, fmt.Errorf("core: ring %v: %w", id, err)
+	}
+	ringID := id
+	n.setStopHook(func(reason string) {
+		r.mu.Lock()
+		r.ringDown[ringID] = reason
+		r.mu.Unlock()
+	})
+	r.mu.Lock()
+	r.nodes[id] = n
+	if id >= r.spawnedHigh {
+		r.spawnedHigh = id + 1
+	}
+	r.mu.Unlock()
+	return n, nil
+}
+
+// dropNode closes a spawned ring's node and forgets it (abort paths).
+// A ring present in the published routing table is never dropped: the
+// check is atomic with the table, closing the race where a handoff's
+// flip commits just as an abort path gives up on it.
+func (r *Runtime) dropNode(id RingID) {
+	r.mu.Lock()
+	if r.table.Has(id) {
+		r.mu.Unlock()
+		return
+	}
+	n := r.nodes[id]
+	delete(r.nodes, id)
+	delete(r.ringDown, id)
+	r.mu.Unlock()
+	if n != nil {
+		n.Close()
+	}
 }
 
 // ID returns the runtime's node identity.
 func (r *Runtime) ID() NodeID { return r.id }
 
-// Rings returns the shard count S.
-func (r *Runtime) Rings() int { return len(r.nodes) }
+// Rings returns the active shard count S (rings in the routing table).
+func (r *Runtime) Rings() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.table.Rings)
+}
 
-// Node returns the ring's protocol node, or nil for an out-of-range ring.
+// Node returns the ring's protocol node, or nil for an unknown ring.
 func (r *Runtime) Node(ring RingID) *Node {
-	if int(ring) >= len(r.nodes) {
-		return nil
-	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	return r.nodes[ring]
 }
 
-// Nodes returns the per-ring nodes in ring order.
-func (r *Runtime) Nodes() []*Node { return append([]*Node(nil), r.nodes...) }
+// Nodes returns the per-ring nodes in ascending ring order, including a
+// ring still mid-handoff.
+func (r *Runtime) Nodes() []*Node {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.nodesLocked()
+}
+
+func (r *Runtime) nodesLocked() []*Node {
+	ids := make([]RingID, 0, len(r.nodes))
+	for id := range r.nodes {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	out := make([]*Node, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, r.nodes[id])
+	}
+	return out
+}
 
 // Transport exposes the shared transport for peer registration.
 func (r *Runtime) Transport() *transport.Transport { return r.tr }
@@ -148,7 +238,7 @@ func (r *Runtime) SetPeer(id NodeID, addrs []transport.Addr) { r.tr.SetPeer(id, 
 
 // Start boots every ring.
 func (r *Runtime) Start() {
-	for _, n := range r.nodes {
+	for _, n := range r.Nodes() {
 		n.Start()
 	}
 }
@@ -165,6 +255,22 @@ type RingHealth struct {
 	Exited bool
 }
 
+// RuntimeHealth is the combined health view: per-ring membership and
+// liveness, the routing epoch, and the demux drop counters that make a
+// peer on a different routing epoch visible.
+type RuntimeHealth struct {
+	// Routing is the published routing table.
+	Routing RoutingView
+	// Resharding reports an epoch handoff in progress on this node.
+	Resharding bool
+	// Rings holds one entry per spawned ring, ascending ring order.
+	Rings []RingHealth
+	// DemuxDrops is the total count of frames dropped for rings this
+	// node hosts no receiver for; DropsByRing splits it per ring.
+	DemuxDrops  int64
+	DropsByRing map[RingID]int64
+}
+
 // Health returns the combined per-ring membership and health view.
 func (r *Runtime) Health() []RingHealth {
 	r.mu.Lock()
@@ -172,19 +278,44 @@ func (r *Runtime) Health() []RingHealth {
 	for k, v := range r.ringDown {
 		down[k] = v
 	}
+	nodes := r.nodesLocked()
 	r.mu.Unlock()
-	out := make([]RingHealth, len(r.nodes))
-	for i, n := range r.nodes {
-		out[i] = RingHealth{
-			Ring:    RingID(i),
+	out := make([]RingHealth, 0, len(nodes))
+	for _, n := range nodes {
+		out = append(out, RingHealth{
+			Ring:    n.Ring(),
 			State:   n.State(),
 			Epoch:   n.Epoch(),
 			Members: n.Members(),
-			Down:    down[RingID(i)],
+			Down:    down[n.Ring()],
 			Exited:  n.Stopped(),
-		}
+		})
 	}
 	return out
+}
+
+// HealthView returns the full runtime health: ring health plus the routing
+// epoch and the unknown-ring frame drops. Frames for a ring this node does
+// not host are dropped by the demux; surfacing the counters here makes a
+// mis-epoch'd peer operable instead of invisible.
+func (r *Runtime) HealthView() RuntimeHealth {
+	rings := r.Health()
+	r.mu.Lock()
+	view := r.table.clone()
+	resharding := r.resharding
+	r.mu.Unlock()
+	drops := r.demux.Drops()
+	var total int64
+	for _, n := range drops {
+		total += n
+	}
+	return RuntimeHealth{
+		Routing:     view,
+		Resharding:  resharding,
+		Rings:       rings,
+		DemuxDrops:  total,
+		DropsByRing: drops,
+	}
 }
 
 // Healthy reports whether every ring is running.
@@ -198,22 +329,31 @@ func (r *Runtime) Healthy() bool {
 }
 
 // Members returns the combined membership view: the set of nodes present
-// in every ring's membership. A peer mid-failure is typically detected by
-// some rings before others; the intersection is the conservative view a
-// sharded service can rely on across all shards.
+// in every active ring's membership. A peer mid-failure is typically
+// detected by some rings before others; the intersection is the
+// conservative view a sharded service can rely on across all shards. A
+// ring still assembling mid-handoff is excluded until it joins the table.
 func (r *Runtime) Members() []NodeID {
-	if len(r.nodes) == 0 {
+	r.mu.Lock()
+	var nodes []*Node
+	for _, id := range r.table.Rings {
+		if n := r.nodes[id]; n != nil {
+			nodes = append(nodes, n)
+		}
+	}
+	r.mu.Unlock()
+	if len(nodes) == 0 {
 		return nil
 	}
 	count := make(map[NodeID]int)
-	for _, n := range r.nodes {
+	for _, n := range nodes {
 		for _, m := range n.Members() {
 			count[m]++
 		}
 	}
 	var out []NodeID
 	for id, c := range count {
-		if c == len(r.nodes) {
+		if c == len(nodes) {
 			out = append(out, id)
 		}
 	}
@@ -224,7 +364,7 @@ func (r *Runtime) Members() []NodeID {
 func (r *Runtime) Multicast(ring RingID, payload []byte) error {
 	n := r.Node(ring)
 	if n == nil {
-		return fmt.Errorf("%w: %v of %d", ErrUnknownRing, ring, len(r.nodes))
+		return fmt.Errorf("%w: %v", ErrUnknownRing, ring)
 	}
 	return n.Multicast(payload)
 }
@@ -237,8 +377,9 @@ func (r *Runtime) Close() error {
 		return nil
 	}
 	r.closed = true
+	nodes := r.nodesLocked()
 	r.mu.Unlock()
-	for _, n := range r.nodes {
+	for _, n := range nodes {
 		n.Close()
 	}
 	return r.tr.Close()

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/stats"
 	"repro/internal/wire"
 )
 
@@ -34,10 +35,45 @@ type Service struct {
 	kv      map[string][]byte
 	nextReq uint64
 
-	// Local waiters.
-	lockWait map[uint64]chan struct{} // reqID -> granted
-	opWait   map[uint64]chan struct{} // reqID -> applied locally
+	// Local waiters. The channels carry the outcome: nil on grant/apply,
+	// ErrResharding when the ordered apply rejected the op because its
+	// key was frozen mid-handoff. opWait holds a list per request:
+	// concurrent Unlock calls for the same grant share the release's
+	// reqID and must all observe its outcome.
+	lockWait map[uint64]chan error // reqID -> granted / rejected
+	opWait   map[uint64][]chan error
 	pending  map[uint64]pendingAcquire
+
+	// Elastic-resharding state. frozen marks the hash ranges this shard
+	// is handing off: ordered writes into them are rejected until the
+	// handoff flips or aborts. staged holds installs received as the
+	// handoff's target, adopted only at the ordered flip. router links
+	// back to the Sharded router when this replica is one shard of one.
+	frozen   []keyRange
+	frozenID uint64
+	// frozenBy/frozenEpoch identify the handoff's coordinator and target
+	// epoch: the ordered removal of a dead coordinator aborts the freeze
+	// (deterministically — the removal is a position in this ring's
+	// stream), so a coordinator crash cannot freeze the slice forever.
+	frozenBy    core.NodeID
+	frozenEpoch uint64
+	staged      *stagedInstall
+	router      *Sharded
+	shardID     int
+	// retired marks the hash ranges this shard does not own under its
+	// latest ordered view of the routing table (initial complement, plus
+	// slices frozen away, rebuilt at each flip on this ring). Ordered
+	// writes into them are rejected, so a write submitted under a stale
+	// routing epoch fails retryably instead of resurrecting moved state.
+	retired []keyRange
+	// purgeRID defers an ordered purge that arrived before this node's
+	// router flipped to the handoff's epoch (the source must keep
+	// serving reads of the frozen slice until then).
+	purgeRID uint64
+	// postApply queues router callbacks emitted by ordered appliers;
+	// they run after s.mu is released (the event loop is serial, so they
+	// still run before the next ordered op applies).
+	postApply []func()
 
 	// State-transfer mode: while syncing, operations are buffered and
 	// replayed after the snapshot applies.
@@ -101,8 +137,8 @@ func New(node *core.Node) *Service {
 		id:       node.ID(),
 		locks:    make(map[string]*lockState),
 		kv:       make(map[string][]byte),
-		lockWait: make(map[uint64]chan struct{}),
-		opWait:   make(map[uint64]chan struct{}),
+		lockWait: make(map[uint64]chan error),
+		opWait:   make(map[uint64][]chan error),
 		pending:  make(map[uint64]pendingAcquire),
 		applied:  make(map[core.NodeID]uint64),
 
@@ -133,6 +169,32 @@ func (s *Service) Node() *core.Node { return s.node }
 // ErrNotHolder is returned by Unlock when this node does not hold the lock.
 var ErrNotHolder = errors.New("dds: not the lock holder")
 
+// ErrResharding is returned for writes (Set, Delete, Lock, Unlock) whose
+// key lies in a keyspace slice that is mid-handoff between shards. The
+// error is transient and retryable: the slice unfreezes as soon as the
+// handoff flips to the new routing epoch or aborts back to the old one.
+// Reads never fail with it — the source shard keeps serving the frozen
+// slice until the flip.
+var ErrResharding = errors.New("dds: keyspace slice is resharding, retry")
+
+// bindRouter links the replica to the sharded router it belongs to, using
+// the given shard (ring) id for handoff callbacks.
+func (s *Service) bindRouter(r *Sharded, shardID int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.router = r
+	s.shardID = shardID
+}
+
+// frozenContains reports whether the hash lies in a frozen (mid-handoff)
+// slice of this shard, the router's submit-time fast path. The ordered
+// apply path enforces the same predicate authoritatively.
+func (s *Service) frozenContains(h uint64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.frozenID != 0 && rangesContain(s.frozen, h)
+}
+
 // Lock acquires the named lock, blocking until granted or ctx is done.
 // Unlike the token master-lock (§2.7), the lock is held without pinning
 // the token.
@@ -144,7 +206,7 @@ func (s *Service) Lock(ctx context.Context, name string) error {
 	}
 	s.nextReq++
 	reqID := s.nextReq
-	ch := make(chan struct{})
+	ch := make(chan error, 1)
 	s.lockWait[reqID] = ch
 	s.pending[reqID] = pendingAcquire{name: name, reqID: reqID}
 	s.mu.Unlock()
@@ -154,8 +216,8 @@ func (s *Service) Lock(ctx context.Context, name string) error {
 		return err
 	}
 	select {
-	case <-ch:
-		return nil
+	case err := <-ch:
+		return err
 	case <-ctx.Done():
 		s.dropWaiter(reqID)
 		// Withdraw the queued request so it cannot be granted later.
@@ -171,8 +233,18 @@ func (s *Service) dropWaiter(reqID uint64) {
 	s.mu.Unlock()
 }
 
-// Unlock releases the named lock held by this node.
-func (s *Service) Unlock(name string) error {
+// Unlock releases the named lock held by this node. It returns once the
+// release has applied locally, so a release racing a keyspace handoff
+// surfaces ErrResharding to the caller (retry after the handoff) instead
+// of silently leaving the migrated lock held. It blocks until the ring
+// orders the release (or the shard shuts down); use UnlockContext to
+// bound the wait.
+func (s *Service) Unlock(name string) error { return s.UnlockContext(context.Background(), name) }
+
+// UnlockContext is Unlock with a cancellation bound. A cancelled wait
+// does not withdraw the release — it is already in the ordered stream —
+// it only stops waiting for the local apply.
+func (s *Service) UnlockContext(ctx context.Context, name string) error {
 	s.mu.Lock()
 	st := s.locks[name]
 	if st == nil || st.owner != s.id {
@@ -180,8 +252,43 @@ func (s *Service) Unlock(name string) error {
 		return ErrNotHolder
 	}
 	reqID := st.ownerReq
+	inFlight := len(s.opWait[reqID]) > 0
+	ch := make(chan error, 1)
+	s.opWait[reqID] = append(s.opWait[reqID], ch)
 	s.mu.Unlock()
-	return s.node.Multicast(encodeRelease(name, reqID))
+	if !inFlight {
+		// First caller multicasts; later concurrent Unlocks share the
+		// same release's outcome instead of duplicating the op.
+		if err := s.node.Multicast(encodeRelease(name, reqID)); err != nil {
+			s.removeOpWaiter(reqID, ch)
+			return err
+		}
+	}
+	select {
+	case err := <-ch:
+		return err
+	case <-ctx.Done():
+		s.removeOpWaiter(reqID, ch)
+		return ctx.Err()
+	}
+}
+
+// removeOpWaiter drops one waiter channel after a failed submit.
+func (s *Service) removeOpWaiter(reqID uint64, ch chan error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	waiters := s.opWait[reqID]
+	for i, w := range waiters {
+		if w == ch {
+			waiters = append(waiters[:i], waiters[i+1:]...)
+			break
+		}
+	}
+	if len(waiters) == 0 {
+		delete(s.opWait, reqID)
+	} else {
+		s.opWait[reqID] = waiters
+	}
 }
 
 // Holder reports the current owner of the named lock.
@@ -216,22 +323,18 @@ func (s *Service) doOp(ctx context.Context, build func(reqID uint64) []byte) err
 	}
 	s.nextReq++
 	reqID := s.nextReq
-	ch := make(chan struct{})
-	s.opWait[reqID] = ch
+	ch := make(chan error, 1)
+	s.opWait[reqID] = append(s.opWait[reqID], ch)
 	s.mu.Unlock()
 	if err := s.node.Multicast(build(reqID)); err != nil {
-		s.mu.Lock()
-		delete(s.opWait, reqID)
-		s.mu.Unlock()
+		s.removeOpWaiter(reqID, ch)
 		return err
 	}
 	select {
-	case <-ch:
-		return nil
+	case err := <-ch:
+		return err
 	case <-ctx.Done():
-		s.mu.Lock()
-		delete(s.opWait, reqID)
-		s.mu.Unlock()
+		s.removeOpWaiter(reqID, ch)
 		return ctx.Err()
 	}
 }
@@ -287,7 +390,12 @@ func (s *Service) onDeliver(d core.Delivery) {
 		return
 	}
 	s.applyFilteredLocked(d.Origin, d.Seq, op)
+	post := s.postApply
+	s.postApply = nil
 	s.mu.Unlock()
+	for _, fn := range post {
+		fn()
+	}
 }
 
 // onSys handles ordered membership announcements.
@@ -296,7 +404,19 @@ func (s *Service) onSys(e core.SysEvent) {
 	case wire.SysNodeRemoved:
 		s.mu.Lock()
 		s.releaseDeadLocked(e.Subject)
+		// A removed coordinator aborts (or, post-commit, garbage
+		// collects) the handoff it was driving. This is safe for the
+		// benign case — a coordinator retiring its replica of a removed
+		// ring after the commit — because its ordered purge precedes
+		// its leave in this ring's stream, so the freeze is already
+		// resolved by the time the removal applies.
+		s.abortDeadCoordinatorLocked(e.Subject)
+		post := s.postApply
+		s.postApply = nil
 		s.mu.Unlock()
+		for _, fn := range post {
+			fn()
+		}
 	case wire.SysNodeJoined:
 		if e.Subject == s.id && e.Origin != s.id {
 			// We just joined an existing group: buffer until the
@@ -346,6 +466,22 @@ func (s *Service) onMembership(e core.MembershipEvent) {
 func (s *Service) onShutdown(reason string) {
 	s.mu.Lock()
 	s.closed = true
+	// Drain the waiters: an op in flight on a stopping ring may never be
+	// ordered. The error is retryable — for an elastically retired ring
+	// the retry resolves against the new routing table; for a genuine
+	// failure the retry surfaces the stopped node promptly.
+	drainErr := fmt.Errorf("%w: shard shut down (%s)", ErrResharding, reason)
+	for id, ch := range s.lockWait {
+		delete(s.lockWait, id)
+		delete(s.pending, id)
+		ch <- drainErr
+	}
+	for id, chans := range s.opWait {
+		delete(s.opWait, id)
+		for _, ch := range chans {
+			ch <- drainErr
+		}
+	}
 	h := s.app.OnShutdown
 	s.mu.Unlock()
 	if h != nil {
@@ -387,7 +523,12 @@ func (s *Service) armSyncTimerLocked() {
 				s.applyFilteredLocked(b.origin, b.seq, b.op)
 			}
 			snap := s.captureTargetLocked(wire.NoNode)
+			post := s.postApply
+			s.postApply = nil
 			s.mu.Unlock()
+			for _, fn := range post {
+				fn()
+			}
 			go s.node.Multicast(snap)
 			return
 		}
@@ -441,7 +582,7 @@ func (s *Service) logRecentLocked(origin core.NodeID, seq uint64, o op) {
 func (s *Service) ackCoveredSelfOpLocked(o op) {
 	switch o.kind {
 	case opSet, opDel:
-		s.signalOpLocked(s.id, o.reqID)
+		s.signalOpLocked(s.id, o.reqID, nil)
 	case opAcquire:
 		st := s.locks[o.key]
 		if st != nil && st.owner == s.id && st.ownerReq == o.reqID {
@@ -450,11 +591,27 @@ func (s *Service) ackCoveredSelfOpLocked(o op) {
 		// If the snapshot shows us queued, the grant fires when a later
 		// release promotes us; if absent, the pending re-request logic
 		// in applySnapshotLocked re-submits.
+	case opRelease, opFreeze, opInstall, opFlip, opPurge:
+		s.signalOpLocked(s.id, o.reqID, nil)
 	}
 }
 
 // applyLocked applies one op; caller holds s.mu.
 func (s *Service) applyLocked(origin core.NodeID, o op) {
+	// Freeze enforcement: ordered writes into a mid-handoff slice are
+	// rejected — deterministically, since the freeze op itself is ordered
+	// — so the state captured at the freeze position stays authoritative
+	// until the flip installs it on the target shard.
+	if s.frozenID != 0 || len(s.retired) > 0 {
+		switch o.kind {
+		case opAcquire, opRelease, opCancel, opSet, opDel:
+			h := fnv64a(o.key)
+			if (s.frozenID != 0 && rangesContain(s.frozen, h)) || rangesContain(s.retired, h) {
+				s.rejectFrozenLocked(origin, o)
+				return
+			}
+		}
+	}
 	switch o.kind {
 	case opAcquire:
 		s.applyAcquireLocked(origin, o)
@@ -465,11 +622,11 @@ func (s *Service) applyLocked(origin core.NodeID, o op) {
 	case opSet:
 		s.kv[o.key] = append([]byte(nil), o.val...)
 		s.notifyLocked(o.key, o.val, false)
-		s.signalOpLocked(origin, o.reqID)
+		s.signalOpLocked(origin, o.reqID, nil)
 	case opDel:
 		delete(s.kv, o.key)
 		s.notifyLocked(o.key, nil, true)
-		s.signalOpLocked(origin, o.reqID)
+		s.signalOpLocked(origin, o.reqID, nil)
 	case opSnapshot:
 		s.applySnapshotLocked(origin, o)
 	case opSnapReq:
@@ -479,7 +636,287 @@ func (s *Service) applyLocked(origin core.NodeID, o op) {
 			snap := s.captureTargetLocked(origin)
 			go s.node.Multicast(snap)
 		}
+	case opFreeze:
+		s.applyFreezeLocked(origin, o)
+	case opInstall:
+		s.applyInstallLocked(origin, o)
+	case opFlip:
+		s.applyFlipLocked(origin, o)
+	case opAbortReshard:
+		s.applyAbortReshardLocked(origin, o)
+	case opPurge:
+		s.applyPurgeLocked(origin, o)
 	}
+}
+
+// rejectFrozenLocked refuses one ordered write into a frozen slice. Every
+// replica rejects at the same ordered position; the origin's replica also
+// wakes the local waiter with the retryable error.
+func (s *Service) rejectFrozenLocked(origin core.NodeID, o op) {
+	s.node.Stats().Counter(stats.MetricFrozenWrites).Inc()
+	if origin != s.id {
+		return
+	}
+	switch o.kind {
+	case opSet, opDel:
+		s.signalOpLocked(origin, o.reqID, ErrResharding)
+	case opAcquire:
+		if ch, ok := s.lockWait[o.reqID]; ok {
+			delete(s.lockWait, o.reqID)
+			delete(s.pending, o.reqID)
+			ch <- ErrResharding
+		}
+	case opRelease:
+		// Unlock waits for its apply: surface the rejection so the
+		// caller retries against the lock's post-handoff home.
+		s.signalOpLocked(origin, o.reqID, ErrResharding)
+		// opCancel needs no recovery: queued requests in the moving
+		// slice were cancelled at the freeze.
+	}
+}
+
+// applyFreezeLocked starts the handoff on a source shard: the listed hash
+// ranges stop accepting writes, queued lock requests inside them are
+// cancelled (their waiters retry against the target shard after the
+// flip), and — on the coordinating node — the moving state is captured at
+// exactly this ordered position.
+func (s *Service) applyFreezeLocked(origin core.NodeID, o op) {
+	if s.frozenID != 0 && s.frozenID != o.rid {
+		// A competing handoff already froze this shard; first wins. The
+		// loser's coordinator gets a prompt retryable failure instead of
+		// waiting out its deadline.
+		s.signalOpLocked(origin, o.reqID, ErrResharding)
+		return
+	}
+	first := s.frozenID == 0
+	s.frozenID = o.rid
+	s.frozenBy = origin
+	s.frozenEpoch = o.epoch
+	s.frozen = append([]keyRange(nil), o.ranges...)
+	if first {
+		// Cancel queued acquisitions for moving locks. Held owners keep
+		// their locks — ownership migrates with the state — but waiting
+		// requests re-route to the target shard after the flip.
+		for name, st := range s.locks {
+			if !rangesContain(s.frozen, fnv64a(name)) {
+				continue
+			}
+			for _, q := range st.queue {
+				if q.node != s.id {
+					continue
+				}
+				if ch, ok := s.lockWait[q.reqID]; ok {
+					delete(s.lockWait, q.reqID)
+					delete(s.pending, q.reqID)
+					ch <- ErrResharding
+				}
+			}
+			st.queue = nil
+		}
+	}
+	s.signalOpLocked(origin, o.reqID, nil)
+	s.queueCaptureLocked(origin)
+}
+
+// queueCaptureLocked hands the frozen slice's state to the router after
+// the current apply completes. Frozen ranges are immutable from the
+// freeze position on (every replica rejects writes into them), so a
+// capture at any later position — including one observed through a
+// snapshot during state transfer — is byte-identical to a capture at the
+// freeze position itself.
+func (s *Service) queueCaptureLocked(origin core.NodeID) {
+	if s.router == nil || s.frozenID == 0 || !s.router.wantsCapture(s.frozenID) {
+		return
+	}
+	cap := capturedState{kv: make(map[string][]byte), locks: make(map[string]*lockState)}
+	for k, v := range s.kv {
+		if rangesContain(s.frozen, fnv64a(k)) {
+			cap.kv[k] = append([]byte(nil), v...)
+		}
+	}
+	for name, st := range s.locks {
+		if st.owner != wire.NoNode && rangesContain(s.frozen, fnv64a(name)) {
+			cap.locks[name] = &lockState{owner: st.owner, ownerReq: st.ownerReq}
+		}
+	}
+	router, shard, rid := s.router, s.shardID, s.frozenID
+	s.postApply = append(s.postApply, func() {
+		router.freezeApplied(shard, rid, origin, cap)
+	})
+}
+
+// applyInstallLocked stages moved state on a target shard. Nothing
+// touches the live map until the ordered flip, so an abort leaves the
+// replica untouched.
+func (s *Service) applyInstallLocked(origin core.NodeID, o op) {
+	if s.staged != nil && s.staged.id != o.rid {
+		s.signalOpLocked(origin, o.reqID, ErrResharding) // competing handoff; first wins
+		return
+	}
+	if s.staged == nil {
+		s.staged = &stagedInstall{
+			id: o.rid, by: origin, epoch: o.epoch,
+			kv: make(map[string][]byte), locks: make(map[string]*lockState),
+		}
+	}
+	for k, v := range o.kv {
+		s.staged.kv[k] = append([]byte(nil), v...)
+	}
+	for name, ls := range o.locks {
+		s.staged.locks[name] = &lockState{owner: ls.owner, ownerReq: ls.ownerReq}
+	}
+	s.signalOpLocked(origin, o.reqID, nil)
+}
+
+// applyFlipLocked commits the handoff on a target shard: the staged state
+// becomes live at this ordered position — every write submitted after a
+// node flips its router is ordered after this point on this ring — and
+// the router is told this target flipped so it can adopt the new routing
+// epoch once every target has.
+func (s *Service) applyFlipLocked(origin core.NodeID, o op) {
+	// This ring gained ranges: rebuild the retired set from the flip's
+	// authoritative table (an ordered position on this very ring, so
+	// every replica rebuilds at the same point).
+	if s.router != nil {
+		s.retired = complementRanges(newHashRingFor(o.rings, defaultReplicas), s.shardID)
+	}
+	if s.staged != nil && s.staged.id == o.rid {
+		keys := make([]string, 0, len(s.staged.kv))
+		for k := range s.staged.kv {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			s.kv[k] = s.staged.kv[k]
+			s.notifyLocked(k, s.kv[k], false)
+		}
+		for name, ls := range s.staged.locks {
+			s.locks[name] = ls
+		}
+		s.staged = nil
+	}
+	s.signalOpLocked(origin, o.reqID, nil)
+	if s.router != nil {
+		router, shard := s.router, s.shardID
+		info := flipInfo{id: o.rid, epoch: o.epoch, rings: append([]int(nil), o.rings...), targets: append([]int(nil), o.targets...)}
+		s.postApply = append(s.postApply, func() {
+			router.targetFlipped(shard, info)
+		})
+	}
+}
+
+// abortDeadCoordinatorLocked is the participant-side abort: when the
+// node that froze this shard (or staged installs on it) is removed from
+// the membership, the handoff it was driving can never flip. The removal
+// is an ordered position of this ring's stream, so every replica rolls
+// back at the same point. If the flip already committed (the ordered
+// purge arrived and is merely deferred), the removal finishes the purge
+// instead.
+func (s *Service) abortDeadCoordinatorLocked(dead core.NodeID) {
+	var rid, epoch uint64
+	touched := false
+	if s.frozenID != 0 && s.frozenBy == dead {
+		if s.purgeRID == s.frozenID {
+			s.purgeFrozenLocked()
+		} else {
+			rid, epoch = s.frozenID, s.frozenEpoch
+			s.frozenID, s.frozenBy, s.frozenEpoch = 0, 0, 0
+			s.frozen = nil
+			touched = true
+		}
+	}
+	if s.staged != nil && s.staged.by == dead {
+		rid, epoch = s.staged.id, s.staged.epoch
+		s.staged = nil
+		touched = true
+	}
+	if touched && s.router != nil {
+		router := s.router
+		s.postApply = append(s.postApply, func() { router.reshardAborted(rid, epoch) })
+	}
+}
+
+// applyAbortReshardLocked rolls the handoff back: the source unfreezes
+// and keeps its state, the target drops the staged installs, and every
+// node stays on the old routing epoch.
+func (s *Service) applyAbortReshardLocked(_ core.NodeID, o op) {
+	touched := false
+	if s.frozenID == o.rid {
+		s.frozenID, s.frozenBy, s.frozenEpoch = 0, 0, 0
+		s.frozen = nil
+		s.purgeRID = 0
+		touched = true
+	}
+	if s.staged != nil && s.staged.id == o.rid {
+		s.staged = nil
+		touched = true
+	}
+	if s.router != nil && touched {
+		router := s.router
+		rid, epoch := o.rid, o.epoch
+		s.postApply = append(s.postApply, func() {
+			router.reshardAborted(rid, epoch)
+		})
+	}
+}
+
+// applyPurgeLocked garbage-collects the handed-off slice from a source
+// replica after the flip committed. The purge op is ordered on the
+// source's own stream (after its freeze, so every replica purges the
+// same immutable state), but its effect is deferred until this node's
+// router has flipped: until then the source still serves reads of the
+// frozen slice.
+func (s *Service) applyPurgeLocked(origin core.NodeID, o op) {
+	s.signalOpLocked(origin, o.reqID, nil)
+	if s.frozenID != o.rid {
+		return // aborted, already purged, or a different handoff
+	}
+	if s.router != nil && s.router.Epoch() < o.epoch {
+		s.purgeRID = o.rid
+		return // router not flipped yet; completeFlip finishes the job
+	}
+	s.purgeFrozenLocked()
+}
+
+// purgeIfPending runs a purge whose ordered op arrived before this
+// node's flip; called by the router right after it adopts the epoch.
+func (s *Service) purgeIfPending(rid uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.purgeRID != rid || s.frozenID != rid {
+		return
+	}
+	s.purgeFrozenLocked()
+}
+
+// purgeFrozenLocked drops the frozen slice: the keys live on the target
+// shard now, which the router routes to. The purge is silent — at the
+// router level the keys still exist, so no delete notification is due.
+func (s *Service) purgeFrozenLocked() {
+	for k := range s.kv {
+		if rangesContain(s.frozen, fnv64a(k)) {
+			delete(s.kv, k)
+		}
+	}
+	for name := range s.locks {
+		if rangesContain(s.frozen, fnv64a(name)) {
+			delete(s.locks, name)
+		}
+	}
+	// The slices left for good: writes into them stay rejected until a
+	// later flip on this ring hands some of them back.
+	s.retired = append(s.retired, s.frozen...)
+	s.frozenID, s.frozenBy, s.frozenEpoch = 0, 0, 0
+	s.frozen = nil
+	s.purgeRID = 0
+}
+
+// setRetired installs the replica's initial not-owned ranges (router
+// attach time, before the node starts).
+func (s *Service) setRetired(rs []keyRange) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.retired = rs
 }
 
 func (s *Service) responderLocked(requester core.NodeID) core.NodeID {
@@ -512,6 +949,9 @@ func (s *Service) applyAcquireLocked(origin core.NodeID, o op) {
 }
 
 func (s *Service) applyReleaseLocked(origin core.NodeID, o op) {
+	// A stale release (owner already changed by membership cleanup or a
+	// merge) still succeeds idempotently for the waiting Unlock caller.
+	s.signalOpLocked(origin, o.reqID, nil)
 	st := s.locks[o.key]
 	if st == nil || st.owner != origin || st.ownerReq != o.reqID {
 		return // stale release
@@ -559,18 +999,18 @@ func (s *Service) grantLocked(node core.NodeID, reqID uint64) {
 	if ch, ok := s.lockWait[reqID]; ok {
 		delete(s.lockWait, reqID)
 		delete(s.pending, reqID)
-		close(ch)
+		ch <- nil
 	}
 }
 
-func (s *Service) signalOpLocked(origin core.NodeID, reqID uint64) {
+func (s *Service) signalOpLocked(origin core.NodeID, reqID uint64, err error) {
 	if origin != s.id {
 		return
 	}
-	if ch, ok := s.opWait[reqID]; ok {
-		delete(s.opWait, reqID)
-		close(ch)
+	for _, ch := range s.opWait[reqID] {
+		ch <- err
 	}
+	delete(s.opWait, reqID)
 }
 
 // releaseDeadLocked frees every lock and queue position owned by a node
@@ -646,6 +1086,20 @@ func (s *Service) applySnapshotLocked(origin core.NodeID, o op) {
 	if s.applied == nil {
 		s.applied = make(map[core.NodeID]uint64)
 	}
+	// Adopt the sender's resharding state: the freeze decisions below
+	// this snapshot's position must replay identically here. If the
+	// handoff's freeze op itself was covered by the snapshot, re-queue
+	// the capture so a coordinating router still receives it (frozen
+	// slices are immutable, so this capture equals the original).
+	s.frozenID = st.frozenID
+	s.frozenBy = st.frozenBy
+	s.frozenEpoch = st.frozenEpoch
+	s.frozen = st.frozen
+	s.retired = st.retired
+	s.staged = st.staged
+	if s.frozenID != 0 {
+		s.queueCaptureLocked(origin)
+	}
 	// The snapshot is a new lineage baseline: ops applied before it must
 	// never be replayed on top of a later snapshot (they may come from a
 	// pre-merge lineage the snapshot supersedes). Clearing the log and
@@ -708,7 +1162,11 @@ func (s *Service) capture(target core.NodeID) []byte {
 }
 
 func (s *Service) captureTargetLocked(target core.NodeID) []byte {
-	return encodeSnapshot(target, snapshotState{kv: s.kv, locks: s.locks, applied: s.applied})
+	return encodeSnapshot(target, snapshotState{
+		kv: s.kv, locks: s.locks, applied: s.applied,
+		frozenID: s.frozenID, frozenBy: s.frozenBy, frozenEpoch: s.frozenEpoch,
+		frozen: s.frozen, retired: s.retired, staged: s.staged,
+	})
 }
 
 // String summarizes the replica (diagnostics).

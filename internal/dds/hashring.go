@@ -7,16 +7,22 @@ import (
 	"repro/internal/hashmix"
 )
 
-// hashRing consistent-hashes strings onto shard indices. Each shard owns
-// `replicas` virtual points on a 64-bit circle; a key maps to the shard
-// owning the first point at or clockwise after the key's hash. Virtual
-// points keep the keyspace split near-uniform, and — unlike a bare
-// hash-mod-S — adding or removing one shard only moves the keys adjacent
-// to that shard's points, which is what the planned shard-rebalancing work
-// relies on.
+// hashRing consistent-hashes strings onto shard identifiers (ring IDs).
+// Each shard owns `replicas` virtual points on a 64-bit circle; a key maps
+// to the shard owning the first point at or clockwise after the key's
+// hash. Virtual points keep the keyspace split near-uniform, and — unlike
+// a bare hash-mod-S — adding or removing one shard only moves the keys
+// adjacent to that shard's points. The elastic-resharding handoff relies
+// on that: moved(old, new) computes exactly the hash ranges that change
+// owner between two routing epochs, and only those ranges are frozen and
+// migrated.
+//
+// Shard identifiers are the sharded runtime's ring IDs. They need not be
+// contiguous: removing ring 1 from {0,1,2} leaves a ring over {0,2} whose
+// remaining points are untouched.
 type hashRing struct {
 	points []ringPoint // sorted by hash
-	shards int
+	ids    []int       // shard ids, sorted ascending
 }
 
 type ringPoint struct {
@@ -29,15 +35,41 @@ type ringPoint struct {
 // load split across token rings.
 const defaultReplicas = 64
 
+// newHashRing builds a ring over the contiguous shard ids 0..shards-1,
+// the static split a fixed-size deployment uses.
 func newHashRing(shards, replicas int) *hashRing {
 	if shards < 1 {
 		shards = 1
 	}
+	ids := make([]int, shards)
+	for i := range ids {
+		ids[i] = i
+	}
+	return newHashRingFor(ids, replicas)
+}
+
+// newHashRingFor builds a ring over an explicit shard id set (one id per
+// runtime ring). The ids are deduplicated and sorted; point placement
+// depends only on the id value, so two epochs sharing an id share that
+// shard's points exactly.
+func newHashRingFor(ids []int, replicas int) *hashRing {
 	if replicas < 1 {
 		replicas = defaultReplicas
 	}
-	h := &hashRing{shards: shards, points: make([]ringPoint, 0, shards*replicas)}
-	for s := 0; s < shards; s++ {
+	uniq := make(map[int]bool, len(ids))
+	var sorted []int
+	for _, id := range ids {
+		if !uniq[id] {
+			uniq[id] = true
+			sorted = append(sorted, id)
+		}
+	}
+	sort.Ints(sorted)
+	if len(sorted) == 0 {
+		sorted = []int{0}
+	}
+	h := &hashRing{ids: sorted, points: make([]ringPoint, 0, len(sorted)*replicas)}
+	for _, s := range sorted {
 		for r := 0; r < replicas; r++ {
 			h.points = append(h.points, ringPoint{
 				hash:  fnv64a(fmt.Sprintf("shard-%d#%d", s, r)),
@@ -49,17 +81,154 @@ func newHashRing(shards, replicas int) *hashRing {
 	return h
 }
 
+// shardIDs returns the shard ids, sorted ascending.
+func (h *hashRing) shardIDs() []int { return append([]int(nil), h.ids...) }
+
+// hasID reports whether the shard id is part of the ring.
+func (h *hashRing) hasID(id int) bool {
+	for _, v := range h.ids {
+		if v == id {
+			return true
+		}
+	}
+	return false
+}
+
 // lookup returns the shard owning the key.
 func (h *hashRing) lookup(key string) int {
-	if h.shards == 1 {
-		return 0
+	if len(h.ids) == 1 {
+		return h.ids[0]
 	}
-	v := fnv64a(key)
+	return h.owner(fnv64a(key))
+}
+
+// owner returns the shard owning a point of the hash circle.
+func (h *hashRing) owner(v uint64) int {
 	i := sort.Search(len(h.points), func(i int) bool { return h.points[i].hash >= v })
 	if i == len(h.points) {
 		i = 0 // wrap around the circle
 	}
 	return h.points[i].shard
+}
+
+// keyRange is one contiguous slice of the hash circle changing owner
+// between two routing epochs. Bounds are inclusive; lo > hi means the
+// range wraps through the top of the 64-bit circle.
+type keyRange struct {
+	lo, hi uint64
+	// from and to are the shard ids owning the range in the old and new
+	// epoch respectively.
+	from, to int
+}
+
+// contains reports whether the hash lies inside the range.
+func (r keyRange) contains(v uint64) bool {
+	if r.lo <= r.hi {
+		return v >= r.lo && v <= r.hi
+	}
+	return v >= r.lo || v <= r.hi
+}
+
+// rangesContain reports whether any range contains the hash.
+func rangesContain(rs []keyRange, v uint64) bool {
+	for _, r := range rs {
+		if r.contains(v) {
+			return true
+		}
+	}
+	return false
+}
+
+// moved computes the exact hash ranges whose owner differs between the old
+// and new rings, the diff the ordered handoff freezes and migrates. The
+// owner of any hash is constant between two adjacent virtual points, so
+// the diff walks the union of both rings' points: each segment (prev,
+// point] has one old owner and one new owner, and the segment is emitted
+// iff they differ.
+func moved(old, new *hashRing) []keyRange {
+	union := make([]uint64, 0, len(old.points)+len(new.points))
+	for _, p := range old.points {
+		union = append(union, p.hash)
+	}
+	for _, p := range new.points {
+		union = append(union, p.hash)
+	}
+	sort.Slice(union, func(i, j int) bool { return union[i] < union[j] })
+	// Deduplicate in place.
+	uniq := union[:0]
+	for i, v := range union {
+		if i == 0 || v != union[i-1] {
+			uniq = append(uniq, v)
+		}
+	}
+	union = uniq
+	if len(union) == 0 {
+		return nil
+	}
+	var out []keyRange
+	for i, hi := range union {
+		var lo uint64
+		if i == 0 {
+			// The wrap segment: everything clockwise of the last point
+			// up to and including the first point.
+			lo = union[len(union)-1] + 1
+		} else {
+			lo = union[i-1] + 1
+		}
+		from, to := old.owner(hi), new.owner(hi)
+		if from != to {
+			out = append(out, keyRange{lo: lo, hi: hi, from: from, to: to})
+		}
+	}
+	return out
+}
+
+// complementRanges returns the slices of the hash circle the shard does
+// NOT own under the ring, adjacent segments coalesced. A replica keeps
+// this as its "retired" set: ordered writes for keys it does not own are
+// rejected, which makes a write routed under a stale epoch fail with a
+// retryable error instead of resurrecting state the handoff moved away.
+func complementRanges(h *hashRing, shard int) []keyRange {
+	if len(h.ids) == 1 && h.ids[0] == shard {
+		return nil
+	}
+	owned := false
+	for _, id := range h.ids {
+		if id == shard {
+			owned = true
+			break
+		}
+	}
+	if !owned {
+		// The shard owns nothing (for example a freshly spawned target
+		// ring before its flip): the whole circle is retired.
+		return []keyRange{{lo: 0, hi: ^uint64(0)}}
+	}
+	var out []keyRange
+	pts := h.points
+	for i, p := range pts {
+		if p.shard == shard {
+			continue
+		}
+		var lo uint64
+		if i == 0 {
+			lo = pts[len(pts)-1].hash + 1
+		} else {
+			lo = pts[i-1].hash + 1
+		}
+		// Coalesce with the previous segment when contiguous.
+		if n := len(out); n > 0 && out[n-1].hi+1 == lo {
+			out[n-1].hi = p.hash
+			continue
+		}
+		out = append(out, keyRange{lo: lo, hi: p.hash, from: shard, to: p.shard})
+	}
+	// The first and last segments may meet across the wrap point.
+	if n := len(out); n > 1 && out[n-1].hi+1 == out[0].lo {
+		out[0].lo = out[n-1].lo
+		out = out[:n-1]
+	}
+	return out
 }
 
 // fnv64a is the 64-bit FNV-1a hash with an avalanche finalizer. Bare

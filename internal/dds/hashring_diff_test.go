@@ -1,0 +1,100 @@
+package dds
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestMovedGrowMinimalDisruption is the property test for the ownership
+// diff: growing N -> N+1 shards relocates exactly the keys adjacent to the
+// new shard's virtual points. Concretely, for every moved range the new
+// owner IS the new shard — no key ever moves between two surviving shards
+// — and the diff agrees pointwise with the two rings' lookups.
+func TestMovedGrowMinimalDisruption(t *testing.T) {
+	for n := 1; n <= 6; n++ {
+		old := newHashRing(n, defaultReplicas)
+		grown := newHashRing(n+1, defaultReplicas)
+		ranges := moved(old, grown)
+		if len(ranges) == 0 {
+			t.Fatalf("grow %d->%d moved no ranges", n, n+1)
+		}
+		for _, r := range ranges {
+			if r.to != n {
+				t.Fatalf("grow %d->%d: range %+v moves keys to surviving shard %d", n, n+1, r, r.to)
+			}
+			if r.from == r.to {
+				t.Fatalf("grow %d->%d: degenerate range %+v", n, n+1, r)
+			}
+		}
+		movedKeys, total := 0, 8192
+		for i := 0; i < total; i++ {
+			k := fmt.Sprintf("prop-key-%d", i)
+			h := fnv64a(k)
+			a, b := old.lookup(k), grown.lookup(k)
+			inDiff := rangesContain(ranges, h)
+			if (a != b) != inDiff {
+				t.Fatalf("grow %d->%d: key %q owner %d->%d but rangesContain=%v", n, n+1, k, a, b, inDiff)
+			}
+			if a != b {
+				if b != n {
+					t.Fatalf("grow %d->%d: key %q moved between old shards %d->%d", n, n+1, k, a, b)
+				}
+				movedKeys++
+			}
+		}
+		// The moved fraction should be about 1/(n+1); allow generous
+		// slack for virtual-point variance.
+		frac := float64(movedKeys) / float64(total)
+		want := 1.0 / float64(n+1)
+		if frac > 2.5*want || (n > 1 && frac < want/4) {
+			t.Fatalf("grow %d->%d moved %.1f%% of keys, want about %.1f%%", n, n+1, 100*frac, 100*want)
+		}
+	}
+}
+
+// TestMovedShrink checks the inverse: removing one shard relocates exactly
+// that shard's keys, each landing on a surviving shard.
+func TestMovedShrink(t *testing.T) {
+	old := newHashRingFor([]int{0, 1, 2, 3}, defaultReplicas)
+	shrunk := newHashRingFor([]int{0, 2, 3}, defaultReplicas)
+	ranges := moved(old, shrunk)
+	for _, r := range ranges {
+		if r.from != 1 {
+			t.Fatalf("shrink: range %+v moves keys away from surviving shard %d", r, r.from)
+		}
+		if r.to == 1 {
+			t.Fatalf("shrink: range %+v moves keys to the removed shard", r)
+		}
+	}
+	for i := 0; i < 4096; i++ {
+		k := fmt.Sprintf("shrink-key-%d", i)
+		a, b := old.lookup(k), shrunk.lookup(k)
+		if a != 1 && a != b {
+			t.Fatalf("key %q on surviving shard %d moved to %d", k, a, b)
+		}
+		if b == 1 {
+			t.Fatalf("key %q still routed to removed shard", k)
+		}
+		if (a != b) != rangesContain(ranges, fnv64a(k)) {
+			t.Fatalf("key %q: diff and lookup disagree", k)
+		}
+	}
+}
+
+// TestMovedSparseIDsStable checks that shard identity, not position, sets
+// point placement: the ring over {0,2} is exactly the 3-shard ring minus
+// shard 1's points, so a later re-grow with a fresh id never disturbs the
+// survivors.
+func TestMovedSparseIDsStable(t *testing.T) {
+	full := newHashRingFor([]int{0, 1, 2}, defaultReplicas)
+	sparse := newHashRingFor([]int{0, 2}, defaultReplicas)
+	for i := 0; i < 4096; i++ {
+		k := fmt.Sprintf("sparse-key-%d", i)
+		if o := full.lookup(k); o != 1 && o != sparse.lookup(k) {
+			t.Fatalf("key %q moved from %d to %d without its shard being removed", k, o, sparse.lookup(k))
+		}
+	}
+	if got := fmt.Sprint(sparse.shardIDs()); got != "[0 2]" {
+		t.Fatalf("shardIDs = %s", got)
+	}
+}

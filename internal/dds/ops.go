@@ -26,6 +26,21 @@ const (
 	opDel
 	opSnapshot
 	opSnapReq
+	// Elastic-resharding control ops. They ride the affected rings'
+	// ordered streams so every replica observes the handoff state machine
+	// at the same position relative to the data ops it affects:
+	// opFreeze on each source ring (stop writes to the moving slice),
+	// opInstall then opFlip on each target ring (stage the snapshot,
+	// then atomically adopt it and the new routing epoch), opAbortReshard
+	// anywhere to roll back to the old epoch.
+	opFreeze
+	opInstall
+	opFlip
+	opAbortReshard
+	// opPurge garbage-collects a handed-off slice from the source shard
+	// after the flip committed, at an ordered position of the source's
+	// own stream (so every replica purges the same state).
+	opPurge
 )
 
 type op struct {
@@ -34,6 +49,15 @@ type op struct {
 	val    []byte
 	reqID  uint64
 	target core.NodeID
+
+	// Resharding fields (opFreeze/opInstall/opFlip/opAbortReshard).
+	rid     uint64 // reshard attempt identifier
+	epoch   uint64 // new routing epoch (flip/abort)
+	ranges  []keyRange
+	rings   []int // flip: the new table's ring ids
+	targets []int // flip: the handoff's target ring ids
+	kv      map[string][]byte
+	locks   map[string]*lockState
 }
 
 func header(kind opKind) []byte { return []byte{ddsMagic, ddsVersion, byte(kind)} }
@@ -81,6 +105,183 @@ func encodeDel(key string, reqID uint64) []byte {
 
 func encodeSnapReq() []byte { return header(opSnapReq) }
 
+// --- resharding control op codecs ---
+
+func appendRanges(b []byte, rs []keyRange) []byte {
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(rs)))
+	for _, r := range rs {
+		b = binary.LittleEndian.AppendUint64(b, r.lo)
+		b = binary.LittleEndian.AppendUint64(b, r.hi)
+		b = binary.LittleEndian.AppendUint32(b, uint32(r.from))
+		b = binary.LittleEndian.AppendUint32(b, uint32(r.to))
+	}
+	return b
+}
+
+func (r *opReader) readRanges() ([]keyRange, error) {
+	n, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]keyRange, 0, n)
+	for i := uint32(0); i < n; i++ {
+		var kr keyRange
+		if kr.lo, err = r.u64(); err != nil {
+			return nil, err
+		}
+		if kr.hi, err = r.u64(); err != nil {
+			return nil, err
+		}
+		from, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		to, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		kr.from, kr.to = int(int32(from)), int(int32(to))
+		out = append(out, kr)
+	}
+	return out, nil
+}
+
+func appendKV(b []byte, kv map[string][]byte) []byte {
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(kv)))
+	for k, v := range kv {
+		b = appendStr(b, k)
+		b = appendBytes(b, v)
+	}
+	return b
+}
+
+func (r *opReader) readKV() (map[string][]byte, error) {
+	n, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	kv := make(map[string][]byte, n)
+	for i := uint32(0); i < n; i++ {
+		k, err := r.str()
+		if err != nil {
+			return nil, err
+		}
+		v, err := r.bytes()
+		if err != nil {
+			return nil, err
+		}
+		kv[k] = v
+	}
+	return kv, nil
+}
+
+func appendLocks(b []byte, locks map[string]*lockState) []byte {
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(locks)))
+	for name, ls := range locks {
+		b = appendStr(b, name)
+		b = binary.LittleEndian.AppendUint32(b, uint32(ls.owner))
+		b = binary.LittleEndian.AppendUint64(b, ls.ownerReq)
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(ls.queue)))
+		for _, q := range ls.queue {
+			b = binary.LittleEndian.AppendUint32(b, uint32(q.node))
+			b = binary.LittleEndian.AppendUint64(b, q.reqID)
+		}
+	}
+	return b
+}
+
+func (r *opReader) readLocks() (map[string]*lockState, error) {
+	n, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	locks := make(map[string]*lockState, n)
+	for i := uint32(0); i < n; i++ {
+		name, err := r.str()
+		if err != nil {
+			return nil, err
+		}
+		owner, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		ownerReq, err := r.u64()
+		if err != nil {
+			return nil, err
+		}
+		qlen, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		ls := &lockState{owner: wire.NodeID(owner), ownerReq: ownerReq}
+		for j := uint32(0); j < qlen; j++ {
+			node, err := r.u32()
+			if err != nil {
+				return nil, err
+			}
+			reqID, err := r.u64()
+			if err != nil {
+				return nil, err
+			}
+			ls.queue = append(ls.queue, lockReq{node: wire.NodeID(node), reqID: reqID})
+		}
+		locks[name] = ls
+	}
+	return locks, nil
+}
+
+// encodeFreeze freezes the given hash ranges of the carrying ring's
+// shard; epoch is the routing epoch the handoff targets.
+func encodeFreeze(rid, epoch uint64, ranges []keyRange, reqID uint64) []byte {
+	b := header(opFreeze)
+	b = binary.LittleEndian.AppendUint64(b, rid)
+	b = binary.LittleEndian.AppendUint64(b, epoch)
+	b = appendRanges(b, ranges)
+	return binary.LittleEndian.AppendUint64(b, reqID)
+}
+
+// encodeInstall stages moved keys and locks on the carrying ring's shard.
+func encodeInstall(rid, epoch uint64, kv map[string][]byte, locks map[string]*lockState, reqID uint64) []byte {
+	b := header(opInstall)
+	b = binary.LittleEndian.AppendUint64(b, rid)
+	b = binary.LittleEndian.AppendUint64(b, epoch)
+	b = appendKV(b, kv)
+	b = appendLocks(b, locks)
+	return binary.LittleEndian.AppendUint64(b, reqID)
+}
+
+// encodeFlip commits the handoff on the carrying (target) ring: adopt the
+// staged state and, once every target flipped, the new routing epoch.
+func encodeFlip(rid, epoch uint64, rings, targets []int, reqID uint64) []byte {
+	b := header(opFlip)
+	b = binary.LittleEndian.AppendUint64(b, rid)
+	b = binary.LittleEndian.AppendUint64(b, epoch)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(rings)))
+	for _, id := range rings {
+		b = binary.LittleEndian.AppendUint32(b, uint32(id))
+	}
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(targets)))
+	for _, id := range targets {
+		b = binary.LittleEndian.AppendUint32(b, uint32(id))
+	}
+	return binary.LittleEndian.AppendUint64(b, reqID)
+}
+
+// encodeAbortReshard rolls the handoff back on the carrying ring.
+func encodeAbortReshard(rid, epoch uint64) []byte {
+	b := header(opAbortReshard)
+	b = binary.LittleEndian.AppendUint64(b, rid)
+	return binary.LittleEndian.AppendUint64(b, epoch)
+}
+
+// encodePurge garbage-collects the flipped handoff's slice on the source.
+func encodePurge(rid, epoch uint64, reqID uint64) []byte {
+	b := header(opPurge)
+	b = binary.LittleEndian.AppendUint64(b, rid)
+	b = binary.LittleEndian.AppendUint64(b, epoch)
+	return binary.LittleEndian.AppendUint64(b, reqID)
+}
+
 // decodeOp parses a data-service op; ok=false means the payload belongs to
 // the application.
 func decodeOp(p []byte) (op, bool) {
@@ -108,6 +309,44 @@ func decodeOp(p []byte) (op, bool) {
 			o.val, err = r.bytes()
 		}
 	case opSnapReq:
+	case opFreeze:
+		if o.rid, err = r.u64(); err == nil {
+			if o.epoch, err = r.u64(); err == nil {
+				if o.ranges, err = r.readRanges(); err == nil {
+					o.reqID, err = r.u64()
+				}
+			}
+		}
+	case opInstall:
+		if o.rid, err = r.u64(); err == nil {
+			if o.epoch, err = r.u64(); err == nil {
+				if o.kv, err = r.readKV(); err == nil {
+					if o.locks, err = r.readLocks(); err == nil {
+						o.reqID, err = r.u64()
+					}
+				}
+			}
+		}
+	case opFlip:
+		if o.rid, err = r.u64(); err == nil {
+			if o.epoch, err = r.u64(); err == nil {
+				if o.rings, err = r.readIntList(); err == nil {
+					if o.targets, err = r.readIntList(); err == nil {
+						o.reqID, err = r.u64()
+					}
+				}
+			}
+		}
+	case opAbortReshard:
+		if o.rid, err = r.u64(); err == nil {
+			o.epoch, err = r.u64()
+		}
+	case opPurge:
+		if o.rid, err = r.u64(); err == nil {
+			if o.epoch, err = r.u64(); err == nil {
+				o.reqID, err = r.u64()
+			}
+		}
 	default:
 		return op{}, false
 	}
@@ -123,6 +362,29 @@ type snapshotState struct {
 	kv      map[string][]byte
 	locks   map[string]*lockState
 	applied map[core.NodeID]uint64
+	// Resharding state rides in snapshots so a replica syncing mid-handoff
+	// makes the same frozen-write decisions as everyone else. The fields
+	// are appended to the encoding; snapshots from builds predating them
+	// decode with the zero values.
+	frozenID    uint64
+	frozenBy    core.NodeID
+	frozenEpoch uint64
+	frozen      []keyRange
+	retired     []keyRange
+	staged      *stagedInstall
+}
+
+// stagedInstall is a target replica's handoff state: installs are staged
+// aside and only merged into the live map when the ordered flip applies,
+// so an aborted handoff leaves the replica untouched. by/epoch identify
+// the coordinating node and the target routing epoch, so the ordered
+// removal of a dead coordinator can roll the stage back.
+type stagedInstall struct {
+	id    uint64
+	by    core.NodeID
+	epoch uint64
+	kv    map[string][]byte
+	locks map[string]*lockState
 }
 
 func encodeSnapshot(target core.NodeID, st snapshotState) []byte {
@@ -134,82 +396,41 @@ func encodeSnapshot(target core.NodeID, st snapshotState) []byte {
 
 func encodeSnapshotState(st snapshotState) []byte {
 	var b []byte
-	b = binary.LittleEndian.AppendUint32(b, uint32(len(st.kv)))
-	for k, v := range st.kv {
-		b = appendStr(b, k)
-		b = appendBytes(b, v)
-	}
-	b = binary.LittleEndian.AppendUint32(b, uint32(len(st.locks)))
-	for name, ls := range st.locks {
-		b = appendStr(b, name)
-		b = binary.LittleEndian.AppendUint32(b, uint32(ls.owner))
-		b = binary.LittleEndian.AppendUint64(b, ls.ownerReq)
-		b = binary.LittleEndian.AppendUint32(b, uint32(len(ls.queue)))
-		for _, q := range ls.queue {
-			b = binary.LittleEndian.AppendUint32(b, uint32(q.node))
-			b = binary.LittleEndian.AppendUint64(b, q.reqID)
-		}
-	}
+	b = appendKV(b, st.kv)
+	b = appendLocks(b, st.locks)
 	b = binary.LittleEndian.AppendUint32(b, uint32(len(st.applied)))
 	for node, seq := range st.applied {
 		b = binary.LittleEndian.AppendUint32(b, uint32(node))
 		b = binary.LittleEndian.AppendUint64(b, seq)
+	}
+	// Resharding extension (optional trailer).
+	b = binary.LittleEndian.AppendUint64(b, st.frozenID)
+	b = binary.LittleEndian.AppendUint32(b, uint32(st.frozenBy))
+	b = binary.LittleEndian.AppendUint64(b, st.frozenEpoch)
+	b = appendRanges(b, st.frozen)
+	b = appendRanges(b, st.retired)
+	if st.staged == nil {
+		b = append(b, 0)
+	} else {
+		b = append(b, 1)
+		b = binary.LittleEndian.AppendUint64(b, st.staged.id)
+		b = binary.LittleEndian.AppendUint32(b, uint32(st.staged.by))
+		b = binary.LittleEndian.AppendUint64(b, st.staged.epoch)
+		b = appendKV(b, st.staged.kv)
+		b = appendLocks(b, st.staged.locks)
 	}
 	return b
 }
 
 func decodeSnapshotState(p []byte) (snapshotState, error) {
 	r := opReader{buf: p}
-	st := snapshotState{kv: make(map[string][]byte), locks: make(map[string]*lockState)}
-	nkv, err := r.u32()
-	if err != nil {
+	st := snapshotState{}
+	var err error
+	if st.kv, err = r.readKV(); err != nil {
 		return st, err
 	}
-	for i := uint32(0); i < nkv; i++ {
-		k, err := r.str()
-		if err != nil {
-			return st, err
-		}
-		v, err := r.bytes()
-		if err != nil {
-			return st, err
-		}
-		st.kv[k] = v
-	}
-	nlocks, err := r.u32()
-	if err != nil {
+	if st.locks, err = r.readLocks(); err != nil {
 		return st, err
-	}
-	for i := uint32(0); i < nlocks; i++ {
-		name, err := r.str()
-		if err != nil {
-			return st, err
-		}
-		owner, err := r.u32()
-		if err != nil {
-			return st, err
-		}
-		ownerReq, err := r.u64()
-		if err != nil {
-			return st, err
-		}
-		qlen, err := r.u32()
-		if err != nil {
-			return st, err
-		}
-		ls := &lockState{owner: wire.NodeID(owner), ownerReq: ownerReq}
-		for j := uint32(0); j < qlen; j++ {
-			node, err := r.u32()
-			if err != nil {
-				return st, err
-			}
-			reqID, err := r.u64()
-			if err != nil {
-				return st, err
-			}
-			ls.queue = append(ls.queue, lockReq{node: wire.NodeID(node), reqID: reqID})
-		}
-		st.locks[name] = ls
 	}
 	st.applied = make(map[core.NodeID]uint64)
 	napp, err := r.u32()
@@ -227,12 +448,83 @@ func decodeSnapshotState(p []byte) (snapshotState, error) {
 		}
 		st.applied[wire.NodeID(node)] = seq
 	}
+	// Resharding extension: absent in snapshots from older builds.
+	if len(r.buf) == 0 {
+		return st, nil
+	}
+	if st.frozenID, err = r.u64(); err != nil {
+		return st, err
+	}
+	frozenBy, err := r.u32()
+	if err != nil {
+		return st, err
+	}
+	st.frozenBy = core.NodeID(frozenBy)
+	if st.frozenEpoch, err = r.u64(); err != nil {
+		return st, err
+	}
+	if st.frozen, err = r.readRanges(); err != nil {
+		return st, err
+	}
+	if st.retired, err = r.readRanges(); err != nil {
+		return st, err
+	}
+	hasStaged, err := r.u8()
+	if err != nil {
+		return st, err
+	}
+	if hasStaged == 1 {
+		sg := &stagedInstall{}
+		if sg.id, err = r.u64(); err != nil {
+			return st, err
+		}
+		by, err := r.u32()
+		if err != nil {
+			return st, err
+		}
+		sg.by = core.NodeID(by)
+		if sg.epoch, err = r.u64(); err != nil {
+			return st, err
+		}
+		if sg.kv, err = r.readKV(); err != nil {
+			return st, err
+		}
+		if sg.locks, err = r.readLocks(); err != nil {
+			return st, err
+		}
+		st.staged = sg
+	}
 	return st, nil
 }
 
 type opReader struct{ buf []byte }
 
 var errShort = errors.New("dds: truncated op")
+
+func (r *opReader) u8() (byte, error) {
+	if len(r.buf) < 1 {
+		return 0, errShort
+	}
+	v := r.buf[0]
+	r.buf = r.buf[1:]
+	return v, nil
+}
+
+func (r *opReader) readIntList() ([]int, error) {
+	n, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int, 0, n)
+	for i := uint32(0); i < n; i++ {
+		v, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, int(v))
+	}
+	return out, nil
+}
 
 func (r *opReader) u32() (uint32, error) {
 	if len(r.buf) < 4 {

@@ -1,0 +1,630 @@
+package dds
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+// growAll calls AddRing on every runtime concurrently (the admin fan-out
+// a real deployment performs) and returns the new ring id.
+func growAll(t *testing.T, sc *shardedCluster, timeout time.Duration) core.RingID {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	var wg sync.WaitGroup
+	ids := make(map[core.NodeID]core.RingID)
+	errs := make(map[core.NodeID]error)
+	var mu sync.Mutex
+	for _, id := range sc.g.IDs {
+		id := id
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rid, err := sc.g.Runtimes[id].AddRing(ctx)
+			mu.Lock()
+			ids[id], errs[id] = rid, err
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	var ring core.RingID
+	for _, id := range sc.g.IDs {
+		if errs[id] != nil {
+			t.Fatalf("AddRing on node %v: %v", id, errs[id])
+		}
+		ring = ids[id]
+	}
+	for _, id := range sc.g.IDs {
+		if ids[id] != ring {
+			t.Fatalf("nodes disagree on the new ring id: %v", ids)
+		}
+	}
+	return ring
+}
+
+// shrinkAll calls RemoveRing on every runtime concurrently.
+func shrinkAll(t *testing.T, sc *shardedCluster, ring core.RingID, timeout time.Duration) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	var wg sync.WaitGroup
+	errs := make(map[core.NodeID]error)
+	var mu sync.Mutex
+	for _, id := range sc.g.IDs {
+		id := id
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			err := sc.g.Runtimes[id].RemoveRing(ctx, ring)
+			mu.Lock()
+			errs[id] = err
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	for _, id := range sc.g.IDs {
+		if errs[id] != nil {
+			t.Fatalf("RemoveRing(%v) on node %v: %v", ring, id, errs[id])
+		}
+	}
+}
+
+// TestGrowUnderLiveTraffic is the flagship elastic-resharding scenario: a
+// 2-ring cluster grows to 3 rings while Map and Lock traffic flows.
+// It proves the acceptance properties:
+//   - every key routed by the new epoch serves reads reflecting all
+//     pre-handoff writes,
+//   - writes into the frozen (moving) slice fail only with the retryable
+//     ErrResharding during the handoff window,
+//   - keys outside the moving slice never pause,
+//   - a held lock in the moving slice migrates with its owner.
+func TestGrowUnderLiveTraffic(t *testing.T) {
+	sc := startSharded(t, 3, 2)
+	ctx := context.Background()
+
+	// Split a seed corpus by what the 2->3 diff will move.
+	oldRing := newHashRingFor([]int{0, 1}, defaultReplicas)
+	grown := newHashRingFor([]int{0, 1, 2}, defaultReplicas)
+	var movedKeys, stableKeys []string
+	for i := 0; len(movedKeys) < 24 || len(stableKeys) < 24; i++ {
+		k := fmt.Sprintf("seed-%d", i)
+		if oldRing.lookup(k) != grown.lookup(k) {
+			movedKeys = append(movedKeys, k)
+		} else {
+			stableKeys = append(stableKeys, k)
+		}
+	}
+	for _, k := range append(append([]string(nil), movedKeys...), stableKeys...) {
+		if err := sc.svcs[1].Set(ctx, k, []byte(k+"-v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// A lock in the moving slice, held across the whole handoff.
+	var movedLock string
+	for i := 0; ; i++ {
+		movedLock = fmt.Sprintf("seed-lock-%d", i)
+		if oldRing.lookup(movedLock) != grown.lookup(movedLock) {
+			break
+		}
+	}
+	if err := sc.svcs[1].Lock(ctx, movedLock); err != nil {
+		t.Fatal(err)
+	}
+
+	// Live traffic. The stable writer must never fail; the moved writer
+	// may only ever see ErrResharding.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var rejects, stableFails atomic.Int64
+	var badErr atomic.Value
+	for n := 0; n < 3; n++ {
+		node := sc.g.IDs[n]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := movedKeys[i%len(movedKeys)]
+				wctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+				err := sc.svcs[node].Set(wctx, k, []byte(k+"-v"))
+				cancel()
+				if errors.Is(err, ErrResharding) {
+					rejects.Add(1)
+				} else if err != nil {
+					badErr.Store(fmt.Errorf("moved-key write on node %v: %w", node, err))
+					return
+				}
+			}
+		}()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := stableKeys[i%len(stableKeys)]
+				wctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+				err := sc.svcs[node].Set(wctx, k, []byte(k+"-v"))
+				cancel()
+				if err != nil {
+					stableFails.Add(1)
+					badErr.Store(fmt.Errorf("stable-key write on node %v paused/failed: %w", node, err))
+					return
+				}
+			}
+		}()
+	}
+
+	newRing := growAll(t, sc, 60*time.Second)
+	if newRing != 2 {
+		t.Fatalf("new ring id = %v, want 2", newRing)
+	}
+	// Let the writers run a beat on the new epoch, then stop them.
+	time.Sleep(100 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	if e := badErr.Load(); e != nil {
+		t.Fatal(e)
+	}
+	if stableFails.Load() != 0 {
+		t.Fatalf("%d non-moving writes failed during the handoff", stableFails.Load())
+	}
+	if rejects.Load() == 0 {
+		t.Fatal("no write ever observed ErrResharding during the handoff window")
+	}
+
+	// Every node routes by the new epoch.
+	for _, id := range sc.g.IDs {
+		if e := sc.svcs[id].Epoch(); e != 2 {
+			t.Fatalf("node %v epoch = %d, want 2", id, e)
+		}
+		view := sc.g.Runtimes[id].Routing()
+		if view.Epoch != 2 || len(view.Rings) != 3 {
+			t.Fatalf("node %v routing = %v", id, view)
+		}
+	}
+
+	// Pre-handoff writes all readable through the new epoch, everywhere,
+	// and each key lives on exactly its owning shard.
+	someOnNew := false
+	for _, k := range append(append([]string(nil), movedKeys...), stableKeys...) {
+		shard := sc.svcs[1].ShardFor(k)
+		if shard == 2 {
+			someOnNew = true
+		}
+		for _, id := range sc.g.IDs {
+			sc.waitKey(t, id, k, k+"-v", 10*time.Second)
+			if got := sc.svcs[id].ShardFor(k); got != shard {
+				t.Fatalf("node %v routes %q to shard %d, node 1 to %d", id, k, got, shard)
+			}
+		}
+	}
+	if !someOnNew {
+		t.Fatal("no seed key moved to the new shard")
+	}
+	waitSingleHome(t, sc, append(append([]string(nil), movedKeys...), stableKeys...))
+
+	// The held moved lock migrated with its owner: node 1 still holds it
+	// on the new shard, node 2 blocks until node 1 releases.
+	if owner, ok := sc.svcs[2].Holder(movedLock); !ok || owner != 1 {
+		t.Fatalf("holder(%s) after handoff = %v, %v, want node 1", movedLock, owner, ok)
+	}
+	acquired := make(chan error, 1)
+	go func() { acquired <- sc.svcs[2].Lock(ctx, movedLock) }()
+	select {
+	case err := <-acquired:
+		t.Fatalf("node 2 acquired migrated lock while node 1 held it (err=%v)", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	if err := unlockRetry(ctx, sc.svcs[1], movedLock); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-acquired; err != nil {
+		t.Fatal(err)
+	}
+	if err := unlockRetry(ctx, sc.svcs[2], movedLock); err != nil {
+		t.Fatal(err)
+	}
+
+	// The handoff pause was recorded on the coordinator.
+	if c := sc.g.Runtimes[1].Stats().Histogram(stats.HistReshardPause).Summary(); c.Count != 1 {
+		t.Fatalf("reshard pause histogram count = %d, want 1", c.Count)
+	}
+}
+
+// waitSingleHome asserts each key converges to exactly one shard replica
+// on every node (the source's copy was purged after the flip).
+func waitSingleHome(t *testing.T, sc *shardedCluster, keys []string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for _, k := range keys {
+		for _, id := range sc.g.IDs {
+			for {
+				svc := sc.svcs[id]
+				view := sc.g.Runtimes[id].Routing()
+				homes := 0
+				for _, rid := range view.Rings {
+					if sh := svc.Shard(int(rid)); sh != nil {
+						if _, ok := sh.Get(k); ok {
+							homes++
+						}
+					}
+				}
+				if homes == 1 {
+					break
+				}
+				if time.Now().After(deadline) {
+					t.Fatalf("node %v: key %q present on %d shards, want 1", id, k, homes)
+				}
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}
+}
+
+func unlockRetry(ctx context.Context, s *Sharded, name string) error {
+	for {
+		err := s.Unlock(name)
+		if !errors.Is(err, ErrResharding) {
+			return err
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+}
+
+// TestRemoveRingHandsKeyspaceBack shrinks 3 rings to 2 and checks the
+// removed ring's slice redistributes to the survivors with nothing lost.
+func TestRemoveRingHandsKeyspaceBack(t *testing.T) {
+	sc := startSharded(t, 2, 3)
+	ctx := context.Background()
+	keys := make([]string, 48)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("shrink-%d", i)
+		if err := sc.svcs[1].Set(ctx, keys[i], []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	shrinkAll(t, sc, 2, 60*time.Second)
+	for _, id := range sc.g.IDs {
+		rt := sc.g.Runtimes[id]
+		view := rt.Routing()
+		if view.Epoch != 2 || fmt.Sprint(view.Rings) != "[r0 r1]" {
+			t.Fatalf("node %v routing = %v, want epoch 2 rings [r0 r1]", id, view)
+		}
+		if rt.Node(2) != nil {
+			t.Fatalf("node %v still hosts ring 2", id)
+		}
+		for _, k := range keys {
+			if s := sc.svcs[id].ShardFor(k); s == 2 {
+				t.Fatalf("node %v still routes %q to removed shard", id, k)
+			}
+			sc.waitKey(t, id, k, "v", 10*time.Second)
+		}
+	}
+	waitSingleHome(t, sc, keys)
+}
+
+// TestReshardAbortStaysOnOldEpoch drives the coordinator against a target
+// shard that does not exist: the handoff must freeze, fail to install,
+// multicast the ordered abort, and leave every node on the old epoch with
+// the keyspace unfrozen and intact.
+func TestReshardAbortStaysOnOldEpoch(t *testing.T) {
+	sc := startSharded(t, 2, 2)
+	ctx := context.Background()
+	keys := make([]string, 32)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("abort-%d", i)
+		if err := sc.svcs[1].Set(ctx, keys[i], []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	old := sc.g.Runtimes[1].Routing()
+	phantom := core.RoutingView{Epoch: old.Epoch + 1, Rings: append(append([]core.RingID(nil), old.Rings...), 9)}
+	rctx, cancel := context.WithTimeout(ctx, 20*time.Second)
+	defer cancel()
+	err := sc.svcs[1].Reshard(rctx, old, phantom)
+	if !errors.Is(err, core.ErrReshardAborted) {
+		t.Fatalf("Reshard against phantom ring = %v, want ErrReshardAborted", err)
+	}
+	// Both nodes stay on the old epoch and every write works again once
+	// the ordered abort unfreezes the slices.
+	for _, id := range sc.g.IDs {
+		if e := sc.svcs[id].Epoch(); e != old.Epoch {
+			t.Fatalf("node %v epoch = %d after abort, want %d", id, e, old.Epoch)
+		}
+		if v := sc.g.Runtimes[id].Routing(); v.Epoch != old.Epoch {
+			t.Fatalf("node %v routing epoch = %d after abort", id, v.Epoch)
+		}
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for _, k := range keys {
+		for {
+			wctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+			err := sc.svcs[2].Set(wctx, k, []byte("v2"))
+			cancel()
+			if err == nil {
+				break
+			}
+			if !errors.Is(err, ErrResharding) || time.Now().After(deadline) {
+				t.Fatalf("write of %q after abort: %v", k, err)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	if n := sc.g.Runtimes[1].Stats().Counter(stats.MetricReshardAborts).Load(); n == 0 {
+		t.Fatal("abort not counted on coordinator")
+	}
+}
+
+// TestCoordinatorDeathUnfreezes covers the participant-side abort: a
+// coordinator freezes a slice and dies before the handoff can flip. The
+// ordered removal of the dead coordinator must unfreeze the slice on the
+// survivors, leaving them on the old epoch with the data intact.
+func TestCoordinatorDeathUnfreezes(t *testing.T) {
+	sc := startSharded(t, 3, 2)
+	ctx := context.Background()
+
+	// Pick a key owned by shard 0 and seed it.
+	var key string
+	for i := 0; ; i++ {
+		key = fmt.Sprintf("cd-%d", i)
+		if sc.svcs[2].ShardFor(key) == 0 {
+			break
+		}
+	}
+	if err := sc.svcs[2].Set(ctx, key, []byte("before")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Node 1 plays a coordinator that froze shard 0's whole keyspace
+	// (reshard 999 targeting epoch 99) and then crashed before
+	// installing anything.
+	ranges := []keyRange{{lo: 0, hi: ^uint64(0), from: 0, to: 1}}
+	if err := sc.svcs[1].Shard(0).node.Multicast(encodeFreeze(999, 99, ranges, 0)); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		wctx, cancel := context.WithTimeout(ctx, time.Second)
+		err := sc.svcs[2].Set(wctx, key, []byte("during"))
+		cancel()
+		if errors.Is(err, ErrResharding) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("freeze never took effect on node 2 (last err: %v)", err)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// Hard-kill the coordinator. Its ordered removal from ring 0 must
+	// abort the orphaned freeze on the survivors.
+	sc.g.Runtimes[1].Close()
+	deadline = time.Now().Add(20 * time.Second)
+	for {
+		wctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+		err := sc.svcs[2].Set(wctx, key, []byte("after"))
+		cancel()
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("slice still frozen after coordinator death: %v", err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	for _, id := range []core.NodeID{2, 3} {
+		if e := sc.svcs[id].Epoch(); e != 1 {
+			t.Fatalf("node %v epoch = %d after orphaned handoff, want 1", id, e)
+		}
+	}
+	sc.waitKey(t, 3, key, "after", 10*time.Second)
+}
+
+// TestRingLifecycleChurn races AddRing/AddRing/RemoveRing against
+// concurrent Map and Lock traffic and asserts no operation is lost,
+// duplicated, or reordered per key across the epoch flips.
+func TestRingLifecycleChurn(t *testing.T) {
+	sc := startSharded(t, 3, 2)
+	ctx := context.Background()
+	const nkeys = 48
+	keys := make([]string, nkeys)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("churn-%d", i)
+	}
+
+	// Per-key order across the epoch flips: values carry a strictly
+	// increasing sequence per key, and on any single node the ROUTED
+	// read of a key must never go backwards — the target serves a key
+	// only after it holds everything the source ordered before the
+	// freeze. (Watcher callbacks are per-shard streams and may
+	// interleave across a handoff; routed reads are the per-key
+	// contract.)
+	var wmu sync.Mutex
+	seen := make(map[string]int) // "node/key" -> highest sequence read
+	var monotonicViolation error
+	stopReaders := make(chan struct{})
+	var readers sync.WaitGroup
+	for _, id := range sc.g.IDs {
+		id := id
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stopReaders:
+					return
+				default:
+				}
+				key := keys[i%nkeys]
+				val, ok := sc.svcs[id].Get(key)
+				if !ok {
+					continue
+				}
+				n, err := strconv.Atoi(string(val))
+				if err != nil {
+					continue
+				}
+				sk := fmt.Sprintf("%v/%s", id, key)
+				wmu.Lock()
+				if n < seen[sk] && monotonicViolation == nil {
+					monotonicViolation = fmt.Errorf("read of %s went backwards: %d after %d", sk, n, seen[sk])
+				}
+				if n > seen[sk] {
+					seen[sk] = n
+				}
+				wmu.Unlock()
+			}
+		}()
+	}
+
+	// Three writers (one per node), each owning a disjoint key slice so
+	// per-key sequences have a single producer. Writes retry on
+	// ErrResharding — the contract during a handoff window.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	lastWritten := make([]atomic.Int64, nkeys)
+	var writerErr atomic.Value
+	for w := 0; w < 3; w++ {
+		w := w
+		node := sc.g.IDs[w]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			seq := 0
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				ki := (i*3 + w) % nkeys // writer w owns keys congruent to w mod 3
+				seq++
+				val := []byte(strconv.Itoa(seq))
+				for {
+					wctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+					err := sc.svcs[node].Set(wctx, keys[ki], val)
+					cancel()
+					if err == nil {
+						lastWritten[ki].Store(int64(seq))
+						break
+					}
+					if !errors.Is(err, ErrResharding) {
+						writerErr.Store(fmt.Errorf("writer %d key %s: %w", w, keys[ki], err))
+						return
+					}
+					time.Sleep(time.Millisecond)
+				}
+			}
+		}()
+	}
+	// Lock traffic across the churn: repeated acquire/release of a few
+	// names, retrying through handoff windows.
+	var lockErr atomic.Value
+	for w := 0; w < 2; w++ {
+		w := w
+		node := sc.g.IDs[w]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			name := fmt.Sprintf("churn-lock-%d", w)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				lctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+				err := sc.svcs[node].Lock(lctx, name)
+				cancel()
+				if errors.Is(err, ErrResharding) {
+					time.Sleep(time.Millisecond)
+					continue
+				}
+				if err != nil {
+					lockErr.Store(fmt.Errorf("lock %s on node %v: %w", name, node, err))
+					return
+				}
+				if err := unlockRetry(ctx, sc.svcs[node], name); err != nil {
+					lockErr.Store(fmt.Errorf("unlock %s on node %v: %w", name, node, err))
+					return
+				}
+			}
+		}()
+	}
+
+	// The churn: grow 2->3, grow 3->4, shrink back to 3 — all under load.
+	r3 := growAll(t, sc, 60*time.Second)
+	time.Sleep(150 * time.Millisecond)
+	r4 := growAll(t, sc, 60*time.Second)
+	time.Sleep(150 * time.Millisecond)
+	shrinkAll(t, sc, r3, 60*time.Second)
+	time.Sleep(150 * time.Millisecond)
+
+	close(stop)
+	wg.Wait()
+	close(stopReaders)
+	readers.Wait()
+	if e := writerErr.Load(); e != nil {
+		t.Fatal(e)
+	}
+	if e := lockErr.Load(); e != nil {
+		t.Fatal(e)
+	}
+
+	// Final routing: epoch 4 (three flips), rings {0,1,r4}.
+	for _, id := range sc.g.IDs {
+		view := sc.g.Runtimes[id].Routing()
+		if view.Epoch != 4 {
+			t.Fatalf("node %v epoch = %d, want 4", id, view.Epoch)
+		}
+		if view.Has(r3) || !view.Has(r4) || len(view.Rings) != 3 {
+			t.Fatalf("node %v rings = %v, want {0,1,%v}", id, view.Rings, r4)
+		}
+	}
+
+	// Nothing lost: every key converges everywhere to its last written
+	// value; nothing duplicated: exactly one shard holds each key.
+	var written []string
+	for i, k := range keys {
+		if n := lastWritten[i].Load(); n > 0 {
+			written = append(written, k)
+			for _, id := range sc.g.IDs {
+				sc.waitKey(t, id, k, strconv.FormatInt(n, 10), 15*time.Second)
+			}
+		}
+	}
+	if len(written) < nkeys/2 {
+		t.Fatalf("only %d of %d keys were ever written; churn starved the writers", len(written), nkeys)
+	}
+	waitSingleHome(t, sc, written)
+
+	// Nothing reordered: no node ever read a per-key sequence going
+	// backwards across the epoch flips.
+	wmu.Lock()
+	defer wmu.Unlock()
+	if monotonicViolation != nil {
+		t.Fatal(monotonicViolation)
+	}
+}

@@ -5,29 +5,56 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/core"
+	"repro/internal/stats"
 )
 
 // Sharded routes the distributed data service across the rings of a
 // sharded multi-ring runtime. Keys and lock names are consistent-hashed
 // onto one Service replica per ring, so each ring totally orders only its
 // slice of the keyspace: per-key (and per-lock) ordering is preserved
-// while aggregate throughput scales with the ring count. Snapshot/state
-// transfer stays a per-shard concern — each underlying Service syncs its
-// own ring exactly as in the single-ring deployment.
+// while aggregate throughput scales with the ring count.
+//
+// The shard set is elastic. The router consults the runtime's
+// epoch-versioned routing table on every route: a grow or shrink
+// (Runtime.AddRing / Runtime.RemoveRing) moves exactly the keyspace
+// slices the consistent-hash diff names, through an ordered handoff
+// (resharding.go) that freezes the moving slices, snapshots them out of
+// the source shards, installs them into the targets via their rings'
+// ordered streams, and flips every node to the new epoch at an ordered
+// position — so per-key ordering survives the move. During the handoff
+// window, writes into a moving slice fail with the retryable
+// ErrResharding; every other key is routed and served without pause.
 //
 // Cross-shard atomicity is intentionally NOT provided: two keys on
 // different shards are ordered independently, the same trade every
 // hash-sharded store makes.
 type Sharded struct {
-	shards []*Service
-	ring   *hashRing
+	rt  *core.Runtime   // nil for a static (fixed shard list) router
+	reg *stats.Registry // runtime registry for handoff metrics
+	id  core.NodeID     // local node identity
+
+	mu       sync.RWMutex
+	epoch    uint64
+	ring     *hashRing        // current epoch's key -> ring id map
+	shards   map[int]*Service // by ring id; includes a mid-handoff target
+	watchers []func(key string, val []byte, deleted bool)
+
+	// Handoff observation state (participant side) and coordination
+	// state (coordinator side); see resharding.go.
+	reshardMu sync.Mutex
+	obsID     uint64       // reshard id currently being observed
+	obsFlips  map[int]bool // targets flipped for obsID
+	lead      *leadReshard
+	nextRID   uint64
 }
 
-// NewSharded builds the router over one Service replica per ring, in ring
-// order. The shard list is fixed for the lifetime of the router; every
-// node of the cluster must construct it with the same shard count.
+// NewSharded builds a static router over one Service replica per ring, in
+// ring order (ring ids 0..len-1). The shard list is fixed for the
+// lifetime of the router; every node of the cluster must construct it
+// with the same shard count. Use AttachSharded for an elastic router.
 func NewSharded(shards []*Service) (*Sharded, error) {
 	if len(shards) == 0 {
 		return nil, errors.New("dds: sharded service needs at least one shard")
@@ -37,89 +64,251 @@ func NewSharded(shards []*Service) (*Sharded, error) {
 			return nil, fmt.Errorf("dds: shard %d is nil", i)
 		}
 	}
-	return &Sharded{
-		shards: append([]*Service(nil), shards...),
+	s := &Sharded{
+		epoch:  1,
 		ring:   newHashRing(len(shards), defaultReplicas),
-	}, nil
+		shards: make(map[int]*Service, len(shards)),
+	}
+	for i, svc := range shards {
+		s.shards[i] = svc
+	}
+	return s, nil
 }
 
-// AttachSharded builds one Service replica per ring of the runtime and
-// routes across them. Call before Runtime.Start so every replica observes
-// its ring's ordered stream from the first event.
+// AttachSharded builds one Service replica per ring of the runtime,
+// routes across them by the runtime's routing table, and registers as the
+// runtime's Resharder so AddRing/RemoveRing migrate the keyspace through
+// the ordered handoff. Call before Runtime.Start so every replica
+// observes its ring's ordered stream from the first event.
 func AttachSharded(rt *core.Runtime) (*Sharded, error) {
-	var shards []*Service
-	for _, n := range rt.Nodes() {
-		shards = append(shards, New(n))
+	view := rt.Routing()
+	s := &Sharded{
+		rt:     rt,
+		reg:    rt.Stats(),
+		id:     rt.ID(),
+		epoch:  view.Epoch,
+		shards: make(map[int]*Service, len(view.Rings)),
 	}
-	return NewSharded(shards)
+	ids := make([]int, 0, len(view.Rings))
+	for _, rid := range view.Rings {
+		n := rt.Node(rid)
+		if n == nil {
+			return nil, fmt.Errorf("dds: runtime has no node for ring %v", rid)
+		}
+		s.attachReplica(int(rid), n)
+		ids = append(ids, int(rid))
+	}
+	s.ring = newHashRingFor(ids, defaultReplicas)
+	// Seed each replica's ownership guard: ordered writes for keys a
+	// shard does not own are rejected, the backstop against writes
+	// routed under a stale epoch.
+	for _, id := range ids {
+		s.shards[id].setRetired(complementRanges(s.ring, id))
+	}
+	rt.OnRingSpawn(func(id core.RingID, n *core.Node) { s.attachReplica(int(id), n) })
+	rt.SetResharder(s)
+	return s, nil
 }
 
-// NumShards returns the shard (ring) count.
-func (s *Sharded) NumShards() int { return len(s.shards) }
-
-// ShardFor returns the shard index owning the key or lock name.
-func (s *Sharded) ShardFor(key string) int { return s.ring.lookup(key) }
-
-// Shard returns the underlying per-ring replica (nil if out of range).
-func (s *Sharded) Shard(i int) *Service {
-	if i < 0 || i >= len(s.shards) {
-		return nil
+// attachReplica builds the replica for one ring and adds it to the shard
+// map. A dynamically spawned ring's replica exists before the ring joins
+// the routing table — it only becomes routable at the epoch flip.
+func (s *Sharded) attachReplica(ringID int, n *core.Node) *Service {
+	svc := New(n)
+	svc.bindRouter(s, ringID)
+	if s.ring != nil && !s.ring.hasID(ringID) {
+		// A freshly spawned target ring owns nothing until its flip: the
+		// whole circle is retired, so no stray write can land before the
+		// handoff installs state.
+		svc.setRetired(complementRanges(s.ring, ringID))
 	}
+	s.mu.Lock()
+	next := make(map[int]*Service, len(s.shards)+1)
+	for id, sh := range s.shards {
+		next[id] = sh
+	}
+	next[ringID] = svc
+	s.shards = next
+	watchers := make([]func(string, []byte, bool), len(s.watchers))
+	copy(watchers, s.watchers)
+	s.mu.Unlock()
+	for _, fn := range watchers {
+		svc.Watch(fn)
+	}
+	return svc
+}
+
+// Epoch returns the routing epoch the router currently routes by.
+func (s *Sharded) Epoch() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.epoch
+}
+
+// NumShards returns the active shard (ring) count of the current epoch.
+func (s *Sharded) NumShards() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.ring.ids)
+}
+
+// ShardFor returns the ring id owning the key or lock name.
+func (s *Sharded) ShardFor(key string) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.ring.lookup(key)
+}
+
+// Shard returns the replica for a ring id (nil if unknown). A target ring
+// mid-handoff is present before it becomes routable.
+func (s *Sharded) Shard(i int) *Service {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return s.shards[i]
 }
 
-func (s *Sharded) forKey(key string) *Service { return s.shards[s.ring.lookup(key)] }
+// routeRead picks the replica serving reads for the key. Reads never
+// block on a handoff: until the flip the source shard serves the frozen
+// slice, after it the target does.
+func (s *Sharded) routeRead(key string) *Service {
+	s.mu.RLock()
+	svc := s.shards[s.ring.lookup(key)]
+	s.mu.RUnlock()
+	return svc
+}
+
+// routeWrite picks the replica accepting writes for the key, failing fast
+// with ErrResharding while the key's slice is frozen mid-handoff. The
+// check here is advisory (no round trip); the ordered apply path enforces
+// the same predicate authoritatively for writes racing the freeze.
+func (s *Sharded) routeWrite(key string) (*Service, error) {
+	h := fnv64a(key)
+	s.mu.RLock()
+	svc := s.shards[s.ring.owner(h)]
+	s.mu.RUnlock()
+	if svc == nil {
+		return nil, fmt.Errorf("dds: no shard for key %q", key)
+	}
+	if svc.frozenContains(h) {
+		if s.reg != nil {
+			s.reg.Counter(stats.MetricFrozenWrites).Inc()
+		}
+		return nil, fmt.Errorf("%w: key %q", ErrResharding, key)
+	}
+	return svc, nil
+}
 
 // --- locks ---
 
-// Lock acquires the named lock on its owning shard, blocking until granted
-// or ctx is done.
+// Lock acquires the named lock on its owning shard, blocking until
+// granted or ctx is done. During a handoff of the lock's slice it fails
+// with the retryable ErrResharding.
 func (s *Sharded) Lock(ctx context.Context, name string) error {
-	return s.forKey(name).Lock(ctx, name)
+	svc, err := s.routeWrite(name)
+	if err != nil {
+		return err
+	}
+	return svc.Lock(ctx, name)
 }
 
-// Unlock releases the named lock held by this node.
-func (s *Sharded) Unlock(name string) error { return s.forKey(name).Unlock(name) }
+// Unlock releases the named lock held by this node. See
+// Service.UnlockContext for the cancellable variant.
+func (s *Sharded) Unlock(name string) error {
+	return s.UnlockContext(context.Background(), name)
+}
+
+// UnlockContext releases the named lock, waiting for the ordered apply
+// at most until ctx is done.
+func (s *Sharded) UnlockContext(ctx context.Context, name string) error {
+	svc, err := s.routeWrite(name)
+	if err != nil {
+		return err
+	}
+	return svc.UnlockContext(ctx, name)
+}
 
 // Holder reports the current owner of the named lock.
-func (s *Sharded) Holder(name string) (core.NodeID, bool) { return s.forKey(name).Holder(name) }
+func (s *Sharded) Holder(name string) (core.NodeID, bool) { return s.routeRead(name).Holder(name) }
 
 // --- replicated map ---
 
 // Set writes key=val on the key's shard and returns once the write has
-// applied locally (read-your-writes).
+// applied locally (read-your-writes). During a handoff of the key's slice
+// it fails with the retryable ErrResharding.
 func (s *Sharded) Set(ctx context.Context, key string, val []byte) error {
-	return s.forKey(key).Set(ctx, key, val)
+	svc, err := s.routeWrite(key)
+	if err != nil {
+		return err
+	}
+	return svc.Set(ctx, key, val)
 }
 
 // Get reads a key from its shard's local replica.
-func (s *Sharded) Get(key string) ([]byte, bool) { return s.forKey(key).Get(key) }
+func (s *Sharded) Get(key string) ([]byte, bool) { return s.routeRead(key).Get(key) }
 
 // Delete removes a key on its shard.
 func (s *Sharded) Delete(ctx context.Context, key string) error {
-	return s.forKey(key).Delete(ctx, key)
+	svc, err := s.routeWrite(key)
+	if err != nil {
+		return err
+	}
+	return svc.Delete(ctx, key)
 }
 
-// Keys lists the union of all shards' keys, sorted.
+// Keys lists the union of all active shards' keys, sorted. Each shard
+// contributes only the keys it owns under the current epoch: between a
+// handoff's flip and its ordered purge the source replica still holds
+// (and serves reads of) the moved keys, which must not be double-counted.
 func (s *Sharded) Keys() []string {
+	s.mu.RLock()
+	ring := s.ring
+	type shardKeys struct {
+		id  int
+		svc *Service
+	}
+	svcs := make([]shardKeys, 0, len(ring.ids))
+	for _, id := range ring.ids {
+		if svc := s.shards[id]; svc != nil {
+			svcs = append(svcs, shardKeys{id, svc})
+		}
+	}
+	s.mu.RUnlock()
 	var out []string
-	for _, sh := range s.shards {
-		out = append(out, sh.Keys()...)
+	for _, sh := range svcs {
+		for _, k := range sh.svc.Keys() {
+			if ring.lookup(k) == sh.id {
+				out = append(out, k)
+			}
+		}
 	}
 	sort.Strings(out)
 	return out
 }
 
-// Watch registers a callback for key changes on every shard. Callbacks for
-// one shard arrive in that shard's apply order; there is no cross-shard
-// order, matching the sharded consistency model.
+// Watch registers a callback for key changes on every shard, including
+// shards attached by later grows. Callbacks for one shard arrive in that
+// shard's apply order; there is no cross-shard order, matching the
+// sharded consistency model. A handed-off key re-announces its value from
+// the target shard at the flip, and because the source replica's stream
+// may lag in real time, callbacks for a moving key can interleave between
+// the two shards around a handoff — per-key monotonicity is guaranteed
+// for routed reads (Get), not across watcher streams.
 func (s *Sharded) Watch(fn func(key string, val []byte, deleted bool)) {
+	s.mu.Lock()
+	s.watchers = append(s.watchers, fn)
+	svcs := make([]*Service, 0, len(s.shards))
 	for _, sh := range s.shards {
+		svcs = append(svcs, sh)
+	}
+	s.mu.Unlock()
+	for _, sh := range svcs {
 		sh.Watch(fn)
 	}
 }
 
 // String summarizes the router (diagnostics).
 func (s *Sharded) String() string {
-	return fmt.Sprintf("dds.Sharded{shards=%d}", len(s.shards))
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return fmt.Sprintf("dds.Sharded{epoch=%d rings=%v}", s.epoch, s.ring.ids)
 }

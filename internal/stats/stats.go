@@ -185,10 +185,28 @@ const (
 	// MetricMerges counts completed group merges.
 	MetricMerges = "merges"
 	// MetricDemuxDrops counts frames addressed to a ring the local
-	// demultiplexer has no receiver for.
+	// demultiplexer has no receiver for. A persistently rising value
+	// means a peer routes traffic for a ring this node does not host —
+	// typically a routing-epoch mismatch after an elastic grow/shrink.
 	MetricDemuxDrops = "demux_drops"
+	// MetricReshards counts completed routing-epoch handoffs observed by
+	// this node (grow or shrink).
+	MetricReshards = "reshards_completed"
+	// MetricReshardAborts counts handoffs that aborted and stayed on the
+	// old routing epoch.
+	MetricReshardAborts = "reshard_aborts"
+	// MetricReshardKeysMoved counts keys installed into a target shard by
+	// handoffs this node coordinated.
+	MetricReshardKeysMoved = "reshard_keys_moved"
+	// MetricFrozenWrites counts writes rejected with ErrResharding
+	// because they addressed a frozen (mid-handoff) keyspace slice.
+	MetricFrozenWrites = "frozen_writes_rejected"
 	// HistMulticastLatency is submit-to-deliver latency at the origin.
 	HistMulticastLatency = "multicast_latency"
+	// HistReshardPause is the coordinator-observed handoff window: first
+	// freeze submitted to final flip applied. Only the moving keyspace
+	// slice rejects writes during this window.
+	HistReshardPause = "reshard_pause"
 	// HistTokenRoundTrip is the token's full-ring round-trip time.
 	HistTokenRoundTrip = "token_round_trip"
 )

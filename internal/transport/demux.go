@@ -16,18 +16,31 @@ import (
 //
 // Version-1 frames carry no RingID and route to ring 0, so a ring-0
 // receiver transparently serves not-yet-upgraded peers.
+//
+// The receiver set is fully dynamic: an elastic runtime registers a ring
+// when it spawns the ring's node and unregisters it when the ring is
+// removed. Frames for rings with no receiver are dropped, counted both in
+// aggregate (MetricDemuxDrops) and per ring (Drops), so a peer that is on
+// a different routing epoch — still sending to a ring this node no longer
+// hosts, or already sending to one it does not host yet — shows up in the
+// health view instead of failing silently.
 type Demux struct {
 	tr *Transport
 
 	mu    sync.RWMutex
 	rings map[wire.RingID]func(from wire.NodeID, payload []byte)
+	drops map[wire.RingID]int64
 }
 
 // NewDemux wraps a transport, taking over its handler slot. Receivers are
 // attached per ring with Register; frames for unregistered rings are
 // dropped and counted under MetricDemuxDrops.
 func NewDemux(tr *Transport) *Demux {
-	d := &Demux{tr: tr, rings: make(map[wire.RingID]func(from wire.NodeID, payload []byte))}
+	d := &Demux{
+		tr:    tr,
+		rings: make(map[wire.RingID]func(from wire.NodeID, payload []byte)),
+		drops: make(map[wire.RingID]int64),
+	}
 	tr.SetHandler(d.dispatch)
 	return d
 }
@@ -69,6 +82,19 @@ func (d *Demux) Rings() []wire.RingID {
 	return out
 }
 
+// Drops returns, per ring, how many frames were dropped because the ring
+// had no receiver. A non-empty map after assembly points at a peer whose
+// routing epoch disagrees with this node's ring set.
+func (d *Demux) Drops() map[wire.RingID]int64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	out := make(map[wire.RingID]int64, len(d.drops))
+	for r, n := range d.drops {
+		out[r] = n
+	}
+	return out
+}
+
 // dispatch routes one delivered payload by its frame's RingID. Corrupt
 // frames are dropped here exactly as a single ring's decoder would drop
 // them; frames for unknown rings count as demux drops.
@@ -82,6 +108,9 @@ func (d *Demux) dispatch(from wire.NodeID, payload []byte) {
 	d.mu.RUnlock()
 	if fn == nil {
 		d.tr.Stats().Counter(stats.MetricDemuxDrops).Inc()
+		d.mu.Lock()
+		d.drops[ring]++
+		d.mu.Unlock()
 		return
 	}
 	fn(from, payload)

@@ -62,9 +62,28 @@ type (
 	RuntimeConfig = core.RuntimeConfig
 	// RingHealth is one ring's slice of the combined health view.
 	RingHealth = core.RingHealth
+	// RuntimeHealth is the full health view: ring health, the routing
+	// epoch, and unknown-ring frame drops (mis-epoch'd peers).
+	RuntimeHealth = core.RuntimeHealth
+	// RoutingView is a snapshot of the epoch-versioned routing table a
+	// Runtime owns; AddRing/RemoveRing advance its epoch.
+	RoutingView = core.RoutingView
 	// ShardedDDS routes the distributed data service across the rings
-	// of a Runtime by consistent key hashing.
+	// of a Runtime by consistent key hashing, following the routing
+	// table across elastic grows and shrinks.
 	ShardedDDS = dds.Sharded
+)
+
+// Elastic-resharding errors.
+var (
+	// ErrResharding marks a write rejected because its keyspace slice is
+	// mid-handoff; retry after the routing epoch advances.
+	ErrResharding = dds.ErrResharding
+	// ErrReshardAborted reports a handoff that rolled back to the old
+	// routing epoch.
+	ErrReshardAborted = core.ErrReshardAborted
+	// ErrReshardInProgress rejects overlapping grow/shrink requests.
+	ErrReshardInProgress = core.ErrReshardInProgress
 )
 
 // NoNode is the zero NodeID.
