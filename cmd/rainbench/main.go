@@ -12,8 +12,10 @@
 //
 // e5 (the sharded multi-ring scaling run) persists its rows to
 // BENCH_E5.json (override with -e5-out); e6 (the elastic-resharding run)
-// persists to BENCH_E6.json (-e6-out) and refuses to overwrite an
-// existing baseline unless -force is given.
+// persists to BENCH_E6.json (-e6-out) and e7 (the cross-shard
+// transaction run) to BENCH_E7.json (-e7-out); e6 and e7 refuse to
+// overwrite an existing baseline unless -force is given. -quick shrinks
+// e7 to its CI size (seconds), for the per-PR benchmark artifact.
 package main
 
 import (
@@ -28,13 +30,15 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiments to run: all or a comma list of e1,e2,e3,e4,e5,e6,a1,a2,a3")
+	exp := flag.String("exp", "all", "experiments to run: all or a comma list of e1,e2,e3,e4,e5,e6,e7,a1,a2,a3")
 	e5Out := flag.String("e5-out", "BENCH_E5.json", "where e5 persists its baseline rows")
 	e6Out := flag.String("e6-out", "BENCH_E6.json", "where e6 persists its baseline")
-	force := flag.Bool("force", false, "overwrite an existing e6 baseline")
+	e7Out := flag.String("e7-out", "BENCH_E7.json", "where e7 persists its baseline")
+	force := flag.Bool("force", false, "overwrite an existing e6/e7 baseline")
+	quick := flag.Bool("quick", false, "run e7 at its CI size (shorter phases, fewer workers)")
 	flag.Parse()
 
-	known := []string{"e1", "e2", "e3", "e4", "e5", "e6", "a1", "a2", "a3"}
+	known := []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "a1", "a2", "a3"}
 	selection := *exp
 	// Positional form: `rainbench e5` == `rainbench -exp e5`. Mixing the
 	// two would silently drop one, so it is an error; so is an unknown
@@ -138,6 +142,24 @@ func main() {
 			log.Fatalf("E6: write baseline: %v", err)
 		}
 		fmt.Printf("e6 baseline written to %s\n\n", *e6Out)
+	}
+	if want["e7"] {
+		if _, err := os.Stat(*e7Out); err == nil && !*force {
+			log.Fatalf("rainbench: %s exists; pass -force to overwrite the baseline", *e7Out)
+		}
+		cfg := experiments.DefaultE7()
+		if *quick {
+			cfg = experiments.QuickE7()
+		}
+		res, err := experiments.E7TxnThroughput(cfg)
+		if err != nil {
+			log.Fatalf("E7: %v", err)
+		}
+		fmt.Println(experiments.E7Table(res, cfg))
+		if err := experiments.WriteE7JSON(*e7Out, cfg, res); err != nil {
+			log.Fatalf("E7: write baseline: %v", err)
+		}
+		fmt.Printf("e7 baseline written to %s\n\n", *e7Out)
 	}
 	if want["a1"] {
 		rows, err := experiments.A1SafeVsAgreed(4, 50)

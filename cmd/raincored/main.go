@@ -17,6 +17,8 @@
 //
 //	GET  /health       full health view (rings, routing epoch, demux drops)
 //	GET  /routing      the epoch-versioned routing table
+//	GET  /snapshot     consistent cross-shard snapshot of the keyspace
+//	                   (requires -dds; values are base64 in the JSON)
 //	POST /rings/add    grow by one ring (call on every node; the lowest
 //	                   member coordinates the keyspace handoff)
 //	POST /rings/remove?ring=N  shrink, handing ring N's slice back
@@ -198,6 +200,23 @@ func main() {
 		mux.HandleFunc("GET /routing", func(w http.ResponseWriter, r *http.Request) {
 			writeJSON(w, rt.Routing())
 		})
+		mux.HandleFunc("GET /snapshot", func(w http.ResponseWriter, r *http.Request) {
+			if sharded == nil {
+				http.Error(w, "snapshot requires -dds", http.StatusConflict)
+				return
+			}
+			ctx, cancel := context.WithTimeout(r.Context(), 30*time.Second)
+			defer cancel()
+			snap, err := sharded.Snapshot(ctx)
+			if err != nil {
+				// Conflicts (a reshard or another snapshot in flight) are
+				// retryable; surface them as such.
+				http.Error(w, err.Error(), http.StatusConflict)
+				return
+			}
+			logger.Printf("admin: snapshot captured %d keys at epoch %d", len(snap), rt.Routing().Epoch)
+			writeJSON(w, map[string]any{"routing": rt.Routing(), "keys": snap})
+		})
 		mux.HandleFunc("POST /rings/add", func(w http.ResponseWriter, r *http.Request) {
 			ctx, cancel := context.WithTimeout(r.Context(), 60*time.Second)
 			defer cancel()
@@ -226,7 +245,7 @@ func main() {
 		})
 		srv := &http.Server{Addr: *admin, Handler: mux}
 		go func() {
-			logger.Printf("admin surface on http://%s (GET /health /routing, POST /rings/add /rings/remove?ring=N)", *admin)
+			logger.Printf("admin surface on http://%s (GET /health /routing /snapshot, POST /rings/add /rings/remove?ring=N)", *admin)
 			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 				logger.Printf("admin: %v", err)
 			}

@@ -117,6 +117,12 @@ type Node struct {
 	// Runtime can observe ring shutdowns without occupying the
 	// application's handler slot).
 	stopHook func(reason string)
+	// sysTee observes ordered system events without occupying the
+	// application's handler slot, so a Runtime can watch membership
+	// removals (coordinator-death observation) while a layer such as the
+	// data service owns Handlers. It runs before the application handler
+	// at the same ordered position.
+	sysTee func(SysEvent)
 
 	// Snapshot state maintained by the loop, read by API methods.
 	mu          sync.Mutex
@@ -240,6 +246,19 @@ func (n *Node) getStopHook() func(string) {
 	n.handlerMu.Lock()
 	defer n.handlerMu.Unlock()
 	return n.stopHook
+}
+
+// setSysTee installs the supervisor's ordered system-event observer.
+func (n *Node) setSysTee(fn func(SysEvent)) {
+	n.handlerMu.Lock()
+	defer n.handlerMu.Unlock()
+	n.sysTee = fn
+}
+
+func (n *Node) getSysTee() func(SysEvent) {
+	n.handlerMu.Lock()
+	defer n.handlerMu.Unlock()
+	return n.sysTee
 }
 
 // Start boots the node as a singleton group and begins the event loop.
@@ -438,8 +457,12 @@ func (n *Node) deliver(m wire.Message) {
 	n.reg.Counter(stats.MetricMsgsDelivered).Inc()
 	h := n.getHandlers()
 	if m.Sys != wire.SysApp {
+		ev := SysEvent{Kind: m.Sys, Subject: m.Subject, Origin: m.Origin}
+		if tee := n.getSysTee(); tee != nil {
+			tee(ev)
+		}
 		if h.OnSys != nil {
-			h.OnSys(SysEvent{Kind: m.Sys, Subject: m.Subject, Origin: m.Origin})
+			h.OnSys(ev)
 		}
 		return
 	}

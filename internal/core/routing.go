@@ -63,7 +63,48 @@ var (
 	// the old routing epoch; the ring set is unchanged and the operation
 	// can be retried.
 	ErrReshardAborted = errors.New("core: reshard aborted")
+	// ErrEpochChanged reports that the routing epoch a caller pinned has
+	// advanced (or a handoff toward the next epoch is in flight). It is
+	// retryable: re-pin against the new table and try again.
+	ErrEpochChanged = errors.New("core: pinned routing epoch changed")
 )
+
+// EpochPin freezes a caller's view of the routing epoch for the life of a
+// multi-step operation. A cross-shard transaction coordinator pins the
+// epoch when it begins and re-checks the pin at each phase boundary: any
+// epoch advance — or a handoff in flight toward one — deterministically
+// aborts the operation instead of letting it straddle two keyspace
+// layouts. The pin is advisory (it does not block resharding); the
+// authoritative backstop is the ordered freeze/retired checks on each
+// ring, which reject writes into moving slices with ErrResharding.
+type EpochPin struct {
+	rt    *Runtime
+	epoch uint64
+}
+
+// PinEpoch captures the current routing epoch.
+func (r *Runtime) PinEpoch() EpochPin {
+	return EpochPin{rt: r, epoch: r.Routing().Epoch}
+}
+
+// Epoch returns the pinned epoch.
+func (p EpochPin) Epoch() uint64 { return p.epoch }
+
+// Check returns nil while the pinned epoch is still the published epoch
+// and no handoff is in flight; otherwise it returns ErrEpochChanged.
+func (p EpochPin) Check() error {
+	p.rt.mu.Lock()
+	cur := p.rt.table.Epoch
+	moving := p.rt.resharding
+	p.rt.mu.Unlock()
+	if cur != p.epoch {
+		return fmt.Errorf("%w: pinned %d, published %d", ErrEpochChanged, p.epoch, cur)
+	}
+	if moving {
+		return fmt.Errorf("%w: handoff toward epoch %d in flight", ErrEpochChanged, cur+1)
+	}
+	return nil
+}
 
 // Routing returns the current routing table.
 func (r *Runtime) Routing() RoutingView {

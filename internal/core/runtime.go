@@ -58,6 +58,11 @@ type Runtime struct {
 	watchers   []func(RoutingView)
 	tableCh    chan struct{}    // closed and replaced on every publish/abort
 	abortErrs  map[uint64]error // target epoch -> abort cause
+	// removalWatchers observe ordered membership removals per ring — the
+	// primitive a layer uses to resolve a dead transaction or handoff
+	// coordinator deterministically (the removal is a position in the
+	// ring's stream).
+	removalWatchers []func(RingID, NodeID)
 }
 
 // RuntimeConfig assembles a sharded runtime.
@@ -157,6 +162,18 @@ func (r *Runtime) spawnNode(id RingID) (*Node, error) {
 		r.ringDown[ringID] = reason
 		r.mu.Unlock()
 	})
+	n.setSysTee(func(e SysEvent) {
+		if e.Kind != wire.SysNodeRemoved {
+			return
+		}
+		r.mu.Lock()
+		watchers := make([]func(RingID, NodeID), len(r.removalWatchers))
+		copy(watchers, r.removalWatchers)
+		r.mu.Unlock()
+		for _, fn := range watchers {
+			fn(ringID, e.Subject)
+		}
+	})
 	r.mu.Lock()
 	r.nodes[id] = n
 	if id >= r.spawnedHigh {
@@ -221,6 +238,19 @@ func (r *Runtime) nodesLocked() []*Node {
 		out = append(out, r.nodes[id])
 	}
 	return out
+}
+
+// OnMemberRemoved registers an observer of ordered membership removals:
+// fn runs at the removal's position in the given ring's stream, before
+// the application's OnSys handler. A ring typically detects a dead peer
+// at its own pace, so fn fires once per (ring, peer) — consumers that
+// need a combined view (for example a transaction coordinator resolving a
+// dead participant) key off the first observation. Observers must not
+// block: they run on the ring's event loop.
+func (r *Runtime) OnMemberRemoved(fn func(RingID, NodeID)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.removalWatchers = append(r.removalWatchers, fn)
 }
 
 // Transport exposes the shared transport for peer registration.

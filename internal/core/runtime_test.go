@@ -265,3 +265,49 @@ func TestNodeIgnoresForeignRingFrames(t *testing.T) {
 		t.Fatalf("delivered %d copies, want 1 (ring-3 frame must be dropped)", count)
 	}
 }
+
+// TestOnMemberRemoved checks the runtime's ordered removal observation:
+// when a peer dies, every ring reports its removal to the registered
+// watchers at that ring's own ordered position — the primitive a layer
+// uses to resolve a dead transaction or handoff coordinator.
+func TestOnMemberRemoved(t *testing.T) {
+	g, err := NewTestGrid(GridOptions{N: 3, Rings: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	if err := g.WaitAssembled(20 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	removed := map[RingID][]NodeID{}
+	g.Runtimes[1].OnMemberRemoved(func(ring RingID, id NodeID) {
+		mu.Lock()
+		removed[ring] = append(removed[ring], id)
+		mu.Unlock()
+	})
+	g.Runtimes[3].Close()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		mu.Lock()
+		ok := len(removed[0]) > 0 && len(removed[1]) > 0
+		mu.Unlock()
+		if ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			mu.Lock()
+			t.Fatalf("removal never observed on both rings: %v", removed)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for ring, ids := range removed {
+		for _, id := range ids {
+			if id != 3 {
+				t.Fatalf("ring %v observed removal of %v, want only node 3", ring, id)
+			}
+		}
+	}
+}

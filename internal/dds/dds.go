@@ -70,6 +70,17 @@ type Service struct {
 	// router flipped to the handoff's epoch (the source must keep
 	// serving reads of the frozen slice until then).
 	purgeRID uint64
+	// txns holds staged (prepared, unresolved) cross-shard transactions,
+	// keyed by transaction id. A stage blocks reshard freezes and
+	// snapshot captures on this shard until its ordered commit or abort
+	// resolves it; the ordered removal of its dead coordinator aborts it.
+	txns map[uint64]*txnStage
+	// snapID/snapBy mark an active cross-shard snapshot barrier: new
+	// writes and prepares are rejected (retryably) until the ordered
+	// release, while staged transactions drain to keep the captured cut
+	// consistent across shards.
+	snapID uint64
+	snapBy core.NodeID
 	// postApply queues router callbacks emitted by ordered appliers;
 	// they run after s.mu is released (the event loop is serial, so they
 	// still run before the next ordered op applies).
@@ -141,6 +152,7 @@ func New(node *core.Node) *Service {
 		opWait:   make(map[uint64][]chan error),
 		pending:  make(map[uint64]pendingAcquire),
 		applied:  make(map[core.NodeID]uint64),
+		txns:     make(map[uint64]*txnStage),
 
 		evictedHigh: make(map[core.NodeID]uint64),
 	}
@@ -176,6 +188,21 @@ var ErrNotHolder = errors.New("dds: not the lock holder")
 // Reads never fail with it — the source shard keeps serving the frozen
 // slice until the flip.
 var ErrResharding = errors.New("dds: keyspace slice is resharding, retry")
+
+// ErrSnapshotting is returned for writes (Set, Delete) and transaction
+// prepares submitted while a cross-shard consistent snapshot holds its
+// barrier on the key's shard. The error is transient and retryable: the
+// barrier lifts as soon as every shard's capture completes (or the
+// snapshot coordinator dies, whose ordered removal releases it). Reads
+// never fail with it, and staged transactions still commit or abort
+// through the barrier — that drain is what makes the captured cut
+// consistent.
+var ErrSnapshotting = errors.New("dds: cross-shard snapshot in progress, retry")
+
+// errSnapBusy tells the snapshot coordinator a capture position still has
+// staged transactions in front of it; the coordinator retries until the
+// stages drain (new prepares are already rejected by the barrier).
+var errSnapBusy = errors.New("dds: staged transactions draining, retry capture")
 
 // bindRouter links the replica to the sharded router it belongs to, using
 // the given shard (ring) id for handoff callbacks.
@@ -591,7 +618,9 @@ func (s *Service) ackCoveredSelfOpLocked(o op) {
 		// If the snapshot shows us queued, the grant fires when a later
 		// release promotes us; if absent, the pending re-request logic
 		// in applySnapshotLocked re-submits.
-	case opRelease, opFreeze, opInstall, opFlip, opPurge:
+	case opRelease, opFreeze, opInstall, opFlip, opPurge,
+		opTxnPrepare, opTxnCommit, opTxnAbort,
+		opSnapFreeze, opSnapCapture, opSnapRelease:
 		s.signalOpLocked(s.id, o.reqID, nil)
 	}
 }
@@ -610,6 +639,20 @@ func (s *Service) applyLocked(origin core.NodeID, o op) {
 				s.rejectFrozenLocked(origin, o)
 				return
 			}
+		}
+	}
+	// Snapshot-barrier enforcement: while the shard is snap-frozen, new
+	// map writes are rejected (retryably, at the same ordered position on
+	// every replica) so the captured cut is identical across shards. Lock
+	// traffic and staged-transaction commits/aborts still flow: locks are
+	// not part of the capture, and the drain of staged transactions is
+	// what the capture waits on.
+	if s.snapID != 0 {
+		switch o.kind {
+		case opSet, opDel:
+			s.node.Stats().Counter(stats.MetricSnapFrozenWrites).Inc()
+			s.signalOpLocked(origin, o.reqID, ErrSnapshotting)
+			return
 		}
 	}
 	switch o.kind {
@@ -646,7 +689,164 @@ func (s *Service) applyLocked(origin core.NodeID, o op) {
 		s.applyAbortReshardLocked(origin, o)
 	case opPurge:
 		s.applyPurgeLocked(origin, o)
+	case opTxnPrepare:
+		s.applyTxnPrepareLocked(origin, o)
+	case opTxnCommit:
+		s.applyTxnCommitLocked(origin, o)
+	case opTxnAbort:
+		s.applyTxnAbortLocked(origin, o)
+	case opSnapFreeze:
+		s.applySnapFreezeLocked(origin, o)
+	case opSnapCapture:
+		s.applySnapCaptureLocked(origin, o)
+	case opSnapRelease:
+		s.applySnapReleaseLocked(origin, o)
 	}
+}
+
+// --- cross-shard transactions (2PC participant side) ---
+//
+// A transaction's writes for this shard arrive as one ordered prepare,
+// stay staged (invisible) until the ordered commit applies them
+// atomically, and vanish on the ordered abort. Staged transactions block
+// reshard freezes of this shard (first-wins, retryable on the reshard
+// side), so a commit never writes into a slice frozen after its prepare —
+// the freeze/prepare order is serialized by the ring.
+
+// applyTxnPrepareLocked stages one transaction's writes. Every touched
+// key is checked against the frozen/retired ranges and the snapshot
+// barrier, deterministically (all replicas decide at the same position).
+func (s *Service) applyTxnPrepareLocked(origin core.NodeID, o op) {
+	if s.snapID != 0 {
+		s.node.Stats().Counter(stats.MetricSnapFrozenWrites).Inc()
+		s.signalOpLocked(origin, o.reqID, ErrSnapshotting)
+		return
+	}
+	reject := func(h uint64) bool {
+		return (s.frozenID != 0 && rangesContain(s.frozen, h)) || rangesContain(s.retired, h)
+	}
+	for k := range o.kv {
+		if reject(fnv64a(k)) {
+			s.node.Stats().Counter(stats.MetricFrozenWrites).Inc()
+			s.signalOpLocked(origin, o.reqID, ErrResharding)
+			return
+		}
+	}
+	for _, k := range o.dels {
+		if reject(fnv64a(k)) {
+			s.node.Stats().Counter(stats.MetricFrozenWrites).Inc()
+			s.signalOpLocked(origin, o.reqID, ErrResharding)
+			return
+		}
+	}
+	s.txns[o.rid] = &txnStage{id: o.rid, by: origin, epoch: o.epoch, kv: o.kv, dels: o.dels}
+	s.signalOpLocked(origin, o.reqID, nil)
+}
+
+// applyTxnCommitLocked makes a staged transaction's writes live at this
+// ordered position. A commit for an already-resolved transaction (the
+// stage was aborted by the coordinator's removal racing a late commit
+// frame) is a no-op; nobody is waiting on it.
+func (s *Service) applyTxnCommitLocked(origin core.NodeID, o op) {
+	st := s.txns[o.rid]
+	if st == nil {
+		s.signalOpLocked(origin, o.reqID, nil)
+		return
+	}
+	delete(s.txns, o.rid)
+	keys := make([]string, 0, len(st.kv))
+	for k := range st.kv {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		s.kv[k] = st.kv[k]
+		s.notifyLocked(k, s.kv[k], false)
+	}
+	for _, k := range st.dels {
+		delete(s.kv, k)
+		s.notifyLocked(k, nil, true)
+	}
+	s.signalOpLocked(origin, o.reqID, nil)
+}
+
+// applyTxnAbortLocked drops a staged transaction (idempotent).
+func (s *Service) applyTxnAbortLocked(origin core.NodeID, o op) {
+	if _, staged := s.txns[o.rid]; staged {
+		delete(s.txns, o.rid)
+		s.node.Stats().Counter(stats.MetricTxnAborts).Inc()
+	}
+	s.signalOpLocked(origin, o.reqID, nil)
+}
+
+// PendingTxns reports the number of staged (prepared, unresolved)
+// transactions on this replica — diagnostics and test assertions.
+func (s *Service) PendingTxns() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.txns)
+}
+
+// --- cross-shard snapshot barrier (participant side) ---
+
+// applySnapFreezeLocked raises the snapshot barrier on this shard. A
+// shard mid-handoff refuses (the snapshot coordinator releases and
+// reports the retryable conflict); a competing snapshot loses to the
+// first (first-wins, like reshard freezes).
+func (s *Service) applySnapFreezeLocked(origin core.NodeID, o op) {
+	if s.frozenID != 0 || s.staged != nil {
+		s.signalOpLocked(origin, o.reqID, ErrResharding)
+		return
+	}
+	if s.snapID != 0 && s.snapID != o.rid {
+		s.signalOpLocked(origin, o.reqID, ErrSnapshotting)
+		return
+	}
+	s.snapID, s.snapBy = o.rid, origin
+	s.signalOpLocked(origin, o.reqID, nil)
+}
+
+// applySnapCaptureLocked captures the shard's map at this ordered
+// position — but only once every staged transaction has drained, so no
+// shard's capture can include half of a cross-shard commit. The barrier
+// already rejects new prepares, so the drain is bounded by the in-flight
+// transactions' phase 2.
+func (s *Service) applySnapCaptureLocked(origin core.NodeID, o op) {
+	if s.snapID != o.rid {
+		s.signalOpLocked(origin, o.reqID, ErrSnapshotting)
+		return
+	}
+	if len(s.txns) > 0 {
+		s.signalOpLocked(origin, o.reqID, errSnapBusy)
+		return
+	}
+	s.signalOpLocked(origin, o.reqID, nil)
+	s.queueSnapCaptureLocked(origin)
+}
+
+// queueSnapCaptureLocked hands the captured map to the coordinating
+// router after the current apply completes (same post-apply discipline as
+// the reshard capture).
+func (s *Service) queueSnapCaptureLocked(origin core.NodeID) {
+	if s.router == nil || !s.router.wantsSnapCapture(s.snapID) {
+		return
+	}
+	kv := make(map[string][]byte, len(s.kv))
+	for k, v := range s.kv {
+		kv[k] = append([]byte(nil), v...)
+	}
+	router, shard, rid := s.router, s.shardID, s.snapID
+	s.postApply = append(s.postApply, func() {
+		router.snapCaptured(shard, rid, kv)
+	})
+}
+
+// applySnapReleaseLocked lifts the snapshot barrier.
+func (s *Service) applySnapReleaseLocked(origin core.NodeID, o op) {
+	if s.snapID == o.rid {
+		s.snapID, s.snapBy = 0, 0
+	}
+	s.signalOpLocked(origin, o.reqID, nil)
 }
 
 // rejectFrozenLocked refuses one ordered write into a frozen slice. Every
@@ -685,6 +885,21 @@ func (s *Service) applyFreezeLocked(origin core.NodeID, o op) {
 		// A competing handoff already froze this shard; first wins. The
 		// loser's coordinator gets a prompt retryable failure instead of
 		// waiting out its deadline.
+		s.signalOpLocked(origin, o.reqID, ErrResharding)
+		return
+	}
+	if s.snapID != 0 {
+		// A cross-shard snapshot holds its barrier here; its release is
+		// ordered shortly. The handoff coordinator aborts retryably.
+		s.signalOpLocked(origin, o.reqID, ErrSnapshotting)
+		return
+	}
+	if len(s.txns) > 0 {
+		// Staged cross-shard transactions must resolve before the slice
+		// can freeze: their commits write at ordered positions after the
+		// prepare, and a freeze in between would strand half a commit in
+		// the migrated slice. Aborting the handoff (retryably) keeps the
+		// prepare -> commit window free of ownership changes.
 		s.signalOpLocked(origin, o.reqID, ErrResharding)
 		return
 	}
@@ -833,6 +1048,21 @@ func (s *Service) abortDeadCoordinatorLocked(dead core.NodeID) {
 	if touched && s.router != nil {
 		router := s.router
 		s.postApply = append(s.postApply, func() { router.reshardAborted(rid, epoch) })
+	}
+	// Staged transactions whose coordinator died can never see their
+	// commit: the removal is an ordered position of this ring's stream,
+	// so every replica aborts the same stages at the same point
+	// (presumed-abort). A commit the coordinator managed to order before
+	// its removal was already applied — removal strictly follows it.
+	for id, tx := range s.txns {
+		if tx.by == dead {
+			delete(s.txns, id)
+			s.node.Stats().Counter(stats.MetricTxnAborts).Inc()
+		}
+	}
+	// A dead snapshot coordinator releases its barrier the same way.
+	if s.snapID != 0 && s.snapBy == dead {
+		s.snapID, s.snapBy = 0, 0
 	}
 }
 
@@ -1097,6 +1327,14 @@ func (s *Service) applySnapshotLocked(origin core.NodeID, o op) {
 	s.frozen = st.frozen
 	s.retired = st.retired
 	s.staged = st.staged
+	// Adopt staged transactions and the snapshot barrier the same way:
+	// the ordered commits/aborts (or the coordinator's removal) below
+	// this position must resolve identically here.
+	s.txns = st.txns
+	if s.txns == nil {
+		s.txns = make(map[uint64]*txnStage)
+	}
+	s.snapID, s.snapBy = st.snapID, st.snapBy
 	if s.frozenID != 0 {
 		s.queueCaptureLocked(origin)
 	}
@@ -1166,6 +1404,7 @@ func (s *Service) captureTargetLocked(target core.NodeID) []byte {
 		kv: s.kv, locks: s.locks, applied: s.applied,
 		frozenID: s.frozenID, frozenBy: s.frozenBy, frozenEpoch: s.frozenEpoch,
 		frozen: s.frozen, retired: s.retired, staged: s.staged,
+		txns: s.txns, snapID: s.snapID, snapBy: s.snapBy,
 	})
 }
 

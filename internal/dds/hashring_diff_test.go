@@ -81,6 +81,121 @@ func TestMovedShrink(t *testing.T) {
 	}
 }
 
+// TestMovedEmptyDiff checks the degenerate diff: two rings over the same
+// shard set (same epoch, or a reshard that changed nothing) move no
+// ranges, for contiguous and sparse id sets alike.
+func TestMovedEmptyDiff(t *testing.T) {
+	for n := 1; n <= 5; n++ {
+		a := newHashRing(n, defaultReplicas)
+		b := newHashRing(n, defaultReplicas)
+		if got := moved(a, b); len(got) != 0 {
+			t.Fatalf("moved(same %d-shard ring) = %d ranges, want 0", n, len(got))
+		}
+	}
+	sparseA := newHashRingFor([]int{0, 2, 5}, defaultReplicas)
+	sparseB := newHashRingFor([]int{5, 0, 2}, defaultReplicas) // order must not matter
+	if got := moved(sparseA, sparseB); len(got) != 0 {
+		t.Fatalf("moved(same sparse ring) = %d ranges, want 0", len(got))
+	}
+}
+
+// TestMovedSingleShardRing covers the 1-shard edges: a single-shard ring
+// diffed against itself moves nothing; growing out of (and shrinking back
+// into) a single shard moves every range to/from that shard only.
+func TestMovedSingleShardRing(t *testing.T) {
+	one := newHashRingFor([]int{0}, defaultReplicas)
+	if got := moved(one, newHashRingFor([]int{0}, defaultReplicas)); len(got) != 0 {
+		t.Fatalf("moved(single, single) = %d ranges, want 0", len(got))
+	}
+	two := newHashRingFor([]int{0, 1}, defaultReplicas)
+	grow := moved(one, two)
+	if len(grow) == 0 {
+		t.Fatal("grow out of a single shard moved nothing")
+	}
+	for _, r := range grow {
+		if r.from != 0 || r.to != 1 {
+			t.Fatalf("grow 1->2: range %+v, want from=0 to=1", r)
+		}
+	}
+	shrink := moved(two, one)
+	if len(shrink) != len(grow) {
+		t.Fatalf("shrink ranges = %d, grow ranges = %d; the diff must be symmetric", len(shrink), len(grow))
+	}
+	for _, r := range shrink {
+		if r.from != 1 || r.to != 0 {
+			t.Fatalf("shrink 2->1: range %+v, want from=1 to=0", r)
+		}
+	}
+	for i := 0; i < 2048; i++ {
+		k := fmt.Sprintf("single-%d", i)
+		if o := one.lookup(k); o != 0 {
+			t.Fatalf("single-shard ring routed %q to %d", k, o)
+		}
+	}
+}
+
+// TestComplementRangesEdges pins the retired-set computation: a sole
+// shard retires nothing, a foreign shard retires the full circle, and for
+// any member the complement agrees pointwise with ownership.
+func TestComplementRangesEdges(t *testing.T) {
+	one := newHashRingFor([]int{3}, defaultReplicas)
+	if got := complementRanges(one, 3); got != nil {
+		t.Fatalf("sole shard's complement = %v, want nil", got)
+	}
+	full := complementRanges(one, 7)
+	if len(full) != 1 || full[0].lo != 0 || full[0].hi != ^uint64(0) {
+		t.Fatalf("foreign shard's complement = %v, want the full circle", full)
+	}
+	h := newHashRingFor([]int{0, 1, 2}, defaultReplicas)
+	for shard := 0; shard <= 2; shard++ {
+		comp := complementRanges(h, shard)
+		for i := 0; i < 4096; i++ {
+			k := fmt.Sprintf("comp-%d", i)
+			v := fnv64a(k)
+			if got, want := rangesContain(comp, v), h.owner(v) != shard; got != want {
+				t.Fatalf("shard %d key %q: complement=%v owner=%d", shard, k, got, h.owner(v))
+			}
+		}
+	}
+}
+
+// TestKeyMovesTwiceAcrossEpochs walks a key through two consecutive
+// epoch changes (grow 2->3, then shrink 3->2): every key that moved onto
+// the new shard must move again when it retires, land back where it
+// started, and appear in both diffs — the property a second handoff's
+// freeze depends on.
+func TestKeyMovesTwiceAcrossEpochs(t *testing.T) {
+	e1 := newHashRingFor([]int{0, 1}, defaultReplicas)
+	e2 := newHashRingFor([]int{0, 1, 2}, defaultReplicas)
+	e3 := newHashRingFor([]int{0, 1}, defaultReplicas)
+	d12 := moved(e1, e2)
+	d23 := moved(e2, e3)
+	movedTwice := 0
+	for i := 0; i < 8192; i++ {
+		k := fmt.Sprintf("twice-%d", i)
+		h := fnv64a(k)
+		o1, o2, o3 := e1.owner(h), e2.owner(h), e3.owner(h)
+		if o1 != o2 {
+			if o2 != 2 {
+				t.Fatalf("key %q moved %d->%d in a grow that only added shard 2", k, o1, o2)
+			}
+			if !rangesContain(d12, h) || !rangesContain(d23, h) {
+				t.Fatalf("key %q moves twice but the diffs miss it (d12=%v d23=%v)",
+					k, rangesContain(d12, h), rangesContain(d23, h))
+			}
+			if o3 != o1 {
+				t.Fatalf("key %q ended on %d after grow+shrink, started on %d", k, o3, o1)
+			}
+			movedTwice++
+		} else if rangesContain(d12, h) {
+			t.Fatalf("stationary key %q is inside the grow diff", k)
+		}
+	}
+	if movedTwice == 0 {
+		t.Fatal("no key moved twice across the two epochs")
+	}
+}
+
 // TestMovedSparseIDsStable checks that shard identity, not position, sets
 // point placement: the ring over {0,2} is exactly the 3-shard ring minus
 // shard 1's points, so a later re-grow with a fresh id never disturbs the

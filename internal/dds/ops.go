@@ -3,6 +3,7 @@ package dds
 import (
 	"encoding/binary"
 	"errors"
+	"sort"
 
 	"repro/internal/core"
 	"repro/internal/wire"
@@ -41,6 +42,24 @@ const (
 	// after the flip committed, at an ordered position of the source's
 	// own stream (so every replica purges the same state).
 	opPurge
+	// Cross-shard transaction ops (2PC over the per-ring ordered
+	// streams). opTxnPrepare stages a transaction's writes for this
+	// shard on every replica at one ordered position; opTxnCommit makes
+	// the staged writes live (atomically, at its own ordered position);
+	// opTxnAbort drops them. The ordered removal of a dead coordinator
+	// aborts its staged transactions deterministically, mirroring the
+	// resharding abort path.
+	opTxnPrepare
+	opTxnCommit
+	opTxnAbort
+	// Cross-shard snapshot barrier ops. opSnapFreeze starts the barrier
+	// on a ring: from its ordered position new writes and prepares are
+	// rejected (retryably) while staged transactions drain. opSnapCapture
+	// captures the shard's map at its ordered position once no staged
+	// transactions remain. opSnapRelease lifts the barrier.
+	opSnapFreeze
+	opSnapCapture
+	opSnapRelease
 )
 
 type op struct {
@@ -51,13 +70,14 @@ type op struct {
 	target core.NodeID
 
 	// Resharding fields (opFreeze/opInstall/opFlip/opAbortReshard).
-	rid     uint64 // reshard attempt identifier
-	epoch   uint64 // new routing epoch (flip/abort)
+	rid     uint64 // reshard attempt / transaction / snapshot identifier
+	epoch   uint64 // new routing epoch (flip/abort) or pinned epoch (prepare)
 	ranges  []keyRange
 	rings   []int // flip: the new table's ring ids
 	targets []int // flip: the handoff's target ring ids
 	kv      map[string][]byte
 	locks   map[string]*lockState
+	dels    []string // txn prepare: keys the transaction deletes
 }
 
 func header(kind opKind) []byte { return []byte{ddsMagic, ddsVersion, byte(kind)} }
@@ -282,6 +302,79 @@ func encodePurge(rid, epoch uint64, reqID uint64) []byte {
 	return binary.LittleEndian.AppendUint64(b, reqID)
 }
 
+// --- transaction and snapshot op codecs ---
+
+func appendStrList(b []byte, ss []string) []byte {
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(ss)))
+	for _, s := range ss {
+		b = appendStr(b, s)
+	}
+	return b
+}
+
+func (r *opReader) readStrList() ([]string, error) {
+	n, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, 0, n)
+	for i := uint32(0); i < n; i++ {
+		s, err := r.str()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// encodeTxnPrepare stages a transaction's writes on the carrying ring's
+// shard; epoch is the routing epoch the coordinator pinned for the
+// transaction's lifetime.
+func encodeTxnPrepare(id, epoch uint64, kv map[string][]byte, dels []string, reqID uint64) []byte {
+	b := header(opTxnPrepare)
+	b = binary.LittleEndian.AppendUint64(b, id)
+	b = binary.LittleEndian.AppendUint64(b, epoch)
+	b = appendKV(b, kv)
+	b = appendStrList(b, dels)
+	return binary.LittleEndian.AppendUint64(b, reqID)
+}
+
+// encodeTxnCommit applies the staged transaction on the carrying ring.
+func encodeTxnCommit(id uint64, reqID uint64) []byte {
+	b := header(opTxnCommit)
+	b = binary.LittleEndian.AppendUint64(b, id)
+	return binary.LittleEndian.AppendUint64(b, reqID)
+}
+
+// encodeTxnAbort drops the staged transaction on the carrying ring.
+func encodeTxnAbort(id uint64, reqID uint64) []byte {
+	b := header(opTxnAbort)
+	b = binary.LittleEndian.AppendUint64(b, id)
+	return binary.LittleEndian.AppendUint64(b, reqID)
+}
+
+// encodeSnapFreeze starts the snapshot barrier on the carrying ring.
+func encodeSnapFreeze(id uint64, reqID uint64) []byte {
+	b := header(opSnapFreeze)
+	b = binary.LittleEndian.AppendUint64(b, id)
+	return binary.LittleEndian.AppendUint64(b, reqID)
+}
+
+// encodeSnapCapture captures the shard's map at its ordered position.
+func encodeSnapCapture(id uint64, reqID uint64) []byte {
+	b := header(opSnapCapture)
+	b = binary.LittleEndian.AppendUint64(b, id)
+	return binary.LittleEndian.AppendUint64(b, reqID)
+}
+
+// encodeSnapRelease lifts the snapshot barrier on the carrying ring.
+func encodeSnapRelease(id uint64, reqID uint64) []byte {
+	b := header(opSnapRelease)
+	b = binary.LittleEndian.AppendUint64(b, id)
+	return binary.LittleEndian.AppendUint64(b, reqID)
+}
+
 // decodeOp parses a data-service op; ok=false means the payload belongs to
 // the application.
 func decodeOp(p []byte) (op, bool) {
@@ -347,6 +440,20 @@ func decodeOp(p []byte) (op, bool) {
 				o.reqID, err = r.u64()
 			}
 		}
+	case opTxnPrepare:
+		if o.rid, err = r.u64(); err == nil {
+			if o.epoch, err = r.u64(); err == nil {
+				if o.kv, err = r.readKV(); err == nil {
+					if o.dels, err = r.readStrList(); err == nil {
+						o.reqID, err = r.u64()
+					}
+				}
+			}
+		}
+	case opTxnCommit, opTxnAbort, opSnapFreeze, opSnapCapture, opSnapRelease:
+		if o.rid, err = r.u64(); err == nil {
+			o.reqID, err = r.u64()
+		}
 	default:
 		return op{}, false
 	}
@@ -372,6 +479,24 @@ type snapshotState struct {
 	frozen      []keyRange
 	retired     []keyRange
 	staged      *stagedInstall
+	// Cross-shard transaction state (second trailer): staged prepares and
+	// the snapshot barrier, so a replica syncing mid-transaction resolves
+	// the same commits/aborts as everyone else.
+	txns   map[uint64]*txnStage
+	snapID uint64
+	snapBy core.NodeID
+}
+
+// txnStage is one staged (prepared but unresolved) cross-shard
+// transaction on a shard replica: the writes it will apply at commit.
+// by/epoch identify the coordinating node and the routing epoch it
+// pinned, so the ordered removal of a dead coordinator aborts the stage.
+type txnStage struct {
+	id    uint64
+	by    core.NodeID
+	epoch uint64
+	kv    map[string][]byte
+	dels  []string
 }
 
 // stagedInstall is a target replica's handoff state: installs are staged
@@ -419,7 +544,29 @@ func encodeSnapshotState(st snapshotState) []byte {
 		b = appendKV(b, st.staged.kv)
 		b = appendLocks(b, st.staged.locks)
 	}
+	// Transaction extension (second optional trailer).
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(st.txns)))
+	for _, tx := range sortedTxnStages(st.txns) {
+		b = binary.LittleEndian.AppendUint64(b, tx.id)
+		b = binary.LittleEndian.AppendUint32(b, uint32(tx.by))
+		b = binary.LittleEndian.AppendUint64(b, tx.epoch)
+		b = appendKV(b, tx.kv)
+		b = appendStrList(b, tx.dels)
+	}
+	b = binary.LittleEndian.AppendUint64(b, st.snapID)
+	b = binary.LittleEndian.AppendUint32(b, uint32(st.snapBy))
 	return b
+}
+
+// sortedTxnStages orders staged transactions by id for a deterministic
+// snapshot encoding.
+func sortedTxnStages(txns map[uint64]*txnStage) []*txnStage {
+	out := make([]*txnStage, 0, len(txns))
+	for _, tx := range txns {
+		out = append(out, tx)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
 }
 
 func decodeSnapshotState(p []byte) (snapshotState, error) {
@@ -494,6 +641,44 @@ func decodeSnapshotState(p []byte) (snapshotState, error) {
 		}
 		st.staged = sg
 	}
+	// Transaction extension: absent in snapshots from older builds.
+	if len(r.buf) == 0 {
+		return st, nil
+	}
+	ntx, err := r.u32()
+	if err != nil {
+		return st, err
+	}
+	st.txns = make(map[uint64]*txnStage, ntx)
+	for i := uint32(0); i < ntx; i++ {
+		tx := &txnStage{}
+		if tx.id, err = r.u64(); err != nil {
+			return st, err
+		}
+		by, err := r.u32()
+		if err != nil {
+			return st, err
+		}
+		tx.by = core.NodeID(by)
+		if tx.epoch, err = r.u64(); err != nil {
+			return st, err
+		}
+		if tx.kv, err = r.readKV(); err != nil {
+			return st, err
+		}
+		if tx.dels, err = r.readStrList(); err != nil {
+			return st, err
+		}
+		st.txns[tx.id] = tx
+	}
+	if st.snapID, err = r.u64(); err != nil {
+		return st, err
+	}
+	snapBy, err := r.u32()
+	if err != nil {
+		return st, err
+	}
+	st.snapBy = core.NodeID(snapBy)
 	return st, nil
 }
 

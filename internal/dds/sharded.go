@@ -49,6 +49,10 @@ type Sharded struct {
 	obsFlips  map[int]bool // targets flipped for obsID
 	lead      *leadReshard
 	nextRID   uint64
+	// Cross-shard transaction ids and the in-flight snapshot coordinator
+	// state (see txn_api.go and snapshot.go).
+	nextTxn  uint64
+	snapLead *leadSnap
 }
 
 // NewSharded builds a static router over one Service replica per ring, in

@@ -1,0 +1,82 @@
+package dds
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// Cross-shard transaction primitives (2PC, coordinator side). The
+// higher-level transaction API — lock acquisition in global order, epoch
+// pinning, the prepare/commit drive — lives in internal/txn; these
+// methods are the per-ring ordered legs it stands on.
+//
+// Each primitive is one multicast on the participant ring's ordered
+// stream and returns once the op has applied on the local replica. A
+// prepare's rejection (ErrResharding for a key mid-handoff,
+// ErrSnapshotting under a snapshot barrier) is decided at the op's
+// ordered position, identically on every replica of the ring.
+
+// NewTxnID mints a transaction id unique across the cluster: the local
+// node id in the high bits, a local counter in the low bits.
+func (s *Sharded) NewTxnID() uint64 {
+	s.reshardMu.Lock()
+	defer s.reshardMu.Unlock()
+	s.nextTxn++
+	return uint64(s.id)<<32 | s.nextTxn
+}
+
+// TxnPrepare stages a transaction's writes for one shard on every replica
+// of its ring, at one ordered position. epoch is the routing epoch the
+// coordinator pinned; it rides in the stage so diagnostics can attribute
+// an abort to an epoch change.
+func (s *Sharded) TxnPrepare(ctx context.Context, shard int, id uint64, epoch uint64, writes map[string][]byte, dels []string) error {
+	svc := s.Shard(shard)
+	if svc == nil {
+		return fmt.Errorf("dds: no shard %d for txn %d", shard, id)
+	}
+	return svc.doOp(ctx, func(reqID uint64) []byte {
+		return encodeTxnPrepare(id, epoch, writes, dels, reqID)
+	})
+}
+
+// TxnCommit applies the staged transaction on one shard at an ordered
+// position of its ring.
+func (s *Sharded) TxnCommit(ctx context.Context, shard int, id uint64) error {
+	svc := s.Shard(shard)
+	if svc == nil {
+		return fmt.Errorf("dds: no shard %d for txn %d", shard, id)
+	}
+	err := svc.doOp(ctx, func(reqID uint64) []byte { return encodeTxnCommit(id, reqID) })
+	if err == nil && s.reg != nil {
+		s.reg.Counter(stats.MetricTxnCommits).Inc()
+	}
+	return err
+}
+
+// TxnAbort drops the staged transaction on one shard (idempotent; a shard
+// that never staged it applies a no-op).
+func (s *Sharded) TxnAbort(ctx context.Context, shard int, id uint64) error {
+	svc := s.Shard(shard)
+	if svc == nil {
+		return fmt.Errorf("dds: no shard %d for txn %d", shard, id)
+	}
+	return svc.doOp(ctx, func(reqID uint64) []byte { return encodeTxnAbort(id, reqID) })
+}
+
+// PendingTxns sums the staged (prepared, unresolved) transactions across
+// this node's shard replicas — diagnostics and test assertions.
+func (s *Sharded) PendingTxns() int {
+	s.mu.RLock()
+	svcs := make([]*Service, 0, len(s.shards))
+	for _, svc := range s.shards {
+		svcs = append(svcs, svc)
+	}
+	s.mu.RUnlock()
+	total := 0
+	for _, svc := range svcs {
+		total += svc.PendingTxns()
+	}
+	return total
+}

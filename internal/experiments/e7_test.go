@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestE7TxnShape runs the CI-sized E7 and checks the invariants the
+// baseline records: transactions commit before, through and after a grow,
+// no commit ends indeterminate, and the grow induces only retryable
+// aborts. The full-sized run is `rainbench e7`.
+func TestE7TxnShape(t *testing.T) {
+	cfg := QuickE7()
+	res, err := E7TxnThroughput(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("result shape: %+v", res)
+	}
+	for _, r := range res.Rows {
+		if r.Phase != "grow" && r.CommitsPS <= 0 {
+			t.Fatalf("phase %q committed nothing: %+v", r.Phase, r)
+		}
+		// Steady-state phases should rarely abort; the grow phase aborts
+		// freely by design (the epoch pin drains transactions so the
+		// handoff's freezes can land).
+		if r.Phase != "grow" && r.AbortRate > 0.5 {
+			t.Errorf("phase %q abort rate %.0f%%: the cluster is thrashing", r.Phase, 100*r.AbortRate)
+		}
+	}
+	if res.Indeterminate != 0 {
+		t.Fatalf("%d indeterminate commits", res.Indeterminate)
+	}
+	if res.GrowMS <= 0 {
+		t.Fatalf("grow reported no wall time: %+v", res)
+	}
+	t.Log("\n" + E7Table(res, cfg).String())
+}
+
+// TestWriteE7JSON checks the persisted baseline round-trips.
+func TestWriteE7JSON(t *testing.T) {
+	res := E7Result{
+		Rows: []E7Row{
+			{Phase: "before", Shards: 2, CommitsPS: 800, Aborts: 0},
+			{Phase: "grow", Shards: 3, CommitsPS: 500, Aborts: 12, AbortRate: 0.1},
+			{Phase: "after", Shards: 3, CommitsPS: 900, Aborts: 1},
+		},
+		GrowMS: 140.5,
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_E7.json")
+	if err := WriteE7JSON(path, DefaultE7(), res); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got E7Baseline
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Experiment != "e7-cross-shard-txn" || len(got.Result.Rows) != 3 || got.Result.Rows[1].Aborts != 12 {
+		t.Fatalf("baseline round-trip mismatch: %+v", got)
+	}
+}

@@ -1,0 +1,281 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dds"
+	"repro/internal/stats"
+	"repro/internal/txn"
+)
+
+// --- E7: cross-shard transactions ---
+//
+// PR 3 adds epoch-pinned 2PC over the per-ring master locks. E7 measures
+// what it costs and how it behaves under elastic resharding: a cluster
+// serves a closed-loop workload of multi-key cross-shard transactions
+// (lock in global order, prepare and commit one ordered multicast per
+// participant ring), then grows by one ring mid-run. Reported per phase:
+// the aggregate commit rate and the abort rate — aborts are the retryable
+// epoch-pin/freeze rejections the design trades for never straddling two
+// keyspace layouts.
+
+// E7Config sizes the cross-shard transaction experiment.
+type E7Config struct {
+	// N is the cluster size (nodes, each hosting every ring).
+	N int
+	// Shards is the initial ring count.
+	Shards int
+	// Workers is the number of concurrent transaction loops per node.
+	Workers int
+	// Keys is the keyspace size workers draw from.
+	Keys int
+	// KeysPerTxn is the write-set size of each transaction (>= 2 makes
+	// most transactions cross-shard).
+	KeysPerTxn int
+	// PayloadBytes sizes each written value.
+	PayloadBytes int
+	// Warmup and Duration bound each throughput measurement phase.
+	Warmup   time.Duration
+	Duration time.Duration
+	// Grow, when true, adds one ring between the two measurement phases
+	// and reports the abort rate the handoff induced.
+	Grow bool
+}
+
+// DefaultE7 exercises 2-key transactions on a 3-node, 2-ring grid grown
+// to 3 rings mid-run.
+func DefaultE7() E7Config {
+	return E7Config{
+		N:            3,
+		Shards:       2,
+		Workers:      12,
+		Keys:         512,
+		KeysPerTxn:   2,
+		PayloadBytes: 32,
+		Warmup:       300 * time.Millisecond,
+		Duration:     1200 * time.Millisecond,
+		Grow:         true,
+	}
+}
+
+// QuickE7 is the CI-sized run (seconds, not tens of seconds).
+func QuickE7() E7Config {
+	cfg := DefaultE7()
+	cfg.Workers = 8
+	cfg.Keys = 128
+	cfg.Warmup = 150 * time.Millisecond
+	cfg.Duration = 500 * time.Millisecond
+	return cfg
+}
+
+// E7Row is one phase's measurement.
+type E7Row struct {
+	// Phase is "before", "grow" or "after".
+	Phase string `json:"phase"`
+	// Shards is the ring count during the phase.
+	Shards int `json:"shards"`
+	// CommitsPS is the aggregate transaction commit rate (txn/second).
+	CommitsPS float64 `json:"commits_per_sec"`
+	// Aborts counts retryable transaction aborts during the phase.
+	Aborts int64 `json:"aborts"`
+	// AbortRate is aborts / (commits + aborts) for the phase.
+	AbortRate float64 `json:"abort_rate"`
+}
+
+// E7Result is the full experiment outcome.
+type E7Result struct {
+	Rows []E7Row `json:"rows"`
+	// GrowMS is the wall time of the mid-run AddRing (ring assembly plus
+	// ordered handoff), 0 when Grow was off.
+	GrowMS float64 `json:"grow_ms"`
+	// Indeterminate counts phase-2 failures (must stay 0 in a healthy
+	// run; nonzero means a commit partially applied).
+	Indeterminate int64 `json:"indeterminate"`
+}
+
+// E7TxnThroughput runs the cross-shard transaction experiment.
+func E7TxnThroughput(cfg E7Config) (E7Result, error) {
+	var res E7Result
+	if cfg.N < 2 || cfg.Shards < 2 || cfg.KeysPerTxn < 1 {
+		return res, fmt.Errorf("E7: need >= 2 nodes, >= 2 shards, >= 1 key per txn")
+	}
+	rc := core.FastRing()
+	rc.HungryTimeout = 400 * time.Millisecond
+	rc.StarvingRetry = 300 * time.Millisecond
+	rc.BodyodorInterval = 50 * time.Millisecond
+	g, err := core.NewTestGrid(core.GridOptions{
+		N: cfg.N, Rings: cfg.Shards, Ring: rc, DeferStart: true,
+	})
+	if err != nil {
+		return res, err
+	}
+	defer g.Close()
+	coords := make(map[core.NodeID]*txn.Coordinator)
+	for id, rt := range g.Runtimes {
+		s, err := dds.AttachSharded(rt)
+		if err != nil {
+			return res, err
+		}
+		coords[id] = txn.New(s, txn.WithRuntimePin(rt))
+	}
+	g.StartAll()
+	if err := g.WaitAssembled(30 * time.Second); err != nil {
+		return res, err
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var commits, aborts, indeterminate atomic.Int64
+	payload := make([]byte, cfg.PayloadBytes)
+	for _, id := range g.IDs {
+		c := coords[id]
+		for w := 0; w < cfg.Workers; w++ {
+			rng := rand.New(rand.NewSource(int64(id)*1000 + int64(w)))
+			go func() {
+				for {
+					if ctx.Err() != nil {
+						return
+					}
+					t := c.Begin()
+					base := rng.Intn(cfg.Keys)
+					for k := 0; k < cfg.KeysPerTxn; k++ {
+						t.Set(fmt.Sprintf("e7-key-%d", (base+k*97)%cfg.Keys), payload)
+					}
+					tctx, tcancel := context.WithTimeout(ctx, 10*time.Second)
+					_, err := t.Commit(tctx)
+					tcancel()
+					switch {
+					case err == nil:
+						commits.Add(1)
+					case errors.Is(err, txn.ErrAborted):
+						aborts.Add(1)
+					case errors.Is(err, txn.ErrIndeterminate):
+						indeterminate.Add(1)
+					case ctx.Err() != nil:
+						return
+					}
+				}
+			}()
+		}
+	}
+	measure := func(phase string, shards int) E7Row {
+		time.Sleep(cfg.Warmup)
+		c0, a0 := commits.Load(), aborts.Load()
+		time.Sleep(cfg.Duration)
+		dc, da := commits.Load()-c0, aborts.Load()-a0
+		row := E7Row{Phase: phase, Shards: shards, CommitsPS: stats.Rate(dc, cfg.Duration), Aborts: da}
+		if dc+da > 0 {
+			row.AbortRate = float64(da) / float64(dc+da)
+		}
+		return row
+	}
+
+	res.Rows = append(res.Rows, measure("before", cfg.Shards))
+
+	if cfg.Grow {
+		a0 := aborts.Load()
+		c0 := commits.Load()
+		start := time.Now()
+		// A handoff's freeze can land while a transaction is mid-prepare
+		// on the source shard; the staged transaction rejects the freeze
+		// and the grow aborts retryably. Retry the whole group grow.
+		var growErr error
+		for attempt := 0; attempt < 5; attempt++ {
+			gctx, gcancel := context.WithTimeout(ctx, 60*time.Second)
+			var wg sync.WaitGroup
+			errCh := make(chan error, len(g.IDs))
+			for _, id := range g.IDs {
+				rt := g.Runtimes[id]
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					if _, err := rt.AddRing(gctx); err != nil {
+						errCh <- err
+					}
+				}()
+			}
+			wg.Wait()
+			gcancel()
+			close(errCh)
+			growErr = <-errCh
+			if growErr == nil || !errors.Is(growErr, core.ErrReshardAborted) {
+				break
+			}
+		}
+		if growErr != nil {
+			return res, fmt.Errorf("E7: grow to %d shards: %w", cfg.Shards+1, growErr)
+		}
+		growDur := time.Since(start)
+		res.GrowMS = float64(growDur.Microseconds()) / 1000
+		da, dc := aborts.Load()-a0, commits.Load()-c0
+		grow := E7Row{Phase: "grow", Shards: cfg.Shards + 1, CommitsPS: stats.Rate(dc, growDur), Aborts: da}
+		if dc+da > 0 {
+			grow.AbortRate = float64(da) / float64(dc+da)
+		}
+		res.Rows = append(res.Rows, grow)
+		res.Rows = append(res.Rows, measure("after", cfg.Shards+1))
+	}
+	res.Indeterminate = indeterminate.Load()
+	if res.Indeterminate > 0 {
+		return res, fmt.Errorf("E7: %d transactions ended indeterminate (partial commit)", res.Indeterminate)
+	}
+	return res, nil
+}
+
+// E7Table renders the result.
+func E7Table(res E7Result, cfg E7Config) *Table {
+	t := &Table{
+		Title:   "E7: cross-shard transactions (epoch-pinned 2PC, grow under load)",
+		Columns: []string{"phase", "shards", "commits/s", "aborts", "abort rate"},
+		Notes: []string{
+			fmt.Sprintf("%d nodes, %d-key transactions over %d keys; %d worker loops/node",
+				cfg.N, cfg.KeysPerTxn, cfg.Keys, cfg.Workers),
+			"aborts are retryable (epoch pin / frozen-slice rejections); indeterminate commits must be 0",
+		},
+	}
+	if res.GrowMS > 0 {
+		t.Notes = append(t.Notes, fmt.Sprintf("mid-run grow (+1 ring) took %.1f ms wall", res.GrowMS))
+	}
+	for _, r := range res.Rows {
+		t.Rows = append(t.Rows, []string{
+			r.Phase, fmt.Sprint(r.Shards),
+			fmt.Sprintf("%.0f", r.CommitsPS), fmt.Sprint(r.Aborts), fmt.Sprintf("%.1f%%", 100*r.AbortRate),
+		})
+	}
+	return t
+}
+
+// E7Baseline is the persisted benchmark baseline (BENCH_E7.json).
+type E7Baseline struct {
+	Experiment string   `json:"experiment"`
+	Timestamp  string   `json:"timestamp"`
+	GoMaxProcs int      `json:"gomaxprocs"`
+	Config     E7Config `json:"config"`
+	Result     E7Result `json:"result"`
+}
+
+// WriteE7JSON persists the result as a JSON baseline at path.
+func WriteE7JSON(path string, cfg E7Config, res E7Result) error {
+	b := E7Baseline{
+		Experiment: "e7-cross-shard-txn",
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Config:     cfg,
+		Result:     res,
+	}
+	data, err := json.MarshalIndent(&b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

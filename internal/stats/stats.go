@@ -201,6 +201,21 @@ const (
 	// MetricFrozenWrites counts writes rejected with ErrResharding
 	// because they addressed a frozen (mid-handoff) keyspace slice.
 	MetricFrozenWrites = "frozen_writes_rejected"
+	// MetricSnapFrozenWrites counts writes and transaction prepares
+	// rejected with ErrSnapshotting because a cross-shard snapshot held
+	// its barrier on the key's shard.
+	MetricSnapFrozenWrites = "snapshot_frozen_writes"
+	// MetricTxnCommits counts cross-shard transactions this node
+	// coordinated to a successful commit.
+	MetricTxnCommits = "txn_commits"
+	// MetricTxnAborts counts cross-shard transaction stages this node's
+	// replicas dropped, one per participant ring: coordinated aborts of
+	// staged state plus stages aborted by their coordinator's ordered
+	// removal. Abort ops for never-staged shards do not count.
+	MetricTxnAborts = "txn_aborts"
+	// MetricSnapshots counts cross-shard consistent snapshots this node
+	// coordinated to completion.
+	MetricSnapshots = "snapshots_taken"
 	// HistMulticastLatency is submit-to-deliver latency at the origin.
 	HistMulticastLatency = "multicast_latency"
 	// HistReshardPause is the coordinator-observed handoff window: first

@@ -1,0 +1,370 @@
+// Package txn adds multi-key cross-shard transactions to the sharded
+// distributed data service: an epoch-pinned two-phase commit over the
+// per-ring master locks.
+//
+// The sharded runtime totally orders each ring's traffic independently,
+// so single-key operations are linearizable per key but two keys on
+// different rings have no joint atomicity. A Coordinator restores it for
+// transactions:
+//
+//	LOCK     every touched key's dds lock, acquired in one global order
+//	         (shard id, then key) so concurrent coordinators cannot
+//	         deadlock. The lock rides the same ring as the key, so a
+//	         grant implies the local replica has applied every earlier
+//	         ordered write to that key — reads under the lock are fresh.
+//	PIN      the routing epoch. Any epoch advance — or a handoff in
+//	         flight toward one — aborts the transaction with a retryable
+//	         error; the ordered freeze/retired checks on each ring are
+//	         the authoritative backstop (a prepare into a moving slice is
+//	         rejected with ErrResharding at its ordered position).
+//	PREPARE  one ordered multicast per participant ring staging the
+//	         transaction's writes on every replica of that shard.
+//	COMMIT   one ordered multicast per participant ring applying the
+//	         staged writes atomically at that ring's position; or ABORT,
+//	         dropping them. Participants also abort staged state on the
+//	         coordinator's ordered membership removal (presumed abort),
+//	         so a coordinator crash before phase 2 leaves nothing behind.
+//	UNLOCK   the keys. Readers that take the locks therefore see every
+//	         write of a committed transaction or none ("atomic
+//	         visibility"); bare Get readers converge per ring.
+//
+// The remaining 2PC window is the classic one: a coordinator that dies
+// after committing some participant rings but not others leaves the rest
+// to presumed abort. The commit fan-out is a handful of ordered
+// multicasts (milliseconds); shrinking the window further needs a
+// replicated commit record, which the ROADMAP tracks.
+package txn
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dds"
+)
+
+// Store is the sharded keyspace a Coordinator drives. *dds.Sharded
+// implements it; tests may substitute fakes.
+type Store interface {
+	// Epoch returns the routing epoch the store currently routes by.
+	Epoch() uint64
+	// ShardFor maps a key or lock name to its owning shard (ring id).
+	ShardFor(key string) int
+	// Get reads a key from its shard's local replica.
+	Get(key string) ([]byte, bool)
+	// Lock acquires the named per-ring master lock.
+	Lock(ctx context.Context, name string) error
+	// UnlockContext releases the named lock, waiting for the ordered
+	// apply at most until ctx is done.
+	UnlockContext(ctx context.Context, name string) error
+	// NewTxnID mints a cluster-unique transaction id.
+	NewTxnID() uint64
+	// TxnPrepare stages the transaction's writes for one shard at an
+	// ordered position of its ring.
+	TxnPrepare(ctx context.Context, shard int, id uint64, epoch uint64, writes map[string][]byte, dels []string) error
+	// TxnCommit applies the staged writes; TxnAbort drops them.
+	TxnCommit(ctx context.Context, shard int, id uint64) error
+	TxnAbort(ctx context.Context, shard int, id uint64) error
+}
+
+// ErrAborted reports a transaction that made no change anywhere: every
+// participant either rejected the prepare or had its stage dropped. The
+// cause is wrapped (ErrResharding, ErrSnapshotting, ErrEpochChanged, a
+// lock timeout); the abort is retryable — re-run the transaction.
+var ErrAborted = errors.New("txn: transaction aborted, retry")
+
+// ErrIndeterminate reports a phase-2 failure after at least one
+// participant ring committed: the transaction may be partially applied
+// until the remaining participants resolve it (a crashed coordinator's
+// stages abort at its ordered removal). It is NOT retryable blindly.
+var ErrIndeterminate = errors.New("txn: commit outcome indeterminate")
+
+// defaultDeadline bounds Commit when the caller's context carries none:
+// a transaction that cannot make progress (for example two coordinators
+// on either side of an epoch flip ordering keys differently) must abort
+// rather than hold its locks forever.
+const defaultDeadline = 30 * time.Second
+
+// commitPush bounds phase 2: the commit decision is made, so the pushes
+// run on a context detached from the caller's cancellation.
+const commitPush = 10 * time.Second
+
+// Coordinator runs two-phase commits against a Store.
+type Coordinator struct {
+	store Store
+	pin   func() func() error
+}
+
+// Option customizes a Coordinator.
+type Option func(*Coordinator)
+
+// WithRuntimePin pins transactions to the runtime's routing epoch: each
+// transaction captures a core.EpochPin at Begin-time scope and aborts at
+// any phase boundary where the epoch advanced or a handoff is in flight.
+// Without it, the coordinator falls back to comparing Store.Epoch().
+func WithRuntimePin(rt *core.Runtime) Option {
+	return func(c *Coordinator) {
+		c.pin = func() func() error {
+			p := rt.PinEpoch()
+			return p.Check
+		}
+	}
+}
+
+// New builds a Coordinator over the store.
+func New(store Store, opts ...Option) *Coordinator {
+	c := &Coordinator{store: store}
+	c.pin = func() func() error {
+		pinned := store.Epoch()
+		return func() error {
+			if cur := store.Epoch(); cur != pinned {
+				return fmt.Errorf("%w: pinned %d, now %d", core.ErrEpochChanged, pinned, cur)
+			}
+			return nil
+		}
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// Txn is one transaction under construction: a read set and a write set,
+// declared before Commit. The zero-effect transaction (reads only)
+// commits without 2PC — it locks, reads, and unlocks.
+type Txn struct {
+	c      *Coordinator
+	writes map[string][]byte
+	dels   map[string]bool
+	reads  map[string]bool
+}
+
+// Begin starts an empty transaction.
+func (c *Coordinator) Begin() *Txn {
+	return &Txn{
+		c:      c,
+		writes: make(map[string][]byte),
+		dels:   make(map[string]bool),
+		reads:  make(map[string]bool),
+	}
+}
+
+// Set stages a write of key=val.
+func (t *Txn) Set(key string, val []byte) *Txn {
+	t.writes[key] = append([]byte(nil), val...)
+	delete(t.dels, key)
+	return t
+}
+
+// Delete stages a deletion of key.
+func (t *Txn) Delete(key string) *Txn {
+	t.dels[key] = true
+	delete(t.writes, key)
+	return t
+}
+
+// Read adds key to the read set; Commit returns its value as of the
+// transaction's serialization point.
+func (t *Txn) Read(key string) *Txn {
+	t.reads[key] = true
+	return t
+}
+
+// shardWrites groups one participant ring's share of the write set.
+type shardWrites struct {
+	kv   map[string][]byte
+	dels []string
+}
+
+// Commit runs the transaction: lock in global order, pin the epoch, read
+// the read set, prepare and commit the write set. It returns the read
+// values at the transaction's serialization point. On ErrAborted nothing
+// changed anywhere and the transaction can simply be retried; see
+// ErrIndeterminate for the phase-2 failure mode.
+func (t *Txn) Commit(ctx context.Context) (map[string][]byte, error) {
+	if _, ok := ctx.Deadline(); !ok {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, defaultDeadline)
+		defer cancel()
+	}
+	c := t.c
+	check := c.pin()
+
+	// Global acquisition order: shard id, then key. Every coordinator
+	// sorts the same way, so lock waits form no cycle.
+	keys := make([]string, 0, len(t.reads)+len(t.writes)+len(t.dels))
+	seen := make(map[string]bool)
+	for k := range t.reads {
+		seen[k] = true
+		keys = append(keys, k)
+	}
+	for k := range t.writes {
+		if !seen[k] {
+			seen[k] = true
+			keys = append(keys, k)
+		}
+	}
+	for k := range t.dels {
+		if !seen[k] {
+			seen[k] = true
+			keys = append(keys, k)
+		}
+	}
+	shardOf := make(map[string]int, len(keys))
+	for _, k := range keys {
+		shardOf[k] = c.store.ShardFor(k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		si, sj := shardOf[keys[i]], shardOf[keys[j]]
+		if si != sj {
+			return si < sj
+		}
+		return keys[i] < keys[j]
+	})
+
+	var locked []string
+	unlock := func() {
+		for i := len(locked) - 1; i >= 0; i-- {
+			// A release racing a keyspace handoff (or snapshot barrier) is
+			// rejected retryably; the lock migrated with its owner intact,
+			// so retrying until the epoch flips releases it on its new
+			// home ring. Giving up instead would strand the lock and wedge
+			// every later transaction on the key. Each lock gets its own
+			// retry budget — one slice stuck in a long handoff must not
+			// starve the releases of locks on healthy shards.
+			uctx, cancel := context.WithTimeout(context.Background(), commitPush)
+			for uctx.Err() == nil {
+				err := c.store.UnlockContext(uctx, locked[i])
+				if errors.Is(err, dds.ErrResharding) || errors.Is(err, dds.ErrSnapshotting) {
+					select {
+					case <-uctx.Done():
+					case <-time.After(2 * time.Millisecond):
+					}
+					continue
+				}
+				break // released, or not ours anymore (shard cleanup beat us)
+			}
+			cancel()
+		}
+	}
+	abort := func(cause error) error {
+		return fmt.Errorf("%w: %w", ErrAborted, cause)
+	}
+
+	for _, k := range keys {
+		if err := c.store.Lock(ctx, k); err != nil {
+			unlock()
+			return nil, abort(fmt.Errorf("lock %q: %w", k, err))
+		}
+		locked = append(locked, k)
+	}
+	if err := check(); err != nil {
+		unlock()
+		return nil, abort(err)
+	}
+
+	// Serialization point: all locks held, epoch stable. Lock grants ride
+	// the keys' own rings, so each local replica has applied every write
+	// ordered before our acquisition — the reads are fresh.
+	views := make(map[string][]byte, len(t.reads))
+	for k := range t.reads {
+		if v, ok := c.store.Get(k); ok {
+			views[k] = v
+		}
+	}
+
+	byShard := make(map[int]*shardWrites)
+	stage := func(shard int) *shardWrites {
+		w := byShard[shard]
+		if w == nil {
+			w = &shardWrites{kv: make(map[string][]byte)}
+			byShard[shard] = w
+		}
+		return w
+	}
+	for k, v := range t.writes {
+		stage(shardOf[k]).kv[k] = v
+	}
+	for k := range t.dels {
+		w := stage(shardOf[k])
+		w.dels = append(w.dels, k)
+	}
+	if len(byShard) == 0 {
+		unlock()
+		return views, nil
+	}
+	participants := make([]int, 0, len(byShard))
+	for sid := range byShard {
+		participants = append(participants, sid)
+	}
+	sort.Ints(participants)
+
+	id := c.store.NewTxnID()
+	epoch := c.store.Epoch()
+
+	// Phase 1: stage the writes on every participant ring.
+	var prepared []int
+	rollback := func() {
+		actx, cancel := context.WithTimeout(context.Background(), commitPush)
+		defer cancel()
+		for _, sid := range prepared {
+			_ = c.store.TxnAbort(actx, sid, id)
+		}
+	}
+	for _, sid := range participants {
+		w := byShard[sid]
+		if err := c.store.TxnPrepare(ctx, sid, id, epoch, w.kv, w.dels); err != nil {
+			// The failing shard must be aborted too: a prepare that timed
+			// out after its multicast entered the ordered stream still
+			// stages later, and an unresolved stage blocks every future
+			// freeze and snapshot capture on that shard while this node
+			// lives. Abort is idempotent, and ours orders after the
+			// in-flight prepare on the same ring, so it always cleans up.
+			prepared = append(prepared, sid)
+			rollback()
+			unlock()
+			return nil, abort(fmt.Errorf("prepare shard %d: %w", sid, err))
+		}
+		prepared = append(prepared, sid)
+	}
+	if err := check(); err != nil {
+		// An epoch moved (or is moving) under our staged writes: the
+		// prepares held, but committing across two layouts risks writing
+		// a key whose ring ownership just changed. Abort retryably.
+		rollback()
+		unlock()
+		return nil, abort(err)
+	}
+
+	// Phase 2: the decision is commit. Push it to every participant on a
+	// detached context — cancelling the caller's ctx here must not strand
+	// half the rings.
+	cctx, cancel := context.WithTimeout(context.WithoutCancel(ctx), commitPush)
+	defer cancel()
+	var firstErr error
+	committed := 0
+	for _, sid := range participants {
+		if err := c.store.TxnCommit(cctx, sid, id); err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("commit shard %d: %w", sid, err)
+			}
+			continue
+		}
+		committed++
+	}
+	unlock()
+	if firstErr != nil {
+		// A phase-2 error cannot prove non-application: a commit that
+		// timed out after its multicast entered the ordered stream still
+		// applies. The trailing aborts only clean up stages whose commit
+		// genuinely never got submitted (same-ring FIFO orders them after
+		// any in-flight commit, which wins); the caller must treat the
+		// outcome as indeterminate either way.
+		rollback()
+		return views, fmt.Errorf("%w (%d/%d rings acknowledged): %w", ErrIndeterminate, committed, len(participants), firstErr)
+	}
+	return views, nil
+}

@@ -1,0 +1,451 @@
+package txn_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dds"
+	"repro/internal/txn"
+)
+
+// txnGrid is a multi-ring grid with one Sharded router and one 2PC
+// coordinator per node.
+type txnGrid struct {
+	g      *core.TestGrid
+	stores map[core.NodeID]*dds.Sharded
+	coords map[core.NodeID]*txn.Coordinator
+}
+
+func startTxnGrid(t *testing.T, n, rings int) *txnGrid {
+	t.Helper()
+	g, err := core.NewTestGrid(core.GridOptions{N: n, Rings: rings, DeferStart: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(g.Close)
+	tg := &txnGrid{
+		g:      g,
+		stores: make(map[core.NodeID]*dds.Sharded),
+		coords: make(map[core.NodeID]*txn.Coordinator),
+	}
+	for id, rt := range g.Runtimes {
+		s, err := dds.AttachSharded(rt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tg.stores[id] = s
+		tg.coords[id] = txn.New(s, txn.WithRuntimePin(rt))
+	}
+	g.StartAll()
+	if err := g.WaitAssembled(20 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	return tg
+}
+
+// crossShardPair finds two keys owned by different shards.
+func (tg *txnGrid) crossShardPair(t *testing.T, prefix string) (string, string) {
+	t.Helper()
+	s := tg.stores[tg.g.IDs[0]]
+	a := prefix + "-a"
+	for i := 0; i < 4096; i++ {
+		b := fmt.Sprintf("%s-b%d", prefix, i)
+		if s.ShardFor(b) != s.ShardFor(a) {
+			return a, b
+		}
+	}
+	t.Fatal("no cross-shard key pair found")
+	return "", ""
+}
+
+// waitPendingDrained waits until no node's replicas hold staged txns.
+func (tg *txnGrid) waitPendingDrained(t *testing.T, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		total := 0
+		for _, s := range tg.stores {
+			total += s.PendingTxns()
+		}
+		if total == 0 {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	for id, s := range tg.stores {
+		if n := s.PendingTxns(); n > 0 {
+			t.Errorf("node %v still holds %d staged transactions", id, n)
+		}
+	}
+	t.Fatal("staged transactions never drained")
+}
+
+// TestTxnCommitAcrossShards commits a two-key cross-shard transaction and
+// checks both writes land on every node, the read set reflects the
+// serialization point, and no staged state lingers.
+func TestTxnCommitAcrossShards(t *testing.T) {
+	tg := startTxnGrid(t, 3, 2)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	a, b := tg.crossShardPair(t, "basic")
+
+	if _, err := tg.coords[1].Begin().Set(a, []byte("v1")).Set(b, []byte("v1")).Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+	views, err := tg.coords[2].Begin().Read(a).Read(b).Set(a, []byte("v2")).Commit(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(views[a]) != "v1" || string(views[b]) != "v1" {
+		t.Fatalf("read set = %q/%q, want v1/v1", views[a], views[b])
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for _, id := range tg.g.IDs {
+		for {
+			va, _ := tg.stores[id].Get(a)
+			vb, _ := tg.stores[id].Get(b)
+			if string(va) == "v2" && string(vb) == "v1" {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("node %v sees %q/%q, want v2/v1", id, va, vb)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	// A delete-only transaction also round-trips.
+	if _, err := tg.coords[3].Begin().Delete(a).Delete(b).Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := tg.stores[3].Get(a); ok {
+		t.Fatalf("%q survived its transactional delete", a)
+	}
+	tg.waitPendingDrained(t, 5*time.Second)
+}
+
+// TestTxnAtomicVisibility is the partial-commit probe: writers keep
+// committing the same value to both halves of a cross-shard pair while
+// lock-taking readers assert they never observe two different values —
+// i.e. no reader ever sees one half of a commit.
+func TestTxnAtomicVisibility(t *testing.T) {
+	tg := startTxnGrid(t, 3, 2)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	a, b := tg.crossShardPair(t, "atomic")
+	if _, err := tg.coords[1].Begin().Set(a, []byte("seed")).Set(b, []byte("seed")).Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var commits, aborts atomic.Int64
+	for _, id := range tg.g.IDs {
+		c := tg.coords[id]
+		nid := id
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				v := []byte(fmt.Sprintf("w%v-%d", nid, i))
+				_, err := c.Begin().Set(a, v).Set(b, v).Commit(ctx)
+				switch {
+				case err == nil:
+					commits.Add(1)
+				case errors.Is(err, txn.ErrAborted):
+					aborts.Add(1)
+				case ctx.Err() != nil:
+					return
+				default:
+					t.Errorf("writer %v: %v", nid, err)
+					return
+				}
+			}
+		}()
+	}
+	readerDeadline := time.Now().Add(2 * time.Second)
+	reads := 0
+	for time.Now().Before(readerDeadline) {
+		views, err := tg.coords[2].Begin().Read(a).Read(b).Commit(ctx)
+		if err != nil {
+			if errors.Is(err, txn.ErrAborted) {
+				continue
+			}
+			t.Fatalf("reader: %v", err)
+		}
+		if string(views[a]) != string(views[b]) {
+			t.Fatalf("partial commit exposed: %q = %q, %q = %q", a, views[a], b, views[b])
+		}
+		reads++
+	}
+	close(stop)
+	wg.Wait()
+	if reads == 0 || commits.Load() == 0 {
+		t.Fatalf("no overlap: %d reads, %d commits", reads, commits.Load())
+	}
+	t.Logf("atomic visibility held over %d reads against %d commits (%d aborts)",
+		reads, commits.Load(), aborts.Load())
+	tg.waitPendingDrained(t, 5*time.Second)
+}
+
+// TestTxnRacingAddRingAborts grows the ring set mid-traffic: transactions
+// racing the handoff must either commit fully or abort with the retryable
+// ErrAborted, leaving no staged state behind and both halves of the pair
+// equal afterwards.
+func TestTxnRacingAddRingAborts(t *testing.T) {
+	tg := startTxnGrid(t, 3, 2)
+	ctx, cancel := context.WithTimeout(context.Background(), 40*time.Second)
+	defer cancel()
+	a, b := tg.crossShardPair(t, "grow")
+	if _, err := tg.coords[1].Begin().Set(a, []byte("seed")).Set(b, []byte("seed")).Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var commits, aborts atomic.Int64
+	for _, id := range tg.g.IDs {
+		c := tg.coords[id]
+		nid := id
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				v := []byte(fmt.Sprintf("g%v-%d", nid, i))
+				_, err := c.Begin().Set(a, v).Set(b, v).Commit(ctx)
+				switch {
+				case err == nil:
+					commits.Add(1)
+				case errors.Is(err, txn.ErrAborted):
+					aborts.Add(1)
+				case ctx.Err() != nil:
+					return
+				default:
+					t.Errorf("writer %v: unexpected error class: %v", nid, err)
+					return
+				}
+			}
+		}()
+	}
+
+	// Grow by one ring on every node, exactly like an admin grow. A
+	// freeze landing on a mid-prepare stage aborts the handoff retryably,
+	// so retry the group grow a few times under this traffic.
+	var growErr error
+	for attempt := 0; attempt < 5; attempt++ {
+		gctx, gcancel := context.WithTimeout(ctx, 30*time.Second)
+		var growWG sync.WaitGroup
+		errCh := make(chan error, len(tg.g.IDs))
+		for _, id := range tg.g.IDs {
+			rt := tg.g.Runtimes[id]
+			growWG.Add(1)
+			go func() {
+				defer growWG.Done()
+				if _, err := rt.AddRing(gctx); err != nil {
+					errCh <- err
+				}
+			}()
+		}
+		growWG.Wait()
+		gcancel()
+		close(errCh)
+		growErr = <-errCh
+		if growErr == nil || !errors.Is(growErr, core.ErrReshardAborted) {
+			break
+		}
+	}
+	if growErr != nil {
+		t.Fatalf("grow: %v", growErr)
+	}
+
+	time.Sleep(200 * time.Millisecond) // post-grow traffic on the new epoch
+	close(stop)
+	wg.Wait()
+	if aborts.Load() == 0 {
+		t.Error("no transaction aborted while racing AddRing (expected epoch-pin or freeze aborts)")
+	}
+	if commits.Load() == 0 {
+		t.Fatal("no transaction committed around the grow")
+	}
+	tg.waitPendingDrained(t, 5*time.Second)
+	views, err := tg.coords[2].Begin().Read(a).Read(b).Commit(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(views[a]) != string(views[b]) {
+		t.Fatalf("pair diverged after grow: %q vs %q", views[a], views[b])
+	}
+	t.Logf("grow raced %d commits, %d retryable aborts", commits.Load(), aborts.Load())
+}
+
+// TestTxnCoordinatorDeathMidPrepare stages a prepare on two rings from
+// one node, then kills that node before phase 2. Every survivor must
+// abort the staged state at the dead coordinator's ordered removal, and
+// the pair keeps its pre-transaction values.
+func TestTxnCoordinatorDeathMidPrepare(t *testing.T) {
+	tg := startTxnGrid(t, 3, 2)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	a, b := tg.crossShardPair(t, "death")
+	if _, err := tg.coords[1].Begin().Set(a, []byte("before")).Set(b, []byte("before")).Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Drive the store primitives directly so the transaction stops
+	// mid-prepare: node 3 stages writes on both rings and never commits.
+	dying := tg.stores[3]
+	id := dying.NewTxnID()
+	epoch := dying.Epoch()
+	for _, key := range []string{a, b} {
+		shard := dying.ShardFor(key)
+		if err := dying.TxnPrepare(ctx, shard, id, epoch, map[string][]byte{key: []byte("torn")}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The stage is on every survivor's replicas.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if tg.stores[1].PendingTxns() >= 2 && tg.stores[2].PendingTxns() >= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("stage not replicated: node1=%d node2=%d pending",
+				tg.stores[1].PendingTxns(), tg.stores[2].PendingTxns())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Kill the coordinator before phase 2; its ordered removal must abort
+	// the stage everywhere.
+	tg.g.Runtimes[3].Close()
+	deadline = time.Now().Add(10 * time.Second)
+	for {
+		if tg.stores[1].PendingTxns() == 0 && tg.stores[2].PendingTxns() == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("stage leaked past coordinator death: node1=%d node2=%d pending",
+				tg.stores[1].PendingTxns(), tg.stores[2].PendingTxns())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	for _, id := range []core.NodeID{1, 2} {
+		for _, key := range []string{a, b} {
+			if v, _ := tg.stores[id].Get(key); string(v) != "before" {
+				t.Fatalf("node %v key %q = %q after aborted coordinator, want \"before\"", id, key, v)
+			}
+		}
+	}
+}
+
+// TestSnapshotConsistentUnderTxns takes cross-shard snapshots while
+// writers keep committing equal values to a cross-shard pair: every
+// snapshot must contain both halves with the same value — the barrier
+// never splits a commit.
+func TestSnapshotConsistentUnderTxns(t *testing.T) {
+	tg := startTxnGrid(t, 3, 2)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	a, b := tg.crossShardPair(t, "snap")
+	if _, err := tg.coords[1].Begin().Set(a, []byte("seed")).Set(b, []byte("seed")).Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for _, id := range tg.g.IDs {
+		c := tg.coords[id]
+		nid := id
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				v := []byte(fmt.Sprintf("s%v-%d", nid, i))
+				_, err := c.Begin().Set(a, v).Set(b, v).Commit(ctx)
+				if err != nil && !errors.Is(err, txn.ErrAborted) && ctx.Err() == nil {
+					t.Errorf("writer %v: %v", nid, err)
+					return
+				}
+			}
+		}()
+	}
+
+	snaps := 0
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		snap, err := tg.stores[2].Snapshot(ctx)
+		if err != nil {
+			if errors.Is(err, dds.ErrSnapshotting) || errors.Is(err, dds.ErrResharding) {
+				continue
+			}
+			t.Fatalf("snapshot: %v", err)
+		}
+		va, vb := snap[a], snap[b]
+		if string(va) != string(vb) {
+			t.Fatalf("snapshot split a commit: %q = %q, %q = %q", a, va, b, vb)
+		}
+		if va == nil {
+			t.Fatalf("snapshot missing the pair: %v", snap)
+		}
+		snaps++
+	}
+	close(stop)
+	wg.Wait()
+	if snaps == 0 {
+		t.Fatal("no snapshot completed")
+	}
+	t.Logf("%d consistent snapshots under concurrent cross-shard commits", snaps)
+	tg.waitPendingDrained(t, 5*time.Second)
+}
+
+// TestSnapshotCoversAllShards checks a quiet-cluster snapshot returns the
+// whole keyspace exactly once.
+func TestSnapshotCoversAllShards(t *testing.T) {
+	tg := startTxnGrid(t, 2, 3)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	want := map[string]string{}
+	for i := 0; i < 24; i++ {
+		k := fmt.Sprintf("cover-%d", i)
+		want[k] = fmt.Sprintf("val-%d", i)
+		if err := tg.stores[1].Set(ctx, k, []byte(want[k])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap, err := tg.stores[1].Snapshot(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap) != len(want) {
+		t.Fatalf("snapshot has %d keys, want %d", len(snap), len(want))
+	}
+	for k, v := range want {
+		if string(snap[k]) != v {
+			t.Fatalf("snapshot[%q] = %q, want %q", k, snap[k], v)
+		}
+	}
+	// The barrier lifted: writes succeed again.
+	if err := tg.stores[2].Set(ctx, "after-snap", []byte("x")); err != nil {
+		t.Fatalf("write after snapshot: %v", err)
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"repro/internal/dds"
 	"repro/internal/ring"
 	"repro/internal/transport"
+	"repro/internal/txn"
 	"repro/internal/wire"
 )
 
@@ -74,6 +75,20 @@ type (
 	ShardedDDS = dds.Sharded
 )
 
+// Cross-shard transaction types: epoch-pinned two-phase commit over the
+// per-ring master locks.
+type (
+	// TxnCoordinator runs multi-key cross-shard transactions against a
+	// ShardedDDS.
+	TxnCoordinator = txn.Coordinator
+	// Txn is one transaction under construction: declare the read and
+	// write sets with Read/Set/Delete, then Commit.
+	Txn = txn.Txn
+	// EpochPin freezes a caller's view of the routing epoch across a
+	// multi-step operation; Check reports ErrEpochChanged once it moves.
+	EpochPin = core.EpochPin
+)
+
 // Elastic-resharding errors.
 var (
 	// ErrResharding marks a write rejected because its keyspace slice is
@@ -84,6 +99,18 @@ var (
 	ErrReshardAborted = core.ErrReshardAborted
 	// ErrReshardInProgress rejects overlapping grow/shrink requests.
 	ErrReshardInProgress = core.ErrReshardInProgress
+	// ErrSnapshotting marks a write rejected because a cross-shard
+	// consistent snapshot holds its barrier; retry after it lifts.
+	ErrSnapshotting = dds.ErrSnapshotting
+	// ErrEpochChanged reports a pinned routing epoch that advanced (or a
+	// handoff in flight toward the next one); re-pin and retry.
+	ErrEpochChanged = core.ErrEpochChanged
+	// ErrTxnAborted reports a transaction that changed nothing anywhere;
+	// the wrapped cause is retryable — re-run the transaction.
+	ErrTxnAborted = txn.ErrAborted
+	// ErrTxnIndeterminate reports a phase-2 failure after at least one
+	// participant ring committed; see the txn package for the contract.
+	ErrTxnIndeterminate = txn.ErrIndeterminate
 )
 
 // NoNode is the zero NodeID.
@@ -103,6 +130,13 @@ func NewRuntime(cfg RuntimeConfig, conns []PacketConn) (*Runtime, error) {
 // Runtime.Start.
 func AttachShardedDDS(rt *Runtime) (*ShardedDDS, error) {
 	return dds.AttachSharded(rt)
+}
+
+// NewTxnCoordinator builds a cross-shard transaction coordinator over the
+// sharded data service, pinning each transaction to the runtime's routing
+// epoch (any elastic grow/shrink in flight aborts it retryably).
+func NewTxnCoordinator(s *ShardedDDS, rt *Runtime) *TxnCoordinator {
+	return txn.New(s, txn.WithRuntimePin(rt))
 }
 
 // NewNode builds a cluster member over the given transport conns.
