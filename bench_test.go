@@ -1,4 +1,4 @@
-package raincore
+package raincore_test
 
 // Benchmark harness: one testing.B target per table and figure of the
 // paper's evaluation (§4), plus the ablations from DESIGN.md and a few

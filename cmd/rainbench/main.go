@@ -16,6 +16,12 @@
 // transaction run) to BENCH_E7.json (-e7-out); e6 and e7 refuse to
 // overwrite an existing baseline unless -force is given. -quick shrinks
 // e7 to its CI size (seconds), for the per-PR benchmark artifact.
+//
+// -cluster runs the facade-overhead comparison: the same sharded write
+// workload against the raw dds router and through raincore.Cluster's
+// retry wrapper, asserting the wrapper stays within noise of the raw
+// path. Alone it runs only that comparison; with -exp or positional
+// names it runs both.
 package main
 
 import (
@@ -36,6 +42,7 @@ func main() {
 	e7Out := flag.String("e7-out", "BENCH_E7.json", "where e7 persists its baseline")
 	force := flag.Bool("force", false, "overwrite an existing e6/e7 baseline")
 	quick := flag.Bool("quick", false, "run e7 at its CI size (shorter phases, fewer workers)")
+	clusterMode := flag.Bool("cluster", false, "measure the raincore.Cluster facade's retry-wrapper overhead against the raw sharded-dds path (asserts it is within noise)")
 	flag.Parse()
 
 	known := []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "a1", "a2", "a3"}
@@ -58,11 +65,24 @@ func main() {
 		selection = strings.Join(args, ",")
 	}
 	want := map[string]bool{}
+	if *clusterMode && selection == "all" && len(flag.Args()) == 0 {
+		// `rainbench -cluster` alone runs only the facade comparison;
+		// combine with -exp (or positional names) to run both.
+		expSet := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "exp" {
+				expSet = true
+			}
+		})
+		if !expSet {
+			selection = ""
+		}
+	}
 	if strings.TrimSpace(strings.ToLower(selection)) == "all" {
 		for _, e := range known {
 			want[e] = true
 		}
-	} else {
+	} else if selection != "" {
 		for _, e := range strings.Split(selection, ",") {
 			name := strings.TrimSpace(strings.ToLower(e))
 			valid := false
@@ -183,6 +203,17 @@ func main() {
 			log.Fatalf("A3: %v", err)
 		}
 		fmt.Println(experiments.A3Table(rows))
+	}
+	if *clusterMode {
+		cfg := experiments.DefaultEC()
+		res, err := experiments.EClusterOverhead(cfg)
+		if err != nil {
+			if res.RawOpsPS > 0 {
+				fmt.Println(experiments.ECTable(res, cfg))
+			}
+			log.Fatalf("EC: %v", err)
+		}
+		fmt.Println(experiments.ECTable(res, cfg))
 	}
 	fmt.Fprintf(os.Stderr, "total runtime: %v\n", time.Since(start).Round(time.Second))
 }

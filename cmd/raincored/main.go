@@ -12,33 +12,32 @@
 // Each node multicasts a heartbeat at -announce intervals and logs every
 // delivery, membership change and system event. SIGINT leaves gracefully.
 //
-// With -admin ADDR the daemon serves an HTTP admin surface for elastic
-// resharding and health:
+// The daemon is one raincore.Open call: the sharded runtime, the
+// distributed data service and the transaction coordinator come up
+// together, and with -admin ADDR the facade serves its HTTP admin
+// surface for elastic resharding and health:
 //
 //	GET  /health       full health view (rings, routing epoch, demux drops)
 //	GET  /routing      the epoch-versioned routing table
 //	GET  /snapshot     consistent cross-shard snapshot of the keyspace
-//	                   (requires -dds; values are base64 in the JSON)
+//	                   (values are base64 in the JSON)
 //	POST /rings/add    grow by one ring (call on every node; the lowest
 //	                   member coordinates the keyspace handoff)
 //	POST /rings/remove?ring=N  shrink, handing ring N's slice back
-//
-// With -dds the daemon hosts the sharded distributed data service, so
-// grows and shrinks migrate the keyspace through the ordered handoff.
 package main
 
 import (
 	"context"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
-	"net/http"
 	"os"
 	"os/signal"
+	"slices"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -81,12 +80,15 @@ func main() {
 		announce = flag.Duration("announce", 2*time.Second, "heartbeat multicast interval (0 disables)")
 		statsInt = flag.Duration("stats", 10*time.Second, "stats print interval (0 disables)")
 		admin    = flag.String("admin", "", "HTTP admin address for health and grow/shrink (empty disables)")
-		withDDS  = flag.Bool("dds", false, "host the sharded distributed data service (enables keyspace handoff on grow/shrink)")
+		withDDS  = flag.Bool("dds", true, "deprecated no-op: the cluster facade always hosts the data service")
 	)
 	flag.Var(peers, "peer", "peer as id=addr[,addr...]; repeat per peer")
 	flag.Parse()
 	if *id == 0 {
 		log.Fatal("raincored: -id is required and must be non-zero")
+	}
+	if !*withDDS {
+		log.Print("raincored: -dds=false is deprecated and ignored; the data service is always hosted")
 	}
 
 	logger := log.New(os.Stdout, fmt.Sprintf("[n%d] ", *id), log.Ltime|log.Lmicroseconds)
@@ -101,27 +103,11 @@ func main() {
 		conns = append(conns, c)
 	}
 
-	eligible := []raincore.NodeID{raincore.NodeID(*id)}
-	for pid := range peers {
-		eligible = append(eligible, pid)
-	}
 	ring := raincore.RingConfig{
 		TokenHold:        time.Duration(*tokenMS) * time.Millisecond,
 		HungryTimeout:    time.Duration(*hungryMS) * time.Millisecond,
 		BodyodorInterval: time.Duration(*beaconMS) * time.Millisecond,
-		Eligible:         eligible,
 		MinQuorum:        *quorum,
-	}
-	rt, err := raincore.NewRuntime(raincore.RuntimeConfig{
-		ID:    raincore.NodeID(*id),
-		Rings: *rings,
-		Ring:  ring,
-	}, conns)
-	if err != nil {
-		log.Fatalf("raincored: %v", err)
-	}
-	for pid, addrs := range peers {
-		rt.SetPeer(pid, addrs)
 	}
 
 	// A node with a dead ring serves only part of the keyspace and the
@@ -132,6 +118,10 @@ func main() {
 	// routing table — that one is deliberate and does not exit.
 	ringDown := make(chan struct{})
 	var firstDown sync.Once
+	// The handler closures run on ring goroutines that start inside Open,
+	// before main's cluster variable is assigned — an atomic pointer keeps
+	// that window race-free (an early shutdown just exits fail-fast).
+	var clP atomic.Pointer[raincore.Cluster]
 	mkHandlers := func(r raincore.RingID) raincore.Handlers {
 		return raincore.Handlers{
 			OnDeliver: func(d raincore.Delivery) {
@@ -144,7 +134,7 @@ func main() {
 				logger.Printf("[%v] sys %v subject=%v origin=%v", r, e.Kind, e.Subject, e.Origin)
 			},
 			OnShutdown: func(reason string) {
-				if !rt.Routing().Has(r) {
+				if cl := clP.Load(); cl != nil && !cl.Routing().Has(r) {
 					logger.Printf("[%v] retired: %s", r, reason)
 					return
 				}
@@ -154,103 +144,35 @@ func main() {
 		}
 	}
 
-	var sharded *raincore.ShardedDDS
-	if *withDDS {
-		sharded, err = raincore.AttachShardedDDS(rt)
-		if err != nil {
-			log.Fatalf("raincored: attach dds: %v", err)
-		}
-		// The data service owns the node handler slots; the daemon's
-		// loggers ride the per-shard application pass-through.
-		for _, view := range rt.Routing().Rings {
-			sharded.Shard(int(view)).SetAppHandlers(mkHandlers(view))
-		}
-		logger.Printf("sharded dds attached across %d ring(s)", rt.Rings())
-	} else {
-		for _, n := range rt.Nodes() {
-			n.SetHandlers(mkHandlers(n.Ring()))
-		}
+	opts := []raincore.Option{
+		raincore.WithID(raincore.NodeID(*id)),
+		raincore.WithRings(*rings),
+		raincore.WithRingConfig(ring),
+		raincore.WithHandlers(mkHandlers),
 	}
-	// Rings spawned later by admin grows get the same treatment. The dds
-	// spawn hook (when attached) registered first, so the shard exists
-	// by the time this one runs.
-	rt.OnRingSpawn(func(r raincore.RingID, n *raincore.Node) {
-		if sharded != nil {
-			sharded.Shard(int(r)).SetAppHandlers(mkHandlers(r))
-		} else {
-			n.SetHandlers(mkHandlers(r))
-		}
-	})
-	rt.RoutingWatch(func(v raincore.RoutingView) {
+	for pid, addrs := range peers {
+		opts = append(opts, raincore.WithPeer(pid, addrs...))
+	}
+	if *admin != "" {
+		opts = append(opts, raincore.WithAdmin(*admin))
+	}
+	cl, err := raincore.Open(context.Background(), conns, opts...)
+	if err != nil {
+		log.Fatalf("raincored: %v", err)
+	}
+	clP.Store(cl)
+	cl.RoutingWatch(func(v raincore.RoutingView) {
 		logger.Printf("routing -> %v", v)
 	})
-
-	rt.Start()
-	logger.Printf("started %d ring(s); eligible membership %v", rt.Rings(), eligible)
-
-	if *admin != "" {
-		mux := http.NewServeMux()
-		writeJSON := func(w http.ResponseWriter, v any) {
-			w.Header().Set("Content-Type", "application/json")
-			_ = json.NewEncoder(w).Encode(v)
-		}
-		mux.HandleFunc("GET /health", func(w http.ResponseWriter, r *http.Request) {
-			writeJSON(w, rt.HealthView())
-		})
-		mux.HandleFunc("GET /routing", func(w http.ResponseWriter, r *http.Request) {
-			writeJSON(w, rt.Routing())
-		})
-		mux.HandleFunc("GET /snapshot", func(w http.ResponseWriter, r *http.Request) {
-			if sharded == nil {
-				http.Error(w, "snapshot requires -dds", http.StatusConflict)
-				return
-			}
-			ctx, cancel := context.WithTimeout(r.Context(), 30*time.Second)
-			defer cancel()
-			snap, err := sharded.Snapshot(ctx)
-			if err != nil {
-				// Conflicts (a reshard or another snapshot in flight) are
-				// retryable; surface them as such.
-				http.Error(w, err.Error(), http.StatusConflict)
-				return
-			}
-			logger.Printf("admin: snapshot captured %d keys at epoch %d", len(snap), rt.Routing().Epoch)
-			writeJSON(w, map[string]any{"routing": rt.Routing(), "keys": snap})
-		})
-		mux.HandleFunc("POST /rings/add", func(w http.ResponseWriter, r *http.Request) {
-			ctx, cancel := context.WithTimeout(r.Context(), 60*time.Second)
-			defer cancel()
-			ringID, err := rt.AddRing(ctx)
-			if err != nil {
-				http.Error(w, err.Error(), http.StatusConflict)
-				return
-			}
-			logger.Printf("admin: grew to ring %v", ringID)
-			writeJSON(w, map[string]any{"ring": ringID, "routing": rt.Routing()})
-		})
-		mux.HandleFunc("POST /rings/remove", func(w http.ResponseWriter, r *http.Request) {
-			n, err := strconv.ParseUint(r.URL.Query().Get("ring"), 10, 32)
-			if err != nil {
-				http.Error(w, "want ?ring=N", http.StatusBadRequest)
-				return
-			}
-			ctx, cancel := context.WithTimeout(r.Context(), 60*time.Second)
-			defer cancel()
-			if err := rt.RemoveRing(ctx, raincore.RingID(n)); err != nil {
-				http.Error(w, err.Error(), http.StatusConflict)
-				return
-			}
-			logger.Printf("admin: removed ring %d", n)
-			writeJSON(w, map[string]any{"routing": rt.Routing()})
-		})
-		srv := &http.Server{Addr: *admin, Handler: mux}
-		go func() {
-			logger.Printf("admin surface on http://%s (GET /health /routing /snapshot, POST /rings/add /rings/remove?ring=N)", *admin)
-			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
-				logger.Printf("admin: %v", err)
-			}
-		}()
-		defer srv.Close()
+	eligible := []raincore.NodeID{raincore.NodeID(*id)}
+	for pid := range peers {
+		eligible = append(eligible, pid)
+	}
+	slices.Sort(eligible)
+	logger.Printf("cluster open: %d ring(s), sharded dds, txn coordinator; eligible membership %v",
+		len(cl.Routing().Rings), eligible)
+	if a := cl.AdminAddr(); a != "" {
+		logger.Printf("admin surface on http://%s (GET /health /routing /snapshot, POST /rings/add /rings/remove?ring=N)", a)
 	}
 
 	if *announce > 0 {
@@ -263,12 +185,12 @@ func main() {
 				// Round-robin heartbeats across the active rings of the
 				// current routing epoch. A stopped ring must not silence
 				// the survivors, so errors skip to the next tick.
-				view := rt.Routing()
+				view := cl.Routing()
 				if len(view.Rings) == 0 {
 					continue
 				}
 				r := view.Rings[n%len(view.Rings)]
-				_ = rt.Multicast(r, []byte(fmt.Sprintf("heartbeat %d from n%d", n, *id)))
+				_ = cl.Multicast(r, []byte(fmt.Sprintf("heartbeat %d from n%d", n, *id)))
 			}
 		}()
 	}
@@ -277,9 +199,9 @@ func main() {
 			tick := time.NewTicker(*statsInt)
 			defer tick.Stop()
 			for range tick.C {
-				reg := rt.Stats()
-				h := rt.HealthView()
-				logger.Printf("stats: epoch=%d rings=%d passes=%d switches=%d sent=%d recv=%d regens=%d merges=%d demux_drops=%d healthy=%v",
+				reg := cl.Stats()
+				h := cl.Health()
+				logger.Printf("stats: epoch=%d rings=%d passes=%d switches=%d sent=%d recv=%d regens=%d merges=%d demux_drops=%d retries=%d healthy=%v",
 					h.Routing.Epoch,
 					len(h.Routing.Rings),
 					reg.Counter(stats.MetricTokenPasses).Load(),
@@ -289,7 +211,8 @@ func main() {
 					reg.Counter(stats.MetricTokenRegens).Load(),
 					reg.Counter(stats.MetricMerges).Load(),
 					h.DemuxDrops,
-					rt.Healthy())
+					reg.Counter(stats.MetricClusterRetries).Load(),
+					cl.Healthy())
 			}
 		}()
 	}
@@ -299,26 +222,12 @@ func main() {
 	select {
 	case <-sig:
 		logger.Printf("interrupt: leaving the group")
-		for _, n := range rt.Nodes() {
-			n.Leave()
-		}
-		deadline := time.Now().Add(3 * time.Second)
-		for time.Now().Before(deadline) {
-			all := true
-			for _, n := range rt.Nodes() {
-				if !n.Stopped() {
-					all = false
-					break
-				}
-			}
-			if all {
-				break
-			}
-			time.Sleep(10 * time.Millisecond)
-		}
+		ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+		_ = cl.Leave(ctx)
+		cancel()
 	case <-ringDown:
 		logger.Printf("a ring shut down; exiting so the supervisor restarts the whole node")
+		_ = cl.Close()
 	}
-	rt.Close()
 	logger.Printf("bye")
 }

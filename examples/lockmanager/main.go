@@ -1,7 +1,10 @@
-// Lock manager: the Raincore Distributed Data Service slice of §2.7/§5.
-// Three nodes contend for named locks granted in a consistent global
-// order, share a replicated key-value map with read-your-writes, and a
-// dead lock holder's locks are released by the ordered membership change.
+// Lock manager: the Raincore Distributed Data Service slice of §2.7/§5
+// through the public facade. Three cluster members contend for named
+// locks granted in a consistent global order, share a replicated
+// key-value map with read-your-writes, and a dead lock holder's locks
+// are released by the ordered membership change. The keyspace is sharded
+// across two rings — locks and keys route by consistent hashing, which
+// the facade hides entirely.
 package main
 
 import (
@@ -11,48 +14,68 @@ import (
 	"sync"
 	"time"
 
-	"repro/internal/core"
-	"repro/internal/dds"
+	"repro"
+	"repro/internal/simnet"
+	"repro/internal/transport"
 )
 
 func main() {
 	fmt.Println("== Raincore distributed lock manager + replicated map (§2.7) ==")
-	tc, err := core.NewTestCluster(core.ClusterOptions{N: 3, DeferStart: true})
-	if err != nil {
-		log.Fatal(err)
+	net := simnet.New(simnet.Options{})
+	defer net.Close()
+
+	ids := []raincore.NodeID{1, 2, 3}
+	addr := func(id raincore.NodeID) string { return fmt.Sprintf("node-%d", id) }
+	ctx := context.Background()
+	clusters := map[raincore.NodeID]*raincore.Cluster{}
+	for _, id := range ids {
+		conn := transport.NewSimConn(net.MustEndpoint(simnet.Addr(addr(id))))
+		opts := []raincore.Option{
+			raincore.WithID(id),
+			raincore.WithRings(2), // locks and keys sharded over two rings
+			raincore.WithRingConfig(raincore.FastRing()),
+		}
+		for _, other := range ids {
+			if other != id {
+				opts = append(opts, raincore.WithPeer(other, raincore.Addr(addr(other))))
+			}
+		}
+		cl, err := raincore.Open(ctx, []raincore.PacketConn{conn}, opts...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer cl.Close()
+		clusters[id] = cl
 	}
-	defer tc.Close()
-	svcs := map[core.NodeID]*dds.Service{}
-	for id, node := range tc.Nodes {
-		svcs[id] = dds.New(node)
-	}
-	tc.StartAll()
-	if err := tc.WaitAssembled(10 * time.Second); err != nil {
-		log.Fatal(err)
+	wctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	for _, id := range ids {
+		if err := clusters[id].WaitMembers(wctx, len(ids)); err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	fmt.Println("-- three nodes increment a replicated counter under a named lock --")
-	ctx := context.Background()
 	var wg sync.WaitGroup
-	for _, id := range tc.IDs {
+	for _, id := range ids {
 		wg.Add(1)
-		go func(id core.NodeID) {
+		go func(id raincore.NodeID) {
 			defer wg.Done()
-			svc := svcs[id]
+			cl := clusters[id]
 			for i := 0; i < 5; i++ {
-				if err := svc.Lock(ctx, "counter-lock"); err != nil {
+				if err := cl.Lock(ctx, "counter-lock"); err != nil {
 					log.Printf("node %v lock: %v", id, err)
 					return
 				}
-				cur, _ := svc.Get("counter")
+				cur, _, _ := cl.Get(ctx, "counter")
 				next := byte(1)
 				if len(cur) > 0 {
 					next = cur[0] + 1
 				}
-				if err := svc.Set(ctx, "counter", []byte{next}); err != nil {
+				if err := cl.Set(ctx, "counter", []byte{next}); err != nil {
 					log.Printf("node %v set: %v", id, err)
 				}
-				if err := svc.Unlock("counter-lock"); err != nil {
+				if err := cl.Unlock(ctx, "counter-lock"); err != nil {
 					log.Printf("node %v unlock: %v", id, err)
 				}
 			}
@@ -60,29 +83,29 @@ func main() {
 	}
 	wg.Wait()
 	time.Sleep(200 * time.Millisecond)
-	v, _ := svcs[1].Get("counter")
+	v, _, _ := clusters[1].Get(ctx, "counter")
 	fmt.Printf("counter = %d after 15 locked increments (lost updates: %d)\n", v[0], 15-int(v[0]))
 
 	fmt.Println("-- replicated map is identical on every node --")
-	for _, id := range tc.IDs {
-		val, _ := svcs[id].Get("counter")
+	for _, id := range ids {
+		val, _, _ := clusters[id].Get(ctx, "counter")
 		fmt.Printf("  node %v reads counter = %d\n", id, val[0])
 	}
 
 	fmt.Println("-- a node dies while holding a lock; the group releases it --")
-	if err := svcs[2].Lock(ctx, "hot"); err != nil {
+	if err := clusters[2].Lock(ctx, "hot"); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("node 2 holds 'hot'... pulling its cable")
 	granted := make(chan struct{})
 	go func() {
-		if err := svcs[3].Lock(ctx, "hot"); err == nil {
+		if err := clusters[3].Lock(ctx, "hot"); err == nil {
 			close(granted)
 		}
 	}()
 	time.Sleep(50 * time.Millisecond)
 	start := time.Now()
-	tc.Net.SetNodeDown(core.Addr(2), true)
+	net.SetNodeDown(simnet.Addr(addr(2)), true)
 	<-granted
 	fmt.Printf("node 3 acquired 'hot' %v after the failure (ordered SysNodeRemoved released it)\n",
 		time.Since(start).Round(time.Millisecond))

@@ -1,98 +1,118 @@
-// Quickstart: a five-node Raincore cluster on the in-memory network.
-// Demonstrates group assembly through the discovery protocol, atomic
+// Quickstart: a five-node Raincore cluster on the in-memory network,
+// through the public facade — one raincore.Open per node brings up the
+// session service (group assembly via the discovery protocol, atomic
 // reliable multicast with agreed ordering, the aggressive failure
-// detector, and automatic rejoin — the §2 protocol suite end to end.
+// detector), the sharded data service and the transaction coordinator.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sync"
 	"time"
 
-	"repro/internal/core"
-	"repro/internal/wire"
+	"repro"
+	"repro/internal/simnet"
+	"repro/internal/transport"
 )
 
 func main() {
-	fmt.Println("== Raincore quickstart: 5-node cluster on a simulated switch ==")
+	fmt.Println("== Raincore quickstart: 5-node cluster via raincore.Open ==")
+	net := simnet.New(simnet.Options{})
+	defer net.Close()
+
+	ids := []raincore.NodeID{1, 2, 3, 4, 5}
+	addr := func(id raincore.NodeID) string { return fmt.Sprintf("node-%d", id) }
 
 	var mu sync.Mutex
-	delivered := map[core.NodeID][]string{}
+	delivered := map[raincore.NodeID][]string{}
 
-	tc, err := core.NewTestCluster(core.ClusterOptions{
-		N: 5,
-		Handlers: func(id core.NodeID) core.Handlers {
-			return core.Handlers{
-				OnDeliver: func(d core.Delivery) {
-					mu.Lock()
-					delivered[id] = append(delivered[id], string(d.Payload))
-					mu.Unlock()
-				},
-				OnMembership: func(e core.MembershipEvent) {
-					fmt.Printf("  node %v view -> %v (epoch %d)\n", id, wire.SortedIDs(e.Members), e.Epoch)
-				},
+	ctx := context.Background()
+	clusters := map[raincore.NodeID]*raincore.Cluster{}
+	for _, id := range ids {
+		id := id
+		conn := transport.NewSimConn(net.MustEndpoint(simnet.Addr(addr(id))))
+		opts := []raincore.Option{
+			raincore.WithID(id),
+			raincore.WithRingConfig(raincore.FastRing()),
+			raincore.WithHandlers(func(r raincore.RingID) raincore.Handlers {
+				return raincore.Handlers{
+					OnDeliver: func(d raincore.Delivery) {
+						mu.Lock()
+						delivered[id] = append(delivered[id], string(d.Payload))
+						mu.Unlock()
+					},
+					OnMembership: func(e raincore.MembershipEvent) {
+						fmt.Printf("  node %v view -> %v (epoch %d)\n", id, e.Members, e.Epoch)
+					},
+				}
+			}),
+		}
+		for _, other := range ids {
+			if other != id {
+				opts = append(opts, raincore.WithPeer(other, raincore.Addr(addr(other))))
 			}
-		},
-	})
-	if err != nil {
-		log.Fatal(err)
+		}
+		cl, err := raincore.Open(ctx, []raincore.PacketConn{conn}, opts...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer cl.Close()
+		clusters[id] = cl
 	}
-	defer tc.Close()
 
 	fmt.Println("-- waiting for the group to assemble via BODYODOR discovery --")
-	if err := tc.WaitAssembled(10 * time.Second); err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("assembled: %v\n", wire.SortedIDs(tc.Nodes[1].Members()))
-
-	fmt.Println("-- every node multicasts one message --")
-	for _, id := range tc.IDs {
-		if err := tc.Nodes[id].Multicast([]byte(fmt.Sprintf("hello from %v", id))); err != nil {
+	wctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	for _, id := range ids {
+		if err := clusters[id].WaitMembers(wctx, len(ids)); err != nil {
 			log.Fatal(err)
 		}
 	}
-	time.Sleep(300 * time.Millisecond)
+	fmt.Printf("assembled: %v\n", clusters[1].Members())
 
-	mu.Lock()
-	ref := append([]string(nil), delivered[1]...)
-	mu.Unlock()
-	fmt.Printf("node 1 delivered %d messages in agreed order:\n", len(ref))
-	for i, p := range ref {
-		fmt.Printf("  %2d. %s\n", i+1, p)
+	fmt.Println("-- every node multicasts one message --")
+	for _, id := range ids {
+		if err := clusters[id].Multicast(raincore.Ring0, []byte(fmt.Sprintf("hello from %v", id))); err != nil {
+			log.Fatal(err)
+		}
 	}
-	mu.Lock()
-	same := true
-	for _, id := range tc.IDs {
-		got := delivered[id]
-		if len(got) != len(ref) {
-			same = false
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		mu.Lock()
+		done := len(delivered[1]) >= len(ids)
+		mu.Unlock()
+		if done {
 			break
 		}
-		for i := range ref {
-			if got[i] != ref[i] {
-				same = false
-			}
-		}
+		time.Sleep(2 * time.Millisecond)
 	}
+	mu.Lock()
+	fmt.Printf("node 1 delivered (agreed total order): %v\n", delivered[1])
 	mu.Unlock()
-	fmt.Printf("all five nodes agree on the delivery order: %v\n", same)
 
-	fmt.Println("-- unplugging node 3 (aggressive failure detection, §2.2) --")
+	fmt.Println("-- the replicated map: one Set, visible everywhere --")
+	if err := clusters[2].Set(ctx, "config/mtu", []byte("9000")); err != nil {
+		log.Fatal(err)
+	}
+	for time.Now().Before(deadline) {
+		if v, ok, _ := clusters[5].Get(ctx, "config/mtu"); ok {
+			fmt.Printf("node 5 reads config/mtu = %s\n", v)
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	fmt.Println("-- pulling node 3's cable; the failure detector removes it --")
 	start := time.Now()
-	tc.Net.SetNodeDown(core.Addr(3), true)
-	if err := tc.WaitMembership(10*time.Second, 1, 2, 4, 5); err != nil {
+	net.SetNodeDown(simnet.Addr(addr(3)), true)
+	wctx2, cancel2 := context.WithTimeout(ctx, 15*time.Second)
+	defer cancel2()
+	if err := clusters[1].WaitMembers(wctx2, len(ids)-1); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("survivors converged on %v in %v\n",
-		wire.SortedIDs(tc.Nodes[1].Members()), time.Since(start).Round(time.Millisecond))
-
-	fmt.Println("-- plugging node 3 back in (911 join + merge, §2.3/§2.4) --")
-	start = time.Now()
-	tc.Net.SetNodeDown(core.Addr(3), false)
-	if err := tc.WaitAssembled(10 * time.Second); err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("full membership restored in %v\n", time.Since(start).Round(time.Millisecond))
+	fmt.Printf("survivors converged to %v in %v\n",
+		clusters[1].Members(), time.Since(start).Round(time.Millisecond))
 	fmt.Println("== done ==")
 }

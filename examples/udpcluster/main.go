@@ -1,9 +1,12 @@
-// UDP cluster: the same session service over real UDP sockets on loopback
-// — the production transport the paper names (§2.1). Three nodes assemble
-// via discovery, multicast, and survive a member's departure.
+// UDP cluster: the session service over real UDP sockets on loopback —
+// the production transport the paper names (§2.1) — through the public
+// facade. Three raincore.Open calls assemble via discovery, multicast,
+// share the replicated map across real sockets, and survive a member's
+// graceful departure.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sync"
@@ -13,13 +16,12 @@ import (
 )
 
 func main() {
-	fmt.Println("== Raincore over real UDP (loopback) ==")
+	fmt.Println("== Raincore over real UDP (loopback) via raincore.Open ==")
 
-	const n = 3
-	var nodes []*raincore.Node
-	var addrs []raincore.Addr
+	ids := []raincore.NodeID{1, 2, 3}
 	var udps []raincore.PacketConn
-	for i := 0; i < n; i++ {
+	var addrs []raincore.Addr
+	for range ids {
 		c, err := raincore.ListenUDP("127.0.0.1:0")
 		if err != nil {
 			log.Fatal(err)
@@ -31,70 +33,91 @@ func main() {
 	var mu sync.Mutex
 	got := map[raincore.NodeID][]string{}
 
-	ids := []raincore.NodeID{1, 2, 3}
+	ctx := context.Background()
+	clusters := map[raincore.NodeID]*raincore.Cluster{}
 	for i, id := range ids {
-		ring := raincore.FastRing()
-		ring.Eligible = ids
-		node, err := raincore.NewNode(raincore.Config{ID: id, Ring: ring},
-			[]raincore.PacketConn{udps[i]})
+		id := id
+		opts := []raincore.Option{
+			raincore.WithID(id),
+			raincore.WithRingConfig(raincore.FastRing()),
+			raincore.WithHandlers(func(raincore.RingID) raincore.Handlers {
+				return raincore.Handlers{
+					OnDeliver: func(d raincore.Delivery) {
+						mu.Lock()
+						got[id] = append(got[id], string(d.Payload))
+						mu.Unlock()
+					},
+				}
+			}),
+		}
+		for j, other := range ids {
+			if other != id {
+				opts = append(opts, raincore.WithPeer(other, addrs[j]))
+			}
+		}
+		cl, err := raincore.Open(ctx, []raincore.PacketConn{udps[i]}, opts...)
 		if err != nil {
 			log.Fatal(err)
 		}
-		id := id
-		node.SetHandlers(raincore.Handlers{
-			OnDeliver: func(d raincore.Delivery) {
-				mu.Lock()
-				got[id] = append(got[id], string(d.Payload))
-				mu.Unlock()
-			},
-		})
-		nodes = append(nodes, node)
+		defer cl.Close()
+		clusters[id] = cl
 	}
-	for i := range nodes {
-		for j, id := range ids {
-			if i != j {
-				nodes[i].SetPeer(id, []raincore.Addr{addrs[j]})
-			}
-		}
-	}
-	for _, node := range nodes {
-		node.Start()
-	}
-	defer func() {
-		for _, node := range nodes {
-			node.Close()
-		}
-	}()
 
 	fmt.Println("-- waiting for UDP discovery to assemble the group --")
-	deadline := time.Now().Add(15 * time.Second)
+	wctx, cancel := context.WithTimeout(ctx, 15*time.Second)
+	defer cancel()
+	for _, id := range ids {
+		if err := clusters[id].WaitMembers(wctx, len(ids)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("node 1 membership over UDP: %v\n", clusters[1].Members())
+
+	fmt.Println("-- multicasting over real sockets --")
+	for i, id := range ids {
+		if err := clusters[id].Multicast(raincore.Ring0, []byte(fmt.Sprintf("udp message %d", i+1))); err != nil {
+			log.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
 	for time.Now().Before(deadline) {
-		if len(nodes[0].Members()) == n && len(nodes[1].Members()) == n && len(nodes[2].Members()) == n {
+		mu.Lock()
+		done := len(got[1]) >= len(ids)
+		mu.Unlock()
+		if done {
 			break
 		}
 		time.Sleep(5 * time.Millisecond)
 	}
-	fmt.Printf("node 1 membership over UDP: %v\n", nodes[0].Members())
-
-	fmt.Println("-- multicasting over real sockets --")
-	for i, node := range nodes {
-		if err := node.Multicast([]byte(fmt.Sprintf("udp message %d", i+1))); err != nil {
-			log.Fatal(err)
-		}
-	}
-	time.Sleep(500 * time.Millisecond)
 	mu.Lock()
 	for _, id := range ids {
 		fmt.Printf("  node %v delivered: %v\n", id, got[id])
 	}
 	mu.Unlock()
 
-	fmt.Println("-- node 3 leaves gracefully --")
-	nodes[2].Leave()
-	deadline = time.Now().Add(10 * time.Second)
-	for time.Now().Before(deadline) && len(nodes[0].Members()) != 2 {
+	fmt.Println("-- the replicated map rides the same sockets --")
+	if err := clusters[2].Set(ctx, "vip/10.0.0.100", []byte("node-2")); err != nil {
+		log.Fatal(err)
+	}
+	for time.Now().Before(deadline.Add(5 * time.Second)) {
+		if v, ok, _ := clusters[3].Get(ctx, "vip/10.0.0.100"); ok {
+			fmt.Printf("node 3 reads vip/10.0.0.100 = %s\n", v)
+			break
+		}
 		time.Sleep(5 * time.Millisecond)
 	}
-	fmt.Printf("surviving membership: %v\n", nodes[0].Members())
+
+	fmt.Println("-- node 3 leaves gracefully --")
+	lctx, lcancel := context.WithTimeout(ctx, 10*time.Second)
+	defer lcancel()
+	if err := clusters[3].Leave(lctx); err != nil {
+		log.Fatal(err)
+	}
+	wctx2, cancel2 := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel2()
+	if err := clusters[1].WaitMembers(wctx2, 2); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("surviving membership: %v\n", clusters[1].Members())
 	fmt.Println("== done ==")
 }

@@ -7,6 +7,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/rcerr"
 	"repro/internal/wire"
 )
 
@@ -55,18 +56,23 @@ type Resharder interface {
 	Reshard(ctx context.Context, old, new RoutingView) error
 }
 
-// Routing-table errors.
+// Routing-table errors. The retryable ones carry the shared rcerr
+// classification so facade-level retry loops recognize them via
+// errors.Is(err, rcerr.ErrRetryable) instead of enumerating sentinels.
 var (
-	// ErrReshardInProgress rejects a second concurrent grow/shrink.
+	// ErrReshardInProgress rejects a second concurrent grow/shrink. It is
+	// deliberately NOT classified retryable: blindly re-running the
+	// caller's grow after the in-flight one completes would change the
+	// ring count twice.
 	ErrReshardInProgress = errors.New("core: reshard already in progress")
 	// ErrReshardAborted reports a handoff that failed and rolled back to
 	// the old routing epoch; the ring set is unchanged and the operation
 	// can be retried.
-	ErrReshardAborted = errors.New("core: reshard aborted")
+	ErrReshardAborted = rcerr.New("core: reshard aborted")
 	// ErrEpochChanged reports that the routing epoch a caller pinned has
 	// advanced (or a handoff toward the next epoch is in flight). It is
 	// retryable: re-pin against the new table and try again.
-	ErrEpochChanged = errors.New("core: pinned routing epoch changed")
+	ErrEpochChanged = rcerr.New("core: pinned routing epoch changed")
 )
 
 // EpochPin freezes a caller's view of the routing epoch for the life of a
@@ -162,6 +168,18 @@ func (r *Runtime) PublishRouting(view RoutingView) {
 	for _, fn := range watchers {
 		fn(view.clone())
 	}
+}
+
+// RoutingSignal returns a channel that is closed at the next
+// routing-table event on this node — an epoch publication or a handoff
+// abort. A retry loop blocked on a retryable rejection waits on it (with
+// a backoff cap) instead of polling blindly: both the flip that unfreezes
+// a moving slice and the abort that rolls it back fire the signal. After
+// the channel closes, call RoutingSignal again for the next event.
+func (r *Runtime) RoutingSignal() <-chan struct{} {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.tableCh
 }
 
 // FailRouting records that the handoff targeting the given epoch aborted,

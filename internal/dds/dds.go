@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/rcerr"
 	"repro/internal/stats"
 	"repro/internal/wire"
 )
@@ -183,21 +184,21 @@ var ErrNotHolder = errors.New("dds: not the lock holder")
 
 // ErrResharding is returned for writes (Set, Delete, Lock, Unlock) whose
 // key lies in a keyspace slice that is mid-handoff between shards. The
-// error is transient and retryable: the slice unfreezes as soon as the
-// handoff flips to the new routing epoch or aborts back to the old one.
-// Reads never fail with it — the source shard keeps serving the frozen
-// slice until the flip.
-var ErrResharding = errors.New("dds: keyspace slice is resharding, retry")
+// error is transient and retryable (it matches rcerr.ErrRetryable): the
+// slice unfreezes as soon as the handoff flips to the new routing epoch
+// or aborts back to the old one. Reads never fail with it — the source
+// shard keeps serving the frozen slice until the flip.
+var ErrResharding = rcerr.New("dds: keyspace slice is resharding, retry")
 
 // ErrSnapshotting is returned for writes (Set, Delete) and transaction
 // prepares submitted while a cross-shard consistent snapshot holds its
-// barrier on the key's shard. The error is transient and retryable: the
-// barrier lifts as soon as every shard's capture completes (or the
-// snapshot coordinator dies, whose ordered removal releases it). Reads
-// never fail with it, and staged transactions still commit or abort
-// through the barrier — that drain is what makes the captured cut
-// consistent.
-var ErrSnapshotting = errors.New("dds: cross-shard snapshot in progress, retry")
+// barrier on the key's shard. The error is transient and retryable (it
+// matches rcerr.ErrRetryable): the barrier lifts as soon as every
+// shard's capture completes (or the snapshot coordinator dies, whose
+// ordered removal releases it). Reads never fail with it, and staged
+// transactions still commit or abort through the barrier — that drain is
+// what makes the captured cut consistent.
+var ErrSnapshotting = rcerr.New("dds: cross-shard snapshot in progress, retry")
 
 // errSnapBusy tells the snapshot coordinator a capture position still has
 // staged transactions in front of it; the coordinator retries until the
@@ -260,18 +261,22 @@ func (s *Service) dropWaiter(reqID uint64) {
 	s.mu.Unlock()
 }
 
+// UnlockContext is a deprecated alias for Unlock, kept for one release
+// while callers migrate to the uniform context-first signature.
+//
+// Deprecated: use Unlock.
+func (s *Service) UnlockContext(ctx context.Context, name string) error {
+	return s.Unlock(ctx, name)
+}
+
 // Unlock releases the named lock held by this node. It returns once the
 // release has applied locally, so a release racing a keyspace handoff
 // surfaces ErrResharding to the caller (retry after the handoff) instead
-// of silently leaving the migrated lock held. It blocks until the ring
-// orders the release (or the shard shuts down); use UnlockContext to
-// bound the wait.
-func (s *Service) Unlock(name string) error { return s.UnlockContext(context.Background(), name) }
-
-// UnlockContext is Unlock with a cancellation bound. A cancelled wait
-// does not withdraw the release — it is already in the ordered stream —
-// it only stops waiting for the local apply.
-func (s *Service) UnlockContext(ctx context.Context, name string) error {
+// of silently leaving the migrated lock held. It waits for the ordered
+// apply at most until ctx is done; a cancelled wait does not withdraw
+// the release — it is already in the ordered stream — it only stops
+// waiting for the local apply.
+func (s *Service) Unlock(ctx context.Context, name string) error {
 	s.mu.Lock()
 	st := s.locks[name]
 	if st == nil || st.owner != s.id {

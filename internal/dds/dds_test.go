@@ -154,7 +154,7 @@ func TestLockMutualExclusion(t *testing.T) {
 				mu.Lock()
 				inCS--
 				mu.Unlock()
-				if err := dc.svcs[id].Unlock("L"); err != nil {
+				if err := dc.svcs[id].Unlock(ctx, "L"); err != nil {
 					t.Errorf("node %v unlock: %v", id, err)
 				}
 				cancel()
@@ -185,7 +185,7 @@ func TestLockQueueFIFOAcrossNodes(t *testing.T) {
 		t.Fatal("lock granted while held")
 	default:
 	}
-	if err := dc.svcs[1].Unlock("q"); err != nil {
+	if err := dc.svcs[1].Unlock(context.Background(), "q"); err != nil {
 		t.Fatal(err)
 	}
 	select {
@@ -196,14 +196,14 @@ func TestLockQueueFIFOAcrossNodes(t *testing.T) {
 	case <-time.After(10 * time.Second):
 		t.Fatal("queued waiter never granted")
 	}
-	if err := dc.svcs[2].Unlock("q"); err != nil {
+	if err := dc.svcs[2].Unlock(context.Background(), "q"); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestUnlockWithoutHoldingFails(t *testing.T) {
 	dc := startDDS(t, 2)
-	if err := dc.svcs[1].Unlock("nope"); err != ErrNotHolder {
+	if err := dc.svcs[1].Unlock(context.Background(), "nope"); err != ErrNotHolder {
 		t.Fatalf("err = %v, want ErrNotHolder", err)
 	}
 }
@@ -221,7 +221,7 @@ func TestLockCancellationWithdrawsRequest(t *testing.T) {
 	}
 	// After cancellation, releasing must leave the lock free (the queued
 	// request was withdrawn), and a fresh acquire succeeds immediately.
-	if err := dc.svcs[1].Unlock("c"); err != nil {
+	if err := dc.svcs[1].Unlock(context.Background(), "c"); err != nil {
 		t.Fatal(err)
 	}
 	deadline := time.Now().Add(5 * time.Second)

@@ -46,7 +46,7 @@ func TestRandomOpsConverge(t *testing.T) {
 							}
 						default:
 							if held[lock] {
-								if dc.svcs[id].Unlock(lock) == nil {
+								if dc.svcs[id].Unlock(ctx, lock) == nil {
 									held[lock] = false
 								}
 							}
@@ -54,7 +54,7 @@ func TestRandomOpsConverge(t *testing.T) {
 					}
 					for lock := range held {
 						if held[lock] {
-							_ = dc.svcs[id].Unlock(lock)
+							_ = dc.svcs[id].Unlock(ctx, lock)
 						}
 					}
 				}()

@@ -281,7 +281,7 @@ func waitSingleHome(t *testing.T, sc *shardedCluster, keys []string) {
 
 func unlockRetry(ctx context.Context, s *Sharded, name string) error {
 	for {
-		err := s.Unlock(name)
+		err := s.Unlock(context.Background(), name)
 		if !errors.Is(err, ErrResharding) {
 			return err
 		}

@@ -215,20 +215,23 @@ func (s *Sharded) Lock(ctx context.Context, name string) error {
 	return svc.Lock(ctx, name)
 }
 
-// Unlock releases the named lock held by this node. See
-// Service.UnlockContext for the cancellable variant.
-func (s *Sharded) Unlock(name string) error {
-	return s.UnlockContext(context.Background(), name)
-}
-
-// UnlockContext releases the named lock, waiting for the ordered apply
-// at most until ctx is done.
-func (s *Sharded) UnlockContext(ctx context.Context, name string) error {
+// Unlock releases the named lock held by this node, waiting for the
+// ordered apply at most until ctx is done. During a handoff of the
+// lock's slice it fails with the retryable ErrResharding.
+func (s *Sharded) Unlock(ctx context.Context, name string) error {
 	svc, err := s.routeWrite(name)
 	if err != nil {
 		return err
 	}
-	return svc.UnlockContext(ctx, name)
+	return svc.Unlock(ctx, name)
+}
+
+// UnlockContext is a deprecated alias for Unlock, kept for one release
+// while callers migrate to the uniform context-first signature.
+//
+// Deprecated: use Unlock.
+func (s *Sharded) UnlockContext(ctx context.Context, name string) error {
+	return s.Unlock(ctx, name)
 }
 
 // Holder reports the current owner of the named lock.

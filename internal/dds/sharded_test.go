@@ -142,13 +142,13 @@ func TestShardedLockMutualExclusion(t *testing.T) {
 			t.Fatalf("node 2 acquired %s while node 1 held it (err=%v)", name, err)
 		case <-time.After(50 * time.Millisecond):
 		}
-		if err := sc.svcs[1].Unlock(name); err != nil {
+		if err := sc.svcs[1].Unlock(context.Background(), name); err != nil {
 			t.Fatal(err)
 		}
 		if err := <-acquired; err != nil {
 			t.Fatal(err)
 		}
-		if err := sc.svcs[2].Unlock(name); err != nil {
+		if err := sc.svcs[2].Unlock(context.Background(), name); err != nil {
 			t.Fatal(err)
 		}
 	}

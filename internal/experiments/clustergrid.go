@@ -1,0 +1,141 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	raincore "repro"
+	"repro/internal/core"
+	"repro/internal/ring"
+	"repro/internal/simnet"
+	"repro/internal/stats"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// clusterGrid is the facade-level analogue of core.TestGrid: N cluster
+// members over one simulated switch, each opened with raincore.Open so
+// the experiments exercise exactly the composition and retry path a
+// downstream application gets — not a hand-assembled runtime.
+type clusterGrid struct {
+	Net      *simnet.Network
+	Clusters map[core.NodeID]*raincore.Cluster
+	IDs      []core.NodeID
+}
+
+// newClusterGrid opens an N-node, rings-shard grid through the public
+// facade and leaves it assembling (callers WaitAssembled).
+func newClusterGrid(n, rings int, rc ring.Config) (*clusterGrid, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("experiments: grid size %d", n)
+	}
+	tc := transport.DefaultConfig()
+	tc.AckTimeout = 10 * time.Millisecond
+	net := simnet.New(simnet.Options{})
+	g := &clusterGrid{Net: net, Clusters: make(map[core.NodeID]*raincore.Cluster)}
+	for i := 1; i <= n; i++ {
+		g.IDs = append(g.IDs, core.NodeID(i))
+	}
+	for _, id := range g.IDs {
+		ep, err := net.Endpoint(core.Addr(id))
+		if err != nil {
+			g.Close()
+			return nil, err
+		}
+		nodeRC := rc
+		nodeRC.Eligible = g.IDs
+		nodeRC.SeqBase = uint64(id) << 32 // deterministic distinct bases
+		opts := []raincore.Option{
+			raincore.WithID(id),
+			raincore.WithRings(rings),
+			raincore.WithRingConfig(nodeRC),
+			raincore.WithTransportConfig(tc),
+		}
+		for _, other := range g.IDs {
+			if other != id {
+				opts = append(opts, raincore.WithPeer(other, transport.Addr(core.Addr(other))))
+			}
+		}
+		cl, err := raincore.Open(context.Background(), []raincore.PacketConn{transport.NewSimConn(ep)}, opts...)
+		if err != nil {
+			g.Close()
+			return nil, err
+		}
+		g.Clusters[id] = cl
+	}
+	return g, nil
+}
+
+// WaitAssembled blocks until every member's combined view holds the full
+// ID set, or the timeout elapses.
+func (g *clusterGrid) WaitAssembled(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	wantSorted := fmt.Sprint(wire.SortedIDs(g.IDs))
+	for time.Now().Before(deadline) {
+		ok := true
+		for _, id := range g.IDs {
+			if fmt.Sprint(g.Clusters[id].Members()) != wantSorted {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return nil
+		}
+		time.Sleep(time.Millisecond)
+	}
+	var views []string
+	for _, id := range g.IDs {
+		views = append(views, fmt.Sprintf("%v:%v", id, g.Clusters[id].Members()))
+	}
+	return fmt.Errorf("experiments: grid did not converge to %s within %v (%v)", wantSorted, timeout, views)
+}
+
+// Grow adds one ring on every member concurrently — the whole-cluster
+// grow the facade API requires — and returns the first error. Each
+// member's Grow already retries aborted handoffs (a freeze landing on a
+// staged transaction, for example) under its own retry policy.
+func (g *clusterGrid) Grow(ctx context.Context) error {
+	errCh := make(chan error, len(g.IDs))
+	for _, id := range g.IDs {
+		cl := g.Clusters[id]
+		go func() {
+			_, err := cl.Grow(ctx)
+			errCh <- err
+		}()
+	}
+	var first error
+	for range g.IDs {
+		if err := <-errCh; err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// counterSum adds one registry counter across every member — the
+// grid-wide view of the facade's retry metrics.
+func (g *clusterGrid) counterSum(name string) int64 {
+	var total int64
+	for _, cl := range g.Clusters {
+		total += cl.Stats().Counter(name).Load()
+	}
+	return total
+}
+
+// frozenRejects reports the writes rejected grid-wide because they
+// addressed a frozen (mid-handoff) keyspace slice — the facade's retry
+// layer absorbs and re-runs each of them.
+func (g *clusterGrid) frozenRejects() int64 { return g.counterSum(stats.MetricFrozenWrites) }
+
+// txnRetriesAbsorbed reports the transaction aborts re-run grid-wide.
+func (g *clusterGrid) txnRetriesAbsorbed() int64 { return g.counterSum(stats.MetricClusterTxnRetries) }
+
+// Close shuts every member down and stops the network.
+func (g *clusterGrid) Close() {
+	for _, cl := range g.Clusters {
+		cl.Close()
+	}
+	g.Net.Close()
+}

@@ -3,16 +3,13 @@ package experiments
 import (
 	"context"
 	"encoding/json"
-	"errors"
 	"fmt"
 	"os"
 	"runtime"
-	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
-	"repro/internal/dds"
 	"repro/internal/stats"
 )
 
@@ -21,19 +18,20 @@ import (
 // PR 1's sharded runtime scales ordered throughput with the ring count,
 // but the count was frozen at construction. E6 measures what elastic
 // resharding buys and what it costs: a cluster starts at FromShards
-// rings, serves a closed-loop sharded-dds write workload, grows one ring
-// at a time to ToShards under load, and keeps serving. Reported per
-// baseline row: the aggregate Set throughput before and after growing,
-// and per grow step the handoff pause — the window during which only the
-// moving keyspace slices reject writes (retryably); all other keys are
-// served throughout.
+// rings, serves a closed-loop write workload through the raincore.Cluster
+// facade, grows one ring at a time to ToShards under load, and keeps
+// serving. The facade's retry layer absorbs the handoff windows — a
+// writer never sees a resharding rejection — so the per-step cost shows
+// up as the
+// handoff pause and the count of rejections the retry layer rode through,
+// both read from the runtime's metric registry.
 
 // E6Config sizes the elastic-resharding experiment.
 type E6Config struct {
 	// N is the cluster size (nodes, each hosting every ring).
 	N int
-	// FromShards and ToShards bound the grow sequence (one AddRing per
-	// step).
+	// FromShards and ToShards bound the grow sequence (one grid-wide
+	// Grow per step).
 	FromShards, ToShards int
 	// TokenHoldMS and MaxBatch fix each ring's deterministic throughput
 	// ceiling exactly as in E5, so the post-grow gain is ring-count
@@ -70,8 +68,8 @@ func DefaultE6() E6Config {
 // E6Row is one shard count's steady-state measurement.
 type E6Row struct {
 	Shards int `json:"shards"`
-	// DDSOpsPS is the aggregate sharded-dds Set completion rate across
-	// all nodes (ops/second).
+	// DDSOpsPS is the aggregate Cluster.Set completion rate across all
+	// nodes (ops/second).
 	DDSOpsPS float64 `json:"dds_ops_per_sec"`
 	// SpeedupX is the gain over the FromShards row.
 	SpeedupX float64 `json:"speedup"`
@@ -87,8 +85,9 @@ type E6Grow struct {
 	PauseMS float64 `json:"handoff_pause_ms"`
 	// KeysMoved counts keys installed into the new shard.
 	KeysMoved int64 `json:"keys_moved"`
-	// FrozenRejects counts writes that observed ErrResharding during
-	// the step (they retried and succeeded).
+	// FrozenRejects counts the retryable rejections the facade's retry
+	// layer absorbed during the step (the writes that observed a frozen
+	// slice, retried, and succeeded — invisible to the workers).
 	FrozenRejects int64 `json:"frozen_writes_rejected"`
 }
 
@@ -110,48 +109,32 @@ func E6Resharding(cfg E6Config) (E6Result, error) {
 	rc.StarvingRetry = 300 * time.Millisecond
 	rc.BodyodorInterval = 50 * time.Millisecond
 	rc.MaxBatch = cfg.MaxBatch
-	g, err := core.NewTestGrid(core.GridOptions{
-		N: cfg.N, Rings: cfg.FromShards, Ring: rc, DeferStart: true,
-	})
+	g, err := newClusterGrid(cfg.N, cfg.FromShards, rc)
 	if err != nil {
 		return res, err
 	}
 	defer g.Close()
-	svcs := make(map[core.NodeID]*dds.Sharded)
-	for id, rt := range g.Runtimes {
-		s, err := dds.AttachSharded(rt)
-		if err != nil {
-			return res, err
-		}
-		svcs[id] = s
-	}
-	g.StartAll()
 	if err := g.WaitAssembled(30 * time.Second); err != nil {
 		return res, err
 	}
 
-	// Closed-loop writers, retrying through handoff windows.
+	// Closed-loop writers through the facade: the retry layer rides
+	// through handoff windows, so a worker only stops on a real failure.
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
-	var ops, rejects atomic.Int64
+	var ops atomic.Int64
 	payload := make([]byte, cfg.PayloadBytes)
 	for _, id := range g.IDs {
-		svc := svcs[id]
+		cl := g.Clusters[id]
 		for w := 0; w < cfg.DDSWorkers; w++ {
 			seed := int(id)*1000 + w
 			go func() {
 				for i := 0; ; i++ {
 					key := fmt.Sprintf("e6-key-%d", (seed*7919+i*131)%cfg.Keys)
-					err := svc.Set(ctx, key, payload)
-					if err == nil {
-						ops.Add(1)
-						continue
+					if cl.Set(ctx, key, payload) != nil {
+						return
 					}
-					if errors.Is(err, dds.ErrResharding) {
-						rejects.Add(1)
-						continue
-					}
-					return
+					ops.Add(1)
 				}
 			}()
 		}
@@ -165,28 +148,15 @@ func E6Resharding(cfg E6Config) (E6Result, error) {
 
 	res.Rows = append(res.Rows, E6Row{Shards: cfg.FromShards, DDSOpsPS: measure()})
 
-	coord := g.Runtimes[g.IDs[0]]
+	coord := g.Clusters[g.IDs[0]]
 	for s := cfg.FromShards; s < cfg.ToShards; s++ {
 		keysBefore := coord.Stats().Counter(stats.MetricReshardKeysMoved).Load()
-		rejBefore := rejects.Load()
+		rejBefore := g.frozenRejects()
 		start := time.Now()
 		gctx, gcancel := context.WithTimeout(ctx, 60*time.Second)
-		var wg sync.WaitGroup
-		errCh := make(chan error, len(g.IDs))
-		for _, id := range g.IDs {
-			rt := g.Runtimes[id]
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				if _, err := rt.AddRing(gctx); err != nil {
-					errCh <- err
-				}
-			}()
-		}
-		wg.Wait()
+		err := g.Grow(gctx)
 		gcancel()
-		close(errCh)
-		if err := <-errCh; err != nil {
+		if err != nil {
 			return res, fmt.Errorf("E6: grow to %d shards: %w", s+1, err)
 		}
 		// The grow includes ring assembly; the handoff window itself is
@@ -200,7 +170,7 @@ func E6Resharding(cfg E6Config) (E6Result, error) {
 			ToShards:      s + 1,
 			PauseMS:       float64(pause.Microseconds()) / 1000,
 			KeysMoved:     coord.Stats().Counter(stats.MetricReshardKeysMoved).Load() - keysBefore,
-			FrozenRejects: rejects.Load() - rejBefore,
+			FrozenRejects: g.frozenRejects() - rejBefore,
 		})
 	}
 
@@ -216,12 +186,12 @@ func E6Resharding(cfg E6Config) (E6Result, error) {
 // E6Table renders the result.
 func E6Table(res E6Result, cfg E6Config) *Table {
 	t := &Table{
-		Title:   "E6: elastic resharding (grow under live sharded-dds load)",
+		Title:   "E6: elastic resharding (grow under live facade write load)",
 		Columns: []string{"phase", "shards", "dds set/s", "speedup", "pause ms", "keys moved", "rejects"},
 		Notes: []string{
-			fmt.Sprintf("%d nodes; grown one ring at a time %d -> %d under %d closed-loop writers/node",
+			fmt.Sprintf("%d nodes; grown one ring at a time %d -> %d under %d closed-loop Cluster.Set writers/node",
 				cfg.N, cfg.FromShards, cfg.ToShards, cfg.DDSWorkers),
-			"pause = coordinator freeze->flip window; only writes into the moving slices reject (retryably) during it",
+			"pause = coordinator freeze->flip window; rejects = retryable rejections the facade's retry layer absorbed (workers saw none)",
 		},
 	}
 	t.Rows = append(t.Rows, []string{

@@ -8,26 +8,26 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
-	"sync"
 	"sync/atomic"
 	"time"
 
+	raincore "repro"
 	"repro/internal/core"
-	"repro/internal/dds"
 	"repro/internal/stats"
-	"repro/internal/txn"
 )
 
 // --- E7: cross-shard transactions ---
 //
-// PR 3 adds epoch-pinned 2PC over the per-ring master locks. E7 measures
-// what it costs and how it behaves under elastic resharding: a cluster
-// serves a closed-loop workload of multi-key cross-shard transactions
-// (lock in global order, prepare and commit one ordered multicast per
-// participant ring), then grows by one ring mid-run. Reported per phase:
-// the aggregate commit rate and the abort rate — aborts are the retryable
-// epoch-pin/freeze rejections the design trades for never straddling two
-// keyspace layouts.
+// PR 3 adds epoch-pinned 2PC over the per-ring master locks; PR 4 puts
+// the raincore.Cluster facade in front of it. E7 measures what the
+// transaction path costs through the facade and how it behaves under
+// elastic resharding: a cluster serves a closed-loop workload of
+// multi-key cross-shard transactions (Cluster.Txn: lock in global order,
+// prepare and commit one ordered multicast per participant ring), then
+// grows by one ring mid-run. The facade re-runs retryable aborts — the
+// epoch-pin and freeze rejections the design trades for never straddling
+// two keyspace layouts — so workers only ever see commits; the abort
+// pressure is read from the retry-layer metrics.
 
 // E7Config sizes the cross-shard transaction experiment.
 type E7Config struct {
@@ -86,7 +86,8 @@ type E7Row struct {
 	Shards int `json:"shards"`
 	// CommitsPS is the aggregate transaction commit rate (txn/second).
 	CommitsPS float64 `json:"commits_per_sec"`
-	// Aborts counts retryable transaction aborts during the phase.
+	// Aborts counts the retryable transaction aborts the facade's retry
+	// layer re-ran during the phase (each one a full re-execution).
 	Aborts int64 `json:"aborts"`
 	// AbortRate is aborts / (commits + aborts) for the phase.
 	AbortRate float64 `json:"abort_rate"`
@@ -95,11 +96,13 @@ type E7Row struct {
 // E7Result is the full experiment outcome.
 type E7Result struct {
 	Rows []E7Row `json:"rows"`
-	// GrowMS is the wall time of the mid-run AddRing (ring assembly plus
-	// ordered handoff), 0 when Grow was off.
+	// GrowMS is the wall time of the mid-run grow (ring assembly plus
+	// ordered handoff, including facade-level abort retries), 0 when
+	// Grow was off.
 	GrowMS float64 `json:"grow_ms"`
 	// Indeterminate counts phase-2 failures (must stay 0 in a healthy
-	// run; nonzero means a commit partially applied).
+	// run; nonzero means a commit partially applied). The facade never
+	// retries these.
 	Indeterminate int64 `json:"indeterminate"`
 }
 
@@ -113,32 +116,21 @@ func E7TxnThroughput(cfg E7Config) (E7Result, error) {
 	rc.HungryTimeout = 400 * time.Millisecond
 	rc.StarvingRetry = 300 * time.Millisecond
 	rc.BodyodorInterval = 50 * time.Millisecond
-	g, err := core.NewTestGrid(core.GridOptions{
-		N: cfg.N, Rings: cfg.Shards, Ring: rc, DeferStart: true,
-	})
+	g, err := newClusterGrid(cfg.N, cfg.Shards, rc)
 	if err != nil {
 		return res, err
 	}
 	defer g.Close()
-	coords := make(map[core.NodeID]*txn.Coordinator)
-	for id, rt := range g.Runtimes {
-		s, err := dds.AttachSharded(rt)
-		if err != nil {
-			return res, err
-		}
-		coords[id] = txn.New(s, txn.WithRuntimePin(rt))
-	}
-	g.StartAll()
 	if err := g.WaitAssembled(30 * time.Second); err != nil {
 		return res, err
 	}
 
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
-	var commits, aborts, indeterminate atomic.Int64
+	var commits, indeterminate atomic.Int64
 	payload := make([]byte, cfg.PayloadBytes)
 	for _, id := range g.IDs {
-		c := coords[id]
+		cl := g.Clusters[id]
 		for w := 0; w < cfg.Workers; w++ {
 			rng := rand.New(rand.NewSource(int64(id)*1000 + int64(w)))
 			go func() {
@@ -146,7 +138,7 @@ func E7TxnThroughput(cfg E7Config) (E7Result, error) {
 					if ctx.Err() != nil {
 						return
 					}
-					t := c.Begin()
+					t := cl.Txn()
 					base := rng.Intn(cfg.Keys)
 					for k := 0; k < cfg.KeysPerTxn; k++ {
 						t.Set(fmt.Sprintf("e7-key-%d", (base+k*97)%cfg.Keys), payload)
@@ -157,9 +149,7 @@ func E7TxnThroughput(cfg E7Config) (E7Result, error) {
 					switch {
 					case err == nil:
 						commits.Add(1)
-					case errors.Is(err, txn.ErrAborted):
-						aborts.Add(1)
-					case errors.Is(err, txn.ErrIndeterminate):
+					case errors.Is(err, raincore.ErrTxnIndeterminate):
 						indeterminate.Add(1)
 					case ctx.Err() != nil:
 						return
@@ -170,9 +160,9 @@ func E7TxnThroughput(cfg E7Config) (E7Result, error) {
 	}
 	measure := func(phase string, shards int) E7Row {
 		time.Sleep(cfg.Warmup)
-		c0, a0 := commits.Load(), aborts.Load()
+		c0, a0 := commits.Load(), g.txnRetriesAbsorbed()
 		time.Sleep(cfg.Duration)
-		dc, da := commits.Load()-c0, aborts.Load()-a0
+		dc, da := commits.Load()-c0, g.txnRetriesAbsorbed()-a0
 		row := E7Row{Phase: phase, Shards: shards, CommitsPS: stats.Rate(dc, cfg.Duration), Aborts: da}
 		if dc+da > 0 {
 			row.AbortRate = float64(da) / float64(dc+da)
@@ -183,41 +173,22 @@ func E7TxnThroughput(cfg E7Config) (E7Result, error) {
 	res.Rows = append(res.Rows, measure("before", cfg.Shards))
 
 	if cfg.Grow {
-		a0 := aborts.Load()
+		a0 := g.txnRetriesAbsorbed()
 		c0 := commits.Load()
 		start := time.Now()
 		// A handoff's freeze can land while a transaction is mid-prepare
 		// on the source shard; the staged transaction rejects the freeze
-		// and the grow aborts retryably. Retry the whole group grow.
-		var growErr error
-		for attempt := 0; attempt < 5; attempt++ {
-			gctx, gcancel := context.WithTimeout(ctx, 60*time.Second)
-			var wg sync.WaitGroup
-			errCh := make(chan error, len(g.IDs))
-			for _, id := range g.IDs {
-				rt := g.Runtimes[id]
-				wg.Add(1)
-				go func() {
-					defer wg.Done()
-					if _, err := rt.AddRing(gctx); err != nil {
-						errCh <- err
-					}
-				}()
-			}
-			wg.Wait()
-			gcancel()
-			close(errCh)
-			growErr = <-errCh
-			if growErr == nil || !errors.Is(growErr, core.ErrReshardAborted) {
-				break
-			}
-		}
-		if growErr != nil {
-			return res, fmt.Errorf("E7: grow to %d shards: %w", cfg.Shards+1, growErr)
+		// and the grow aborts retryably. Each member's facade Grow
+		// absorbs those aborts and re-runs until its node flips.
+		gctx, gcancel := context.WithTimeout(ctx, 60*time.Second)
+		err := g.Grow(gctx)
+		gcancel()
+		if err != nil {
+			return res, fmt.Errorf("E7: grow to %d shards: %w", cfg.Shards+1, err)
 		}
 		growDur := time.Since(start)
 		res.GrowMS = float64(growDur.Microseconds()) / 1000
-		da, dc := aborts.Load()-a0, commits.Load()-c0
+		da, dc := g.txnRetriesAbsorbed()-a0, commits.Load()-c0
 		grow := E7Row{Phase: "grow", Shards: cfg.Shards + 1, CommitsPS: stats.Rate(dc, growDur), Aborts: da}
 		if dc+da > 0 {
 			grow.AbortRate = float64(da) / float64(dc+da)
@@ -235,12 +206,12 @@ func E7TxnThroughput(cfg E7Config) (E7Result, error) {
 // E7Table renders the result.
 func E7Table(res E7Result, cfg E7Config) *Table {
 	t := &Table{
-		Title:   "E7: cross-shard transactions (epoch-pinned 2PC, grow under load)",
+		Title:   "E7: cross-shard transactions (facade Txn, epoch-pinned 2PC, grow under load)",
 		Columns: []string{"phase", "shards", "commits/s", "aborts", "abort rate"},
 		Notes: []string{
 			fmt.Sprintf("%d nodes, %d-key transactions over %d keys; %d worker loops/node",
 				cfg.N, cfg.KeysPerTxn, cfg.Keys, cfg.Workers),
-			"aborts are retryable (epoch pin / frozen-slice rejections); indeterminate commits must be 0",
+			"aborts are the retryable re-runs the facade absorbed (epoch pin / frozen-slice rejections); indeterminate commits must be 0",
 		},
 	}
 	if res.GrowMS > 0 {

@@ -1,0 +1,159 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+)
+
+// --- EC: facade overhead ---
+//
+// The raincore.Cluster facade wraps every data operation in a retry
+// layer (classification check, policy bookkeeping, error wrapping). EC
+// measures what that wrapper costs on the hot path by running the same
+// closed-loop sharded write workload twice on identical grids — once
+// against the raw dds.Sharded router (the pre-facade composition) and
+// once through Cluster.Set — and asserting the facade lands within noise
+// of the raw path. Both runs use the deterministic token-rate-bound
+// regime of E5 (TokenHold x MaxBatch fixes the per-ring ceiling), so a
+// real regression shows up as a rate gap, not CPU noise.
+
+// ECConfig sizes the facade-overhead comparison.
+type ECConfig struct {
+	// N is the cluster size; Shards the ring count (static, no grow).
+	N, Shards int
+	// TokenHoldMS and MaxBatch fix the per-ring throughput ceiling.
+	TokenHoldMS int
+	MaxBatch    int
+	// DDSWorkers is the number of concurrent Set loops per node.
+	DDSWorkers int
+	// PayloadBytes sizes each value.
+	PayloadBytes int
+	// Warmup and Duration bound each measurement phase.
+	Warmup   time.Duration
+	Duration time.Duration
+	// MaxOverheadFrac is the assertion threshold: the run fails if the
+	// facade path is more than this fraction slower than the raw path.
+	MaxOverheadFrac float64
+}
+
+// DefaultEC mirrors the E5/E6 regime on a 4-node, 2-ring grid and allows
+// 15% before calling the wrapper a regression (the token-bound ceiling
+// makes the expected gap ~0; the margin is scheduler noise).
+func DefaultEC() ECConfig {
+	return ECConfig{
+		N:               4,
+		Shards:          2,
+		TokenHoldMS:     4,
+		MaxBatch:        8,
+		DDSWorkers:      48,
+		PayloadBytes:    64,
+		Warmup:          300 * time.Millisecond,
+		Duration:        1200 * time.Millisecond,
+		MaxOverheadFrac: 0.15,
+	}
+}
+
+// ECResult is the comparison outcome.
+type ECResult struct {
+	// RawOpsPS is the aggregate Set rate against dds.Sharded directly.
+	RawOpsPS float64 `json:"raw_ops_per_sec"`
+	// ClusterOpsPS is the aggregate Cluster.Set rate through the facade.
+	ClusterOpsPS float64 `json:"cluster_ops_per_sec"`
+	// OverheadFrac is (raw - cluster) / raw; negative means the facade
+	// run measured faster (pure noise).
+	OverheadFrac float64 `json:"overhead_frac"`
+}
+
+// ecFacadeRate measures the aggregate Cluster.Set rate on a fresh grid.
+func ecFacadeRate(cfg ECConfig) (float64, error) {
+	rc := core.FastRing()
+	rc.TokenHold = time.Duration(cfg.TokenHoldMS) * time.Millisecond
+	rc.HungryTimeout = 400 * time.Millisecond
+	rc.StarvingRetry = 300 * time.Millisecond
+	rc.BodyodorInterval = 50 * time.Millisecond
+	rc.MaxBatch = cfg.MaxBatch
+	g, err := newClusterGrid(cfg.N, cfg.Shards, rc)
+	if err != nil {
+		return 0, err
+	}
+	defer g.Close()
+	if err := g.WaitAssembled(30 * time.Second); err != nil {
+		return 0, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var ops atomic.Int64
+	payload := make([]byte, cfg.PayloadBytes)
+	for _, id := range g.IDs {
+		cl := g.Clusters[id]
+		for w := 0; w < cfg.DDSWorkers; w++ {
+			seed := int(id)*1000 + w
+			go func() {
+				for i := 0; ; i++ {
+					key := fmt.Sprintf("e5-key-%d", (seed*7919+i*131)%1024)
+					if cl.Set(ctx, key, payload) != nil {
+						return
+					}
+					ops.Add(1)
+				}
+			}()
+		}
+	}
+	time.Sleep(cfg.Warmup)
+	before := ops.Load()
+	time.Sleep(cfg.Duration)
+	return float64(ops.Load()-before) / cfg.Duration.Seconds(), nil
+}
+
+// EClusterOverhead runs the comparison: raw path first (reusing the E5
+// write-phase harness), then the facade path, on identical regimes.
+func EClusterOverhead(cfg ECConfig) (ECResult, error) {
+	var res ECResult
+	e5cfg := E5Config{
+		N:            cfg.N,
+		TokenHoldMS:  cfg.TokenHoldMS,
+		MaxBatch:     cfg.MaxBatch,
+		DDSWorkers:   cfg.DDSWorkers,
+		PayloadBytes: cfg.PayloadBytes,
+		Warmup:       cfg.Warmup,
+		Duration:     cfg.Duration,
+	}
+	raw, err := e5DDS(e5cfg, cfg.Shards)
+	if err != nil {
+		return res, fmt.Errorf("EC raw phase: %w", err)
+	}
+	facade, err := ecFacadeRate(cfg)
+	if err != nil {
+		return res, fmt.Errorf("EC facade phase: %w", err)
+	}
+	res.RawOpsPS, res.ClusterOpsPS = raw, facade
+	if raw > 0 {
+		res.OverheadFrac = (raw - facade) / raw
+	}
+	if res.OverheadFrac > cfg.MaxOverheadFrac {
+		return res, fmt.Errorf("EC: facade path %.0f ops/s vs raw %.0f ops/s (%.1f%% overhead exceeds the %.0f%% noise budget)",
+			facade, raw, 100*res.OverheadFrac, 100*cfg.MaxOverheadFrac)
+	}
+	return res, nil
+}
+
+// ECTable renders the comparison.
+func ECTable(res ECResult, cfg ECConfig) *Table {
+	return &Table{
+		Title:   "EC: Cluster facade overhead (retry wrapper vs raw sharded dds)",
+		Columns: []string{"path", "dds set/s", "overhead"},
+		Notes: []string{
+			fmt.Sprintf("%d nodes, %d rings, %d closed-loop writers/node; token-rate-bound regime (hold %dms x batch %d)",
+				cfg.N, cfg.Shards, cfg.DDSWorkers, cfg.TokenHoldMS, cfg.MaxBatch),
+			fmt.Sprintf("assertion: facade within %.0f%% of raw (negative overhead = noise in the facade's favor)", 100*cfg.MaxOverheadFrac),
+		},
+		Rows: [][]string{
+			{"raw dds.Sharded", fmt.Sprintf("%.0f", res.RawOpsPS), "-"},
+			{"raincore.Cluster", fmt.Sprintf("%.0f", res.ClusterOpsPS), fmt.Sprintf("%.1f%%", 100*res.OverheadFrac)},
+		},
+	}
+}

@@ -1,0 +1,36 @@
+// Package rcerr carries the retryability classification every Raincore
+// layer shares. A handful of sentinel errors across internal/core,
+// internal/dds and internal/txn mean the same thing to a caller —
+// "transient control flow: back off and try again" — and the public
+// facade's retry layer must recognize all of them without enumerating
+// layer-specific sentinels. Sentinels constructed with New match
+// ErrRetryable under errors.Is while keeping their own identity, so
+// `errors.Is(err, dds.ErrResharding)` and `errors.Is(err,
+// rcerr.ErrRetryable)` both hold for a resharding rejection.
+//
+// The package is a leaf (it imports only errors) so any layer can depend
+// on it without cycles; the public package re-exports ErrRetryable as
+// raincore.ErrRetryable and wraps the check as raincore.IsRetryable.
+package rcerr
+
+import "errors"
+
+// ErrRetryable is the class sentinel for transient, retryable failures:
+// the operation changed nothing and re-running it after the cluster's
+// routing epoch settles is expected to succeed. It is never returned
+// directly; concrete sentinels built with New (and anything wrapping
+// them) match it under errors.Is.
+var ErrRetryable = errors.New("raincore: retryable condition")
+
+// New builds a sentinel error that reads as text, keeps its own identity
+// under errors.Is, and additionally matches ErrRetryable.
+func New(text string) error { return &retryable{msg: text} }
+
+type retryable struct{ msg string }
+
+func (e *retryable) Error() string { return e.msg }
+
+// Is makes every sentinel built by New a member of the ErrRetryable
+// class without affecting identity comparisons against the sentinel
+// itself (errors.Is checks == before consulting this method).
+func (e *retryable) Is(target error) bool { return target == ErrRetryable }

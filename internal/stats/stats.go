@@ -216,6 +216,14 @@ const (
 	// MetricSnapshots counts cross-shard consistent snapshots this node
 	// coordinated to completion.
 	MetricSnapshots = "snapshots_taken"
+	// MetricClusterRetries counts retryable failures the Cluster facade's
+	// retry layer absorbed for single-key operations (Set, Delete, Lock,
+	// Unlock, Snapshot, Grow, Shrink) before succeeding or giving up.
+	MetricClusterRetries = "cluster_op_retries"
+	// MetricClusterTxnRetries counts retryable transaction aborts the
+	// Cluster facade's retry layer absorbed (each one a re-run of the
+	// whole transaction).
+	MetricClusterTxnRetries = "cluster_txn_retries"
 	// HistMulticastLatency is submit-to-deliver latency at the origin.
 	HistMulticastLatency = "multicast_latency"
 	// HistReshardPause is the coordinator-observed handoff window: first

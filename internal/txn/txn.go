@@ -43,7 +43,7 @@ import (
 	"time"
 
 	"repro/internal/core"
-	"repro/internal/dds"
+	"repro/internal/rcerr"
 )
 
 // Store is the sharded keyspace a Coordinator drives. *dds.Sharded
@@ -57,9 +57,9 @@ type Store interface {
 	Get(key string) ([]byte, bool)
 	// Lock acquires the named per-ring master lock.
 	Lock(ctx context.Context, name string) error
-	// UnlockContext releases the named lock, waiting for the ordered
-	// apply at most until ctx is done.
-	UnlockContext(ctx context.Context, name string) error
+	// Unlock releases the named lock, waiting for the ordered apply at
+	// most until ctx is done.
+	Unlock(ctx context.Context, name string) error
 	// NewTxnID mints a cluster-unique transaction id.
 	NewTxnID() uint64
 	// TxnPrepare stages the transaction's writes for one shard at an
@@ -73,8 +73,9 @@ type Store interface {
 // ErrAborted reports a transaction that made no change anywhere: every
 // participant either rejected the prepare or had its stage dropped. The
 // cause is wrapped (ErrResharding, ErrSnapshotting, ErrEpochChanged, a
-// lock timeout); the abort is retryable — re-run the transaction.
-var ErrAborted = errors.New("txn: transaction aborted, retry")
+// lock timeout); the abort is retryable (it matches rcerr.ErrRetryable)
+// — re-run the transaction.
+var ErrAborted = rcerr.New("txn: transaction aborted, retry")
 
 // ErrIndeterminate reports a phase-2 failure after at least one
 // participant ring committed: the transaction may be partially applied
@@ -237,8 +238,8 @@ func (t *Txn) Commit(ctx context.Context) (map[string][]byte, error) {
 			// starve the releases of locks on healthy shards.
 			uctx, cancel := context.WithTimeout(context.Background(), commitPush)
 			for uctx.Err() == nil {
-				err := c.store.UnlockContext(uctx, locked[i])
-				if errors.Is(err, dds.ErrResharding) || errors.Is(err, dds.ErrSnapshotting) {
+				err := c.store.Unlock(uctx, locked[i])
+				if errors.Is(err, rcerr.ErrRetryable) {
 					select {
 					case <-uctx.Done():
 					case <-time.After(2 * time.Millisecond):

@@ -1,23 +1,45 @@
 // Package raincore is the public face of this reproduction of "The
 // Raincore Distributed Session Service for Networking Elements" (Fan &
-// Bruck, IPPS 2001). It re-exports the session service (group membership,
-// atomic reliable multicast with agreed and safe ordering, token-based
-// mutual exclusion), the transport service, and the application layers the
-// paper builds on top: the distributed data service, the Virtual IP
-// manager, and the Rainwall firewall cluster.
+// Bruck, IPPS 2001), grown into a sharded, elastic, transactional
+// session service. Applications program against one handle — the
+// Cluster — which Open assembles in a single call: the sharded
+// multi-ring runtime (group membership, atomic reliable multicast,
+// token-based mutual exclusion, S rings over one shared transport), the
+// distributed data service consistent-hashed across the rings, the
+// cross-shard transaction coordinator, and optionally an admin HTTP
+// surface.
 //
 // Quick start (see examples/quickstart for the runnable version):
 //
-//	node, _ := raincore.NewNode(raincore.Config{ID: 1, Ring: raincore.FastRing()}, conns)
-//	node.SetHandlers(raincore.Handlers{OnDeliver: func(d raincore.Delivery) { ... }})
-//	node.Start()
-//	node.Multicast([]byte("state update"))
+//	cl, _ := raincore.Open(ctx, conns,
+//	        raincore.WithID(1),
+//	        raincore.WithRings(4),
+//	        raincore.WithPeer(2, "10.0.0.2:7001"),
+//	        raincore.WithPeer(3, "10.0.0.3:7001"))
+//	defer cl.Close()
+//	cl.WaitMembers(ctx, 3)
+//	cl.Set(ctx, "config/router-7", payload)
+//	views, _ := cl.Txn().Read("a").Set("b", v).Commit(ctx)
+//	cl.Grow(ctx) // +1 ring, keyspace rebalanced via ordered handoff
+//
+// Every Cluster method takes a context first and transparently retries
+// the transient failures the layers below produce (a write racing an
+// elastic reshard, a transaction aborted by an epoch flip), following
+// the routing epoch instead of polling. Failures that do surface are
+// *Error values with a machine-checkable Retryable classification; see
+// IsRetryable and ErrRetryable.
+//
+// The pre-facade composition API (NewRuntime, AttachShardedDDS,
+// NewTxnCoordinator) remains available as deprecated shims for one
+// release; see the MIGRATION section of the README.
 package raincore
 
 import (
 	"repro/internal/core"
 	"repro/internal/dds"
 	"repro/internal/ring"
+	"repro/internal/stats"
+	"repro/internal/trace"
 	"repro/internal/transport"
 	"repro/internal/txn"
 	"repro/internal/wire"
@@ -50,10 +72,16 @@ type (
 	PacketConn = transport.PacketConn
 	// Addr is a transport-level peer address.
 	Addr = transport.Addr
+	// StatsRegistry aggregates the runtime's counters and histograms.
+	StatsRegistry = stats.Registry
+	// TraceLog records protocol events for diagnostics.
+	TraceLog = trace.Log
 )
 
 // Sharded multi-ring runtime types: S rings over one shared transport,
-// with the data-service keyspace consistent-hashed across them.
+// with the data-service keyspace consistent-hashed across them. The
+// Cluster facade owns one of each; the types remain exported for
+// advanced composition and diagnostics.
 type (
 	// RingID identifies one ring of a sharded runtime.
 	RingID = wire.RingID
@@ -67,7 +95,7 @@ type (
 	// epoch, and unknown-ring frame drops (mis-epoch'd peers).
 	RuntimeHealth = core.RuntimeHealth
 	// RoutingView is a snapshot of the epoch-versioned routing table a
-	// Runtime owns; AddRing/RemoveRing advance its epoch.
+	// Runtime owns; Grow/Shrink advance its epoch.
 	RoutingView = core.RoutingView
 	// ShardedDDS routes the distributed data service across the rings
 	// of a Runtime by consistent key hashing, following the routing
@@ -76,40 +104,48 @@ type (
 )
 
 // Cross-shard transaction types: epoch-pinned two-phase commit over the
-// per-ring master locks.
+// per-ring master locks. Cluster.Txn is the facade entry point; the
+// coordinator types remain exported for advanced composition.
 type (
 	// TxnCoordinator runs multi-key cross-shard transactions against a
 	// ShardedDDS.
 	TxnCoordinator = txn.Coordinator
-	// Txn is one transaction under construction: declare the read and
-	// write sets with Read/Set/Delete, then Commit.
+	// Txn is one coordinator-level transaction under construction. The
+	// facade's Cluster.Txn returns a *Tx, which adds automatic retry of
+	// retryable aborts on top.
 	Txn = txn.Txn
 	// EpochPin freezes a caller's view of the routing epoch across a
 	// multi-step operation; Check reports ErrEpochChanged once it moves.
 	EpochPin = core.EpochPin
 )
 
-// Elastic-resharding errors.
+// The error taxonomy. Every sentinel here that is transient matches
+// ErrRetryable under errors.Is (equivalently raincore.IsRetryable); the
+// Cluster facade absorbs those internally, so they are mainly of
+// interest to callers composing the layers by hand.
 var (
 	// ErrResharding marks a write rejected because its keyspace slice is
-	// mid-handoff; retry after the routing epoch advances.
+	// mid-handoff; retryable — the slice unfreezes at the epoch flip.
 	ErrResharding = dds.ErrResharding
 	// ErrReshardAborted reports a handoff that rolled back to the old
-	// routing epoch.
+	// routing epoch; retryable — the ring set is unchanged.
 	ErrReshardAborted = core.ErrReshardAborted
-	// ErrReshardInProgress rejects overlapping grow/shrink requests.
+	// ErrReshardInProgress rejects overlapping grow/shrink requests. NOT
+	// retryable: re-running after the in-flight reshard would reshard
+	// twice.
 	ErrReshardInProgress = core.ErrReshardInProgress
 	// ErrSnapshotting marks a write rejected because a cross-shard
-	// consistent snapshot holds its barrier; retry after it lifts.
+	// consistent snapshot holds its barrier; retryable.
 	ErrSnapshotting = dds.ErrSnapshotting
 	// ErrEpochChanged reports a pinned routing epoch that advanced (or a
-	// handoff in flight toward the next one); re-pin and retry.
+	// handoff in flight toward the next one); retryable — re-pin.
 	ErrEpochChanged = core.ErrEpochChanged
 	// ErrTxnAborted reports a transaction that changed nothing anywhere;
-	// the wrapped cause is retryable — re-run the transaction.
+	// retryable — re-run the transaction.
 	ErrTxnAborted = txn.ErrAborted
 	// ErrTxnIndeterminate reports a phase-2 failure after at least one
-	// participant ring committed; see the txn package for the contract.
+	// participant ring committed. NOT retryable: the commit may be
+	// partially applied; see the txn package for the contract.
 	ErrTxnIndeterminate = txn.ErrIndeterminate
 )
 
@@ -121,6 +157,10 @@ const NoNode = wire.NoNode
 const Ring0 = wire.Ring0
 
 // NewRuntime builds a sharded multi-ring runtime over the given conns.
+//
+// Deprecated: use Open, which builds and starts the runtime, the
+// sharded data service and the transaction coordinator in one call and
+// retries retryable failures for you. Retained for one release.
 func NewRuntime(cfg RuntimeConfig, conns []PacketConn) (*Runtime, error) {
 	return core.NewRuntime(cfg, conns)
 }
@@ -128,6 +168,9 @@ func NewRuntime(cfg RuntimeConfig, conns []PacketConn) (*Runtime, error) {
 // AttachShardedDDS builds one data-service replica per ring of the
 // runtime and routes keys and locks across them. Call before
 // Runtime.Start.
+//
+// Deprecated: use Open; Cluster.DDS exposes the attached service.
+// Retained for one release.
 func AttachShardedDDS(rt *Runtime) (*ShardedDDS, error) {
 	return dds.AttachSharded(rt)
 }
@@ -135,11 +178,16 @@ func AttachShardedDDS(rt *Runtime) (*ShardedDDS, error) {
 // NewTxnCoordinator builds a cross-shard transaction coordinator over the
 // sharded data service, pinning each transaction to the runtime's routing
 // epoch (any elastic grow/shrink in flight aborts it retryably).
+//
+// Deprecated: use Open and Cluster.Txn, which additionally retries
+// retryable aborts. Retained for one release.
 func NewTxnCoordinator(s *ShardedDDS, rt *Runtime) *TxnCoordinator {
 	return txn.New(s, txn.WithRuntimePin(rt))
 }
 
-// NewNode builds a cluster member over the given transport conns.
+// NewNode builds a single-ring cluster member over the given transport
+// conns — the paper's original per-node API, still the right tool for
+// bare ordered-multicast deployments with no data service.
 func NewNode(cfg Config, conns []PacketConn) (*Node, error) {
 	return core.NewNode(cfg, conns)
 }
