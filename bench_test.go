@@ -107,7 +107,7 @@ func BenchmarkE5ShardScaling(b *testing.B) {
 		if last.Shards == 4 && last.MulticastX < 2.5 {
 			b.Fatalf("4-shard multicast speedup %.2fx, want >= 2.5x", last.MulticastX)
 		}
-		if err := experiments.WriteE5JSON("BENCH_E5.json", cfg, rows); err != nil {
+		if err := experiments.WriteE5JSON("BENCH_E5.json", cfg, rows, nil, nil); err != nil {
 			b.Fatal(err)
 		}
 	}

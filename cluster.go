@@ -16,7 +16,9 @@ import (
 	"repro/internal/dds"
 	"repro/internal/stats"
 	"repro/internal/trace"
+	"repro/internal/transport"
 	"repro/internal/txn"
+	"repro/internal/wire"
 )
 
 // Cluster is the unified handle on one node's membership in a Raincore
@@ -583,6 +585,19 @@ func (c *Cluster) adminMux() *http.ServeMux {
 	})
 	mux.HandleFunc("GET /routing", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, c.Routing())
+	})
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		snap := c.reg.Snapshot()
+		writeJSON(w, map[string]any{
+			"counters":   snap.Counters,
+			"gauges":     snap.Gauges,
+			"histograms": snap.Histograms,
+			// Process-global transport internals: frames-per-syscall
+			// amortization from the mmsg batching and wire buffer pool
+			// effectiveness.
+			"udp_batch":   transport.BatchStats(),
+			"frame_pools": wire.PoolStats(),
+		})
 	})
 	mux.HandleFunc("GET /snapshot", func(w http.ResponseWriter, r *http.Request) {
 		ctx, cancel := context.WithTimeout(r.Context(), 30*time.Second)

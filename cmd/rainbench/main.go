@@ -143,7 +143,13 @@ func main() {
 			log.Fatalf("E5: %v", err)
 		}
 		fmt.Println(experiments.E5Table(rows, cfg))
-		if err := experiments.WriteE5JSON(*e5Out, cfg, rows); err != nil {
+		acfg := experiments.AdaptiveE5()
+		arows, err := experiments.E5ShardScaling(acfg)
+		if err != nil {
+			log.Fatalf("E5 adaptive: %v", err)
+		}
+		fmt.Println(experiments.E5Table(arows, acfg))
+		if err := experiments.WriteE5JSON(*e5Out, cfg, rows, &acfg, arows); err != nil {
 			log.Fatalf("E5: write baseline: %v", err)
 		}
 		fmt.Printf("e5 baseline written to %s\n\n", *e5Out)

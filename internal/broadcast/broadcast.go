@@ -149,10 +149,15 @@ func (n *Node) Multicast(payload []byte) error {
 
 // onPacket handles a protocol packet; every receipt is one task switch in
 // the §4.1 accounting.
-func (n *Node) onPacket(from wire.NodeID, payload []byte) {
+func (n *Node) onPacket(from wire.NodeID, payload []byte, buf *wire.Buf) {
 	kind, origin, id, ts, body, err := decode(payload)
 	if err != nil {
 		return
+	}
+	if buf != nil && len(body) > 0 {
+		// Ordered modes queue payloads well beyond this callback; own the
+		// bytes rather than retaining the pooled receive buffer that long.
+		body = append([]byte(nil), body...)
 	}
 	n.reg.Counter(stats.MetricTaskSwitches).Inc()
 	switch kind {

@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/clock"
@@ -124,6 +125,34 @@ type Node struct {
 	// at the same ordered position.
 	sysTee func(SysEvent)
 
+	// Receive-path state. onPacket may run concurrently (one callback per
+	// conn on the batched UDP path), so the chunk assembler has its own
+	// lock.
+	pktMu      sync.Mutex
+	asm        *wire.Assembler
+	asmDropped int64
+
+	// chunkFrameID numbers this node's outgoing chunked token frames; the
+	// receiver uses it to supersede stale partial frames.
+	chunkFrameID atomic.Uint64
+
+	// Zero-copy pinning, owned by the loop goroutine: while the possessed
+	// token's payload views alias a pooled receive buffer, pinBuf holds a
+	// reference to it and pinTok identifies the token (pointer identity
+	// against sm.PossessedToken).
+	pinBuf *wire.Buf
+	pinTok *wire.Token
+	// viewStep marks steps whose deliveries may alias a pooled buffer;
+	// deliver then copies payloads before handing them up.
+	viewStep bool
+
+	// Adaptive attach-budget controller state (loop goroutine only).
+	adaptive     bool
+	holdD        time.Duration
+	rttEWMA      time.Duration
+	msgBytesEWMA float64
+	curBudget    int
+
 	// Snapshot state maintained by the loop, read by API methods.
 	mu          sync.Mutex
 	members     []NodeID
@@ -136,6 +165,15 @@ type Node struct {
 	lockHeld    bool
 
 	stopOnce sync.Once
+}
+
+// tokenArrival wraps EvTokenReceived with the pooled receive buffer backing
+// the token's zero-copy payload views; the loop unwraps it before Step and
+// decides whether to pin the buffer. Embedding keeps it a valid ring.Event
+// so it rides the events channel.
+type tokenArrival struct {
+	ring.EvTokenReceived
+	buf *wire.Buf
 }
 
 // newNode builds the transport-independent part of a node.
@@ -155,16 +193,23 @@ func newNode(cfg Config) (*Node, error) {
 		// base from the wall clock.
 		cfg.Ring.SeqBase = uint64(time.Now().UnixNano())
 	}
+	holdD := cfg.Ring.TokenHold
+	if holdD <= 0 {
+		holdD = 10 * time.Millisecond // ring.Config's default hold interval
+	}
 	return &Node{
-		id:     cfg.ID,
-		ringID: cfg.RingID,
-		clk:    cfg.Clock,
-		reg:    cfg.Registry,
-		sm:     ring.New(cfg.Ring),
-		trc:    cfg.Trace,
-		events: make(chan ring.Event, 1024),
-		done:   make(chan struct{}),
-		state:  ring.Down,
+		id:       cfg.ID,
+		ringID:   cfg.RingID,
+		clk:      cfg.Clock,
+		reg:      cfg.Registry,
+		sm:       ring.New(cfg.Ring),
+		trc:      cfg.Trace,
+		asm:      wire.NewAssembler(),
+		adaptive: cfg.Ring.AdaptiveBatch,
+		holdD:    holdD,
+		events:   make(chan ring.Event, 1024),
+		done:     make(chan struct{}),
+		state:    ring.Down,
 	}, nil
 }
 
@@ -284,12 +329,46 @@ func (n *Node) loop() {
 		case <-n.done:
 			return
 		case ev := <-n.events:
+			var buf *wire.Buf
+			var tok *wire.Token
+			if ta, ok := ev.(tokenArrival); ok {
+				buf, tok = ta.buf, ta.Tok
+				ev = ta.EvTokenReceived
+			}
 			n.countTaskSwitch(ev)
 			n.traceEvent(ev)
 			acts := n.sm.Step(ev)
+			rel0, rel1 := n.updatePin(buf, tok)
 			n.execute(acts)
+			// Buffers are released only after the step's actions ran:
+			// deliveries among them may still read the payload views.
+			rel0.Release()
+			rel1.Release()
 		}
 	}
+}
+
+// updatePin reconciles buffer pinning with token possession after a Step.
+// The pooled receive buffer backing the possessed token's payload views
+// must live exactly as long as the state machine can reference those views:
+// an incoming buffer is adopted when its token became the possessed one,
+// and the previous pin is dropped when its token moved on. Returned buffers
+// are for the caller to release after executing the step's actions.
+func (n *Node) updatePin(buf *wire.Buf, tok *wire.Token) (rel0, rel1 *wire.Buf) {
+	poss := n.sm.PossessedToken()
+	if n.pinBuf != nil && n.pinTok != poss {
+		rel0 = n.pinBuf
+		n.pinBuf, n.pinTok = nil, nil
+	}
+	if buf != nil {
+		if tok != nil && poss == tok {
+			n.pinBuf, n.pinTok = buf, tok // adopt the receive path's reference
+		} else {
+			rel1 = buf // token dropped, superseded, or held only as a view
+		}
+	}
+	n.viewStep = n.pinBuf != nil || rel0 != nil || rel1 != nil
+	return rel0, rel1
 }
 
 // countTaskSwitch implements the paper's §4.1 CPU overhead metric: one
@@ -322,9 +401,32 @@ func (n *Node) traceEvent(ev ring.Event) {
 	}
 }
 
-// onPacket decodes a session message from the transport and posts it.
-func (n *Node) onPacket(from wire.NodeID, payload []byte) {
-	env, err := wire.Decode(payload)
+// onPacket decodes a session message from the transport and posts it. buf,
+// when non-nil, is the pooled receive buffer backing payload: the decode is
+// zero-copy, so token payload views alias it and the loop pins it for as
+// long as the token stays possessed. Chunked (version-3) frames are
+// reassembled first; a reassembled frame is owned, so its views need no
+// pinning.
+func (n *Node) onPacket(from wire.NodeID, payload []byte, buf *wire.Buf) {
+	if wire.IsChunk(payload) {
+		if ringID, err := wire.PeekRing(payload); err != nil || ringID != n.ringID {
+			return
+		}
+		n.pktMu.Lock()
+		frame, err := n.asm.Add(from, payload)
+		dropped := n.asm.Dropped - n.asmDropped
+		n.asmDropped = n.asm.Dropped
+		n.pktMu.Unlock()
+		if dropped > 0 {
+			n.reg.Counter(stats.MetricChunkDrops).Add(dropped)
+		}
+		if err != nil || frame == nil {
+			return
+		}
+		n.reg.Counter(stats.MetricChunksAssembled).Inc()
+		payload, buf = frame, nil
+	}
+	env, err := wire.DecodeView(payload)
 	if err != nil {
 		return // corrupt or foreign frame
 	}
@@ -333,7 +435,20 @@ func (n *Node) onPacket(from wire.NodeID, payload []byte) {
 	}
 	switch env.Kind {
 	case wire.KindToken:
-		n.post(ring.EvTokenReceived{From: from, Tok: env.Token})
+		tok := env.Token
+		if buf == nil {
+			n.post(ring.EvTokenReceived{From: from, Tok: tok})
+			return
+		}
+		if tok.TBM {
+			// Merge tokens are parked by the state machine until our own
+			// token arrives; own them instead of pinning a receive buffer
+			// for an unbounded wait.
+			n.post(ring.EvTokenReceived{From: from, Tok: tok.Clone()})
+			return
+		}
+		buf.Retain()
+		n.postToken(tokenArrival{ring.EvTokenReceived{From: from, Tok: tok}, buf})
 	case wire.Kind911:
 		n.post(ring.Ev911Received{M: *env.M911})
 	case wire.Kind911Reply:
@@ -341,7 +456,23 @@ func (n *Node) onPacket(from wire.NodeID, payload []byte) {
 	case wire.KindBodyodor:
 		n.post(ring.EvBodyodorReceived{M: *env.Bodyodor})
 	case wire.KindForward:
-		n.post(ring.EvForwardReceived{M: *env.Forward})
+		m := *env.Forward
+		if buf != nil {
+			// The state machine queues forwards beyond this callback; the
+			// payload view must not outlive the receive buffer.
+			m.Payload = append([]byte(nil), m.Payload...)
+		}
+		n.post(ring.EvForwardReceived{M: m})
+	}
+}
+
+// postToken enqueues a token arrival carrying a retained buffer reference,
+// releasing it if the node is already stopping.
+func (n *Node) postToken(ta tokenArrival) {
+	select {
+	case <-n.done:
+		ta.buf.Release()
+	case n.events <- ta:
 	}
 }
 
@@ -427,7 +558,17 @@ func (n *Node) sendToken(act ring.ActSendToken) {
 	tok := act.Tok
 	to := act.To
 	n.observeTokenInterval()
-	n.tr.Send(to, wire.EncodeTokenRing(n.ringID, tok), func(err error) {
+	size := wire.EncodedTokenSize(n.ringID, tok)
+	if n.adaptive {
+		n.adaptBatch(tok, size)
+	}
+	if size > transport.MaxSessionFrame {
+		n.sendTokenChunked(to, tok, size)
+		return
+	}
+	fb := wire.GetBufSize(size)
+	frame := wire.AppendTokenRing(fb.B[:0], n.ringID, tok)
+	n.tr.Send(to, frame, func(err error) {
 		if err != nil {
 			n.post(ring.EvTokenSendFailed{To: to, Epoch: tok.Epoch, Seq: tok.Seq})
 			return
@@ -438,6 +579,104 @@ func (n *Node) sendToken(act ring.ActSendToken) {
 		}
 		n.post(ring.EvTokenAcked{To: to, Epoch: tok.Epoch, Seq: tok.Seq})
 	})
+	fb.Release() // Send framed the payload into its own pooled buffer
+}
+
+// sendTokenChunked splits an oversized token frame — typically a master-lock
+// release burst, whose holder is exempt from the attach budget — into
+// version-3 chunks and reports one aggregated outcome to the state machine:
+// the first failed chunk fails the pass, the last acknowledged chunk
+// completes it.
+func (n *Node) sendTokenChunked(to wire.NodeID, tok *wire.Token, size int) {
+	frame := wire.AppendTokenRing(make([]byte, 0, size), n.ringID, tok)
+	chunks, err := wire.ChunkFrame(frame, n.ringID, n.chunkFrameID.Add(1), transport.MaxSessionFrame)
+	if err != nil {
+		n.post(ring.EvTokenSendFailed{To: to, Epoch: tok.Epoch, Seq: tok.Seq})
+		return
+	}
+	n.reg.Counter(stats.MetricChunkedFrames).Inc()
+	epoch, seq := tok.Epoch, tok.Seq
+	remaining := new(atomic.Int64)
+	failed := new(atomic.Bool)
+	remaining.Store(int64(len(chunks)))
+	cb := func(err error) {
+		if err != nil && !failed.Swap(true) {
+			n.post(ring.EvTokenSendFailed{To: to, Epoch: epoch, Seq: seq})
+		}
+		if remaining.Add(-1) == 0 && !failed.Load() {
+			n.reg.Counter(stats.MetricTokenPasses).Inc()
+			if n.trc != nil {
+				n.trc.Add(trace.KindTokenPass, "to %v epoch=%d seq=%d (%d chunks)",
+					to, epoch, seq, len(chunks))
+			}
+			n.post(ring.EvTokenAcked{To: to, Epoch: epoch, Seq: seq})
+		}
+	}
+	for _, c := range chunks {
+		n.tr.Send(to, c, cb)
+	}
+}
+
+// adaptBatch retunes the ring's attach budget from what this pass observed.
+// The EWMA encoded size of an attached message and the datagram headroom
+// left after the token header bound how many messages fit one datagram; the
+// observed token round-trip, relative to the configured hold interval,
+// scales how many datagram-fulls one possession should drain — a slow
+// rotation accumulates more backlog per visit, and chunking absorbs the
+// overflow when a burst exceeds a single datagram anyway.
+func (n *Node) adaptBatch(tok *wire.Token, size int) {
+	hdr := *tok
+	hdr.Msgs = nil
+	base := wire.EncodedTokenSize(n.ringID, &hdr)
+	if m := len(tok.Msgs); m > 0 {
+		per := float64(size-base) / float64(m)
+		if n.msgBytesEWMA == 0 {
+			n.msgBytesEWMA = per
+		} else {
+			n.msgBytesEWMA += 0.2 * (per - n.msgBytesEWMA)
+		}
+	}
+	per := n.msgBytesEWMA
+	if per < 16 {
+		per = 16 // prior before the first observation, floor thereafter
+	}
+	headroom := transport.MaxSessionFrame - base
+	if headroom < 0 {
+		headroom = 0
+	}
+	fit := float64(headroom) / per
+	rounds := 1.0
+	if n.rttEWMA > 0 && n.holdD > 0 {
+		rounds = float64(n.rttEWMA) / float64(n.holdD)
+		if rounds < 1 {
+			rounds = 1
+		} else if rounds > 8 {
+			rounds = 8
+		}
+	}
+	budget := int(fit * rounds)
+	const hardCap = 1 << 14
+	if budget > hardCap {
+		budget = hardCap
+	}
+	if budget < 1 {
+		budget = 1
+	}
+	if n.curBudget > 0 {
+		diff := budget - n.curBudget
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff*8 < n.curBudget {
+			return // within the hysteresis band: keep the current budget
+		}
+	}
+	n.curBudget = budget
+	n.reg.Gauge(stats.GaugeAdaptiveBatch).Set(int64(budget))
+	select {
+	case n.events <- ring.EvSetBatchBudget{Budget: budget}:
+	default: // queue full; retune on a later pass
+	}
 }
 
 // observeTokenInterval records the spacing of outgoing token passes, which
@@ -449,7 +688,13 @@ func (n *Node) observeTokenInterval() {
 	n.lastToken = now
 	n.mu.Unlock()
 	if !last.IsZero() {
-		n.reg.Histogram(stats.HistTokenRoundTrip).Observe(now.Sub(last))
+		d := now.Sub(last)
+		n.reg.Histogram(stats.HistTokenRoundTrip).Observe(d)
+		if n.rttEWMA == 0 {
+			n.rttEWMA = d
+		} else {
+			n.rttEWMA += (d - n.rttEWMA) / 5
+		}
 	}
 }
 
@@ -475,7 +720,14 @@ func (n *Node) deliver(m wire.Message) {
 		n.mu.Unlock()
 	}
 	if h.OnDeliver != nil {
-		h.OnDeliver(Delivery{Origin: m.Origin, Seq: m.Seq, Safe: m.Safe, Payload: m.Payload})
+		pay := m.Payload
+		if n.viewStep && len(pay) > 0 {
+			// The payload is a zero-copy view into a pooled receive buffer
+			// that may be recycled after this step; the application owns
+			// what it is handed, so copy exactly here, at the boundary.
+			pay = append([]byte(nil), pay...)
+		}
+		h.OnDeliver(Delivery{Origin: m.Origin, Seq: m.Seq, Safe: m.Safe, Payload: pay})
 	}
 }
 
@@ -673,6 +925,23 @@ func (n *Node) Close() error {
 			n.demux.Unregister(n.ringID)
 		} else {
 			n.tr.Close()
+		}
+		// Receive callbacks are done now: release the pinned buffer and any
+		// token buffers still queued behind the stopped loop.
+		if n.pinBuf != nil {
+			n.pinBuf.Release()
+			n.pinBuf, n.pinTok = nil, nil
+		}
+	drain:
+		for {
+			select {
+			case ev := <-n.events:
+				if ta, ok := ev.(tokenArrival); ok {
+					ta.buf.Release()
+				}
+			default:
+				break drain
+			}
 		}
 	})
 	return nil

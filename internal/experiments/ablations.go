@@ -131,7 +131,7 @@ func A2SendStrategy(msgs int) ([]A2Row, error) {
 		recvB := net.MustEndpoint("b2")
 		receiver := transport.New(2, []transport.PacketConn{
 			transport.NewSimConn(recvA), transport.NewSimConn(recvB)}, nil, stats.NewRegistry(), cfg)
-		receiver.SetHandler(func(wire.NodeID, []byte) {})
+		receiver.SetHandler(func(wire.NodeID, []byte, *wire.Buf) {})
 		sender.SetPeer(2, []transport.Addr{"b1", "b2"})
 		receiver.SetPeer(1, []transport.Addr{"a"})
 		net.CutLink("a", "b1") // primary dead

@@ -40,6 +40,11 @@ type E5Config struct {
 	TokenHoldMS int
 	// MaxBatch bounds multicast attachments per token hop.
 	MaxBatch int
+	// AdaptiveBatch lets each node raise its attach budget above MaxBatch
+	// from observed token RTT and datagram headroom (ring.Config
+	// .AdaptiveBatch), turning the fixed per-hop ceiling into a
+	// transport-bound one.
+	AdaptiveBatch bool
 	// Window is the closed-loop in-flight multicast count per node per
 	// ring; it must exceed MaxBatch to keep every hop's batch full.
 	Window int
@@ -69,6 +74,16 @@ func DefaultE5() E5Config {
 	}
 }
 
+// AdaptiveE5 is DefaultE5 with the fixed per-hop attach cap replaced by
+// the adaptive budget controller. The closed-loop window grows with it:
+// with the cap gone, in-flight credit is what keeps each hop's batch full.
+func AdaptiveE5() E5Config {
+	cfg := DefaultE5()
+	cfg.AdaptiveBatch = true
+	cfg.Window = 256
+	return cfg
+}
+
 // E5Row is one shard count's measurement.
 type E5Row struct {
 	Shards int `json:"shards"`
@@ -93,6 +108,7 @@ func e5Grid(cfg E5Config, shards int) (*core.TestGrid, error) {
 	rc.StarvingRetry = 300 * time.Millisecond
 	rc.BodyodorInterval = 50 * time.Millisecond
 	rc.MaxBatch = cfg.MaxBatch
+	rc.AdaptiveBatch = cfg.AdaptiveBatch
 	return core.NewTestGrid(core.GridOptions{
 		N: cfg.N, Rings: shards, Ring: rc, DeferStart: true,
 	})
@@ -245,11 +261,17 @@ func E5ShardScaling(cfg E5Config) ([]E5Row, error) {
 
 // E5Table renders E5 rows.
 func E5Table(rows []E5Row, cfg E5Config) *Table {
+	title := "E5: sharded multi-ring scaling (aggregate ordered throughput)"
+	ceiling := fmt.Sprintf("%d nodes; per-ring ceiling = token rate x %d msgs/hop (MaxBatch), so scaling comes only from added rings", cfg.N, cfg.MaxBatch)
+	if cfg.AdaptiveBatch {
+		title = "E5: sharded multi-ring scaling (adaptive attach budget)"
+		ceiling = fmt.Sprintf("%d nodes; attach budget adapts to token RTT and datagram headroom (floor MaxBatch=%d), so each ring runs transport-bound", cfg.N, cfg.MaxBatch)
+	}
 	t := &Table{
-		Title:   "E5: sharded multi-ring scaling (aggregate ordered throughput)",
+		Title:   title,
 		Columns: []string{"shards", "multicast msg/s", "speedup", "dds set/s", "speedup"},
 		Notes: []string{
-			fmt.Sprintf("%d nodes; per-ring ceiling = token rate x %d msgs/hop (MaxBatch), so scaling comes only from added rings", cfg.N, cfg.MaxBatch),
+			ceiling,
 			"one transport per node is shared by all rings; the DDS keyspace is consistent-hashed across rings",
 		},
 	}
@@ -265,23 +287,30 @@ func E5Table(rows []E5Row, cfg E5Config) *Table {
 	return t
 }
 
-// E5Baseline is the persisted benchmark baseline (BENCH_E5.json).
+// E5Baseline is the persisted benchmark baseline (BENCH_E5.json). Rows
+// holds the fixed-MaxBatch measurement; AdaptiveRows, when present, holds
+// the same grid re-run with the adaptive attach-budget controller on.
 type E5Baseline struct {
-	Experiment string   `json:"experiment"`
-	Timestamp  string   `json:"timestamp"`
-	GoMaxProcs int      `json:"gomaxprocs"`
-	Config     E5Config `json:"config"`
-	Rows       []E5Row  `json:"rows"`
+	Experiment     string    `json:"experiment"`
+	Timestamp      string    `json:"timestamp"`
+	GoMaxProcs     int       `json:"gomaxprocs"`
+	Config         E5Config  `json:"config"`
+	Rows           []E5Row   `json:"rows"`
+	AdaptiveConfig *E5Config `json:"adaptive_config,omitempty"`
+	AdaptiveRows   []E5Row   `json:"adaptive_rows,omitempty"`
 }
 
-// WriteE5JSON persists the rows as a JSON baseline at path.
-func WriteE5JSON(path string, cfg E5Config, rows []E5Row) error {
+// WriteE5JSON persists the rows as a JSON baseline at path. adaptiveRows
+// may be nil when only the fixed-batch grid was run.
+func WriteE5JSON(path string, cfg E5Config, rows []E5Row, adaptiveCfg *E5Config, adaptiveRows []E5Row) error {
 	b := E5Baseline{
-		Experiment: "e5-shard-scaling",
-		Timestamp:  time.Now().UTC().Format(time.RFC3339),
-		GoMaxProcs: runtime.GOMAXPROCS(0),
-		Config:     cfg,
-		Rows:       rows,
+		Experiment:     "e5-shard-scaling",
+		Timestamp:      time.Now().UTC().Format(time.RFC3339),
+		GoMaxProcs:     runtime.GOMAXPROCS(0),
+		Config:         cfg,
+		Rows:           rows,
+		AdaptiveConfig: adaptiveCfg,
+		AdaptiveRows:   adaptiveRows,
 	}
 	data, err := json.MarshalIndent(&b, "", "  ")
 	if err != nil {

@@ -48,7 +48,7 @@ func TestWriteE5JSON(t *testing.T) {
 		{Shards: 4, MulticastPS: 3900, MulticastX: 3.9, DDSOpsPS: 3000, DDSX: 3.33},
 	}
 	path := filepath.Join(t.TempDir(), "BENCH_E5.json")
-	if err := WriteE5JSON(path, DefaultE5(), rows); err != nil {
+	if err := WriteE5JSON(path, DefaultE5(), rows, nil, nil); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)

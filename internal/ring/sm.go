@@ -41,8 +41,16 @@ type Config struct {
 	// that awaits its own multicast before unlocking — so everything it
 	// submits during the hold travels in one frame on release; do not
 	// bulk-multicast under the lock if datagram size is the reason for
-	// the bound (token frame chunking is a ROADMAP item).
+	// the bound. Oversized frames no longer destroy the pass — the
+	// runtime chunks them across datagrams — but the budget is still what
+	// keeps steady-state tokens single-datagram.
 	MaxBatch int
+	// AdaptiveBatch lets the runtime retune the attach budget online via
+	// EvSetBatchBudget, from observed token round-trip time and datagram
+	// headroom. MaxBatch then serves as the initial (and minimum) budget;
+	// zero MaxBatch with AdaptiveBatch starts unlimited until the first
+	// adjustment arrives.
+	AdaptiveBatch bool
 	// SeqBase seeds this node's per-origin multicast sequence numbers.
 	// It must be higher than any sequence the node used in a previous
 	// incarnation, or peers will suppress its messages as duplicates;
@@ -105,10 +113,13 @@ type SM struct {
 	delivered map[wire.MessageID]bool
 	highWater map[wire.NodeID]uint64
 	// attachUsed counts outbox attachments during the current token
-	// possession; MaxBatch bounds it per possession, not per
+	// possession; the batch budget bounds it per possession, not per
 	// attachOutbox call, so submissions arriving while the token is
 	// held cannot bypass the per-hop budget.
 	attachUsed int
+	// batchBudget is the runtime-tuned attach budget (EvSetBatchBudget);
+	// zero falls back to cfg.MaxBatch. Only honored with AdaptiveBatch.
+	batchBudget int
 
 	// Master lock (§2.7).
 	holdRequested bool
@@ -176,6 +187,21 @@ func (s *SM) GroupID() wire.NodeID {
 // HasToken reports whether the node currently possesses the token.
 func (s *SM) HasToken() bool { return s.possessed != nil }
 
+// PossessedToken returns the token this node currently holds, or nil. The
+// runtime uses pointer identity to track which receive buffer (if any)
+// backs the possessed token's zero-copy payload views; the caller must not
+// mutate the token.
+func (s *SM) PossessedToken() *wire.Token { return s.possessed }
+
+// BatchBudget returns the attach budget currently in force: the adaptive
+// budget when one has been set, cfg.MaxBatch otherwise (0 = unlimited).
+func (s *SM) BatchBudget() int {
+	if s.cfg.AdaptiveBatch && s.batchBudget > 0 {
+		return s.batchBudget
+	}
+	return s.cfg.MaxBatch
+}
+
 // Step applies one event and returns the resulting actions in order.
 func (s *SM) Step(ev Event) []Action {
 	if s.stopped {
@@ -231,6 +257,16 @@ func (s *SM) Step(ev Event) []Action {
 			if id != s.id {
 				s.eligible[id] = true
 			}
+		}
+	case EvSetBatchBudget:
+		if s.cfg.AdaptiveBatch && e.Budget > 0 {
+			b := e.Budget
+			// The configured MaxBatch is the floor: adaptation may only
+			// raise the budget, never starve below the static setting.
+			if s.cfg.MaxBatch > 0 && b < s.cfg.MaxBatch {
+				b = s.cfg.MaxBatch
+			}
+			s.batchBudget = b
 		}
 	}
 	return acts
@@ -466,8 +502,8 @@ func (s *SM) attachOutbox(tok *wire.Token, acts *[]Action) {
 	// lock (§2.7) is exempt: its token is not traveling, and capping it
 	// would recreate the deadlock flushIfPossessed exists to prevent —
 	// a lock holder waiting on its own (budget-starved) multicast.
-	if s.cfg.MaxBatch > 0 && len(tok.Members) > 1 && !s.holding {
-		budget := s.cfg.MaxBatch - s.attachUsed
+	if ceil := s.BatchBudget(); ceil > 0 && len(tok.Members) > 1 && !s.holding {
+		budget := ceil - s.attachUsed
 		if budget < 0 {
 			budget = 0
 		}

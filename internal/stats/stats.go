@@ -224,6 +224,21 @@ const (
 	// Cluster facade's retry layer absorbed (each one a re-run of the
 	// whole transaction).
 	MetricClusterTxnRetries = "cluster_txn_retries"
+	// MetricChunkedFrames counts oversized session frames this node split
+	// into datagram-sized chunks on send (one per frame, not per chunk) —
+	// typically master-lock release bursts that exceed the datagram
+	// limit.
+	MetricChunkedFrames = "chunked_frames"
+	// MetricChunksAssembled counts chunked frames this node reassembled
+	// on receive.
+	MetricChunksAssembled = "chunks_assembled"
+	// MetricChunkDrops counts chunks discarded as stale, duplicate, or
+	// inconsistent during reassembly.
+	MetricChunkDrops = "chunk_drops"
+	// GaugeAdaptiveBatch is the attach budget currently in force on this
+	// node's ring when adaptive batching is enabled (see
+	// ring.Config.AdaptiveBatch).
+	GaugeAdaptiveBatch = "adaptive_batch_budget"
 	// HistMulticastLatency is submit-to-deliver latency at the origin.
 	HistMulticastLatency = "multicast_latency"
 	// HistReshardPause is the coordinator-observed handoff window: first

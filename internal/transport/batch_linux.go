@@ -1,0 +1,253 @@
+//go:build linux && (amd64 || arm64)
+
+package transport
+
+// Linux fast path: sendmmsg(2)/recvmmsg(2) flush and drain whole datagram
+// batches in one syscall each. The standard library exposes neither, and
+// this module deliberately has no dependencies (golang.org/x/sys included),
+// so the mmsghdr plumbing lives here, gated to the 64-bit platforms whose
+// struct layout it encodes. Everything else falls back to batch_stub.go.
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"syscall"
+	"unsafe"
+)
+
+// mmsgHdr mirrors struct mmsghdr on 64-bit Linux: a msghdr plus the
+// per-message byte count the kernel fills in.
+type mmsgHdr struct {
+	hdr syscall.Msghdr
+	n   uint32
+	_   [4]byte // pad to the struct's 8-byte alignment
+}
+
+// sockaddrBufLen fits sockaddr_in and sockaddr_in6.
+const sockaddrBufLen = syscall.SizeofSockaddrInet6
+
+// rawSockaddr is a pre-encoded kernel sockaddr for a destination.
+type rawSockaddr struct {
+	data [sockaddrBufLen]byte
+	len  uint32
+}
+
+type linuxBatch struct {
+	rc syscall.RawConn
+	// v6 marks a socket bound to an IPv6 (or dual-stack) address; IPv4
+	// destinations are then encoded v4-mapped.
+	v6 bool
+
+	// Send-side scratch, reused across writeBatch calls.
+	smu    sync.Mutex
+	shdrs  []mmsgHdr
+	siov   []syscall.Iovec
+	saddr  []rawSockaddr
+	scache map[*net.UDPAddr]rawSockaddr
+
+	// Receive-side scratch. readBatch is only ever called from the conn's
+	// single readLoop, but the scratch keeps it allocation-free anyway.
+	rhdrs  []mmsgHdr
+	riov   []syscall.Iovec
+	raddr  []rawSockaddr
+	rnames map[string]Addr
+}
+
+func newBatchConn(conn *net.UDPConn) (batchConn, error) {
+	rc, err := conn.SyscallConn()
+	if err != nil {
+		return nil, err
+	}
+	b := &linuxBatch{
+		rc:     rc,
+		scache: make(map[*net.UDPAddr]rawSockaddr),
+		rnames: make(map[string]Addr),
+	}
+	if la, ok := conn.LocalAddr().(*net.UDPAddr); ok && la.IP.To4() == nil {
+		b.v6 = true
+	}
+	return b, nil
+}
+
+func htons(v uint16) uint16 { return v<<8 | v>>8 }
+
+// encodeSockaddr builds the kernel sockaddr for a destination, matching
+// the socket's address family (IPv4 destinations on an IPv6 socket go
+// v4-mapped).
+func (b *linuxBatch) encodeSockaddr(ua *net.UDPAddr) (rawSockaddr, error) {
+	var r rawSockaddr
+	if ip4 := ua.IP.To4(); ip4 != nil && !b.v6 {
+		sa := (*syscall.RawSockaddrInet4)(unsafe.Pointer(&r.data))
+		sa.Family = syscall.AF_INET
+		sa.Port = htons(uint16(ua.Port))
+		copy(sa.Addr[:], ip4)
+		r.len = syscall.SizeofSockaddrInet4
+		return r, nil
+	}
+	ip := ua.IP.To16()
+	if ip == nil {
+		return r, errors.New("transport: unencodable destination IP")
+	}
+	sa := (*syscall.RawSockaddrInet6)(unsafe.Pointer(&r.data))
+	sa.Family = syscall.AF_INET6
+	sa.Port = htons(uint16(ua.Port))
+	copy(sa.Addr[:], ip)
+	r.len = syscall.SizeofSockaddrInet6
+	return r, nil
+}
+
+// sockaddrFor returns the cached kernel sockaddr for a destination. The
+// peer set is small and stable (the resolve cache in UDPConn already
+// interns the *net.UDPAddr), so the pointer-keyed cache stays tiny.
+func (b *linuxBatch) sockaddrFor(ua *net.UDPAddr) (rawSockaddr, error) {
+	if r, ok := b.scache[ua]; ok {
+		return r, nil
+	}
+	r, err := b.encodeSockaddr(ua)
+	if err == nil {
+		b.scache[ua] = r
+	}
+	return r, err
+}
+
+// writeBatch flushes the packets with as few sendmmsg calls as the kernel
+// allows (normally one). Best-effort: per-packet kernel errors drop the
+// rest of the batch and rely on transport-level retries.
+func (b *linuxBatch) writeBatch(pkts []outPacket) error {
+	b.smu.Lock()
+	defer b.smu.Unlock()
+	if cap(b.shdrs) < len(pkts) {
+		b.shdrs = make([]mmsgHdr, len(pkts))
+		b.siov = make([]syscall.Iovec, len(pkts))
+		b.saddr = make([]rawSockaddr, len(pkts))
+	}
+	hdrs := b.shdrs[:0]
+	iovs := b.siov[:len(pkts)]
+	addrs := b.saddr[:len(pkts)]
+	for i := range pkts {
+		ra, err := b.sockaddrFor(pkts[i].ua)
+		if err != nil || pkts[i].n == 0 {
+			continue // skip the unencodable; retries surface the failure
+		}
+		k := len(hdrs)
+		addrs[k] = ra
+		iovs[k] = syscall.Iovec{Base: &pkts[i].buf.B[0], Len: uint64(pkts[i].n)}
+		hdrs = append(hdrs, mmsgHdr{})
+		h := &hdrs[k].hdr
+		h.Name = &addrs[k].data[0]
+		h.Namelen = addrs[k].len
+		h.Iov = &iovs[k]
+		h.Iovlen = 1
+	}
+	sent := 0
+	for sent < len(hdrs) {
+		var n int
+		var errno syscall.Errno
+		err := b.rc.Write(func(fd uintptr) bool {
+			r, _, e := syscall.Syscall6(sysSENDMMSG,
+				fd,
+				uintptr(unsafe.Pointer(&hdrs[sent])),
+				uintptr(len(hdrs)-sent),
+				0, 0, 0)
+			if e == syscall.EAGAIN {
+				return false // wait for writability, then retry
+			}
+			if e == syscall.EINTR {
+				n = 0
+				return true
+			}
+			n, errno = int(r), e
+			return true
+		})
+		if err != nil {
+			return err // conn closed
+		}
+		if errno != 0 {
+			return errno
+		}
+		if n > 0 {
+			batchSendCalls.Add(1)
+			batchSentFrames.Add(int64(n))
+			sent += n
+		}
+	}
+	return nil
+}
+
+// readBatch blocks until at least one datagram is available, then drains
+// up to len(slots) of them in one recvmmsg call.
+func (b *linuxBatch) readBatch(slots []inPacket) (int, error) {
+	if cap(b.rhdrs) < len(slots) {
+		b.rhdrs = make([]mmsgHdr, len(slots))
+		b.riov = make([]syscall.Iovec, len(slots))
+		b.raddr = make([]rawSockaddr, len(slots))
+	}
+	hdrs := b.rhdrs[:len(slots)]
+	iovs := b.riov[:len(slots)]
+	addrs := b.raddr[:len(slots)]
+	for i := range slots {
+		iovs[i] = syscall.Iovec{Base: &slots[i].buf.B[0], Len: uint64(len(slots[i].buf.B))}
+		hdrs[i] = mmsgHdr{}
+		h := &hdrs[i].hdr
+		h.Name = &addrs[i].data[0]
+		h.Namelen = sockaddrBufLen
+		h.Iov = &iovs[i]
+		h.Iovlen = 1
+	}
+	var n int
+	var errno syscall.Errno
+	err := b.rc.Read(func(fd uintptr) bool {
+		r, _, e := syscall.Syscall6(sysRECVMMSG,
+			fd,
+			uintptr(unsafe.Pointer(&hdrs[0])),
+			uintptr(len(hdrs)),
+			syscall.MSG_DONTWAIT, 0, 0)
+		if e == syscall.EAGAIN || e == syscall.EINTR {
+			return false // wait for readability, then retry
+		}
+		n, errno = int(r), e
+		return true
+	})
+	if err != nil {
+		return 0, err
+	}
+	if errno != 0 {
+		return 0, errno
+	}
+	for i := 0; i < n; i++ {
+		slots[i].n = int(hdrs[i].n)
+		slots[i].from = b.addrOf(&addrs[i], hdrs[i].hdr.Namelen)
+	}
+	batchRecvCalls.Add(1)
+	batchRecvFrames.Add(int64(n))
+	return n, nil
+}
+
+// addrOf converts a kernel source sockaddr to an Addr, caching the string
+// conversion so steady-state receives from known peers allocate nothing.
+func (b *linuxBatch) addrOf(ra *rawSockaddr, salen uint32) Addr {
+	if salen > sockaddrBufLen {
+		salen = sockaddrBufLen
+	}
+	key := ra.data[:salen]
+	if a, ok := b.rnames[string(key)]; ok { // no alloc: mapaccess special case
+		return a
+	}
+	var ua net.UDPAddr
+	switch fam := uint16(ra.data[0]) | uint16(ra.data[1])<<8; fam {
+	case syscall.AF_INET:
+		sa := (*syscall.RawSockaddrInet4)(unsafe.Pointer(&ra.data))
+		ua.IP = append(net.IP(nil), sa.Addr[:]...)
+		ua.Port = int(htons(sa.Port))
+	case syscall.AF_INET6:
+		sa := (*syscall.RawSockaddrInet6)(unsafe.Pointer(&ra.data))
+		ua.IP = append(net.IP(nil), sa.Addr[:]...)
+		ua.Port = int(htons(sa.Port))
+	default:
+		return ""
+	}
+	a := Addr(ua.String())
+	b.rnames[string(append([]byte(nil), key...))] = a
+	return a
+}

@@ -1,0 +1,48 @@
+//go:build !(linux && (amd64 || arm64))
+
+package transport
+
+// Portable batchConn fallback: the same interface as the Linux
+// sendmmsg/recvmmsg fast path, implemented with one WriteToUDP per packet
+// and one ReadFromUDP per readBatch. The batch counters still advance so
+// frames-per-syscall stays meaningful (it reads 1.0 here).
+
+import "net"
+
+type fallbackBatch struct {
+	conn *net.UDPConn
+}
+
+func newBatchConn(conn *net.UDPConn) (batchConn, error) {
+	return &fallbackBatch{conn: conn}, nil
+}
+
+func (b *fallbackBatch) writeBatch(pkts []outPacket) error {
+	var first error
+	for i := range pkts {
+		if pkts[i].n == 0 {
+			continue
+		}
+		if _, err := b.conn.WriteToUDP(pkts[i].buf.B[:pkts[i].n], pkts[i].ua); err != nil {
+			if first == nil {
+				first = err
+			}
+			continue
+		}
+		batchSendCalls.Add(1)
+		batchSentFrames.Add(1)
+	}
+	return first
+}
+
+func (b *fallbackBatch) readBatch(slots []inPacket) (int, error) {
+	n, from, err := b.conn.ReadFromUDP(slots[0].buf.B)
+	if err != nil {
+		return 0, err
+	}
+	slots[0].n = n
+	slots[0].from = Addr(from.String())
+	batchRecvCalls.Add(1)
+	batchRecvFrames.Add(1)
+	return 1, nil
+}

@@ -1,0 +1,11 @@
+//go:build linux
+
+package transport
+
+// The stdlib syscall table on amd64 predates sendmmsg(2) (Linux 3.0), so
+// the numbers are pinned here; they are part of the kernel ABI and never
+// change.
+const (
+	sysSENDMMSG = 307
+	sysRECVMMSG = 299
+)

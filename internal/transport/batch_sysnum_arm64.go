@@ -1,0 +1,10 @@
+//go:build linux
+
+package transport
+
+// arm64 syscall numbers for sendmmsg(2)/recvmmsg(2); part of the kernel
+// ABI, never change.
+const (
+	sysSENDMMSG = 269
+	sysRECVMMSG = 243
+)

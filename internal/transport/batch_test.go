@@ -1,0 +1,246 @@
+package transport
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/stats"
+	"repro/internal/wire"
+)
+
+// pipeConn is a synchronous in-process conn pair: Send invokes the peer's
+// receiver inline without copying. It exists to measure the transport's own
+// allocation behavior with the medium taken out of the picture.
+type pipeConn struct {
+	mu   sync.Mutex
+	fn   func(from Addr, payload []byte, buf *wire.Buf)
+	peer *pipeConn
+	addr Addr
+}
+
+func newPipePair() (*pipeConn, *pipeConn) {
+	a := &pipeConn{addr: "a"}
+	b := &pipeConn{addr: "b"}
+	a.peer, b.peer = b, a
+	return a, b
+}
+
+func (c *pipeConn) Send(to Addr, payload []byte) error {
+	p := c.peer
+	p.mu.Lock()
+	fn := p.fn
+	p.mu.Unlock()
+	if fn != nil {
+		fn(c.addr, payload, nil)
+	}
+	return nil
+}
+
+func (c *pipeConn) SetReceiver(fn func(from Addr, payload []byte, buf *wire.Buf)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.fn = fn
+}
+
+func (c *pipeConn) Close() error { return nil }
+
+// TestSendSteadyStateAllocs pins the reliable-send hot path at <=1
+// allocation per frame: pooled frame buffers, pooled ack buffers, and
+// recycled send tasks must leave nothing per-message for the GC.
+func TestSendSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; budget measured without -race")
+	}
+	ca, cb := newPipePair()
+	ta := New(1, []PacketConn{ca}, nil, stats.NewRegistry(), DefaultConfig())
+	tb := New(2, []PacketConn{cb}, nil, stats.NewRegistry(), DefaultConfig())
+	defer ta.Close()
+	defer tb.Close()
+	ta.SetPeer(2, []Addr{"b"})
+	tb.SetPeer(1, []Addr{"a"})
+	tb.SetHandler(func(wire.NodeID, []byte, *wire.Buf) {})
+
+	payload := make([]byte, 256)
+	ch := make(chan error, 1)
+	done := func(err error) { ch <- err }
+	send := func() {
+		ta.Send(2, payload, done)
+		if err := <-ch; err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 64; i++ {
+		send() // warm the pools, the dedup window, and the goroutine cache
+	}
+	allocs := testing.AllocsPerRun(256, send)
+	if allocs > 1 {
+		t.Fatalf("reliable send allocates %.2f/frame, want <=1", allocs)
+	}
+}
+
+// TestTransportOverBatchedUDP runs the full reliable transport over the
+// batched UDP conns and checks both delivery and that traffic actually
+// flowed through the batch interface.
+func TestTransportOverBatchedUDP(t *testing.T) {
+	before := BatchStats()
+	ca, err := ListenUDP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := ListenUDP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ta := New(1, []PacketConn{ca}, nil, stats.NewRegistry(), DefaultConfig())
+	tb := New(2, []PacketConn{cb}, nil, stats.NewRegistry(), DefaultConfig())
+	defer ta.Close()
+	defer tb.Close()
+	ta.SetPeer(2, []Addr{cb.LocalAddr()})
+	tb.SetPeer(1, []Addr{ca.LocalAddr()})
+
+	const msgs = 200
+	var got atomic.Int64
+	tb.SetHandler(func(_ wire.NodeID, p []byte, _ *wire.Buf) {
+		got.Add(1)
+	})
+	var wg sync.WaitGroup
+	errs := make(chan error, msgs)
+	for i := 0; i < msgs; i++ {
+		wg.Add(1)
+		ta.Send(2, []byte(fmt.Sprintf("msg-%03d", i)), func(err error) {
+			if err != nil {
+				errs <- err
+			}
+			wg.Done()
+		})
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("send failed: %v", err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for got.Load() < msgs && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got.Load() != msgs {
+		t.Fatalf("delivered %d/%d", got.Load(), msgs)
+	}
+	after := BatchStats()
+	if after.SendCalls <= before.SendCalls || after.RecvCalls <= before.RecvCalls {
+		t.Fatalf("batch counters did not advance: %+v -> %+v", before, after)
+	}
+	if after.SentFrames-before.SentFrames < msgs {
+		t.Fatalf("sent frames %d < %d messages", after.SentFrames-before.SentFrames, msgs)
+	}
+}
+
+// benchBurst is how many datagrams each benchmark iteration sends before
+// waiting for the receiver to report them delivered. Waiting for delivery
+// (not just enqueue) makes the number an end-to-end throughput figure and
+// keeps the send queue from ballooning past what a real, ack-paced caller
+// would ever put in flight.
+const benchBurst = 32
+
+// waitDelivered blocks until got reaches want or a deadline passes; the
+// shortfall (loopback drops under pressure) is returned so callers can
+// report rather than hang on it.
+func waitDelivered(got *atomic.Int64, want int64) (lost int64) {
+	deadline := time.Now().Add(2 * time.Second)
+	for got.Load() < want {
+		if time.Now().After(deadline) {
+			return want - got.Load()
+		}
+		time.Sleep(50 * time.Microsecond)
+	}
+	return 0
+}
+
+// BenchmarkUDPSendBatched measures delivered throughput over the queued,
+// mmsg-flushed path: bursts of datagrams through UDPConn on both ends, one
+// sendmmsg per flush and one recvmmsg per drained burst. Compare against
+// BenchmarkUDPSendUnbatched for the frames-per-syscall amortization.
+func BenchmarkUDPSendBatched(b *testing.B) {
+	sink, err := ListenUDP("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sink.Close()
+	var got atomic.Int64
+	sink.SetReceiver(func(Addr, []byte, *wire.Buf) { got.Add(1) })
+	send, err := ListenUDP("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer send.Close()
+	payload := make([]byte, 256)
+	to := sink.LocalAddr()
+	b.SetBytes(int64(benchBurst * len(payload)))
+	b.ReportAllocs()
+	var sent, lost int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < benchBurst; j++ {
+			if err := send.Send(to, payload); err != nil {
+				b.Fatal(err)
+			}
+		}
+		sent += benchBurst
+		l := waitDelivered(&got, sent)
+		lost += l
+		sent -= l
+		got.Store(sent)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(lost)/float64(b.N), "lost/op")
+}
+
+// BenchmarkUDPSendUnbatched is the one-syscall-per-datagram baseline the
+// batching is measured against: identical burst-and-wait shape, but raw
+// WriteToUDP/ReadFromUDP on both ends.
+func BenchmarkUDPSendUnbatched(b *testing.B) {
+	sink, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sink.Close()
+	var got atomic.Int64
+	go func() {
+		buf := make([]byte, maxUDPDatagram)
+		for {
+			if _, _, err := sink.ReadFromUDP(buf); err != nil {
+				return
+			}
+			got.Add(1)
+		}
+	}()
+	conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer conn.Close()
+	ua := sink.LocalAddr().(*net.UDPAddr)
+	payload := make([]byte, 256)
+	b.SetBytes(int64(benchBurst * len(payload)))
+	b.ReportAllocs()
+	var sent, lost int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < benchBurst; j++ {
+			if _, err := conn.WriteToUDP(payload, ua); err != nil {
+				b.Fatal(err)
+			}
+		}
+		sent += benchBurst
+		l := waitDelivered(&got, sent)
+		lost += l
+		sent -= l
+		got.Store(sent)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(lost)/float64(b.N), "lost/op")
+}

@@ -4,8 +4,10 @@ import (
 	"errors"
 	"net"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/simnet"
+	"repro/internal/wire"
 )
 
 // SimConn adapts a simnet.Endpoint to the PacketConn interface.
@@ -19,10 +21,12 @@ func (c *SimConn) Send(to Addr, payload []byte) error {
 	return c.ep.Send(simnet.Addr(to), payload)
 }
 
-// SetReceiver implements PacketConn.
-func (c *SimConn) SetReceiver(fn func(from Addr, payload []byte)) {
+// SetReceiver implements PacketConn. Simnet copies payloads on send and
+// never reuses delivered buffers, so delivered payloads are handler-owned
+// (nil *wire.Buf).
+func (c *SimConn) SetReceiver(fn func(from Addr, payload []byte, buf *wire.Buf)) {
 	c.ep.SetReceiver(func(from simnet.Addr, payload []byte) {
-		fn(Addr(from), payload)
+		fn(Addr(from), payload, nil)
 	})
 }
 
@@ -32,24 +36,104 @@ func (c *SimConn) Close() error { return c.ep.Close() }
 // Addr returns the endpoint's address.
 func (c *SimConn) Addr() Addr { return Addr(c.ep.Addr()) }
 
-// UDPConn adapts a net.UDPConn to the PacketConn interface, the typical
-// production implementation named by the paper (§2.1).
-type UDPConn struct {
-	conn *net.UDPConn
-
-	mu      sync.Mutex
-	handler func(from Addr, payload []byte)
-	closed  bool
-	done    chan struct{}
-}
-
-// maxUDPDatagram bounds receive buffers; tokens carrying many piggybacked
-// messages stay well under this on a LAN with jumbo-frame-free MTUs because
-// the session layer flushes per round.
+// maxUDPDatagram bounds datagram size in both directions. Session frames
+// larger than this minus the transport frame header must be chunked (see
+// wire.ChunkFrame); receive slots are sized to it.
 const maxUDPDatagram = 64 * 1024
 
+// recvBatchSize is how many datagrams one recvmmsg call can deliver; it is
+// also the number of pooled receive slots pinned per conn.
+const recvBatchSize = 32
+
+// maxSendQueue bounds the packets awaiting a batched flush. A producer that
+// outruns the flusher sees its overflow dropped — the medium is unreliable
+// by contract and the transport's retries recover — instead of growing the
+// queue (and the buffer pool's working set) without limit.
+const maxSendQueue = 4096
+
+// outPacket is one queued datagram awaiting a batched flush. buf holds the
+// frame bytes (buf.B[:n]); the flusher owns the reference and releases it
+// after the syscall.
+type outPacket struct {
+	ua  *net.UDPAddr
+	buf *wire.Buf
+	n   int
+}
+
+// inPacket is one receive slot. The batchConn fills n and from; buf is a
+// pooled large-class buffer replaced whenever a handler retains it.
+type inPacket struct {
+	buf  *wire.Buf
+	n    int
+	from Addr
+}
+
+// batchConn is the platform datagram batch interface: Linux gets a
+// sendmmsg/recvmmsg fast path (batch_linux.go), everything else a portable
+// loop over WriteToUDP/ReadFromUDP (batch_stub.go) behind the same
+// interface.
+type batchConn interface {
+	// writeBatch transmits every packet, best-effort.
+	writeBatch(pkts []outPacket) error
+	// readBatch blocks until at least one datagram arrives, filling slots
+	// from the front; it returns the number filled.
+	readBatch(slots []inPacket) (int, error)
+}
+
+// Batch syscall counters, process-global like the wire buffer pools.
+var (
+	batchSendCalls  atomic.Int64
+	batchSentFrames atomic.Int64
+	batchRecvCalls  atomic.Int64
+	batchRecvFrames atomic.Int64
+	batchSendDrops  atomic.Int64
+)
+
+// BatchStatsSnapshot reports cumulative batched-I/O traffic. Frames per
+// syscall — the amortization the batching buys — is SentFrames/SendCalls
+// (resp. received).
+type BatchStatsSnapshot struct {
+	SendCalls  int64 `json:"send_calls"`
+	SentFrames int64 `json:"sent_frames"`
+	RecvCalls  int64 `json:"recv_calls"`
+	RecvFrames int64 `json:"recv_frames"`
+	SendDrops  int64 `json:"send_drops"`
+}
+
+// BatchStats returns the cumulative UDP batch counters for this process.
+func BatchStats() BatchStatsSnapshot {
+	return BatchStatsSnapshot{
+		SendCalls:  batchSendCalls.Load(),
+		SentFrames: batchSentFrames.Load(),
+		RecvCalls:  batchRecvCalls.Load(),
+		RecvFrames: batchRecvFrames.Load(),
+		SendDrops:  batchSendDrops.Load(),
+	}
+}
+
+// UDPConn adapts a net.UDPConn to the PacketConn interface, the typical
+// production implementation named by the paper (§2.1). Sends are queued
+// and flushed in batches — one sendmmsg per flush on Linux — and receives
+// drain bursts into a ring of pooled slots with one recvmmsg.
+type UDPConn struct {
+	conn *net.UDPConn
+	bc   batchConn
+
+	mu      sync.Mutex
+	handler func(from Addr, payload []byte, buf *wire.Buf)
+	resolve map[Addr]*net.UDPAddr
+	closed  bool
+	done    chan struct{}
+
+	qmu   sync.Mutex
+	queue []outPacket
+	kick  chan struct{}
+
+	wg sync.WaitGroup
+}
+
 // ListenUDP opens a UDP socket on the given address ("127.0.0.1:0" for an
-// ephemeral test port) and starts its receive loop.
+// ephemeral test port) and starts its receive and flush loops.
 func ListenUDP(addr string) (*UDPConn, error) {
 	ua, err := net.ResolveUDPAddr("udp", addr)
 	if err != nil {
@@ -59,26 +143,84 @@ func ListenUDP(addr string) (*UDPConn, error) {
 	if err != nil {
 		return nil, err
 	}
-	c := &UDPConn{conn: conn, done: make(chan struct{})}
+	c := &UDPConn{
+		conn:    conn,
+		resolve: make(map[Addr]*net.UDPAddr),
+		done:    make(chan struct{}),
+		kick:    make(chan struct{}, 1),
+	}
+	c.bc, err = newBatchConn(conn)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	c.wg.Add(2)
 	go c.readLoop()
+	go c.flushLoop()
 	return c, nil
 }
 
 // LocalAddr returns the bound address, usable as a peer Addr on other nodes.
 func (c *UDPConn) LocalAddr() Addr { return Addr(c.conn.LocalAddr().String()) }
 
-// Send implements PacketConn.
-func (c *UDPConn) Send(to Addr, payload []byte) error {
+// udpAddr resolves a peer address once and caches the result; the peer set
+// is small and stable, so steady-state sends never re-resolve.
+func (c *UDPConn) udpAddr(to Addr) (*net.UDPAddr, error) {
+	c.mu.Lock()
+	ua := c.resolve[to]
+	c.mu.Unlock()
+	if ua != nil {
+		return ua, nil
+	}
 	ua, err := net.ResolveUDPAddr("udp", string(to))
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	c.resolve[to] = ua
+	c.mu.Unlock()
+	return ua, nil
+}
+
+// Send implements PacketConn. The payload is copied into a pooled buffer
+// and queued; the flush loop coalesces everything queued since its last
+// wakeup into one batched syscall. The caller may reuse payload on return.
+// When the queue is at capacity the packet is dropped, not queued: the
+// medium is unreliable by contract and the transport's retry machinery
+// recovers, whereas an unbounded queue would only convert overload into
+// latency and memory growth.
+func (c *UDPConn) Send(to Addr, payload []byte) error {
+	ua, err := c.udpAddr(to)
 	if err != nil {
 		return err
 	}
-	_, err = c.conn.WriteToUDP(payload, ua)
-	return err
+	buf := wire.GetBufSize(len(payload))
+	n := copy(buf.B, payload)
+	c.qmu.Lock()
+	if c.closed {
+		c.qmu.Unlock()
+		buf.Release()
+		return net.ErrClosed
+	}
+	if len(c.queue) >= maxSendQueue {
+		c.qmu.Unlock()
+		buf.Release()
+		batchSendDrops.Add(1)
+		return nil
+	}
+	c.queue = append(c.queue, outPacket{ua: ua, buf: buf, n: n})
+	c.qmu.Unlock()
+	select {
+	case c.kick <- struct{}{}:
+	default: // flusher already signalled
+	}
+	return nil
 }
 
-// SetReceiver implements PacketConn.
-func (c *UDPConn) SetReceiver(fn func(from Addr, payload []byte)) {
+// SetReceiver implements PacketConn. The buf passed to fn is the pooled
+// receive slot backing payload; fn must Retain it to keep payload beyond
+// the callback, or copy.
+func (c *UDPConn) SetReceiver(fn func(from Addr, payload []byte, buf *wire.Buf)) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.handler = fn
@@ -93,14 +235,65 @@ func (c *UDPConn) Close() error {
 	}
 	c.closed = true
 	c.mu.Unlock()
+	c.qmu.Lock()
+	c.closed = true
+	c.qmu.Unlock()
 	close(c.done)
-	return c.conn.Close()
+	err := c.conn.Close()
+	c.wg.Wait()
+	return err
 }
 
-func (c *UDPConn) readLoop() {
-	buf := make([]byte, maxUDPDatagram)
+// flushLoop drains the send queue, one batched write per accumulation.
+func (c *UDPConn) flushLoop() {
+	defer c.wg.Done()
+	var batch []outPacket
+	release := func(pkts []outPacket) {
+		for i := range pkts {
+			pkts[i].buf.Release()
+			pkts[i].buf = nil
+		}
+	}
 	for {
-		n, from, err := c.conn.ReadFromUDP(buf)
+		select {
+		case <-c.done:
+			c.qmu.Lock()
+			q := c.queue
+			c.queue = nil
+			c.qmu.Unlock()
+			release(q)
+			return
+		case <-c.kick:
+		}
+		for {
+			c.qmu.Lock()
+			batch, c.queue = c.queue, batch[:0]
+			c.qmu.Unlock()
+			if len(batch) == 0 {
+				break
+			}
+			_ = c.bc.writeBatch(batch) // best-effort; transport retries cover losses
+			release(batch)
+		}
+	}
+}
+
+// readLoop drains datagram bursts into the pooled slot ring and hands each
+// one to the handler. A slot whose buffer the handler retained is re-armed
+// with a fresh pooled buffer; unretained buffers cycle straight back.
+func (c *UDPConn) readLoop() {
+	defer c.wg.Done()
+	slots := make([]inPacket, recvBatchSize)
+	for i := range slots {
+		slots[i].buf = wire.GetBufSize(wire.BufLarge)
+	}
+	defer func() {
+		for i := range slots {
+			slots[i].buf.Release()
+		}
+	}()
+	for {
+		n, err := c.bc.readBatch(slots)
 		if err != nil {
 			select {
 			case <-c.done:
@@ -112,12 +305,16 @@ func (c *UDPConn) readLoop() {
 			}
 			continue
 		}
-		payload := append([]byte(nil), buf[:n]...)
 		c.mu.Lock()
 		h := c.handler
 		c.mu.Unlock()
-		if h != nil {
-			h(Addr(from.String()), payload)
+		for i := 0; i < n; i++ {
+			s := &slots[i]
+			if h != nil {
+				h(s.from, s.buf.B[:s.n], s.buf)
+			}
+			s.buf.Release()
+			s.buf = wire.GetBufSize(wire.BufLarge)
 		}
 	}
 }

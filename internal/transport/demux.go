@@ -28,7 +28,7 @@ type Demux struct {
 	tr *Transport
 
 	mu    sync.RWMutex
-	rings map[wire.RingID]func(from wire.NodeID, payload []byte)
+	rings map[wire.RingID]func(from wire.NodeID, payload []byte, buf *wire.Buf)
 	drops map[wire.RingID]int64
 }
 
@@ -38,7 +38,7 @@ type Demux struct {
 func NewDemux(tr *Transport) *Demux {
 	d := &Demux{
 		tr:    tr,
-		rings: make(map[wire.RingID]func(from wire.NodeID, payload []byte)),
+		rings: make(map[wire.RingID]func(from wire.NodeID, payload []byte, buf *wire.Buf)),
 		drops: make(map[wire.RingID]int64),
 	}
 	tr.SetHandler(d.dispatch)
@@ -50,7 +50,7 @@ func (d *Demux) Transport() *Transport { return d.tr }
 
 // Register installs the receiver for one ring. It fails if the ring
 // already has a receiver, so two nodes cannot silently fight over a ring.
-func (d *Demux) Register(ring wire.RingID, fn func(from wire.NodeID, payload []byte)) error {
+func (d *Demux) Register(ring wire.RingID, fn func(from wire.NodeID, payload []byte, buf *wire.Buf)) error {
 	if fn == nil {
 		return fmt.Errorf("transport: nil receiver for ring %v", ring)
 	}
@@ -95,10 +95,12 @@ func (d *Demux) Drops() map[wire.RingID]int64 {
 	return out
 }
 
-// dispatch routes one delivered payload by its frame's RingID. Corrupt
-// frames are dropped here exactly as a single ring's decoder would drop
-// them; frames for unknown rings count as demux drops.
-func (d *Demux) dispatch(from wire.NodeID, payload []byte) {
+// dispatch routes one delivered payload by its frame's RingID (chunked
+// frames carry it at the same offset, so they route like the frame they
+// will reassemble into). Corrupt frames are dropped here exactly as a
+// single ring's decoder would drop them; frames for unknown rings count
+// as demux drops. buf follows the transport's retain-to-keep contract.
+func (d *Demux) dispatch(from wire.NodeID, payload []byte, buf *wire.Buf) {
 	ring, err := wire.PeekRing(payload)
 	if err != nil {
 		return
@@ -113,5 +115,5 @@ func (d *Demux) dispatch(from wire.NodeID, payload []byte) {
 		d.mu.Unlock()
 		return
 	}
-	fn(from, payload)
+	fn(from, payload, buf)
 }

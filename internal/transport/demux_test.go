@@ -21,7 +21,7 @@ func TestDemuxRoutesByRing(t *testing.T) {
 	got := map[wire.RingID][]string{}
 	for _, ring := range []wire.RingID{0, 1, 2} {
 		ring := ring
-		if err := d.Register(ring, func(_ wire.NodeID, p []byte) {
+		if err := d.Register(ring, func(_ wire.NodeID, p []byte, _ *wire.Buf) {
 			env, err := wire.Decode(p)
 			if err != nil {
 				t.Errorf("ring %v: %v", ring, err)
@@ -62,7 +62,7 @@ func TestDemuxLegacyFramesReachRing0(t *testing.T) {
 	d := NewDemux(tb)
 	var mu sync.Mutex
 	var got []string
-	if err := d.Register(wire.Ring0, func(_ wire.NodeID, p []byte) {
+	if err := d.Register(wire.Ring0, func(_ wire.NodeID, p []byte, _ *wire.Buf) {
 		env, err := wire.Decode(p)
 		if err != nil {
 			t.Error(err)
@@ -96,7 +96,7 @@ func TestDemuxDropsUnknownRing(t *testing.T) {
 	ta, tb, _ := pair(t, simnet.Profile{}, DefaultConfig())
 	d := NewDemux(tb)
 	delivered := false
-	if err := d.Register(0, func(wire.NodeID, []byte) { delivered = true }); err != nil {
+	if err := d.Register(0, func(wire.NodeID, []byte, *wire.Buf) { delivered = true }); err != nil {
 		t.Fatal(err)
 	}
 	// The transport still acknowledges the frame (delivery succeeded at
@@ -115,7 +115,7 @@ func TestDemuxDropsUnknownRing(t *testing.T) {
 func TestDemuxRegisterConflictAndUnregister(t *testing.T) {
 	_, tb, _ := pair(t, simnet.Profile{}, DefaultConfig())
 	d := NewDemux(tb)
-	noop := func(wire.NodeID, []byte) {}
+	noop := func(wire.NodeID, []byte, *wire.Buf) {}
 	if err := d.Register(1, noop); err != nil {
 		t.Fatal(err)
 	}

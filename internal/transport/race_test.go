@@ -1,0 +1,7 @@
+//go:build race
+
+package transport
+
+// raceEnabled relaxes allocation-budget assertions: the race detector's
+// instrumentation allocates on its own account.
+const raceEnabled = true

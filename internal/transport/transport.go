@@ -35,9 +35,13 @@ type Addr string
 // Conn wrapper types in this package.
 type PacketConn interface {
 	// Send transmits best-effort; nil error means accepted by the medium.
+	// The conn does not retain payload: the caller may reuse it on return.
 	Send(to Addr, payload []byte) error
-	// SetReceiver installs the receive callback.
-	SetReceiver(fn func(from Addr, payload []byte))
+	// SetReceiver installs the receive callback. buf, when non-nil, is
+	// the pooled buffer backing payload; the receiver must Retain it to
+	// keep payload beyond the callback (or copy). A nil buf means the
+	// payload is handler-owned.
+	SetReceiver(fn func(from Addr, payload []byte, buf *wire.Buf))
 	// Close releases the conn.
 	Close() error
 }
@@ -97,16 +101,48 @@ type Transport struct {
 
 	mu      sync.Mutex
 	peers   map[wire.NodeID][]Addr
-	pending map[uint64]chan struct{}
+	pending map[uint64]*sendTask
 	dedup   map[wire.NodeID]*dedupWindow
-	handler func(from wire.NodeID, payload []byte)
+	handler func(from wire.NodeID, payload []byte, buf *wire.Buf)
 	closed  bool
-	// closedCh unblocks in-flight send loops on Close; a closed ack
+	// closedCh unblocks in-flight send loops on Close; the per-task ack
 	// channel must never be used for that, since it signals success.
 	closedCh chan struct{}
 
 	nextMsgID atomic.Uint64
 	wg        sync.WaitGroup
+	// taskPool recycles sendTask structs — ack channel and retry timer
+	// included — so the steady-state send path allocates nothing.
+	taskPool sync.Pool
+}
+
+// sendTask is the in-flight state of one reliable unicast. The ack channel
+// is buffered and signalled by send (never closed) so both it and the
+// retry timer survive reuse through the pool.
+type sendTask struct {
+	acked chan struct{}
+	timer clock.Timer
+}
+
+// getTask draws a sendTask with a drained ack channel.
+func (t *Transport) getTask() *sendTask {
+	task := t.taskPool.Get().(*sendTask)
+	select {
+	case <-task.acked:
+	default:
+	}
+	return task
+}
+
+// putTask returns a task to the pool. The caller must have removed it from
+// pending first (under t.mu): ack signals happen under the same mutex, so
+// after removal no late signal can race with the drain here.
+func (t *Transport) putTask(task *sendTask) {
+	select {
+	case <-task.acked:
+	default:
+	}
+	t.taskPool.Put(task)
 }
 
 // New creates a transport bound to the given local conns (one per physical
@@ -137,14 +173,15 @@ func New(local wire.NodeID, conns []PacketConn, clk clock.Clock, reg *stats.Regi
 		reg:      reg,
 		cfg:      cfg,
 		peers:    make(map[wire.NodeID][]Addr),
-		pending:  make(map[uint64]chan struct{}),
+		pending:  make(map[uint64]*sendTask),
 		dedup:    make(map[wire.NodeID]*dedupWindow),
 		closedCh: make(chan struct{}),
 	}
+	t.taskPool.New = func() any { return &sendTask{acked: make(chan struct{}, 1)} }
 	for _, c := range conns {
 		conn := c
-		conn.SetReceiver(func(from Addr, payload []byte) {
-			t.receive(conn, from, payload)
+		conn.SetReceiver(func(from Addr, payload []byte, buf *wire.Buf) {
+			t.receive(conn, from, payload, buf)
 		})
 	}
 	return t
@@ -184,8 +221,10 @@ func (t *Transport) Peers() []wire.NodeID {
 
 // SetHandler installs the upward delivery callback. It must be set before
 // traffic is expected; packets arriving without a handler are acknowledged
-// and dropped.
-func (t *Transport) SetHandler(fn func(from wire.NodeID, payload []byte)) {
+// and dropped. buf, when non-nil, is the pooled receive buffer backing
+// payload: the handler must Retain it to keep payload beyond the callback
+// (or copy the bytes out). A nil buf means payload is handler-owned.
+func (t *Transport) SetHandler(fn func(from wire.NodeID, payload []byte, buf *wire.Buf)) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.handler = fn
@@ -213,15 +252,16 @@ func (t *Transport) Send(to wire.NodeID, payload []byte, done func(error)) {
 		return
 	}
 	msgID := t.nextMsgID.Add(1)
-	acked := make(chan struct{})
-	t.pending[msgID] = acked
+	task := t.getTask()
+	t.pending[msgID] = task
 	// The Add must be ordered with the closed check (same critical
 	// section) or it races with Close's Wait.
 	t.wg.Add(1)
 	t.mu.Unlock()
 
-	frame := encodeFrame(frameData, t.local, msgID, payload)
-	go t.sendLoop(to, addrs, msgID, frame, acked, done)
+	fb := wire.GetBufSize(frameHeaderLen + len(payload))
+	n := encodeFrameInto(fb.B, frameData, t.local, msgID, payload)
+	go t.sendLoop(to, addrs, msgID, fb, n, task, done)
 }
 
 // SendSync is Send but blocking, for callers without their own event loop.
@@ -231,14 +271,33 @@ func (t *Transport) SendSync(to wire.NodeID, payload []byte) error {
 	return <-ch
 }
 
-// sendLoop drives the attempt schedule for one message.
-func (t *Transport) sendLoop(to wire.NodeID, addrs []Addr, msgID uint64, frame []byte, acked chan struct{}, done func(error)) {
+// sendLoop drives the attempt schedule for one message. fb holds the
+// encoded frame (fb.B[:n]); sendLoop owns its reference and the task, and
+// recycles both when the outcome is decided.
+func (t *Transport) sendLoop(to wire.NodeID, addrs []Addr, msgID uint64, fb *wire.Buf, n int, task *sendTask, done func(error)) {
 	defer t.wg.Done()
-	defer func() {
-		t.mu.Lock()
+	frame := fb.B[:n]
+	err := t.runAttempts(to, addrs, frame, task)
+	t.mu.Lock()
+	if t.pending[msgID] == task {
 		delete(t.pending, msgID)
-		t.mu.Unlock()
-	}()
+	}
+	t.mu.Unlock()
+	fb.Release()
+	// Safe to recycle: the task is out of pending, and acks signal under
+	// t.mu, so no late signal can arrive after the delete above.
+	t.putTask(task)
+	if err != nil && errors.Is(err, ErrDeliveryFailed) {
+		t.reg.Counter(stats.MetricSendFailures).Inc()
+	}
+	if done != nil {
+		done(err)
+	}
+}
+
+// runAttempts emits the frame per the retry schedule and waits for the
+// ack, transport close, or attempt exhaustion.
+func (t *Transport) runAttempts(to wire.NodeID, addrs []Addr, frame []byte, task *sendTask) error {
 	combos := len(t.conns) * len(addrs)
 	for attempt := 0; attempt < t.cfg.Attempts; attempt++ {
 		if attempt > 0 {
@@ -257,26 +316,32 @@ func (t *Transport) sendLoop(to wire.NodeID, addrs []Addr, msgID uint64, frame [
 			addr := addrs[combo%len(addrs)]
 			t.emit(conn, addr, frame)
 		}
-		timer := t.clk.NewTimer(t.cfg.AckTimeout)
+		if task.timer == nil {
+			task.timer = t.clk.NewTimer(t.cfg.AckTimeout)
+		} else {
+			task.timer.Reset(t.cfg.AckTimeout)
+		}
 		select {
-		case <-acked:
-			timer.Stop()
-			if done != nil {
-				done(nil)
-			}
-			return
+		case <-task.acked:
+			stopDrain(task.timer)
+			return nil
 		case <-t.closedCh:
-			timer.Stop()
-			if done != nil {
-				done(ErrClosed)
-			}
-			return
-		case <-timer.C():
+			stopDrain(task.timer)
+			return ErrClosed
+		case <-task.timer.C():
 		}
 	}
-	t.reg.Counter(stats.MetricSendFailures).Inc()
-	if done != nil {
-		done(fmt.Errorf("%w: to %v after %d attempts", ErrDeliveryFailed, to, t.cfg.Attempts))
+	return fmt.Errorf("%w: to %v after %d attempts", ErrDeliveryFailed, to, t.cfg.Attempts)
+}
+
+// stopDrain stops a pooled retry timer and clears any tick that already
+// fired, so the timer can be Reset by the task's next user.
+func stopDrain(tm clock.Timer) {
+	if !tm.Stop() {
+		select {
+		case <-tm.C():
+		default:
+		}
 	}
 }
 
@@ -286,8 +351,10 @@ func (t *Transport) emit(conn PacketConn, to Addr, frame []byte) {
 	_ = conn.Send(to, frame) // best-effort; retries cover transient errors
 }
 
-// receive parses one incoming frame.
-func (t *Transport) receive(conn PacketConn, from Addr, payload []byte) {
+// receive parses one incoming frame. buf, when non-nil, is the pooled
+// receive buffer backing payload; it is forwarded to the handler under the
+// same retain-to-keep contract.
+func (t *Transport) receive(conn PacketConn, from Addr, payload []byte, buf *wire.Buf) {
 	kind, src, msgID, body, err := decodeFrame(payload)
 	if err != nil {
 		return // not ours / corrupt: ignore
@@ -297,21 +364,27 @@ func (t *Transport) receive(conn PacketConn, from Addr, payload []byte) {
 	switch kind {
 	case frameAck:
 		t.mu.Lock()
-		ch, ok := t.pending[msgID]
+		task, ok := t.pending[msgID]
 		if ok {
 			delete(t.pending, msgID)
+			// Signal under the mutex: once a task leaves pending no
+			// late signal is possible, which is what lets sendLoop
+			// recycle tasks without racing (see putTask).
+			select {
+			case task.acked <- struct{}{}:
+			default:
+			}
 		}
 		t.mu.Unlock()
-		if ok {
-			close(ch)
-		}
 	case frameData:
 		// Always acknowledge, even duplicates: the previous ack may have
 		// been lost.
-		ack := encodeFrame(frameAck, t.local, msgID, nil)
+		ab := wire.GetBuf()
+		an := encodeFrameInto(ab.B, frameAck, t.local, msgID, nil)
 		t.reg.Counter(stats.MetricPacketsSent).Inc()
-		t.reg.Counter(stats.MetricBytesSent).Add(int64(len(ack)))
-		_ = conn.Send(from, ack)
+		t.reg.Counter(stats.MetricBytesSent).Add(int64(an))
+		_ = conn.Send(from, ab.B[:an])
+		ab.Release()
 
 		t.mu.Lock()
 		win, ok := t.dedup[src]
@@ -323,7 +396,7 @@ func (t *Transport) receive(conn PacketConn, from Addr, payload []byte) {
 		h := t.handler
 		t.mu.Unlock()
 		if fresh && h != nil {
-			h(src, body)
+			h(src, body, buf)
 		}
 	}
 }
@@ -369,13 +442,32 @@ const (
 
 const frameHeaderLen = 14
 
+// maxUDPPayload is the largest payload a UDP/IPv4 datagram can carry
+// (65535 minus the 8-byte UDP and 20-byte IP headers).
+const maxUDPPayload = 65507
+
+// MaxSessionFrame is the largest session-layer frame the transport can put
+// in a single datagram after adding its own frame header. Oversized frames
+// must be split with wire.ChunkFrame before Send; the core runtime does
+// this for token frames that outgrow the limit.
+const MaxSessionFrame = maxUDPPayload - frameHeaderLen
+
 func encodeFrame(kind frameKind, src wire.NodeID, msgID uint64, payload []byte) []byte {
-	b := make([]byte, frameHeaderLen, frameHeaderLen+len(payload))
-	b[0] = frameMagic
-	b[1] = byte(kind)
-	binary.LittleEndian.PutUint32(b[2:], uint32(src))
-	binary.LittleEndian.PutUint64(b[6:], msgID)
-	return append(b, payload...)
+	b := make([]byte, frameHeaderLen+len(payload))
+	encodeFrameInto(b, kind, src, msgID, payload)
+	return b
+}
+
+// encodeFrameInto writes the frame into dst (which must have room for
+// frameHeaderLen+len(payload) bytes) and returns the encoded size. The
+// hot path pairs it with a pooled buffer so framing allocates nothing.
+func encodeFrameInto(dst []byte, kind frameKind, src wire.NodeID, msgID uint64, payload []byte) int {
+	dst[0] = frameMagic
+	dst[1] = byte(kind)
+	binary.LittleEndian.PutUint32(dst[2:], uint32(src))
+	binary.LittleEndian.PutUint64(dst[6:], msgID)
+	copy(dst[frameHeaderLen:], payload)
+	return frameHeaderLen + len(payload)
 }
 
 func decodeFrame(b []byte) (frameKind, wire.NodeID, uint64, []byte, error) {

@@ -13,7 +13,7 @@ import (
 func TestZeroLengthPayload(t *testing.T) {
 	ta, tb, _ := pair(t, simnet.Profile{}, DefaultConfig())
 	got := make(chan int, 1)
-	tb.SetHandler(func(_ wire.NodeID, p []byte) { got <- len(p) })
+	tb.SetHandler(func(_ wire.NodeID, p []byte, _ *wire.Buf) { got <- len(p) })
 	if err := ta.SendSync(2, nil); err != nil {
 		t.Fatal(err)
 	}
@@ -34,7 +34,7 @@ func TestLargePayload(t *testing.T) {
 		want[i] = byte(i)
 	}
 	got := make(chan []byte, 1)
-	tb.SetHandler(func(_ wire.NodeID, p []byte) { got <- p })
+	tb.SetHandler(func(_ wire.NodeID, p []byte, _ *wire.Buf) { got <- p })
 	if err := ta.SendSync(2, want); err != nil {
 		t.Fatal(err)
 	}
@@ -56,7 +56,7 @@ func TestLargePayload(t *testing.T) {
 func TestSendPayloadIsolated(t *testing.T) {
 	ta, tb, _ := pair(t, simnet.Profile{}, DefaultConfig())
 	got := make(chan string, 1)
-	tb.SetHandler(func(_ wire.NodeID, p []byte) { got <- string(p) })
+	tb.SetHandler(func(_ wire.NodeID, p []byte, _ *wire.Buf) { got <- string(p) })
 	buf := []byte("abc")
 	done := make(chan error, 1)
 	ta.Send(2, buf, func(err error) { done <- err })
@@ -76,7 +76,7 @@ func TestSendPayloadIsolated(t *testing.T) {
 
 func TestConcurrentSetPeerAndSend(t *testing.T) {
 	ta, tb, _ := pair(t, simnet.Profile{}, DefaultConfig())
-	tb.SetHandler(func(wire.NodeID, []byte) {})
+	tb.SetHandler(func(wire.NodeID, []byte, *wire.Buf) {})
 	var wg sync.WaitGroup
 	for i := 0; i < 4; i++ {
 		wg.Add(1)
@@ -111,7 +111,7 @@ func TestPeersListing(t *testing.T) {
 func TestNilDoneCallback(t *testing.T) {
 	ta, tb, _ := pair(t, simnet.Profile{}, DefaultConfig())
 	delivered := make(chan struct{}, 1)
-	tb.SetHandler(func(wire.NodeID, []byte) {
+	tb.SetHandler(func(wire.NodeID, []byte, *wire.Buf) {
 		select {
 		case delivered <- struct{}{}:
 		default:
@@ -175,7 +175,7 @@ func TestGarbageFramesIgnored(t *testing.T) {
 	ta := New(1, []PacketConn{NewSimConn(n.MustEndpoint("a"))}, nil, nil, DefaultConfig())
 	defer ta.Close()
 	handled := false
-	ta.SetHandler(func(wire.NodeID, []byte) { handled = true })
+	ta.SetHandler(func(wire.NodeID, []byte, *wire.Buf) { handled = true })
 	stray := n.MustEndpoint("g")
 	for _, payload := range [][]byte{nil, {1}, []byte("not a frame"), make([]byte, 100)} {
 		stray.Send("a", payload)

@@ -29,7 +29,7 @@ func TestReliableDelivery(t *testing.T) {
 	ta, tb, _ := pair(t, simnet.Profile{}, DefaultConfig())
 	var mu sync.Mutex
 	var got []string
-	tb.SetHandler(func(from wire.NodeID, p []byte) {
+	tb.SetHandler(func(from wire.NodeID, p []byte, _ *wire.Buf) {
 		mu.Lock()
 		got = append(got, string(p))
 		mu.Unlock()
@@ -51,7 +51,7 @@ func TestRetransmitOnLoss(t *testing.T) {
 	ta, tb, _ := pair(t, simnet.Profile{Loss: 0.4}, cfg)
 	var mu sync.Mutex
 	seen := map[string]int{}
-	tb.SetHandler(func(_ wire.NodeID, p []byte) {
+	tb.SetHandler(func(_ wire.NodeID, p []byte, _ *wire.Buf) {
 		mu.Lock()
 		seen[string(p)]++
 		mu.Unlock()
@@ -112,7 +112,7 @@ func TestDuplicateSuppression(t *testing.T) {
 	ta, tb, _ := pair(t, simnet.Profile{Latency: 4 * time.Millisecond}, cfg)
 	var mu sync.Mutex
 	count := map[string]int{}
-	tb.SetHandler(func(_ wire.NodeID, p []byte) {
+	tb.SetHandler(func(_ wire.NodeID, p []byte, _ *wire.Buf) {
 		mu.Lock()
 		count[string(p)]++
 		mu.Unlock()
@@ -153,7 +153,7 @@ func TestMultiAddressSequentialFailover(t *testing.T) {
 	tb.SetPeer(1, []Addr{"a"})
 	var delivered sync.WaitGroup
 	delivered.Add(1)
-	tb.SetHandler(func(wire.NodeID, []byte) { delivered.Done() })
+	tb.SetHandler(func(wire.NodeID, []byte, *wire.Buf) { delivered.Done() })
 	n.CutLink("a", "b1")
 	if err := ta.SendSync(2, []byte("via b2")); err != nil {
 		t.Fatalf("redundant-link send failed: %v", err)
@@ -175,7 +175,7 @@ func TestMultiAddressParallel(t *testing.T) {
 	tb.SetPeer(1, []Addr{"a"})
 	var mu sync.Mutex
 	total := 0
-	tb.SetHandler(func(wire.NodeID, []byte) {
+	tb.SetHandler(func(wire.NodeID, []byte, *wire.Buf) {
 		mu.Lock()
 		total++
 		mu.Unlock()
@@ -204,7 +204,7 @@ func TestConcurrentSends(t *testing.T) {
 	ta, tb, _ := pair(t, simnet.Profile{}, DefaultConfig())
 	var mu sync.Mutex
 	got := map[byte]bool{}
-	tb.SetHandler(func(_ wire.NodeID, p []byte) {
+	tb.SetHandler(func(_ wire.NodeID, p []byte, _ *wire.Buf) {
 		mu.Lock()
 		got[p[0]] = true
 		mu.Unlock()
@@ -287,7 +287,7 @@ func TestUDPTransport(t *testing.T) {
 	ta.SetPeer(2, []Addr{cb.LocalAddr()})
 	tb.SetPeer(1, []Addr{ca.LocalAddr()})
 	done := make(chan string, 1)
-	tb.SetHandler(func(_ wire.NodeID, p []byte) { done <- string(p) })
+	tb.SetHandler(func(_ wire.NodeID, p []byte, _ *wire.Buf) { done <- string(p) })
 	if err := ta.SendSync(2, []byte("over real UDP")); err != nil {
 		t.Fatal(err)
 	}
@@ -310,7 +310,7 @@ func BenchmarkSendSyncSimnet(b *testing.B) {
 	defer tb.Close()
 	ta.SetPeer(2, []Addr{"b"})
 	tb.SetPeer(1, []Addr{"a"})
-	tb.SetHandler(func(wire.NodeID, []byte) {})
+	tb.SetHandler(func(wire.NodeID, []byte, *wire.Buf) {})
 	payload := make([]byte, 256)
 	b.ReportAllocs()
 	b.ResetTimer()

@@ -1,0 +1,94 @@
+package wire
+
+import "testing"
+
+// benchToken is a realistic steady-state token: a mid-size ring with a
+// batch of small multicasts attached.
+func benchToken() *Token {
+	tok := &Token{Epoch: 12, Seq: 9000, Members: []NodeID{1, 2, 3, 4, 5, 6, 7, 8}}
+	for i := 0; i < 8; i++ {
+		tok.Msgs = append(tok.Msgs, Message{
+			Origin: NodeID(i%8 + 1), Seq: uint64(1000 + i), Safe: i%2 == 0,
+			Payload: []byte("0123456789abcdef0123456789abcdef"),
+		})
+	}
+	return tok
+}
+
+// TestEncodeTokenZeroAlloc pins the hot encode path at zero allocations:
+// a pooled buffer sized by EncodedTokenSize plus AppendTokenRing must not
+// touch the heap.
+func TestEncodeTokenZeroAlloc(t *testing.T) {
+	tok := benchToken()
+	const ring RingID = 3
+	buf := GetBufSize(EncodedTokenSize(ring, tok))
+	defer buf.Release()
+	allocs := testing.AllocsPerRun(200, func() {
+		if len(AppendTokenRing(buf.B[:0], ring, tok)) == 0 {
+			t.Fatal("empty encode")
+		}
+	})
+	if allocs > 1 {
+		t.Fatalf("encode allocates %.1f/op, want <=1", allocs)
+	}
+}
+
+// TestDecodeViewIntoZeroAlloc pins the hot decode path: steady-state
+// DecodeViewInto reuses the envelope's scratch storage and returns payload
+// views, so it must not allocate either.
+func TestDecodeViewIntoZeroAlloc(t *testing.T) {
+	tok := benchToken()
+	frame := EncodeTokenRing(3, tok)
+	var env Envelope
+	if err := DecodeViewInto(&env, frame); err != nil { // warm the scratch capacity
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if err := DecodeViewInto(&env, frame); err != nil {
+			t.Fatal(err)
+		}
+		if len(env.Token.Msgs) != len(tok.Msgs) {
+			t.Fatal("short decode")
+		}
+	})
+	if allocs > 1 {
+		t.Fatalf("decode allocates %.1f/op, want <=1", allocs)
+	}
+}
+
+func BenchmarkAppendTokenRing(b *testing.B) {
+	tok := benchToken()
+	const ring RingID = 3
+	buf := GetBufSize(EncodedTokenSize(ring, tok))
+	defer buf.Release()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		AppendTokenRing(buf.B[:0], ring, tok)
+	}
+}
+
+func BenchmarkDecodeViewInto(b *testing.B) {
+	frame := EncodeTokenRing(3, benchToken())
+	var env Envelope
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := DecodeViewInto(&env, frame); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDecodeCopy is the allocating baseline BenchmarkDecodeViewInto is
+// measured against.
+func BenchmarkDecodeCopy(b *testing.B) {
+	frame := EncodeTokenRing(3, benchToken())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(frame); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

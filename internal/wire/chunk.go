@@ -1,0 +1,222 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Chunked frames (version 3) split one oversized session frame across
+// multiple datagrams. The motivating case is the carried master-lock bug:
+// a lock holder releasing a large burst attaches every pending message to
+// the token at once (the MaxBatch cap is deliberately lifted while
+// holding, see ring.Config.MaxBatch), and the encoded token frame can
+// exceed the UDP datagram limit. Instead of silently truncating or
+// failing the pass, the sender splits the frame into version-3 chunks and
+// the receiver reassembles them before decoding.
+//
+// Chunk layout:
+//
+//	byte 0       version (3)
+//	byte 1       Kind of the inner frame (advisory, for observability)
+//	bytes 2-5    RingID, little-endian — same offset as version 2, so
+//	             PeekRing demultiplexes chunks without special casing
+//	bytes 6-13   FrameID, little-endian uint64 — identifies the split
+//	             frame; all chunks of one frame share it
+//	bytes 14-17  Offset, little-endian uint32 — byte offset of this part
+//	bytes 18-21  Total, little-endian uint32 — size of the full frame
+//	bytes 22-    the part: frame[Offset : Offset+len(part)]
+//
+// Version-1 and version-2 decoders reject chunks cleanly: their Decode
+// sees version byte 3 and returns ErrBadVersion before touching the body.
+// That makes chunked sends safe only between upgraded peers — which holds
+// because only the new sender emits them, and it only does so for frames
+// the old receiver could not have accepted anyway (they exceed its
+// datagram limit).
+
+// ChunkHeaderLen is the fixed size of the version-3 chunk header.
+const ChunkHeaderLen = 22
+
+// MaxChunkedFrame caps the reassembled frame size an Assembler will
+// accept, bounding memory a hostile or corrupt peer can pin. It is sized
+// for a worst-case token: MaxPayload plus generous framing headroom.
+const MaxChunkedFrame = MaxPayload + (1 << 20)
+
+// ErrChunk wraps chunk-specific decode failures.
+var ErrChunk = fmt.Errorf("wire: bad chunk")
+
+// Chunk is one decoded version-3 continuation frame. Part aliases the
+// input buffer passed to DecodeChunk.
+type Chunk struct {
+	Kind    Kind
+	Ring    RingID
+	FrameID uint64
+	Offset  uint32
+	Total   uint32
+	Part    []byte
+}
+
+// IsChunk reports whether an encoded frame is a version-3 chunk.
+func IsChunk(b []byte) bool { return len(b) > 0 && b[0] == VersionChunk }
+
+// AppendChunk appends one encoded chunk carrying part (which must be
+// frame[offset:offset+len(part)] of a frame of size total) to dst.
+func AppendChunk(dst []byte, ring RingID, kind Kind, frameID uint64, offset, total uint32, part []byte) []byte {
+	dst = append(dst, VersionChunk, byte(kind))
+	dst = appendU32(dst, uint32(ring))
+	dst = appendU64(dst, frameID)
+	dst = appendU32(dst, offset)
+	dst = appendU32(dst, total)
+	return append(dst, part...)
+}
+
+// ChunkFrame splits an encoded frame into version-3 chunks of at most
+// maxDatagram bytes each (header included). frameID must be unique per
+// (sender, frame) — a per-sender counter works; the Assembler treats a
+// higher frameID from the same sender as superseding any partial frame.
+// Chunking is the rare oversize path, so the per-chunk allocations here
+// are acceptable.
+func ChunkFrame(frame []byte, ring RingID, frameID uint64, maxDatagram int) ([][]byte, error) {
+	if maxDatagram <= ChunkHeaderLen {
+		return nil, fmt.Errorf("%w: datagram limit %d below header size", ErrChunk, maxDatagram)
+	}
+	if len(frame) > MaxChunkedFrame {
+		return nil, fmt.Errorf("%w: frame %d bytes exceeds %d", ErrTooLarge, len(frame), MaxChunkedFrame)
+	}
+	if len(frame) == 0 {
+		return nil, fmt.Errorf("%w: empty frame", ErrChunk)
+	}
+	kind := Kind(0)
+	if len(frame) >= 2 {
+		kind = Kind(frame[1])
+	}
+	step := maxDatagram - ChunkHeaderLen
+	out := make([][]byte, 0, (len(frame)+step-1)/step)
+	for off := 0; off < len(frame); off += step {
+		end := off + step
+		if end > len(frame) {
+			end = len(frame)
+		}
+		c := make([]byte, 0, ChunkHeaderLen+(end-off))
+		c = AppendChunk(c, ring, kind, frameID, uint32(off), uint32(len(frame)), frame[off:end])
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+// DecodeChunk parses a version-3 chunk header. Part aliases b.
+func DecodeChunk(b []byte) (Chunk, error) {
+	if len(b) < ChunkHeaderLen {
+		return Chunk{}, ErrTruncated
+	}
+	if b[0] != VersionChunk {
+		return Chunk{}, fmt.Errorf("%w: got %d want %d", ErrBadVersion, b[0], VersionChunk)
+	}
+	c := Chunk{
+		Kind:    Kind(b[1]),
+		Ring:    RingID(binary.LittleEndian.Uint32(b[2:])),
+		FrameID: binary.LittleEndian.Uint64(b[6:]),
+		Offset:  binary.LittleEndian.Uint32(b[14:]),
+		Total:   binary.LittleEndian.Uint32(b[18:]),
+		Part:    b[ChunkHeaderLen:],
+	}
+	if c.Total == 0 || c.Total > MaxChunkedFrame {
+		return Chunk{}, fmt.Errorf("%w: total %d", ErrTooLarge, c.Total)
+	}
+	if len(c.Part) == 0 {
+		return Chunk{}, fmt.Errorf("%w: empty part", ErrChunk)
+	}
+	if uint64(c.Offset)+uint64(len(c.Part)) > uint64(c.Total) {
+		return Chunk{}, fmt.Errorf("%w: part [%d,%d) outside total %d", ErrChunk, c.Offset, int(c.Offset)+len(c.Part), c.Total)
+	}
+	return c, nil
+}
+
+// Assembler reassembles chunked frames, one partial frame per sender.
+// Chunks may arrive out of order (transport retries reorder); duplicate
+// offsets (retry duplicates that slipped past the dedup window) are
+// ignored. A chunk with a higher FrameID than the sender's current
+// partial discards the partial — a sender only ever has one oversized
+// frame in flight (the token), so a newer frame means the old one is
+// obsolete. Lower FrameIDs are dropped as stale.
+//
+// Assembler is not safe for concurrent use; each ring's receive loop owns
+// one.
+type Assembler struct {
+	partials map[NodeID]*partialFrame
+	// Completed counts frames fully reassembled; Dropped counts chunks
+	// discarded as stale, duplicate, or inconsistent.
+	Completed int64
+	Dropped   int64
+}
+
+type partialFrame struct {
+	frameID uint64
+	buf     []byte
+	seen    map[uint32]int // offset -> part length
+	have    int
+}
+
+// NewAssembler returns an empty Assembler.
+func NewAssembler() *Assembler {
+	return &Assembler{partials: make(map[NodeID]*partialFrame)}
+}
+
+// Add feeds one encoded chunk from a sender. When the chunk completes a
+// frame, Add returns the reassembled frame (owned by the caller; it does
+// not alias b) and forgets the partial. Otherwise it returns nil.
+func (a *Assembler) Add(from NodeID, b []byte) ([]byte, error) {
+	c, err := DecodeChunk(b)
+	if err != nil {
+		a.Dropped++
+		return nil, err
+	}
+	p := a.partials[from]
+	switch {
+	case p == nil || c.FrameID > p.frameID:
+		p = &partialFrame{
+			frameID: c.FrameID,
+			buf:     make([]byte, c.Total),
+			seen:    make(map[uint32]int),
+		}
+		a.partials[from] = p
+	case c.FrameID < p.frameID:
+		a.Dropped++
+		return nil, nil
+	}
+	if len(p.buf) != int(c.Total) {
+		// Same frameID, different claimed size: corrupt or hostile.
+		delete(a.partials, from)
+		a.Dropped++
+		return nil, fmt.Errorf("%w: frame %d total changed %d -> %d", ErrChunk, c.FrameID, len(p.buf), c.Total)
+	}
+	if n, dup := p.seen[c.Offset]; dup {
+		if n != len(c.Part) {
+			delete(a.partials, from)
+			a.Dropped++
+			return nil, fmt.Errorf("%w: frame %d offset %d length changed", ErrChunk, c.FrameID, c.Offset)
+		}
+		a.Dropped++ // harmless retry duplicate
+		return nil, nil
+	}
+	copy(p.buf[c.Offset:], c.Part)
+	p.seen[c.Offset] = len(c.Part)
+	p.have += len(c.Part)
+	if p.have < len(p.buf) {
+		return nil, nil
+	}
+	delete(a.partials, from)
+	if p.have > len(p.buf) {
+		// Overlapping parts summed past the total: inconsistent split.
+		a.Dropped++
+		return nil, fmt.Errorf("%w: frame %d overlapping parts", ErrChunk, c.FrameID)
+	}
+	a.Completed++
+	return p.buf, nil
+}
+
+// Forget drops any partial frame from a sender, e.g. when the member
+// leaves the ring.
+func (a *Assembler) Forget(from NodeID) { delete(a.partials, from) }
+
+// Pending reports how many senders have partial frames outstanding.
+func (a *Assembler) Pending() int { return len(a.partials) }

@@ -1,0 +1,265 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// bigTokenFrame encodes a token frame large enough to need nChunks chunks
+// at the given datagram limit.
+func bigTokenFrame(t testing.TB, ring RingID, maxDatagram, nChunks int) []byte {
+	t.Helper()
+	payload := make([]byte, maxDatagram) // each message overflows one datagram alone
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	tok := &Token{Epoch: 7, Seq: 42, Members: []NodeID{1, 2, 3}}
+	for len(tok.Msgs) < nChunks {
+		tok.Msgs = append(tok.Msgs, Message{
+			Origin: 1, Seq: uint64(len(tok.Msgs) + 1), Payload: payload,
+		})
+	}
+	frame := EncodeTokenRing(ring, tok)
+	if frame == nil || len(frame) <= maxDatagram*(nChunks-1) {
+		t.Fatalf("frame too small to exercise chunking: %d bytes", len(frame))
+	}
+	return frame
+}
+
+func TestChunkRoundTrip(t *testing.T) {
+	const maxDG = 1024
+	frame := bigTokenFrame(t, 5, maxDG, 4)
+	chunks, err := ChunkFrame(frame, 5, 9, maxDG)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chunks) < 4 {
+		t.Fatalf("want >=4 chunks, got %d", len(chunks))
+	}
+	for _, c := range chunks {
+		if len(c) > maxDG {
+			t.Fatalf("chunk exceeds datagram limit: %d > %d", len(c), maxDG)
+		}
+		if !IsChunk(c) {
+			t.Fatal("chunk not recognized by IsChunk")
+		}
+		if ring, err := PeekRing(c); err != nil || ring != 5 {
+			t.Fatalf("PeekRing on chunk = %v, %v; want ring 5", ring, err)
+		}
+		// v1/v2 decoders must reject a chunk cleanly, not misparse it.
+		if _, err := Decode(c); !errors.Is(err, ErrBadVersion) {
+			t.Fatalf("Decode(chunk) err = %v, want ErrBadVersion", err)
+		}
+		if _, err := DecodeView(c); !errors.Is(err, ErrBadVersion) {
+			t.Fatalf("DecodeView(chunk) err = %v, want ErrBadVersion", err)
+		}
+	}
+
+	// Reassemble out of order, with a duplicate mixed in.
+	rng := rand.New(rand.NewSource(1))
+	order := rng.Perm(len(chunks))
+	asm := NewAssembler()
+	var got []byte
+	for i, idx := range order {
+		if i == 1 {
+			if dup, err := asm.Add(3, chunks[order[0]]); err != nil || dup != nil {
+				t.Fatalf("duplicate chunk: got frame %v err %v", dup != nil, err)
+			}
+		}
+		out, err := asm.Add(3, chunks[idx])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out != nil {
+			if i != len(order)-1 {
+				t.Fatalf("frame completed early at chunk %d/%d", i+1, len(order))
+			}
+			got = out
+		}
+	}
+	if !bytes.Equal(got, frame) {
+		t.Fatalf("reassembled frame differs: %d vs %d bytes", len(got), len(frame))
+	}
+	if env, err := Decode(got); err != nil || env.Kind != KindToken || env.Ring != 5 {
+		t.Fatalf("reassembled frame decode: %+v, %v", env, err)
+	}
+	if asm.Completed != 1 || asm.Pending() != 0 {
+		t.Fatalf("assembler state: completed=%d pending=%d", asm.Completed, asm.Pending())
+	}
+}
+
+func TestAssemblerSupersede(t *testing.T) {
+	const maxDG = 256
+	frame := bigTokenFrame(t, 1, maxDG, 2)
+	oldChunks, err := ChunkFrame(frame, 1, 1, maxDG)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newChunks, err := ChunkFrame(frame, 1, 2, maxDG)
+	if err != nil {
+		t.Fatal(err)
+	}
+	asm := NewAssembler()
+	if _, err := asm.Add(7, oldChunks[0]); err != nil {
+		t.Fatal(err)
+	}
+	// A higher frameID supersedes the partial; the stale remainder is
+	// dropped when it dribbles in.
+	if _, err := asm.Add(7, newChunks[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := asm.Add(7, oldChunks[1]); err != nil {
+		t.Fatal(err)
+	}
+	if asm.Dropped == 0 {
+		t.Fatal("stale chunk not counted as dropped")
+	}
+	var done []byte
+	for _, c := range newChunks[1:] {
+		if done, err = asm.Add(7, c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(done, frame) {
+		t.Fatal("superseding frame did not reassemble")
+	}
+
+	// Same frameID with a different claimed total is rejected.
+	asm = NewAssembler()
+	if _, err := asm.Add(7, newChunks[0]); err != nil {
+		t.Fatal(err)
+	}
+	bad := append([]byte(nil), newChunks[1]...)
+	bad[18]++ // Total field
+	if _, err := asm.Add(7, bad); err == nil {
+		t.Fatal("total mismatch accepted")
+	}
+	if asm.Pending() != 0 {
+		t.Fatal("inconsistent partial not discarded")
+	}
+	// Forget drops a sender's partial.
+	if _, err := asm.Add(7, newChunks[0]); err != nil {
+		t.Fatal(err)
+	}
+	asm.Forget(7)
+	if asm.Pending() != 0 {
+		t.Fatal("Forget left a partial")
+	}
+}
+
+func TestChunkFrameErrors(t *testing.T) {
+	if _, err := ChunkFrame([]byte{1, 2, 3}, 0, 1, ChunkHeaderLen); err == nil {
+		t.Fatal("datagram limit at header size accepted")
+	}
+	if _, err := ChunkFrame(nil, 0, 1, 1024); err == nil {
+		t.Fatal("empty frame accepted")
+	}
+	if _, err := ChunkFrame(make([]byte, MaxChunkedFrame+1), 0, 1, 1024); err == nil {
+		t.Fatal("oversized frame accepted")
+	}
+}
+
+// TestViewAliasingContract pins down what DecodeView does and does not
+// alias: payload bytes are views into the input, everything else is copied
+// out. This is the invariant the buffer-pinning runtime relies on.
+func TestViewAliasingContract(t *testing.T) {
+	tok := &Token{Epoch: 1, Seq: 2, Members: []NodeID{1, 2},
+		Msgs: []Message{{Origin: 1, Seq: 1, Payload: []byte("aaaa")}}}
+	frame := EncodeTokenRing(3, tok)
+
+	env, err := DecodeView(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range frame {
+		frame[i] = 'Z' // simulate the receive buffer being recycled
+	}
+	if string(env.Token.Msgs[0].Payload) != "ZZZZ" {
+		t.Fatalf("view payload did not alias input: %q", env.Token.Msgs[0].Payload)
+	}
+	if env.Token.Epoch != 1 || env.Token.Members[1] != 2 {
+		t.Fatal("fixed-width fields must be copies, not views")
+	}
+
+	// The copying decoder must be immune to the same recycling.
+	frame = EncodeTokenRing(3, tok)
+	env, err = Decode(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range frame {
+		frame[i] = 'Z'
+	}
+	if string(env.Token.Msgs[0].Payload) != "aaaa" {
+		t.Fatalf("Decode payload aliases input: %q", env.Token.Msgs[0].Payload)
+	}
+}
+
+// TestViewsNeverOutliveRelease exercises the pooled-buffer contract end to
+// end: a retained buffer keeps its views stable while an unretained buffer
+// returns to the pool on Release and its storage is re-issued.
+func TestViewsNeverOutliveRelease(t *testing.T) {
+	tok := &Token{Epoch: 9, Seq: 1, Members: []NodeID{1},
+		Msgs: []Message{{Origin: 1, Seq: 1, Payload: []byte("hold me")}}}
+
+	buf := GetBuf()
+	n := len(AppendTokenRing(buf.B[:0], 0, tok))
+	env, err := DecodeView(buf.B[:n])
+	if err != nil {
+		t.Fatal(err)
+	}
+	view := env.Token.Msgs[0].Payload
+
+	buf.Retain() // consumer keeps the views alive
+	buf.Release()
+	if buf.Refs() != 1 {
+		t.Fatalf("refs = %d after retain+release, want 1", buf.Refs())
+	}
+	if string(view) != "hold me" {
+		t.Fatalf("retained view corrupted: %q", view)
+	}
+	buf.Release() // final release: views are dead from here on
+	if got := GetBuf(); got == buf {
+		// Pool re-issued the same buffer: its bytes now belong to the new
+		// owner, which is exactly why using `view` here would be a bug.
+		got.Release()
+	} else {
+		got.Release()
+	}
+}
+
+// FuzzChunk drives arbitrary bytes through chunk decode and reassembly:
+// no input may panic the assembler or complete a frame that differs from
+// what a well-formed split would produce.
+func FuzzChunk(f *testing.F) {
+	frame := EncodeTokenRing(2, &Token{Epoch: 1, Seq: 1, Members: []NodeID{1, 2},
+		Msgs: []Message{{Origin: 1, Seq: 1, Payload: bytes.Repeat([]byte("x"), 200)}}})
+	if chunks, err := ChunkFrame(frame, 2, 1, 96); err == nil {
+		for _, c := range chunks {
+			f.Add(c)
+		}
+	}
+	f.Add([]byte{VersionChunk, 0, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := DecodeChunk(data)
+		if err != nil {
+			if IsChunk(data) && len(data) >= ChunkHeaderLen && c.Part != nil {
+				t.Fatal("DecodeChunk returned a part alongside an error")
+			}
+		}
+		asm := NewAssembler()
+		out, err := asm.Add(1, data)
+		if err != nil || out == nil {
+			return
+		}
+		// A frame completed by a single chunk must be self-consistent.
+		if len(out) != int(c.Total) {
+			t.Fatalf("completed frame length %d != declared total %d", len(out), c.Total)
+		}
+		if !bytes.Equal(out[c.Offset:int(c.Offset)+len(c.Part)], c.Part) {
+			t.Fatal("completed frame does not contain the chunk part")
+		}
+	})
+}

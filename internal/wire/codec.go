@@ -37,6 +37,10 @@ const (
 	// VersionMulti is the current format: the frame carries the RingID
 	// of the ring it belongs to.
 	VersionMulti = 2
+	// VersionChunk marks one chunk of an oversized frame split across
+	// datagrams (see chunk.go). Version-1/2 decoders reject it cleanly
+	// with ErrBadVersion, never misparsing the chunk body.
+	VersionChunk = 3
 )
 
 // Version is the wire format version emitted for non-zero rings.
@@ -64,6 +68,10 @@ var (
 // Envelope is a decoded session message: exactly one of the pointer fields
 // is non-nil, matching Kind. Ring is the ring the frame belongs to; version-1
 // frames always decode with Ring 0.
+//
+// An Envelope decoded with DecodeViewInto owns reusable scratch storage:
+// the pointer fields then point into the envelope itself and are
+// invalidated by the next DecodeViewInto on the same envelope.
 type Envelope struct {
 	Kind     Kind
 	Ring     RingID
@@ -72,6 +80,15 @@ type Envelope struct {
 	M911R    *Msg911Reply
 	Bodyodor *Bodyodor
 	Forward  *Forward
+
+	// scr is the reusable decode target; see DecodeViewInto.
+	scr struct {
+		tok   Token
+		m911  Msg911
+		m911r Msg911Reply
+		bod   Bodyodor
+		fwd   Forward
+	}
 }
 
 // header appends the frame header: version 1 for ring 0 (rolling-upgrade
@@ -91,14 +108,28 @@ const headerLen = 6
 // EncodeToken serializes a TOKEN message for ring 0.
 func EncodeToken(t *Token) []byte { return EncodeTokenRing(Ring0, t) }
 
+// EncodedTokenSize returns the exact encoded size of a TOKEN frame, so
+// callers can draw a right-sized pooled buffer before AppendTokenRing.
+func EncodedTokenSize(ring RingID, t *Token) int {
+	n := 2 + 8 + 8 + 1 + 4 + 4*len(t.Members) + 4
+	if ring != Ring0 {
+		n += 4 // version-2 RingID field
+	}
+	for i := range t.Msgs {
+		n += msgEncodedSize(&t.Msgs[i])
+	}
+	return n
+}
+
 // EncodeTokenRing serializes a TOKEN message for the given ring.
 func EncodeTokenRing(ring RingID, t *Token) []byte {
-	// Pre-size: header + fixed fields + members + messages.
-	n := headerLen + 8 + 8 + 1 + 4 + 4*len(t.Members) + 4
-	for _, m := range t.Msgs {
-		n += msgEncodedSize(&m)
-	}
-	b := make([]byte, 0, n)
+	return AppendTokenRing(make([]byte, 0, EncodedTokenSize(ring, t)), ring, t)
+}
+
+// AppendTokenRing appends the encoded TOKEN frame to b and returns the
+// extended slice. With a pooled buffer sized by EncodedTokenSize it
+// performs no allocation.
+func AppendTokenRing(b []byte, ring RingID, t *Token) []byte {
 	b = header(b, ring, KindToken)
 	b = appendU64(b, t.Epoch)
 	b = appendU64(b, t.Seq)
@@ -119,7 +150,11 @@ func Encode911(m *Msg911) []byte { return Encode911Ring(Ring0, m) }
 
 // Encode911Ring serializes a 911 request for the given ring.
 func Encode911Ring(ring RingID, m *Msg911) []byte {
-	b := make([]byte, 0, headerLen+4+8+8+8)
+	return Append911Ring(make([]byte, 0, headerLen+4+8+8+8), ring, m)
+}
+
+// Append911Ring appends the encoded 911 request to b.
+func Append911Ring(b []byte, ring RingID, m *Msg911) []byte {
 	b = header(b, ring, Kind911)
 	b = appendU32(b, uint32(m.From))
 	b = appendU64(b, m.Epoch)
@@ -133,7 +168,11 @@ func Encode911Reply(m *Msg911Reply) []byte { return Encode911ReplyRing(Ring0, m)
 
 // Encode911ReplyRing serializes a 911 reply for the given ring.
 func Encode911ReplyRing(ring RingID, m *Msg911Reply) []byte {
-	b := make([]byte, 0, headerLen+4+8+2+8+8)
+	return Append911ReplyRing(make([]byte, 0, headerLen+4+8+2+8+8), ring, m)
+}
+
+// Append911ReplyRing appends the encoded 911 reply to b.
+func Append911ReplyRing(b []byte, ring RingID, m *Msg911Reply) []byte {
 	b = header(b, ring, Kind911Reply)
 	b = appendU32(b, uint32(m.From))
 	b = appendU64(b, m.ReqID)
@@ -148,7 +187,11 @@ func EncodeBodyodor(m *Bodyodor) []byte { return EncodeBodyodorRing(Ring0, m) }
 
 // EncodeBodyodorRing serializes a discovery beacon for the given ring.
 func EncodeBodyodorRing(ring RingID, m *Bodyodor) []byte {
-	b := make([]byte, 0, headerLen+4+4+8)
+	return AppendBodyodorRing(make([]byte, 0, headerLen+4+4+8), ring, m)
+}
+
+// AppendBodyodorRing appends the encoded discovery beacon to b.
+func AppendBodyodorRing(b []byte, ring RingID, m *Bodyodor) []byte {
 	b = header(b, ring, KindBodyodor)
 	b = appendU32(b, uint32(m.From))
 	b = appendU32(b, uint32(m.GroupID))
@@ -161,7 +204,11 @@ func EncodeForward(m *Forward) []byte { return EncodeForwardRing(Ring0, m) }
 
 // EncodeForwardRing serializes an open-group forward for the given ring.
 func EncodeForwardRing(ring RingID, m *Forward) []byte {
-	b := make([]byte, 0, headerLen+4+1+4+len(m.Payload))
+	return AppendForwardRing(make([]byte, 0, headerLen+4+1+4+len(m.Payload)), ring, m)
+}
+
+// AppendForwardRing appends the encoded open-group forward to b.
+func AppendForwardRing(b []byte, ring RingID, m *Forward) []byte {
 	b = header(b, ring, KindForward)
 	b = appendU32(b, uint32(m.From))
 	b = append(b, boolByte(m.Safe))
@@ -171,7 +218,9 @@ func EncodeForwardRing(ring RingID, m *Forward) []byte {
 
 // PeekRing extracts the RingID of an encoded frame without decoding the
 // body. It is the transport demultiplexer's routing key: version-1 frames
-// report ring 0, version-2 frames report their RingID field.
+// report ring 0; version-2 and version-3 (chunk) frames both carry the
+// RingID at bytes 2-5, so chunks route to the same ring as the frame they
+// reassemble into.
 func PeekRing(b []byte) (RingID, error) {
 	if len(b) < 2 {
 		return Ring0, ErrTruncated
@@ -179,7 +228,7 @@ func PeekRing(b []byte) (RingID, error) {
 	switch b[0] {
 	case VersionSingle:
 		return Ring0, nil
-	case VersionMulti:
+	case VersionMulti, VersionChunk:
 		if len(b) < headerLen {
 			return Ring0, ErrTruncated
 		}
@@ -192,175 +241,220 @@ func PeekRing(b []byte) (RingID, error) {
 // Decode parses a session message. It validates the version, kind, bounds
 // and exact length. Both the current version-2 format and the legacy
 // version-1 (single-ring) format are accepted; version-1 frames decode
-// with Ring 0.
+// with Ring 0. Chunked (version-3) frames are rejected here: reassemble
+// them with an Assembler first.
+//
+// Decode copies every variable-length field out of b, so the result is
+// safe to retain after b is reused. For the hot path, DecodeView avoids
+// those copies.
 func Decode(b []byte) (*Envelope, error) {
+	env := &Envelope{}
+	if err := decodeEnv(env, b, false); err != nil {
+		return nil, err
+	}
+	return env, nil
+}
+
+// DecodeView parses like Decode but returns payload views that alias b:
+// Token message payloads and Forward payloads point into the decoded
+// frame instead of being copied. The caller owns the aliasing contract —
+// if b is a pooled receive buffer, it must stay retained for as long as
+// any view is reachable, and views must never be used after its Release.
+// Fixed-width fields are always copied out, so the non-payload parts of
+// the envelope are alias-free.
+func DecodeView(b []byte) (*Envelope, error) {
+	env := &Envelope{}
+	if err := decodeEnv(env, b, true); err != nil {
+		return nil, err
+	}
+	return env, nil
+}
+
+// DecodeViewInto is DecodeView reusing env's internal scratch storage:
+// steady state it allocates nothing. The envelope's pointer fields and
+// every view they contain are invalidated by the next DecodeViewInto on
+// the same envelope; callers that keep a decoded message must copy it out
+// first (the fixed-width structs copy by assignment).
+func DecodeViewInto(env *Envelope, b []byte) error {
+	return decodeEnv(env, b, true)
+}
+
+func decodeEnv(env *Envelope, b []byte, view bool) error {
+	env.Token, env.M911, env.M911R, env.Bodyodor, env.Forward = nil, nil, nil, nil, nil
+	env.Ring = Ring0
 	if len(b) < 2 {
-		return nil, ErrTruncated
+		return ErrTruncated
 	}
 	kind := Kind(b[1])
-	r := reader{buf: b[2:]}
-	env := &Envelope{Kind: kind}
+	env.Kind = kind
+	r := reader{buf: b[2:], view: view}
 	switch b[0] {
 	case VersionSingle:
 		// Legacy single-ring frame: no RingID field, ring 0 implied.
 	case VersionMulti:
 		ring, err := r.u32()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		env.Ring = RingID(ring)
+	case VersionChunk:
+		return fmt.Errorf("%w: chunked frame needs reassembly", ErrBadVersion)
 	default:
-		return nil, fmt.Errorf("%w: got %d want %d or %d", ErrBadVersion, b[0], VersionSingle, VersionMulti)
+		return fmt.Errorf("%w: got %d want %d or %d", ErrBadVersion, b[0], VersionSingle, VersionMulti)
 	}
 	var err error
 	switch kind {
 	case KindToken:
-		env.Token, err = decodeToken(&r)
+		err = decodeToken(&r, &env.scr.tok)
+		env.Token = &env.scr.tok
 	case Kind911:
-		env.M911, err = decode911(&r)
+		err = decode911(&r, &env.scr.m911)
+		env.M911 = &env.scr.m911
 	case Kind911Reply:
-		env.M911R, err = decode911Reply(&r)
+		err = decode911Reply(&r, &env.scr.m911r)
+		env.M911R = &env.scr.m911r
 	case KindBodyodor:
-		env.Bodyodor, err = decodeBodyodor(&r)
+		err = decodeBodyodor(&r, &env.scr.bod)
+		env.Bodyodor = &env.scr.bod
 	case KindForward:
-		env.Forward, err = decodeForward(&r)
+		err = decodeForward(&r, &env.scr.fwd)
+		env.Forward = &env.scr.fwd
 	default:
-		return nil, fmt.Errorf("%w: %d", ErrBadKind, uint8(kind))
+		return fmt.Errorf("%w: %d", ErrBadKind, uint8(kind))
 	}
 	if err != nil {
-		return nil, err
+		env.Token, env.M911, env.M911R, env.Bodyodor, env.Forward = nil, nil, nil, nil, nil
+		return err
 	}
 	if len(r.buf) != 0 {
-		return nil, fmt.Errorf("%w: %d bytes", ErrTrailing, len(r.buf))
+		env.Token, env.M911, env.M911R, env.Bodyodor, env.Forward = nil, nil, nil, nil, nil
+		return fmt.Errorf("%w: %d bytes", ErrTrailing, len(r.buf))
 	}
-	return env, nil
+	return nil
 }
 
-func decodeToken(r *reader) (*Token, error) {
-	t := &Token{}
+func decodeToken(r *reader, t *Token) error {
+	t.Members = t.Members[:0]
+	t.Msgs = t.Msgs[:0]
 	var err error
 	if t.Epoch, err = r.u64(); err != nil {
-		return nil, err
+		return err
 	}
 	if t.Seq, err = r.u64(); err != nil {
-		return nil, err
+		return err
 	}
 	tbm, err := r.u8()
 	if err != nil {
-		return nil, err
+		return err
 	}
 	t.TBM = tbm != 0
 	nm, err := r.u32()
 	if err != nil {
-		return nil, err
+		return err
 	}
 	if nm > MaxMembers {
-		return nil, fmt.Errorf("%w: %d members", ErrTooLarge, nm)
+		return fmt.Errorf("%w: %d members", ErrTooLarge, nm)
 	}
-	t.Members = make([]NodeID, nm)
-	for i := range t.Members {
+	for i := 0; i < int(nm); i++ {
 		v, err := r.u32()
 		if err != nil {
-			return nil, err
+			return err
 		}
-		t.Members[i] = NodeID(v)
+		t.Members = append(t.Members, NodeID(v))
 	}
 	nmsg, err := r.u32()
 	if err != nil {
-		return nil, err
+		return err
 	}
 	if nmsg > MaxMessages {
-		return nil, fmt.Errorf("%w: %d messages", ErrTooLarge, nmsg)
+		return fmt.Errorf("%w: %d messages", ErrTooLarge, nmsg)
 	}
-	t.Msgs = make([]Message, nmsg)
-	for i := range t.Msgs {
-		if err := decodeMessage(r, &t.Msgs[i]); err != nil {
-			return nil, err
+	for i := 0; i < int(nmsg); i++ {
+		var m Message
+		if err := decodeMessage(r, &m); err != nil {
+			return err
 		}
+		t.Msgs = append(t.Msgs, m)
 	}
-	return t, nil
+	return nil
 }
 
-func decode911(r *reader) (*Msg911, error) {
-	m := &Msg911{}
+func decode911(r *reader, m *Msg911) error {
 	from, err := r.u32()
 	if err != nil {
-		return nil, err
+		return err
 	}
 	m.From = NodeID(from)
 	if m.Epoch, err = r.u64(); err != nil {
-		return nil, err
+		return err
 	}
 	if m.Seq, err = r.u64(); err != nil {
-		return nil, err
+		return err
 	}
 	if m.ReqID, err = r.u64(); err != nil {
-		return nil, err
+		return err
 	}
-	return m, nil
+	return nil
 }
 
-func decode911Reply(r *reader) (*Msg911Reply, error) {
-	m := &Msg911Reply{}
+func decode911Reply(r *reader, m *Msg911Reply) error {
 	from, err := r.u32()
 	if err != nil {
-		return nil, err
+		return err
 	}
 	m.From = NodeID(from)
 	if m.ReqID, err = r.u64(); err != nil {
-		return nil, err
+		return err
 	}
 	g, err := r.u8()
 	if err != nil {
-		return nil, err
+		return err
 	}
 	jp, err := r.u8()
 	if err != nil {
-		return nil, err
+		return err
 	}
 	m.Grant, m.JoinPending = g != 0, jp != 0
 	if m.Epoch, err = r.u64(); err != nil {
-		return nil, err
+		return err
 	}
 	if m.Seq, err = r.u64(); err != nil {
-		return nil, err
+		return err
 	}
-	return m, nil
+	return nil
 }
 
-func decodeBodyodor(r *reader) (*Bodyodor, error) {
-	m := &Bodyodor{}
+func decodeBodyodor(r *reader, m *Bodyodor) error {
 	from, err := r.u32()
 	if err != nil {
-		return nil, err
+		return err
 	}
 	gid, err := r.u32()
 	if err != nil {
-		return nil, err
+		return err
 	}
 	m.From, m.GroupID = NodeID(from), NodeID(gid)
 	if m.Epoch, err = r.u64(); err != nil {
-		return nil, err
+		return err
 	}
-	return m, nil
+	return nil
 }
 
-func decodeForward(r *reader) (*Forward, error) {
-	m := &Forward{}
+func decodeForward(r *reader, m *Forward) error {
 	from, err := r.u32()
 	if err != nil {
-		return nil, err
+		return err
 	}
 	m.From = NodeID(from)
 	safe, err := r.u8()
 	if err != nil {
-		return nil, err
+		return err
 	}
 	m.Safe = safe != 0
 	if m.Payload, err = r.bytes(); err != nil {
-		return nil, err
+		return err
 	}
-	return m, nil
+	return nil
 }
 
 func msgEncodedSize(m *Message) int {
@@ -434,7 +528,13 @@ func appendBytes(b, p []byte) []byte {
 	return append(b, p...)
 }
 
-type reader struct{ buf []byte }
+// reader consumes a frame body. With view set, bytes() returns subslices
+// aliasing the input frame (zero-copy); otherwise it copies, so decoded
+// payloads survive buffer reuse.
+type reader struct {
+	buf  []byte
+	view bool
+}
 
 func (r *reader) u8() (byte, error) {
 	if len(r.buf) < 1 {
@@ -483,7 +583,12 @@ func (r *reader) bytes() ([]byte, error) {
 	if uint32(len(r.buf)) < n {
 		return nil, ErrTruncated
 	}
-	v := append([]byte(nil), r.buf[:n]...)
+	var v []byte
+	if r.view {
+		v = r.buf[:n:n]
+	} else {
+		v = append([]byte(nil), r.buf[:n]...)
+	}
 	r.buf = r.buf[n:]
 	return v, nil
 }

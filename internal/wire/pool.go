@@ -1,0 +1,133 @@
+package wire
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Buf is a reference-counted, pool-backed byte buffer for wire frames. The
+// transport's receive slots and the encode paths draw from these pools so
+// steady-state token circulation recycles a fixed working set instead of
+// allocating per datagram.
+//
+// Ownership contract:
+//
+//   - GetBuf/GetBufSize return a Buf with one reference, owned by the
+//     caller.
+//   - A consumer that needs the bytes to outlive the call it received them
+//     in must Retain before returning and Release when done.
+//   - Release drops one reference; when the last reference drops the
+//     buffer returns to its pool and its bytes MUST NOT be touched again.
+//     Views produced by DecodeView alias these bytes — see DecodeView.
+//
+// Buffers come in two size classes (small for acks/control frames, large
+// for full datagrams); requests beyond the large class are satisfied with
+// an unpooled one-shot allocation so the pools never hold giants.
+type Buf struct {
+	// B is the backing storage. Users slice it (b.B[:0], b.B[:n]); its
+	// capacity is at least the size requested from GetBufSize.
+	B    []byte
+	refs atomic.Int32
+	pool *sync.Pool
+}
+
+// Size classes. BufSmall fits every control frame (acks, 911s, beacons)
+// with room to spare; BufLarge is the maximum UDP datagram, the natural
+// unit of the receive path.
+const (
+	BufSmall = 4 * 1024
+	BufLarge = 64 * 1024
+)
+
+// Pool usage counters, exported through PoolStats. Global atomics rather
+// than per-registry counters: the pools themselves are process-global.
+var (
+	poolHits   atomic.Int64
+	poolMisses atomic.Int64
+)
+
+var smallPool, largePool sync.Pool
+
+func init() {
+	smallPool.New = func() any {
+		poolMisses.Add(1)
+		return &Buf{B: make([]byte, BufSmall), pool: &smallPool}
+	}
+	largePool.New = func() any {
+		poolMisses.Add(1)
+		return &Buf{B: make([]byte, BufLarge), pool: &largePool}
+	}
+}
+
+// GetBuf returns a small-class buffer with one reference.
+func GetBuf() *Buf { return GetBufSize(BufSmall) }
+
+// GetBufSize returns a buffer whose capacity is at least n, with one
+// reference. Requests beyond BufLarge are one-shot allocations that bypass
+// the pools (Release simply drops them).
+func GetBufSize(n int) *Buf {
+	// The pool New funcs count misses; hits are derived as gets-misses at
+	// read time, so the fast path costs two atomic adds total.
+	poolGets.Add(1)
+	var b *Buf
+	switch {
+	case n <= BufSmall:
+		b = smallPool.Get().(*Buf)
+	case n <= BufLarge:
+		b = largePool.Get().(*Buf)
+	default:
+		poolMisses.Add(1)
+		b = &Buf{B: make([]byte, n)}
+	}
+	b.B = b.B[:cap(b.B)]
+	b.refs.Store(1)
+	return b
+}
+
+var poolGets atomic.Int64
+
+// Retain adds a reference; the caller must pair it with Release.
+func (b *Buf) Retain() {
+	if b.refs.Add(1) <= 1 {
+		panic("wire: Retain on a released Buf")
+	}
+}
+
+// Release drops one reference, returning the buffer to its pool when the
+// last one goes. Release on a nil Buf is a no-op so callers can treat
+// "unpooled payload" (nil) uniformly.
+func (b *Buf) Release() {
+	if b == nil {
+		return
+	}
+	switch n := b.refs.Add(-1); {
+	case n > 0:
+		return
+	case n < 0:
+		panic("wire: Release without matching Retain")
+	}
+	if b.pool != nil {
+		b.pool.Put(b)
+	}
+}
+
+// Refs returns the current reference count (for tests and leak asserts).
+func (b *Buf) Refs() int32 { return b.refs.Load() }
+
+// PoolStatsSnapshot reports cumulative pool traffic.
+type PoolStatsSnapshot struct {
+	Gets   int64 `json:"gets"`
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+}
+
+// PoolStats returns cumulative frame-pool usage: Hits counts gets served
+// from a pooled buffer, Misses counts gets that had to allocate.
+func PoolStats() PoolStatsSnapshot {
+	gets, misses := poolGets.Load(), poolMisses.Load()
+	hits := gets - misses
+	if hits < 0 {
+		hits = 0
+	}
+	return PoolStatsSnapshot{Gets: gets, Hits: hits, Misses: misses}
+}
