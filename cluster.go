@@ -306,18 +306,82 @@ func (c *Cluster) alive(op, key string) error {
 
 // --- data operations (context-first, auto-retrying) ---
 
-// Get reads a key from its shard's local replica. Reads are never
-// rejected by handoffs or snapshot barriers, so no retry is involved;
-// ok reports whether the key exists.
-func (c *Cluster) Get(ctx context.Context, key string) (val []byte, ok bool, err error) {
+// Get reads a key from its shard's local replica under the requested
+// consistency mode. With no options it is an eventual read — today's
+// (and the historical) behavior: serve the local replica as-is, never
+// blocking and never rejected by handoffs or snapshot barriers. The
+// moded forms (WithSession, WithMaxStaleness, WithLinearizable,
+// WithReadLease) may wait for the replica to catch up or order a fence
+// on the key's ring; those waits honor ctx cancellation and deadlines
+// throughout, and a shard shutting down mid-wait (an elastic shrink) is
+// retried against the new routing table like any other retryable
+// failure. Terminal failures surface as *Error{Op: "get"}.
+func (c *Cluster) Get(ctx context.Context, key string, opts ...ReadOption) (val []byte, ok bool, err error) {
 	if err := c.alive("get", key); err != nil {
 		return nil, false, err
 	}
-	if err := ctx.Err(); err != nil {
-		return nil, false, opError("get", key, err)
+	if len(opts) == 0 {
+		// Eventual fast path: purely local, nothing to wait on, so one
+		// upfront ctx check suffices and the retry machinery stays out of
+		// the way.
+		if err := ctx.Err(); err != nil {
+			return nil, false, opError("get", key, err)
+		}
+		v, ok := c.dds.GetLocal(key)
+		return v, ok, nil
 	}
-	v, ok := c.dds.Get(key)
-	return v, ok, nil
+	type getRes struct {
+		v  []byte
+		ok bool
+	}
+	r, err := retry(ctx, c, "get", key, stats.MetricClusterRetries, func() (getRes, error) {
+		v, ok, err := c.dds.Get(ctx, key, opts...)
+		return getRes{v, ok}, err
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	return r.v, r.ok, nil
+}
+
+// NewSession starts a read-your-writes session: writes made through it
+// record their ordered position, and session reads — sess.Get, or
+// Cluster.Get with WithSession(sess) on any node's Cluster — are
+// guaranteed to observe them. Sessions are safe for concurrent use and
+// cheap; use one per logical client.
+func (c *Cluster) NewSession() *Session {
+	return &Session{c: c, s: c.dds.NewSession()}
+}
+
+// Session is the facade's read-your-writes handle: Cluster semantics
+// (context-first, auto-retrying, *Error taxonomy) over a dds session.
+type Session struct {
+	c *Cluster
+	s *dds.Session
+}
+
+// Set writes key=val through the session, recording the write so later
+// session reads observe it. Retries transient rejections like
+// Cluster.Set.
+func (s *Session) Set(ctx context.Context, key string, val []byte) error {
+	if err := s.c.alive("set", key); err != nil {
+		return err
+	}
+	return retryErr(ctx, s.c, "set", key, func() error { return s.s.Set(ctx, key, val) })
+}
+
+// Delete removes a key through the session, recording the deletion so
+// later session reads observe it.
+func (s *Session) Delete(ctx context.Context, key string) error {
+	if err := s.c.alive("delete", key); err != nil {
+		return err
+	}
+	return retryErr(ctx, s.c, "delete", key, func() error { return s.s.Delete(ctx, key) })
+}
+
+// Get reads a key at session (read-your-writes) consistency.
+func (s *Session) Get(ctx context.Context, key string) ([]byte, bool, error) {
+	return s.c.Get(ctx, key, dds.WithSession(s.s))
 }
 
 // Set writes key=val on the key's shard and returns once the write has

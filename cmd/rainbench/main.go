@@ -12,10 +12,12 @@
 //
 // e5 (the sharded multi-ring scaling run) persists its rows to
 // BENCH_E5.json (override with -e5-out); e6 (the elastic-resharding run)
-// persists to BENCH_E6.json (-e6-out) and e7 (the cross-shard
-// transaction run) to BENCH_E7.json (-e7-out); e6 and e7 refuse to
+// persists to BENCH_E6.json (-e6-out), e7 (the cross-shard transaction
+// run) to BENCH_E7.json (-e7-out) and e8 (the consistency-moded read
+// scaling run) to BENCH_E8.json (-e8-out); e6, e7 and e8 refuse to
 // overwrite an existing baseline unless -force is given. -quick shrinks
-// e7 to its CI size (seconds), for the per-PR benchmark artifact.
+// e7 and e8 to their CI sizes (seconds), for the per-PR benchmark
+// artifact.
 //
 // -cluster runs the facade-overhead comparison: the same sharded write
 // workload against the raw dds router and through raincore.Cluster's
@@ -36,16 +38,17 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiments to run: all or a comma list of e1,e2,e3,e4,e5,e6,e7,a1,a2,a3")
+	exp := flag.String("exp", "all", "experiments to run: all or a comma list of e1,e2,e3,e4,e5,e6,e7,e8,a1,a2,a3")
 	e5Out := flag.String("e5-out", "BENCH_E5.json", "where e5 persists its baseline rows")
 	e6Out := flag.String("e6-out", "BENCH_E6.json", "where e6 persists its baseline")
 	e7Out := flag.String("e7-out", "BENCH_E7.json", "where e7 persists its baseline")
-	force := flag.Bool("force", false, "overwrite an existing e6/e7 baseline")
-	quick := flag.Bool("quick", false, "run e7 at its CI size (shorter phases, fewer workers)")
+	e8Out := flag.String("e8-out", "BENCH_E8.json", "where e8 persists its baseline")
+	force := flag.Bool("force", false, "overwrite an existing e6/e7/e8 baseline")
+	quick := flag.Bool("quick", false, "run e7/e8 at their CI sizes (shorter phases, fewer workers)")
 	clusterMode := flag.Bool("cluster", false, "measure the raincore.Cluster facade's retry-wrapper overhead against the raw sharded-dds path (asserts it is within noise)")
 	flag.Parse()
 
-	known := []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "a1", "a2", "a3"}
+	known := []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "a1", "a2", "a3"}
 	selection := *exp
 	// Positional form: `rainbench e5` == `rainbench -exp e5`. Mixing the
 	// two would silently drop one, so it is an error; so is an unknown
@@ -186,6 +189,31 @@ func main() {
 			log.Fatalf("E7: write baseline: %v", err)
 		}
 		fmt.Printf("e7 baseline written to %s\n\n", *e7Out)
+	}
+	if want["e8"] {
+		if _, err := os.Stat(*e8Out); err == nil && !*force {
+			log.Fatalf("rainbench: %s exists; pass -force to overwrite the baseline", *e8Out)
+		}
+		cfg := experiments.DefaultE8()
+		if *quick {
+			cfg = experiments.QuickE8()
+		}
+		rows, err := experiments.E8ReadScaling(cfg)
+		if err != nil {
+			log.Fatalf("E8: %v", err)
+		}
+		fmt.Println(experiments.E8Table(rows, cfg))
+		e5Ref := experiments.E5WriteRef(*e5Out)
+		if err := experiments.WriteE8JSON(*e8Out, cfg, rows, e5Ref); err != nil {
+			log.Fatalf("E8: write baseline: %v", err)
+		}
+		fmt.Printf("e8 baseline written to %s\n", *e8Out)
+		if e5Ref > 0 && len(rows) > 0 {
+			last := rows[len(rows)-1]
+			fmt.Printf("e8 write check: %.0f ops/s at %d nodes vs e5 4-shard baseline %.0f ops/s (%.1f%%)\n",
+				last.WriteOpsPS, last.Nodes, e5Ref, 100*last.WriteOpsPS/e5Ref)
+		}
+		fmt.Println()
 	}
 	if want["a1"] {
 		rows, err := experiments.A1SafeVsAgreed(4, 50)

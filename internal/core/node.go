@@ -136,6 +136,13 @@ type Node struct {
 	// receiver uses it to supersede stale partial frames.
 	chunkFrameID atomic.Uint64
 
+	// lastTokArrival is the wall-clock nanotime the token last arrived at
+	// this node (atomic: read by the bounded-staleness read path off the
+	// loop goroutine). A token visit with nothing to deliver still proves
+	// every multicast ordered before it has been seen, so it bounds how
+	// stale this node's replicas can be.
+	lastTokArrival atomic.Int64
+
 	// Zero-copy pinning, owned by the loop goroutine: while the possessed
 	// token's payload views alias a pooled receive buffer, pinBuf holds a
 	// reference to it and pinTok identifies the token (pointer identity
@@ -260,6 +267,17 @@ func (n *Node) Ring() RingID { return n.ringID }
 // Stats returns the node's metric registry.
 func (n *Node) Stats() *stats.Registry { return n.reg }
 
+// LastTokenArrival reports the wall-clock time the ring's token last
+// arrived at this node (zero before the first arrival). Safe to call from
+// any goroutine.
+func (n *Node) LastTokenArrival() time.Time {
+	ns := n.lastTokArrival.Load()
+	if ns == 0 {
+		return time.Time{}
+	}
+	return time.Unix(0, ns)
+}
+
 // Transport exposes the transport layer for peer registration.
 func (n *Node) Transport() *transport.Transport { return n.tr }
 
@@ -334,6 +352,7 @@ func (n *Node) loop() {
 			if ta, ok := ev.(tokenArrival); ok {
 				buf, tok = ta.buf, ta.Tok
 				ev = ta.EvTokenReceived
+				n.lastTokArrival.Store(time.Now().UnixNano())
 			}
 			n.countTaskSwitch(ev)
 			n.traceEvent(ev)

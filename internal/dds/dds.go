@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -31,10 +32,34 @@ type Service struct {
 	node *core.Node
 	id   core.NodeID
 
-	mu      sync.Mutex
+	mu      sync.RWMutex
 	locks   map[string]*lockState
 	kv      map[string][]byte
 	nextReq uint64
+
+	// rview is the lock-free read side: a COW image of kv kept in sync by
+	// the ordered appliers, so Get/Keys never serialize behind token
+	// applies (or each other). It also carries the apply-progress stamps
+	// the consistency-moded read path keys off.
+	rview readView
+
+	// Reader wake machinery for WaitCaughtUp: appliers close waitCh (when
+	// readWaiters says anyone is parked) after advancing the applied
+	// vector. The atomic gate keeps the write hot path at one atomic load
+	// when no reads are waiting.
+	readWaiters atomic.Int32
+	waitMu      sync.Mutex
+	waitCh      chan struct{}
+
+	// Per-mode read counters, resolved once at construction: the eventual
+	// read path must not take the stats registry's mutex per op.
+	cReadEventual *stats.Counter
+	cReadSession  *stats.Counter
+	cReadBounded  *stats.Counter
+	cReadLin      *stats.Counter
+	cReadFences   *stats.Counter
+	cLeaseHits    *stats.Counter
+	cSessionWaits *stats.Counter
 
 	// Local waiters. The channels carry the outcome: nil on grant/apply,
 	// ErrResharding when the ordered apply rejected the op because its
@@ -157,6 +182,14 @@ func New(node *core.Node) *Service {
 
 		evictedHigh: make(map[core.NodeID]uint64),
 	}
+	reg := node.Stats()
+	s.cReadEventual = reg.Counter(stats.MetricReadsEventual)
+	s.cReadSession = reg.Counter(stats.MetricReadsSession)
+	s.cReadBounded = reg.Counter(stats.MetricReadsBounded)
+	s.cReadLin = reg.Counter(stats.MetricReadsLinearizable)
+	s.cReadFences = reg.Counter(stats.MetricReadFences)
+	s.cLeaseHits = reg.Counter(stats.MetricReadLeaseHits)
+	s.cSessionWaits = reg.Counter(stats.MetricReadSessionWaits)
 	node.SetHandlers(core.Handlers{
 		OnDeliver:    s.onDeliver,
 		OnSys:        s.onSys,
@@ -218,8 +251,8 @@ func (s *Service) bindRouter(r *Sharded, shardID int) {
 // slice of this shard, the router's submit-time fast path. The ordered
 // apply path enforces the same predicate authoritatively.
 func (s *Service) frozenContains(h uint64) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return s.frozenID != 0 && rangesContain(s.frozen, h)
 }
 
@@ -325,8 +358,8 @@ func (s *Service) removeOpWaiter(reqID uint64, ch chan error) {
 
 // Holder reports the current owner of the named lock.
 func (s *Service) Holder(name string) (core.NodeID, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	st := s.locks[name]
 	if st == nil || st.owner == wire.NoNode {
 		return wire.NoNode, false
@@ -371,26 +404,112 @@ func (s *Service) doOp(ctx context.Context, build func(reqID uint64) []byte) err
 	}
 }
 
-// Get reads a key from the local replica.
+// Get reads a key from the local replica's lock-free view — an eventual
+// read: it reflects every op this replica has applied, not necessarily
+// every op the ring has ordered. The returned slice is the caller's.
 func (s *Service) Get(key string) ([]byte, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	v, ok := s.kv[key]
-	if !ok {
-		return nil, false
-	}
-	return append([]byte(nil), v...), true
+	return s.rview.get(key)
 }
 
-// Keys lists the local replica's keys.
+// Keys lists the local replica's keys from the lock-free view.
 func (s *Service) Keys() []string {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := make([]string, 0, len(s.kv))
-	for k := range s.kv {
-		out = append(out, k)
+	return s.rview.keys()
+}
+
+// Fence orders a no-op on this replica's ring and waits for its local
+// apply. On return, every write ordered before Fence was invoked has
+// applied here, so a local read that follows observes it — the read-index
+// pattern over the token's total order. Fences are never rejected by
+// handoff freezes or snapshot barriers, so fenced reads stay available
+// mid-reshard. The wait is bounded by ctx.
+func (s *Service) Fence(ctx context.Context) error {
+	s.cReadFences.Inc()
+	return s.doOp(ctx, func(reqID uint64) []byte { return encodeFence(reqID) })
+}
+
+// AppliedSeq reports the highest multicast sequence from origin whose op
+// this replica has applied (directly or via snapshot).
+func (s *Service) AppliedSeq(origin core.NodeID) uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.applied[origin]
+}
+
+// ApplyIndex counts ordered applies on this replica — a monotone local
+// progress measure (not comparable across replicas: snapshots collapse
+// many ops into one apply).
+func (s *Service) ApplyIndex() uint64 { return s.rview.applyIndex.Load() }
+
+// Freshness reports when this replica last proved it was caught up: the
+// later of its last ordered apply and its node's last token arrival (a
+// token visit with nothing to deliver is still proof no ordered write is
+// missing up to that instant).
+func (s *Service) Freshness() time.Time {
+	la := s.rview.lastApply()
+	if tok := s.node.LastTokenArrival(); tok.After(la) {
+		return tok
 	}
-	return out
+	return la
+}
+
+// WaitCaughtUp blocks until this replica has applied origin's ops through
+// seq, ctx expires, or the replica shuts down (retryable ErrResharding —
+// the caller re-resolves the shard and retries).
+func (s *Service) WaitCaughtUp(ctx context.Context, origin core.NodeID, seq uint64) error {
+	for {
+		s.mu.RLock()
+		done := s.applied[origin] >= seq
+		closed := s.closed
+		s.mu.RUnlock()
+		if done {
+			return nil
+		}
+		if closed {
+			return fmt.Errorf("%w: shard shut down", ErrResharding)
+		}
+		s.readWaiters.Add(1)
+		s.waitMu.Lock()
+		if s.waitCh == nil {
+			s.waitCh = make(chan struct{})
+		}
+		ch := s.waitCh
+		s.waitMu.Unlock()
+		// Re-check after registering: an apply between the first check and
+		// the channel fetch would otherwise be a missed wakeup.
+		s.mu.RLock()
+		done = s.applied[origin] >= seq
+		closed = s.closed
+		s.mu.RUnlock()
+		if done || closed {
+			s.readWaiters.Add(-1)
+			if done {
+				return nil
+			}
+			return fmt.Errorf("%w: shard shut down", ErrResharding)
+		}
+		select {
+		case <-ch:
+			s.readWaiters.Add(-1)
+		case <-ctx.Done():
+			s.readWaiters.Add(-1)
+			return ctx.Err()
+		}
+	}
+}
+
+// wakeReadersLocked releases every WaitCaughtUp parked on this replica;
+// called after the applied vector advances (and on shutdown). The atomic
+// gate keeps the no-waiter case to one load.
+func (s *Service) wakeReadersLocked() {
+	if s.readWaiters.Load() == 0 {
+		return
+	}
+	s.waitMu.Lock()
+	if s.waitCh != nil {
+		close(s.waitCh)
+		s.waitCh = nil
+	}
+	s.waitMu.Unlock()
 }
 
 // Watch registers a callback for key changes, invoked in apply order.
@@ -407,9 +526,9 @@ func (s *Service) Watch(fn func(key string, val []byte, deleted bool)) {
 func (s *Service) onDeliver(d core.Delivery) {
 	op, ok := decodeOp(d.Payload)
 	if !ok {
-		s.mu.Lock()
+		s.mu.RLock()
 		h := s.app.OnDeliver
-		s.mu.Unlock()
+		s.mu.RUnlock()
 		if h != nil {
 			h(d)
 		}
@@ -471,9 +590,9 @@ func (s *Service) onSys(e core.SysEvent) {
 			s.enterSync()
 		}
 	}
-	s.mu.Lock()
+	s.mu.RLock()
 	h := s.app.OnSys
-	s.mu.Unlock()
+	s.mu.RUnlock()
 	if h != nil {
 		h(e)
 	}
@@ -514,6 +633,9 @@ func (s *Service) onShutdown(reason string) {
 			ch <- drainErr
 		}
 	}
+	// Parked session/fence readers must not wait out their deadlines on a
+	// ring that will never apply again.
+	s.wakeReadersLocked()
 	h := s.app.OnShutdown
 	s.mu.Unlock()
 	if h != nil {
@@ -592,6 +714,8 @@ func (s *Service) applyFilteredLocked(origin core.NodeID, seq uint64, o op) {
 		s.logRecentLocked(origin, seq, o)
 	}
 	s.applyLocked(origin, o)
+	s.rview.stamp()
+	s.wakeReadersLocked()
 }
 
 // recentLogCap bounds the replay log; snapshots older than this many ops
@@ -625,7 +749,7 @@ func (s *Service) ackCoveredSelfOpLocked(o op) {
 		// in applySnapshotLocked re-submits.
 	case opRelease, opFreeze, opInstall, opFlip, opPurge,
 		opTxnPrepare, opTxnCommit, opTxnAbort,
-		opSnapFreeze, opSnapCapture, opSnapRelease:
+		opSnapFreeze, opSnapCapture, opSnapRelease, opFence:
 		s.signalOpLocked(s.id, o.reqID, nil)
 	}
 }
@@ -669,11 +793,18 @@ func (s *Service) applyLocked(origin core.NodeID, o op) {
 		s.applyCancelLocked(origin, o)
 	case opSet:
 		s.kv[o.key] = append([]byte(nil), o.val...)
+		s.rview.set(o.key, o.val)
 		s.notifyLocked(o.key, o.val, false)
 		s.signalOpLocked(origin, o.reqID, nil)
 	case opDel:
 		delete(s.kv, o.key)
+		s.rview.del(o.key)
 		s.notifyLocked(o.key, nil, true)
+		s.signalOpLocked(origin, o.reqID, nil)
+	case opFence:
+		// Ordered no-op: its apply is the fence. Deliberately exempt from
+		// the freeze/retired/snapshot-barrier rejections above — fenced
+		// reads must stay available mid-handoff, like plain reads.
 		s.signalOpLocked(origin, o.reqID, nil)
 	case opSnapshot:
 		s.applySnapshotLocked(origin, o)
@@ -766,10 +897,12 @@ func (s *Service) applyTxnCommitLocked(origin core.NodeID, o op) {
 	sort.Strings(keys)
 	for _, k := range keys {
 		s.kv[k] = st.kv[k]
+		s.rview.set(k, s.kv[k])
 		s.notifyLocked(k, s.kv[k], false)
 	}
 	for _, k := range st.dels {
 		delete(s.kv, k)
+		s.rview.del(k)
 		s.notifyLocked(k, nil, true)
 	}
 	s.signalOpLocked(origin, o.reqID, nil)
@@ -787,8 +920,8 @@ func (s *Service) applyTxnAbortLocked(origin core.NodeID, o op) {
 // PendingTxns reports the number of staged (prepared, unresolved)
 // transactions on this replica — diagnostics and test assertions.
 func (s *Service) PendingTxns() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return len(s.txns)
 }
 
@@ -1008,6 +1141,7 @@ func (s *Service) applyFlipLocked(origin core.NodeID, o op) {
 		sort.Strings(keys)
 		for _, k := range keys {
 			s.kv[k] = s.staged.kv[k]
+			s.rview.set(k, s.kv[k])
 			s.notifyLocked(k, s.kv[k], false)
 		}
 		for name, ls := range s.staged.locks {
@@ -1131,6 +1265,7 @@ func (s *Service) purgeFrozenLocked() {
 	for k := range s.kv {
 		if rangesContain(s.frozen, fnv64a(k)) {
 			delete(s.kv, k)
+			s.rview.del(k)
 		}
 	}
 	for name := range s.locks {
@@ -1316,6 +1451,7 @@ func (s *Service) applySnapshotLocked(origin core.NodeID, o op) {
 	}
 	old := s.kv
 	s.kv = st.kv
+	s.rview.reload(s.kv)
 	s.locks = st.locks
 	s.applied = st.applied
 	if s.applied == nil {
@@ -1415,7 +1551,7 @@ func (s *Service) captureTargetLocked(target core.NodeID) []byte {
 
 // String summarizes the replica (diagnostics).
 func (s *Service) String() string {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return fmt.Sprintf("dds{node=%v keys=%d locks=%d syncing=%v}", s.id, len(s.kv), len(s.locks), s.syncing)
 }

@@ -60,6 +60,15 @@ const (
 	opSnapFreeze
 	opSnapCapture
 	opSnapRelease
+	// opFence is the read-path fence: a no-op that merely occupies an
+	// ordered position. A linearizable (or staleness-fenced) read submits
+	// one and waits for its local apply — every write ordered before the
+	// read's invocation is then applied on this replica, so the local
+	// lookup that follows is as fresh as a token-carried read would be.
+	// Fences apply unconditionally: freezes, snapshot barriers and
+	// retired ranges never reject them, so reads stay available through
+	// handoffs.
+	opFence
 )
 
 type op struct {
@@ -375,6 +384,11 @@ func encodeSnapRelease(id uint64, reqID uint64) []byte {
 	return binary.LittleEndian.AppendUint64(b, reqID)
 }
 
+// encodeFence orders a read fence on the carrying ring.
+func encodeFence(reqID uint64) []byte {
+	return binary.LittleEndian.AppendUint64(header(opFence), reqID)
+}
+
 // decodeOp parses a data-service op; ok=false means the payload belongs to
 // the application.
 func decodeOp(p []byte) (op, bool) {
@@ -454,6 +468,8 @@ func decodeOp(p []byte) (op, bool) {
 		if o.rid, err = r.u64(); err == nil {
 			o.reqID, err = r.u64()
 		}
+	case opFence:
+		o.reqID, err = r.u64()
 	default:
 		return op{}, false
 	}

@@ -1,0 +1,405 @@
+package dds
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+// Consistency-moded local reads. Every node hosts a full replica of each
+// of its rings' state, so reads need not ride the token at all — the
+// question is only how stale the local replica may be. The router's
+// Get(ctx, key, ...ReadOption) answers it per call:
+//
+//   - eventual (default, no options): serve the local view as-is. This is
+//     exactly what bare reads have always returned.
+//   - session (WithSession): read-your-writes. The session records, per
+//     shard, the ordered position of its own writes; a read waits until
+//     the serving replica has applied past those marks.
+//   - bounded staleness (WithMaxStaleness(d)): serve locally only if the
+//     replica proved itself caught up within d — its last ordered apply
+//     or token arrival — otherwise fence first.
+//   - linearizable (WithLinearizable): order a no-op fence on the key's
+//     ring and wait for its local apply; the lookup then reflects every
+//     write ordered before the read began. WithReadLease(d) amortizes
+//     the fence: after one fence, reads in the next d are served locally
+//     under an epoch-pinned lease (see the lease note below).
+//
+// Only the fence rides the token, so eventual/session/bounded/lease
+// reads scale with node count while the token carries writes.
+
+// ReadConsistency selects a read mode; zero value is ReadEventual.
+type ReadConsistency int
+
+const (
+	// ReadEventual serves the local replica with no coordination.
+	ReadEventual ReadConsistency = iota
+	// ReadSession guarantees read-your-writes for one Session's writes.
+	ReadSession
+	// ReadBounded guarantees the replica was caught up within a bound.
+	ReadBounded
+	// ReadLinearizable guarantees the read observes every write ordered
+	// before it began (fence, or epoch-pinned lease).
+	ReadLinearizable
+)
+
+// readOptions is the resolved option set of one Get call.
+type readOptions struct {
+	mode     ReadConsistency
+	sess     *Session
+	maxStale time.Duration
+	lease    time.Duration
+}
+
+// ReadOption configures one Get call's consistency mode.
+type ReadOption func(*readOptions)
+
+// WithEventual selects the eventual mode explicitly (the default).
+func WithEventual() ReadOption {
+	return func(ro *readOptions) { ro.mode = ReadEventual }
+}
+
+// WithSession selects session (read-your-writes) mode: the read observes
+// every prior write made through sess, waiting for the local replica to
+// catch up if needed (bounded by ctx).
+func WithSession(sess *Session) ReadOption {
+	return func(ro *readOptions) {
+		ro.mode = ReadSession
+		ro.sess = sess
+	}
+}
+
+// WithMaxStaleness selects bounded-staleness mode: serve locally only if
+// the replica proved itself caught up within d (last ordered apply or
+// token arrival); otherwise fence on the ring first. d <= 0 fences every
+// read.
+func WithMaxStaleness(d time.Duration) ReadOption {
+	return func(ro *readOptions) {
+		ro.mode = ReadBounded
+		ro.maxStale = d
+	}
+}
+
+// WithLinearizable selects linearizable mode: the read fences on the
+// key's ring (one ordered no-op) before serving, so it observes every
+// write ordered before it began.
+func WithLinearizable() ReadOption {
+	return func(ro *readOptions) { ro.mode = ReadLinearizable }
+}
+
+// WithReadLease amortizes linearizable fences: after a fence, reads for
+// the next d are served from the local replica under a lease pinned to
+// the current routing epoch (implies WithLinearizable). A lease-hit read
+// observes at least every write the last fence ordered behind, and the
+// replica keeps applying between fences, so its staleness is bounded by
+// d — the classic read-lease trade: per-read fencing strictness for
+// local-speed reads. Pass d=0 (or omit) to fence every read.
+func WithReadLease(d time.Duration) ReadOption {
+	return func(ro *readOptions) {
+		ro.mode = ReadLinearizable
+		ro.lease = d
+	}
+}
+
+// Get reads a key from its shard's local replica under the requested
+// consistency mode (eventual when no options are given — the documented
+// default, identical to GetLocal). Modes that wait — session catch-up
+// and fences — honor ctx; the returned error is retryable (matches
+// rcerr.ErrRetryable) when the shard shut down mid-wait, e.g. for an
+// elastic shrink, and the caller should re-route and retry.
+func (s *Sharded) Get(ctx context.Context, key string, opts ...ReadOption) ([]byte, bool, error) {
+	if len(opts) == 0 {
+		// Hot path: no option funcs to run, no ordered wait possible, so
+		// no ctx poll either — this is the ≤1 alloc/op read (the alloc is
+		// the returned value copy).
+		svc := s.routeRead(key)
+		if svc == nil {
+			return nil, false, fmt.Errorf("dds: no shard for key %q", key)
+		}
+		svc.cReadEventual.Inc()
+		v, ok := svc.rview.get(key)
+		return v, ok, nil
+	}
+	var ro readOptions
+	for _, o := range opts {
+		o(&ro)
+	}
+	return s.getModed(ctx, key, &ro)
+}
+
+func (s *Sharded) getModed(ctx context.Context, key string, ro *readOptions) ([]byte, bool, error) {
+	if ro.mode == ReadSession && ro.sess == nil {
+		return nil, false, errors.New("dds: session read without a session (use WithSession)")
+	}
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, false, err
+		}
+		// A session read must route under an epoch at least as new as the
+		// session's last write: across an elastic handoff the writer's node
+		// flips before this one, and until the flip arrives here the old
+		// routing would send the read to the source shard — which never saw
+		// writes the session already made to the target.
+		if ro.mode == ReadSession {
+			if err := s.waitEpoch(ctx, ro.sess.writeEpoch()); err != nil {
+				return nil, false, err
+			}
+		}
+		svc, shard := s.routeReadShard(key)
+		if svc == nil {
+			return nil, false, fmt.Errorf("dds: no shard for key %q", key)
+		}
+		switch ro.mode {
+		case ReadEventual:
+			svc.cReadEventual.Inc()
+
+		case ReadSession:
+			for _, m := range ro.sess.marksFor(shard) {
+				if svc.AppliedSeq(m.origin) >= m.seq {
+					continue
+				}
+				svc.cSessionWaits.Inc()
+				if err := svc.WaitCaughtUp(ctx, m.origin, m.seq); err != nil {
+					return nil, false, err
+				}
+			}
+			svc.cReadSession.Inc()
+
+		case ReadBounded:
+			fresh := svc.Freshness()
+			if fresh.IsZero() || time.Since(fresh) > ro.maxStale {
+				if err := svc.Fence(ctx); err != nil {
+					return nil, false, err
+				}
+			}
+			svc.cReadBounded.Inc()
+
+		case ReadLinearizable:
+			if ro.lease > 0 && s.leaseValid(shard) {
+				svc.cLeaseHits.Inc()
+			} else {
+				// The lease starts at the fence's submission, not its apply:
+				// writes ordered during the fence's round are only guaranteed
+				// visible if ordered before the submission.
+				start := time.Now()
+				if err := svc.Fence(ctx); err != nil {
+					return nil, false, err
+				}
+				if ro.lease > 0 {
+					s.grantLease(shard, start.Add(ro.lease))
+				}
+			}
+			svc.cReadLin.Inc()
+
+		default:
+			return nil, false, fmt.Errorf("dds: unknown read consistency %d", ro.mode)
+		}
+		v, ok := svc.rview.get(key)
+		// A handoff may have flipped while the mode's wait blocked, moving
+		// the key to another shard and purging it from the replica just
+		// read. The local flip swaps the router before it purges, so the
+		// read is valid exactly if the routing still names the shard it
+		// came from; otherwise re-route and redo the wait there.
+		if _, again := s.routeReadShard(key); again == shard {
+			return v, ok, nil
+		}
+	}
+}
+
+// waitEpoch blocks until the router's epoch reaches at least epoch. The
+// flip that advances it is already ordered (the session observed its
+// effect on the writing node), so this only rides out cross-node skew.
+func (s *Sharded) waitEpoch(ctx context.Context, epoch uint64) error {
+	for {
+		s.mu.RLock()
+		e := s.epoch
+		s.mu.RUnlock()
+		if e >= epoch {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(time.Millisecond):
+		}
+	}
+}
+
+// --- read leases ---
+
+// readLease lets linearizable reads skip the fence for a window: valid
+// until its deadline, and only while the routing epoch it was granted
+// under still stands (an elastic handoff mid-lease could move the key to
+// a shard whose replica this lease never fenced).
+type readLease struct {
+	until  int64 // unixnano
+	pin    core.EpochPin
+	pinned bool
+}
+
+func (s *Sharded) leaseValid(shard int) bool {
+	s.leaseMu.Lock()
+	l, ok := s.leases[shard]
+	s.leaseMu.Unlock()
+	if !ok || time.Now().UnixNano() >= l.until {
+		return false
+	}
+	if l.pinned && l.pin.Check() != nil {
+		return false
+	}
+	return true
+}
+
+func (s *Sharded) grantLease(shard int, until time.Time) {
+	l := readLease{until: until.UnixNano()}
+	if s.rt != nil {
+		l.pin = s.rt.PinEpoch()
+		l.pinned = true
+	}
+	s.leaseMu.Lock()
+	if s.leases == nil {
+		s.leases = make(map[int]readLease)
+	}
+	s.leases[shard] = l
+	s.leaseMu.Unlock()
+}
+
+// --- sessions ---
+
+// Session provides read-your-writes across the cluster: writes made
+// through it record their ordered position per shard, and session reads
+// (Get with WithSession) on ANY node's router wait until the serving
+// replica has applied past those positions. Safe for concurrent use; a
+// session is a consistency token, not a connection.
+//
+// Marks are keyed by shard id plus originating node, using the ring's
+// own per-origin multicast sequences — raw apply counters would not be
+// comparable across replicas (snapshots collapse many ops into one
+// apply). A key that resharded to a different shard since the write
+// carries no mark there; that is safe, because the ordered handoff
+// installs the write's effect on the target before the target serves
+// reads.
+type Session struct {
+	r *Sharded
+
+	mu    sync.Mutex
+	epoch uint64                         // newest routing epoch written under
+	marks map[int]map[core.NodeID]uint64 // shard -> origin -> min applied seq
+}
+
+// NewSession starts an empty read-your-writes session bound to this
+// router for its writes. The session itself may be shared with readers
+// on other nodes.
+func (s *Sharded) NewSession() *Session {
+	return &Session{r: s, marks: make(map[int]map[core.NodeID]uint64)}
+}
+
+// Set writes key=val through the session's router and records the
+// write's ordered position, so later session reads observe it.
+func (sess *Session) Set(ctx context.Context, key string, val []byte) error {
+	svc, shard, epoch, err := sess.r.routeWriteShard(key)
+	if err != nil {
+		return err
+	}
+	if err := svc.Set(ctx, key, val); err != nil {
+		return err
+	}
+	sess.observeWrite(shard, epoch, svc)
+	return nil
+}
+
+// Delete removes a key through the session's router and records the
+// deletion's ordered position, so later session reads observe it.
+func (sess *Session) Delete(ctx context.Context, key string) error {
+	svc, shard, epoch, err := sess.r.routeWriteShard(key)
+	if err != nil {
+		return err
+	}
+	if err := svc.Delete(ctx, key); err != nil {
+		return err
+	}
+	sess.observeWrite(shard, epoch, svc)
+	return nil
+}
+
+// Get reads a key at session consistency.
+func (sess *Session) Get(ctx context.Context, key string) ([]byte, bool, error) {
+	return sess.r.Get(ctx, key, WithSession(sess))
+}
+
+// observeWrite records that this session's latest write on shard applied
+// at the writing replica's current position for its own origin, under the
+// routing epoch the write routed by. The position can only
+// over-approximate (later self-ops may have applied since), which is
+// safe: session reads wait at least as long as needed.
+func (sess *Session) observeWrite(shard int, epoch uint64, svc *Service) {
+	origin := svc.id
+	seq := svc.AppliedSeq(origin)
+	sess.mu.Lock()
+	if epoch > sess.epoch {
+		sess.epoch = epoch
+	}
+	m := sess.marks[shard]
+	if m == nil {
+		m = make(map[core.NodeID]uint64, 1)
+		sess.marks[shard] = m
+	}
+	if seq > m[origin] {
+		m[origin] = seq
+	}
+	sess.mu.Unlock()
+}
+
+// writeEpoch reports the newest routing epoch the session wrote under.
+func (sess *Session) writeEpoch() uint64 {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	return sess.epoch
+}
+
+// sessionMark is one (origin, seq) a session read must wait behind.
+type sessionMark struct {
+	origin core.NodeID
+	seq    uint64
+}
+
+// marksFor snapshots the session's marks for one shard.
+func (sess *Session) marksFor(shard int) []sessionMark {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	m := sess.marks[shard]
+	if len(m) == 0 {
+		return nil
+	}
+	out := make([]sessionMark, 0, len(m))
+	for origin, seq := range m {
+		out = append(out, sessionMark{origin: origin, seq: seq})
+	}
+	return out
+}
+
+// routeWriteShard is routeWrite plus the shard id the key resolved to and
+// the routing epoch it resolved under, for session write marks.
+func (s *Sharded) routeWriteShard(key string) (*Service, int, uint64, error) {
+	h := fnv64a(key)
+	s.mu.RLock()
+	id := s.ring.owner(h)
+	epoch := s.epoch
+	svc := s.shards[id]
+	s.mu.RUnlock()
+	if svc == nil {
+		return nil, 0, 0, fmt.Errorf("dds: no shard for key %q", key)
+	}
+	if svc.frozenContains(h) {
+		if s.reg != nil {
+			s.reg.Counter(stats.MetricFrozenWrites).Inc()
+		}
+		return nil, 0, 0, fmt.Errorf("%w: key %q", ErrResharding, key)
+	}
+	return svc, id, epoch, nil
+}

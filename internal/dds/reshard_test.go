@@ -478,7 +478,7 @@ func TestRingLifecycleChurn(t *testing.T) {
 				default:
 				}
 				key := keys[i%nkeys]
-				val, ok := sc.svcs[id].Get(key)
+				val, ok := sc.svcs[id].GetLocal(key)
 				if !ok {
 					continue
 				}

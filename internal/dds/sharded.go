@@ -53,6 +53,10 @@ type Sharded struct {
 	// state (see txn_api.go and snapshot.go).
 	nextTxn  uint64
 	snapLead *leadSnap
+
+	// Per-shard read leases for linearizable reads (see read.go).
+	leaseMu sync.Mutex
+	leases  map[int]readLease
 }
 
 // NewSharded builds a static router over one Service replica per ring, in
@@ -250,8 +254,21 @@ func (s *Sharded) Set(ctx context.Context, key string, val []byte) error {
 	return svc.Set(ctx, key, val)
 }
 
-// Get reads a key from its shard's local replica.
-func (s *Sharded) Get(key string) ([]byte, bool) { return s.routeRead(key).Get(key) }
+// GetLocal reads a key from its shard's local replica with no
+// coordination — the eventual fast path (Get with no options is
+// equivalent, minus the error return). It reflects every op the local
+// replica has applied, not necessarily every op the ring has ordered.
+func (s *Sharded) GetLocal(key string) ([]byte, bool) { return s.routeRead(key).Get(key) }
+
+// routeReadShard is routeRead plus the shard id the key resolved to —
+// the moded read path needs the id for session marks and read leases.
+func (s *Sharded) routeReadShard(key string) (*Service, int) {
+	s.mu.RLock()
+	id := s.ring.lookup(key)
+	svc := s.shards[id]
+	s.mu.RUnlock()
+	return svc, id
+}
 
 // Delete removes a key on its shard.
 func (s *Sharded) Delete(ctx context.Context, key string) error {

@@ -42,12 +42,12 @@ func (sc *shardedCluster) waitKey(t *testing.T, id core.NodeID, key, want string
 	t.Helper()
 	deadline := time.Now().Add(timeout)
 	for time.Now().Before(deadline) {
-		if v, ok := sc.svcs[id].Get(key); ok && string(v) == want {
+		if v, ok := sc.svcs[id].GetLocal(key); ok && string(v) == want {
 			return
 		}
 		time.Sleep(time.Millisecond)
 	}
-	v, _ := sc.svcs[id].Get(key)
+	v, _ := sc.svcs[id].GetLocal(key)
 	t.Fatalf("node %v key %q = %q, want %q", id, key, v, want)
 }
 

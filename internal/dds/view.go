@@ -1,0 +1,139 @@
+package dds
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// readView is the lock-free read side of a Service replica: a bucketed
+// copy-on-write image of the replicated map, swapped via atomic pointers,
+// plus apply-progress stamps. Appliers (serialized by the ring's event
+// loop, under s.mu) publish each mutation by cloning only the affected
+// bucket and atomically storing the clone; readers load a bucket pointer
+// and look up in an immutable map — no lock, no copy-per-read of the
+// whole map, and no serialization behind token applies.
+//
+// Buckets are keyed by the same fnv64a hash the router uses, so the
+// per-apply copy cost is len(bucket) ≈ keys/viewBuckets instead of the
+// full keyspace.
+type readView struct {
+	buckets [viewBuckets]atomic.Pointer[map[string][]byte]
+
+	// applyIndex counts ordered applies on this replica (any op kind —
+	// it measures ordered progress, not just map mutations).
+	applyIndex atomic.Uint64
+	// applyTime is the wall-clock nanotime of the latest ordered apply;
+	// together with the node's last token arrival it bounds how stale
+	// this replica can be.
+	applyTime atomic.Int64
+}
+
+// viewBuckets is the COW granularity. Must be a power of two.
+const viewBuckets = 256
+
+func bucketOf(h uint64) int { return int(h & (viewBuckets - 1)) }
+
+// get is the lock-free read: load the bucket pointer, look up in the
+// immutable map, and copy the value (callers own the returned slice).
+func (v *readView) get(key string) ([]byte, bool) {
+	b := v.buckets[bucketOf(fnv64a(key))].Load()
+	if b == nil {
+		return nil, false
+	}
+	val, ok := (*b)[key]
+	if !ok {
+		return nil, false
+	}
+	return append([]byte(nil), val...), true
+}
+
+// keys lists every key of the view (unsorted). Buckets are loaded
+// independently, so the listing is a per-bucket-consistent union, the
+// same guarantee the old locked iteration gave a concurrent writer.
+func (v *readView) keys() []string {
+	var out []string
+	for i := range v.buckets {
+		if b := v.buckets[i].Load(); b != nil {
+			for k := range *b {
+				out = append(out, k)
+			}
+		}
+	}
+	return out
+}
+
+// set publishes key=val: clone the key's bucket, mutate the clone, swap.
+// Callers are the serialized appliers (they hold s.mu exclusively).
+func (v *readView) set(key string, val []byte) {
+	slot := &v.buckets[bucketOf(fnv64a(key))]
+	old := slot.Load()
+	var next map[string][]byte
+	if old == nil {
+		next = make(map[string][]byte, 1)
+	} else {
+		next = make(map[string][]byte, len(*old)+1)
+		for k, ov := range *old {
+			next[k] = ov
+		}
+	}
+	next[key] = append([]byte(nil), val...)
+	slot.Store(&next)
+}
+
+// del publishes a deletion the same way; deleting an absent key is a
+// no-op (no clone).
+func (v *readView) del(key string) {
+	slot := &v.buckets[bucketOf(fnv64a(key))]
+	old := slot.Load()
+	if old == nil {
+		return
+	}
+	if _, ok := (*old)[key]; !ok {
+		return
+	}
+	next := make(map[string][]byte, len(*old)-1)
+	for k, ov := range *old {
+		if k != key {
+			next[k] = ov
+		}
+	}
+	slot.Store(&next)
+}
+
+// reload rebuilds every bucket from the authoritative map — the bulk
+// path for snapshot installs, where per-key publication would churn the
+// same buckets repeatedly.
+func (v *readView) reload(kv map[string][]byte) {
+	var fresh [viewBuckets]map[string][]byte
+	for k, val := range kv {
+		i := bucketOf(fnv64a(k))
+		if fresh[i] == nil {
+			fresh[i] = make(map[string][]byte)
+		}
+		fresh[i][k] = append([]byte(nil), val...)
+	}
+	for i := range v.buckets {
+		if fresh[i] == nil {
+			v.buckets[i].Store(nil)
+			continue
+		}
+		b := fresh[i]
+		v.buckets[i].Store(&b)
+	}
+}
+
+// stamp records one ordered apply.
+func (v *readView) stamp() {
+	v.applyIndex.Add(1)
+	v.applyTime.Store(time.Now().UnixNano())
+}
+
+// lastApply returns the wall-clock time of the latest ordered apply
+// (zero if nothing has applied yet).
+func (v *readView) lastApply() time.Time {
+	ns := v.applyTime.Load()
+	if ns == 0 {
+		return time.Time{}
+	}
+	return time.Unix(0, ns)
+}

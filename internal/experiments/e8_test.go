@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestE8ReadShape runs the CI-sized E8 and checks the claims the baseline
+// records: every mode serves reads at every cluster size, the local modes
+// scale UP with node count while the ordered write rate does not, and the
+// leased mode stays within 2x of eventual (the lease really is amortizing
+// the fence). The full-sized run is `rainbench e8`.
+func TestE8ReadShape(t *testing.T) {
+	cfg := QuickE8()
+	rows, err := E8ReadScaling(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(cfg.Nodes) {
+		t.Fatalf("result shape: %+v", rows)
+	}
+	for _, r := range rows {
+		if r.WriteOpsPS <= 0 || r.EventualPS <= 0 || r.SessionPS <= 0 ||
+			r.BoundedPS <= 0 || r.LeasePS <= 0 || r.FencePS <= 0 {
+			t.Fatalf("a phase served nothing at N=%d: %+v", r.Nodes, r)
+		}
+	}
+	last := rows[len(rows)-1]
+	// Local reads must scale with nodes: lenient floors (the acceptance
+	// bar is checked on the full-sized rainbench run, not under CI load).
+	if growth := float64(last.Nodes) / float64(rows[0].Nodes); growth >= 2 {
+		if last.EventualX < 1.3 {
+			t.Errorf("eventual reads did not scale with nodes: %+v", rows)
+		}
+		if last.SessionX < 1.3 {
+			t.Errorf("session reads did not scale with nodes: %+v", rows)
+		}
+		// Writes are token-bound: adding nodes must not multiply them the
+		// way it multiplies local reads.
+		if last.WriteX > last.EventualX {
+			t.Errorf("writes scaled faster than local reads — the read path is riding the token: %+v", rows)
+		}
+	}
+	if last.LeasePS < last.EventualPS/2 {
+		t.Errorf("leased reads %.0f/s are more than 2x below eventual %.0f/s: the lease is not amortizing the fence", last.LeasePS, last.EventualPS)
+	}
+	t.Log("\n" + E8Table(rows, cfg).String())
+}
+
+// TestWriteE8JSON checks the persisted baseline round-trips, including
+// the E5 write cross-reference.
+func TestWriteE8JSON(t *testing.T) {
+	rows := []E8Row{
+		{Nodes: 1, WriteOpsPS: 5000, EventualPS: 15000, EventualX: 1},
+		{Nodes: 4, WriteOpsPS: 5100, WriteX: 1.02, EventualPS: 60000, EventualX: 4},
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_E8.json")
+	if err := WriteE8JSON(path, DefaultE8(), rows, 5400); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got E8Baseline
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Experiment != "e8-read-scaling" || len(got.Rows) != 2 ||
+		got.Rows[1].EventualX != 4 || got.E5WriteRef4Shards != 5400 {
+		t.Fatalf("baseline round-trip mismatch: %+v", got)
+	}
+}
+
+// TestE5WriteRef checks the cross-reference extractor tolerates a missing
+// or malformed file.
+func TestE5WriteRef(t *testing.T) {
+	if got := E5WriteRef(filepath.Join(t.TempDir(), "missing.json")); got != 0 {
+		t.Fatalf("missing file -> %v, want 0", got)
+	}
+	path := filepath.Join(t.TempDir(), "e5.json")
+	if err := WriteE5JSON(path, DefaultE5(), []E5Row{{Shards: 1, DDSOpsPS: 2000}, {Shards: 4, DDSOpsPS: 5400}}, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := E5WriteRef(path); got != 5400 {
+		t.Fatalf("E5WriteRef = %v, want 5400", got)
+	}
+}

@@ -235,6 +235,24 @@ const (
 	// MetricChunkDrops counts chunks discarded as stale, duplicate, or
 	// inconsistent during reassembly.
 	MetricChunkDrops = "chunk_drops"
+	// MetricReadsEventual / MetricReadsSession / MetricReadsBounded /
+	// MetricReadsLinearizable count local-replica reads served per
+	// consistency mode (router-level Get; a fenced read still counts once
+	// here when it is finally served).
+	MetricReadsEventual     = "reads_eventual"
+	MetricReadsSession      = "reads_session"
+	MetricReadsBounded      = "reads_bounded"
+	MetricReadsLinearizable = "reads_linearizable"
+	// MetricReadFences counts read fences ordered on a ring: linearizable
+	// reads outside a valid lease, plus bounded-staleness reads whose
+	// replica was staler than the bound.
+	MetricReadFences = "read_fences"
+	// MetricReadLeaseHits counts linearizable reads served locally inside
+	// a still-valid epoch-pinned read lease (no fence needed).
+	MetricReadLeaseHits = "read_lease_hits"
+	// MetricReadSessionWaits counts session reads that had to park until
+	// the local replica caught up to the session's write marks.
+	MetricReadSessionWaits = "read_session_waits"
 	// GaugeAdaptiveBatch is the attach budget currently in force on this
 	// node's ring when adaptive batching is enabled (see
 	// ring.Config.AdaptiveBatch).

@@ -53,8 +53,11 @@ type Store interface {
 	Epoch() uint64
 	// ShardFor maps a key or lock name to its owning shard (ring id).
 	ShardFor(key string) int
-	// Get reads a key from its shard's local replica.
-	Get(key string) ([]byte, bool)
+	// GetLocal reads a key from its shard's local replica. The local
+	// (eventual) read is sufficient here: transactional reads happen
+	// under the per-ring master locks, whose ordered acquisition already
+	// serialized this replica past every conflicting write.
+	GetLocal(key string) ([]byte, bool)
 	// Lock acquires the named per-ring master lock.
 	Lock(ctx context.Context, name string) error
 	// Unlock releases the named lock, waiting for the ordered apply at
@@ -272,7 +275,7 @@ func (t *Txn) Commit(ctx context.Context) (map[string][]byte, error) {
 	// ordered before our acquisition — the reads are fresh.
 	views := make(map[string][]byte, len(t.reads))
 	for k := range t.reads {
-		if v, ok := c.store.Get(k); ok {
+		if v, ok := c.store.GetLocal(k); ok {
 			views[k] = v
 		}
 	}

@@ -108,8 +108,8 @@ func TestTxnCommitAcrossShards(t *testing.T) {
 	deadline := time.Now().Add(5 * time.Second)
 	for _, id := range tg.g.IDs {
 		for {
-			va, _ := tg.stores[id].Get(a)
-			vb, _ := tg.stores[id].Get(b)
+			va, _ := tg.stores[id].GetLocal(a)
+			vb, _ := tg.stores[id].GetLocal(b)
 			if string(va) == "v2" && string(vb) == "v1" {
 				break
 			}
@@ -123,7 +123,7 @@ func TestTxnCommitAcrossShards(t *testing.T) {
 	if _, err := tg.coords[3].Begin().Delete(a).Delete(b).Commit(ctx); err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := tg.stores[3].Get(a); ok {
+	if _, ok := tg.stores[3].GetLocal(a); ok {
 		t.Fatalf("%q survived its transactional delete", a)
 	}
 	tg.waitPendingDrained(t, 5*time.Second)
@@ -346,7 +346,7 @@ func TestTxnCoordinatorDeathMidPrepare(t *testing.T) {
 	}
 	for _, id := range []core.NodeID{1, 2} {
 		for _, key := range []string{a, b} {
-			if v, _ := tg.stores[id].Get(key); string(v) != "before" {
+			if v, _ := tg.stores[id].GetLocal(key); string(v) != "before" {
 				t.Fatalf("node %v key %q = %q after aborted coordinator, want \"before\"", id, key, v)
 			}
 		}

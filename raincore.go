@@ -119,6 +119,37 @@ type (
 	EpochPin = core.EpochPin
 )
 
+// Read-consistency types: Cluster.Get serves reads from the key's local
+// shard replica, and the options pick how stale that replica may be.
+// See the README's "Read consistency" table for the mode × guarantee ×
+// cost trade-offs.
+type (
+	// ReadOption selects a read's consistency mode; no option = eventual.
+	ReadOption = dds.ReadOption
+	// ReadConsistency enumerates the read modes.
+	ReadConsistency = dds.ReadConsistency
+)
+
+// Read-consistency options, forwarded from the dds layer. WithSession is
+// defined on the facade (it takes a *Session).
+var (
+	// WithEventual selects the eventual mode explicitly (the default).
+	WithEventual = dds.WithEventual
+	// WithMaxStaleness serves locally only if the replica proved itself
+	// caught up within d; otherwise it fences on the key's ring first.
+	WithMaxStaleness = dds.WithMaxStaleness
+	// WithLinearizable fences on the key's ring before serving, so the
+	// read observes every write ordered before it began.
+	WithLinearizable = dds.WithLinearizable
+	// WithReadLease amortizes linearizable fences over a lease window
+	// pinned to the routing epoch (implies WithLinearizable).
+	WithReadLease = dds.WithReadLease
+)
+
+// WithSession selects session (read-your-writes) consistency against the
+// given session's writes.
+func WithSession(s *Session) ReadOption { return dds.WithSession(s.s) }
+
 // The error taxonomy. Every sentinel here that is transient matches
 // ErrRetryable under errors.Is (equivalently raincore.IsRetryable); the
 // Cluster facade absorbs those internally, so they are mainly of
