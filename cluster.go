@@ -36,11 +36,12 @@ import (
 // surface are *Error values whose Retryable method (and the package's
 // IsRetryable) give the machine-checkable classification.
 type Cluster struct {
-	rt     *core.Runtime
-	dds    *dds.Sharded
-	txn    *txn.Coordinator
-	reg    *stats.Registry
-	policy RetryPolicy
+	rt          *core.Runtime
+	dds         *dds.Sharded
+	txn         *txn.Coordinator
+	reg         *stats.Registry
+	policy      RetryPolicy
+	defaultRead []ReadOption
 
 	admin   *http.Server
 	adminLn net.Listener
@@ -91,17 +92,18 @@ func (p RetryPolicy) delay(attempt int) time.Duration {
 
 // openConfig accumulates Open's functional options.
 type openConfig struct {
-	id        NodeID
-	rings     int
-	ring      RingConfig
-	ringSet   bool
-	transport TransportConfig
-	peers     map[NodeID][]Addr
-	adminAddr string
-	policy    RetryPolicy
-	reg       *stats.Registry
-	trace     *trace.Log
-	handlers  func(RingID) Handlers
+	id          NodeID
+	rings       int
+	ring        RingConfig
+	ringSet     bool
+	transport   TransportConfig
+	peers       map[NodeID][]Addr
+	adminAddr   string
+	policy      RetryPolicy
+	reg         *stats.Registry
+	trace       *trace.Log
+	handlers    func(RingID) Handlers
+	defaultRead []ReadOption
 }
 
 // Option customizes Open.
@@ -149,6 +151,17 @@ func WithAdmin(addr string) Option { return func(o *openConfig) { o.adminAddr = 
 // layer.
 func WithRetryPolicy(p RetryPolicy) Option { return func(o *openConfig) { o.policy = p } }
 
+// WithDefaultReadOptions sets the consistency mode Cluster.Get applies
+// when a call passes no ReadOption of its own — a cluster-wide default
+// set once at Open instead of repeated per call (a gateway fronting the
+// cluster sets its configured read mode this way). Explicit options on a
+// Get call replace the default entirely — per-call WithEventual()
+// overrides a stricter default. With no default configured, bare Gets
+// keep the historical allocation-free eventual fast path.
+func WithDefaultReadOptions(opts ...ReadOption) Option {
+	return func(o *openConfig) { o.defaultRead = append(o.defaultRead, opts...) }
+}
+
 // WithStats supplies the metric registry the runtime, transport, shards
 // and retry layer record into (default: a private registry, readable via
 // Cluster.Stats).
@@ -169,9 +182,9 @@ func WithHandlers(fn func(RingID) Handlers) Option {
 // conns: the sharded multi-ring runtime, one data-service replica per
 // ring routed by consistent hashing, the cross-shard transaction
 // coordinator pinned to the routing epoch, and (with WithAdmin) the
-// admin HTTP surface. It replaces the NewRuntime + AttachShardedDDS +
-// NewTxnCoordinator + hand-rolled-retry composition older callers built
-// by hand.
+// admin HTTP surface. It replaces the pre-facade composition older
+// callers assembled by hand (runtime constructor, data-service attach,
+// txn-coordinator constructor, hand-rolled retry loops).
 //
 // The cluster is started but not necessarily assembled when Open
 // returns; peers discover each other through the BODYODOR protocol. Use
@@ -199,7 +212,7 @@ func Open(ctx context.Context, conns []PacketConn, opts ...Option) (*Cluster, er
 	if o.reg == nil {
 		o.reg = stats.NewRegistry()
 	}
-	rt, err := core.NewRuntime(core.RuntimeConfig{
+	rt, err := core.NewShardedRuntime(core.RuntimeConfig{
 		ID:        o.id,
 		Rings:     o.rings,
 		Ring:      o.ring,
@@ -216,11 +229,12 @@ func Open(ctx context.Context, conns []PacketConn, opts ...Option) (*Cluster, er
 		return nil, opError("open", "", err)
 	}
 	c := &Cluster{
-		rt:     rt,
-		dds:    sharded,
-		txn:    txn.New(sharded, txn.WithRuntimePin(rt)),
-		reg:    o.reg,
-		policy: o.policy,
+		rt:          rt,
+		dds:         sharded,
+		txn:         txn.New(sharded, txn.WithRuntimePin(rt)),
+		reg:         o.reg,
+		policy:      o.policy,
+		defaultRead: o.defaultRead,
 	}
 	if o.handlers != nil {
 		for _, rid := range rt.Routing().Rings {
@@ -319,6 +333,11 @@ func (c *Cluster) alive(op, key string) error {
 func (c *Cluster) Get(ctx context.Context, key string, opts ...ReadOption) (val []byte, ok bool, err error) {
 	if err := c.alive("get", key); err != nil {
 		return nil, false, err
+	}
+	if len(opts) == 0 {
+		// No per-call choice: the WithDefaultReadOptions mode, if any,
+		// applies. An explicit option set always replaces the default.
+		opts = c.defaultRead
 	}
 	if len(opts) == 0 {
 		// Eventual fast path: purely local, nothing to wait on, so one
@@ -651,7 +670,7 @@ func (c *Cluster) adminMux() *http.ServeMux {
 		writeJSON(w, c.Routing())
 	})
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
-		snap := c.reg.Snapshot()
+		snap, batch, pools := c.statsSnapshot()
 		writeJSON(w, map[string]any{
 			"counters":   snap.Counters,
 			"gauges":     snap.Gauges,
@@ -659,9 +678,14 @@ func (c *Cluster) adminMux() *http.ServeMux {
 			// Process-global transport internals: frames-per-syscall
 			// amortization from the mmsg batching and wire buffer pool
 			// effectiveness.
-			"udp_batch":   transport.BatchStats(),
-			"frame_pools": wire.PoolStats(),
+			"udp_batch":   batch,
+			"frame_pools": pools,
 		})
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		snap, _, _ := c.statsSnapshot()
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		snap.WriteText(w)
 	})
 	mux.HandleFunc("GET /snapshot", func(w http.ResponseWriter, r *http.Request) {
 		ctx, cancel := context.WithTimeout(r.Context(), 30*time.Second)
@@ -699,6 +723,14 @@ func (c *Cluster) adminMux() *http.ServeMux {
 		writeJSON(w, map[string]any{"routing": c.Routing()})
 	})
 	return mux
+}
+
+// statsSnapshot is the single registry-snapshot code path behind both
+// observability surfaces: GET /stats (JSON) and GET /metrics (Prometheus
+// text) render from one call of this, so the two can never disagree
+// about what one scrape observed.
+func (c *Cluster) statsSnapshot() (stats.Snapshot, transport.BatchStatsSnapshot, wire.PoolStatsSnapshot) {
+	return c.reg.Snapshot(), transport.BatchStats(), wire.PoolStats()
 }
 
 // adminStatus maps the error taxonomy onto HTTP: retryable conflicts are

@@ -6,15 +6,20 @@ package raincore
 // Close.
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
+	"io"
+	"net/http"
 	"runtime"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
 
 	"repro/internal/simnet"
+	"repro/internal/stats"
 	"repro/internal/transport"
 )
 
@@ -308,4 +313,91 @@ func TestOpenCloseLeaksNoGoroutines(t *testing.T) {
 		time.Sleep(10 * time.Millisecond)
 	}
 	t.Fatalf("goroutines: %d before Open, %d after Close — leak", before, runtime.NumGoroutine())
+}
+
+// TestDefaultReadOptions: a cluster opened with WithDefaultReadOptions
+// applies the configured mode to bare Gets (proved via the per-mode read
+// counters), while an explicit per-call option still replaces it.
+func TestDefaultReadOptions(t *testing.T) {
+	net := simnet.New(simnet.Options{})
+	t.Cleanup(net.Close)
+	rc := FastRing()
+	rc.Eligible = []NodeID{1}
+	conn := transport.NewSimConn(net.MustEndpoint(simnet.Addr("node-1")))
+	cl, err := Open(context.Background(), []PacketConn{conn},
+		WithID(1), WithRings(2), WithRingConfig(rc),
+		WithDefaultReadOptions(WithMaxStaleness(time.Second)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl.Close() })
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	if err := cl.WaitMembers(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Set(ctx, "k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok, err := cl.Get(ctx, "k"); err != nil || !ok || string(v) != "v" {
+		t.Fatalf("default-mode Get = %q, %v, %v", v, ok, err)
+	}
+	if n := cl.Stats().Counter(stats.MetricReadsBounded).Load(); n != 1 {
+		t.Fatalf("bare Get did not use the default bounded mode: reads_bounded = %d", n)
+	}
+	// Explicit eventual replaces the default.
+	if _, ok, err := cl.Get(ctx, "k", WithEventual()); err != nil || !ok {
+		t.Fatalf("explicit eventual Get failed: %v %v", ok, err)
+	}
+	if n := cl.Stats().Counter(stats.MetricReadsBounded).Load(); n != 1 {
+		t.Fatalf("explicit option did not replace the default: reads_bounded = %d", n)
+	}
+}
+
+// TestAdminMetricsMatchesStats: GET /metrics serves valid Prometheus
+// text exposition and both observability surfaces render through the
+// same snapshot path.
+func TestAdminMetricsMatchesStats(t *testing.T) {
+	net := simnet.New(simnet.Options{})
+	t.Cleanup(net.Close)
+	rc := FastRing()
+	rc.Eligible = []NodeID{1}
+	conn := transport.NewSimConn(net.MustEndpoint(simnet.Addr("node-1")))
+	cl, err := Open(context.Background(), []PacketConn{conn},
+		WithID(1), WithRings(1), WithRingConfig(rc), WithAdmin("127.0.0.1:0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl.Close() })
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	if err := cl.WaitMembers(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Set(ctx, "k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + cl.AdminAddr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stats.ValidateExposition(bytes.NewReader(body)); err != nil {
+		t.Fatalf("exposition invalid: %v\n%s", err, body)
+	}
+	for _, want := range []string{"# TYPE msgs_delivered counter", "multicast_latency_seconds_bucket"} {
+		if !strings.Contains(string(body), want) {
+			t.Fatalf("metrics missing %q:\n%s", want, body)
+		}
+	}
 }

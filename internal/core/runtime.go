@@ -90,10 +90,10 @@ type RuntimeConfig struct {
 // count.
 var ErrUnknownRing = errors.New("core: unknown ring")
 
-// NewRuntime builds a runtime over the given conns. Nodes are created
-// unstarted so callers can attach per-ring layers (for example dds
-// replicas) before Start.
-func NewRuntime(cfg RuntimeConfig, conns []transport.PacketConn) (*Runtime, error) {
+// NewShardedRuntime builds a runtime over the given conns. Nodes are
+// created unstarted so callers can attach per-ring layers (for example
+// dds replicas) before Start.
+func NewShardedRuntime(cfg RuntimeConfig, conns []transport.PacketConn) (*Runtime, error) {
 	if cfg.ID == wire.NoNode {
 		return nil, errors.New("core: RuntimeConfig.ID must be non-zero")
 	}

@@ -224,7 +224,7 @@ func NewTestGrid(opts GridOptions) (*TestGrid, error) {
 		rc := opts.Ring
 		rc.Eligible = ids
 		rc.SeqBase = uint64(id) << 32 // deterministic distinct bases
-		rt, err := NewRuntime(RuntimeConfig{
+		rt, err := NewShardedRuntime(RuntimeConfig{
 			ID: id, Rings: opts.Rings, Ring: rc, Transport: opts.Transport,
 		}, []transport.PacketConn{transport.NewSimConn(ep)})
 		if err != nil {

@@ -294,14 +294,6 @@ func (s *Service) dropWaiter(reqID uint64) {
 	s.mu.Unlock()
 }
 
-// UnlockContext is a deprecated alias for Unlock, kept for one release
-// while callers migrate to the uniform context-first signature.
-//
-// Deprecated: use Unlock.
-func (s *Service) UnlockContext(ctx context.Context, name string) error {
-	return s.Unlock(ctx, name)
-}
-
 // Unlock releases the named lock held by this node. It returns once the
 // release has applied locally, so a release racing a keyspace handoff
 // surfaces ErrResharding to the caller (retry after the handoff) instead

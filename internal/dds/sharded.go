@@ -230,14 +230,6 @@ func (s *Sharded) Unlock(ctx context.Context, name string) error {
 	return svc.Unlock(ctx, name)
 }
 
-// UnlockContext is a deprecated alias for Unlock, kept for one release
-// while callers migrate to the uniform context-first signature.
-//
-// Deprecated: use Unlock.
-func (s *Sharded) UnlockContext(ctx context.Context, name string) error {
-	return s.Unlock(ctx, name)
-}
-
 // Holder reports the current owner of the named lock.
 func (s *Sharded) Holder(name string) (core.NodeID, bool) { return s.routeRead(name).Holder(name) }
 

@@ -1,0 +1,470 @@
+package gateway
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/dds"
+	"repro/internal/rcerr"
+	"repro/internal/stats"
+)
+
+// fakeBackend is an in-memory Backend whose reads can be gated (block
+// until the test releases them) and forced to fail.
+type fakeBackend struct {
+	gate    chan struct{} // non-nil: Get blocks until closed (or ctx done)
+	started chan struct{} // Get announces itself here (buffered)
+	err     error         // non-nil: Get fails with this after the gate
+	down    atomic.Bool
+
+	mu   sync.Mutex
+	data map[string][]byte
+	gets atomic.Int64
+	sets atomic.Int64
+	dels atomic.Int64
+}
+
+func newFake() *fakeBackend {
+	return &fakeBackend{data: make(map[string][]byte), started: make(chan struct{}, 256)}
+}
+
+func (f *fakeBackend) Get(ctx context.Context, key string, opts ...dds.ReadOption) ([]byte, bool, error) {
+	f.gets.Add(1)
+	select {
+	case f.started <- struct{}{}:
+	default:
+	}
+	if f.gate != nil {
+		select {
+		case <-f.gate:
+		case <-ctx.Done():
+			return nil, false, ctx.Err()
+		}
+	}
+	if f.err != nil {
+		return nil, false, f.err
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	v, ok := f.data[key]
+	return v, ok, nil
+}
+
+func (f *fakeBackend) Set(ctx context.Context, key string, val []byte) error {
+	f.sets.Add(1)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.data[key] = val
+	return nil
+}
+
+func (f *fakeBackend) Delete(ctx context.Context, key string) error {
+	f.dels.Add(1)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	delete(f.data, key)
+	return nil
+}
+
+func (f *fakeBackend) Healthy() bool { return !f.down.Load() }
+
+func mustGateway(t *testing.T, o Options) *Gateway {
+	t.Helper()
+	g, err := New(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func do(g *Gateway, method, target string, body []byte) *httptest.ResponseRecorder {
+	var r *http.Request
+	if body != nil {
+		r = httptest.NewRequest(method, target, bytes.NewReader(body))
+	} else {
+		r = httptest.NewRequest(method, target, nil)
+	}
+	w := httptest.NewRecorder()
+	g.Handler().ServeHTTP(w, r)
+	return w
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(500 * time.Microsecond)
+	}
+}
+
+// TestCoalescingSingleUpstream is the tentpole contract: N concurrent
+// GETs of one hot key perform exactly one upstream read, with the other
+// N-1 fanned in on the leader's flight. The fan-in is made
+// deterministic by gating the upstream read and waiting until all
+// followers have joined the flight before releasing it.
+func TestCoalescingSingleUpstream(t *testing.T) {
+	const n = 32
+	fb := newFake()
+	fb.data["hot"] = []byte("v1")
+	fb.gate = make(chan struct{})
+	reg := stats.NewRegistry()
+	g := mustGateway(t, Options{Backend: fb, Registry: reg, DefaultTimeout: 10 * time.Second})
+
+	results := make(chan *httptest.ResponseRecorder, n)
+	get := func() { results <- do(g, "GET", "/kv/hot?mode=linearizable", nil) }
+
+	go get()
+	<-fb.started // the leader is upstream, holding the flight open
+	for i := 1; i < n; i++ {
+		go get()
+	}
+	waitFor(t, "followers to fan in", func() bool { return g.co.fanins.Load() == n-1 })
+	close(fb.gate)
+
+	var coalesced int
+	for i := 0; i < n; i++ {
+		w := <-results
+		if w.Code != http.StatusOK {
+			t.Fatalf("status %d: %s", w.Code, w.Body)
+		}
+		var resp getResponse
+		if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+			t.Fatal(err)
+		}
+		if string(resp.Value) != "v1" {
+			t.Fatalf("value %q", resp.Value)
+		}
+		if resp.Coalesced {
+			coalesced++
+		}
+	}
+	if got := fb.gets.Load(); got != 1 {
+		t.Fatalf("upstream reads = %d, want 1", got)
+	}
+	if coalesced != n-1 {
+		t.Fatalf("coalesced responses = %d, want %d", coalesced, n-1)
+	}
+	if got := reg.Counter(stats.MetricGatewayCoalesced).Load(); got != n-1 {
+		t.Fatalf("%s = %d, want %d", stats.MetricGatewayCoalesced, got, n-1)
+	}
+	if got := reg.Counter(stats.MetricGatewayUpstream).Load(); got != 1 {
+		t.Fatalf("%s = %d, want 1", stats.MetricGatewayUpstream, got)
+	}
+}
+
+// TestErrorFanOut: a retryable upstream failure reaches every waiter of
+// the flight as 503 + Retry-After with a structured retryable body —
+// the error taxonomy fans out exactly like a value does.
+func TestErrorFanOut(t *testing.T) {
+	const n = 16
+	fb := newFake()
+	fb.gate = make(chan struct{})
+	fb.err = rcerr.New("replica resharding")
+	g := mustGateway(t, Options{Backend: fb, DefaultTimeout: 10 * time.Second})
+
+	results := make(chan *httptest.ResponseRecorder, n)
+	go func() { results <- do(g, "GET", "/kv/hot", nil) }()
+	<-fb.started
+	for i := 1; i < n; i++ {
+		go func() { results <- do(g, "GET", "/kv/hot", nil) }()
+	}
+	waitFor(t, "followers to fan in", func() bool { return g.co.fanins.Load() == n-1 })
+	close(fb.gate)
+
+	for i := 0; i < n; i++ {
+		w := <-results
+		if w.Code != http.StatusServiceUnavailable {
+			t.Fatalf("status %d, want 503: %s", w.Code, w.Body)
+		}
+		if w.Header().Get("Retry-After") == "" {
+			t.Fatal("no Retry-After header on a retryable failure")
+		}
+		var body errorBody
+		if err := json.Unmarshal(w.Body.Bytes(), &body); err != nil {
+			t.Fatal(err)
+		}
+		if !body.Retryable || body.Op != "get" || body.Key != "hot" {
+			t.Fatalf("error body %+v", body)
+		}
+	}
+	if got := fb.gets.Load(); got != 1 {
+		t.Fatalf("upstream reads = %d, want 1", got)
+	}
+}
+
+// TestMicroCache: with a TTL configured, a repeat read is served from
+// the cache (no second upstream read), and a write through the gateway
+// invalidates the entry.
+func TestMicroCache(t *testing.T) {
+	fb := newFake()
+	fb.data["k"] = []byte("v1")
+	reg := stats.NewRegistry()
+	g := mustGateway(t, Options{Backend: fb, Registry: reg, CacheTTL: time.Minute})
+
+	if w := do(g, "GET", "/kv/k", nil); w.Code != http.StatusOK {
+		t.Fatalf("first get: %d %s", w.Code, w.Body)
+	}
+	w := do(g, "GET", "/kv/k", nil)
+	var resp getResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Cached {
+		t.Fatalf("second get not served from cache: %+v", resp)
+	}
+	if got := fb.gets.Load(); got != 1 {
+		t.Fatalf("upstream reads = %d, want 1 (second was cached)", got)
+	}
+	if got := reg.Counter(stats.MetricGatewayCacheHits).Load(); got != 1 {
+		t.Fatalf("cache hits = %d, want 1", got)
+	}
+
+	// A gateway-routed write invalidates; the next read goes upstream.
+	if w := do(g, "PUT", "/kv/k", []byte("v2")); w.Code != http.StatusNoContent {
+		t.Fatalf("put: %d %s", w.Code, w.Body)
+	}
+	w = do(g, "GET", "/kv/k", nil)
+	var after getResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &after); err != nil {
+		t.Fatal(err)
+	}
+	if after.Cached || string(after.Value) != "v2" {
+		t.Fatalf("post-write read: %+v", after)
+	}
+	if got := fb.gets.Load(); got != 2 {
+		t.Fatalf("upstream reads = %d, want 2", got)
+	}
+}
+
+// TestDeadline: a request whose ?timeout= expires while upstream is
+// slow answers 504 with a retryable body.
+func TestDeadline(t *testing.T) {
+	fb := newFake()
+	fb.gate = make(chan struct{}) // never released before cleanup
+	t.Cleanup(func() { close(fb.gate) })
+	g := mustGateway(t, Options{Backend: fb, DefaultTimeout: 100 * time.Millisecond})
+
+	w := do(g, "GET", "/kv/slow?timeout=20ms", nil)
+	if w.Code != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504: %s", w.Code, w.Body)
+	}
+	var body errorBody
+	if err := json.Unmarshal(w.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	if !body.Retryable {
+		t.Fatalf("timeout should be retryable: %+v", body)
+	}
+}
+
+// TestShed: beyond MaxInflight concurrent requests the gateway answers
+// 429 with Retry-After instead of queueing.
+func TestShed(t *testing.T) {
+	fb := newFake()
+	fb.gate = make(chan struct{})
+	t.Cleanup(func() { close(fb.gate) })
+	reg := stats.NewRegistry()
+	g := mustGateway(t, Options{Backend: fb, Registry: reg, MaxInflight: 1, DefaultTimeout: 10 * time.Second})
+
+	done := make(chan *httptest.ResponseRecorder, 1)
+	go func() { done <- do(g, "GET", "/kv/a", nil) }()
+	<-fb.started
+	waitFor(t, "inflight gauge", func() bool {
+		return reg.Gauge(stats.GaugeGatewayInflight).Load() == 1
+	})
+
+	w := do(g, "GET", "/kv/b", nil)
+	if w.Code != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429: %s", w.Code, w.Body)
+	}
+	if w.Header().Get("Retry-After") == "" {
+		t.Fatal("no Retry-After on shed")
+	}
+}
+
+// TestWritesAndTxn covers the write paths and the txn endpoint
+// round-trip, including 501 when no TxnFunc is wired.
+func TestWritesAndTxn(t *testing.T) {
+	fb := newFake()
+	g := mustGateway(t, Options{Backend: fb, Txn: func(ctx context.Context, req TxnRequest) (map[string][]byte, error) {
+		out := make(map[string][]byte)
+		for _, k := range req.Reads {
+			fb.mu.Lock()
+			out[k] = fb.data[k]
+			fb.mu.Unlock()
+		}
+		for k, v := range req.Sets {
+			if err := fb.Set(ctx, k, v); err != nil {
+				return nil, err
+			}
+		}
+		for _, k := range req.Deletes {
+			if err := fb.Delete(ctx, k); err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
+	}})
+
+	if w := do(g, "PUT", "/kv/a", []byte("1")); w.Code != http.StatusNoContent {
+		t.Fatalf("put: %d %s", w.Code, w.Body)
+	}
+	if w := do(g, "GET", "/kv/a", nil); w.Code != http.StatusOK {
+		t.Fatalf("get: %d %s", w.Code, w.Body)
+	}
+	if w := do(g, "DELETE", "/kv/a", nil); w.Code != http.StatusNoContent {
+		t.Fatalf("delete: %d %s", w.Code, w.Body)
+	}
+	if w := do(g, "GET", "/kv/a", nil); w.Code != http.StatusNotFound {
+		t.Fatalf("get after delete: %d %s", w.Code, w.Body)
+	}
+
+	body, _ := json.Marshal(TxnRequest{
+		Sets:  map[string][]byte{"x": []byte("10")},
+		Reads: []string{"x"},
+	})
+	w := do(g, "POST", "/txn", body)
+	if w.Code != http.StatusOK {
+		t.Fatalf("txn: %d %s", w.Code, w.Body)
+	}
+
+	bare := mustGateway(t, Options{Backend: fb})
+	if w := do(bare, "POST", "/txn", body); w.Code != http.StatusNotImplemented {
+		t.Fatalf("txn without TxnFunc: %d, want 501", w.Code)
+	}
+}
+
+// TestBadRequests: unknown mode, bad timeout, and an empty key are all
+// 400s (and never reach the backend).
+func TestBadRequests(t *testing.T) {
+	fb := newFake()
+	g := mustGateway(t, Options{Backend: fb})
+	for _, target := range []string{
+		"/kv/a?mode=strong",
+		"/kv/a?timeout=never",
+		"/kv/a?timeout=-5ms",
+		"/kv/",
+	} {
+		if w := do(g, "GET", target, nil); w.Code != http.StatusBadRequest {
+			t.Errorf("GET %s: status %d, want 400", target, w.Code)
+		}
+	}
+	if got := fb.gets.Load(); got != 0 {
+		t.Fatalf("bad requests reached the backend %d times", got)
+	}
+}
+
+// TestHealthz follows the backend's health.
+func TestHealthz(t *testing.T) {
+	fb := newFake()
+	g := mustGateway(t, Options{Backend: fb})
+	if w := do(g, "GET", "/healthz", nil); w.Code != http.StatusOK {
+		t.Fatalf("healthy: %d", w.Code)
+	}
+	fb.down.Store(true)
+	if w := do(g, "GET", "/healthz", nil); w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("unhealthy: %d, want 503", w.Code)
+	}
+}
+
+// TestMetricsExposition: after traffic, /metrics renders a valid
+// Prometheus text page carrying the gateway families.
+func TestMetricsExposition(t *testing.T) {
+	fb := newFake()
+	fb.data["k"] = []byte("v")
+	g := mustGateway(t, Options{Backend: fb})
+	do(g, "GET", "/kv/k?mode=bounded", nil)
+	do(g, "GET", "/kv/missing", nil)
+	do(g, "PUT", "/kv/k2", []byte("v"))
+
+	w := do(g, "GET", "/metrics", nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("metrics: %d", w.Code)
+	}
+	if ct := w.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type %q", ct)
+	}
+	page := w.Body.String()
+	if err := stats.ValidateExposition(strings.NewReader(page)); err != nil {
+		t.Fatalf("invalid exposition: %v\n%s", err, page)
+	}
+	for _, want := range []string{
+		`gateway_requests_total{op="get",mode="bounded",outcome="ok"} 1`,
+		`gateway_requests_total{op="get",mode="eventual",outcome="miss"} 1`,
+		`gateway_requests_total{op="put",mode="none",outcome="ok"} 1`,
+		`gateway_upstream_reads_total 2`,
+		`gateway_latency_seconds_bucket{mode="bounded",le="+Inf"} 1`,
+	} {
+		if !strings.Contains(page, want) {
+			t.Errorf("exposition missing %q\n%s", want, page)
+		}
+	}
+}
+
+// TestPoolRoundRobin: the pool rotates over handles and routes around
+// unhealthy ones.
+func TestPoolRoundRobin(t *testing.T) {
+	backends := []*fakeBackend{newFake(), newFake(), newFake()}
+	p := NewPool(backends[0], backends[1], backends[2])
+	ctx := context.Background()
+	for i := 0; i < 6; i++ {
+		if _, _, err := p.Get(ctx, fmt.Sprintf("k%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, fb := range backends {
+		if got := fb.gets.Load(); got != 2 {
+			t.Fatalf("backend %d served %d reads, want 2", i, got)
+		}
+	}
+	backends[1].down.Store(true)
+	for i := 0; i < 6; i++ {
+		if _, _, err := p.Get(ctx, fmt.Sprintf("j%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := backends[1].gets.Load(); got != 2 {
+		t.Fatalf("unhealthy backend took %d more reads", got-2)
+	}
+	if !p.Healthy() {
+		t.Fatal("pool with healthy members reports unhealthy")
+	}
+	backends[0].down.Store(true)
+	backends[2].down.Store(true)
+	if p.Healthy() {
+		t.Fatal("pool with no healthy members reports healthy")
+	}
+}
+
+// TestStartServesHTTP exercises the real listener path (and h2c wiring
+// on Go ≥ 1.24) end to end.
+func TestStartServesHTTP(t *testing.T) {
+	fb := newFake()
+	fb.data["k"] = []byte("v")
+	g := mustGateway(t, Options{Backend: fb})
+	addr, err := g.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = g.Close() })
+	resp, err := http.Get("http://" + addr + "/kv/k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,10 @@
+//go:build !go1.24
+
+package gateway
+
+import "net/http"
+
+// enableH2C is a no-op before Go 1.24: net/http gained the Protocols
+// knob (and with it cleartext HTTP/2) in 1.24, so older toolchains
+// serve the gateway over HTTP/1.1 only.
+func enableH2C(*http.Server) {}

@@ -1,0 +1,18 @@
+//go:build go1.24
+
+package gateway
+
+import "net/http"
+
+// enableH2C accepts cleartext HTTP/2 (h2c) alongside HTTP/1.1, so a
+// client fleet can multiplex its gateway traffic over one TCP
+// connection per gateway instead of a connection per in-flight request.
+// The build tag gates on the Go 1.24 toolchain, which introduced
+// net/http.Protocols; older toolchains compile the no-op fallback and
+// serve HTTP/1.1 only.
+func enableH2C(srv *http.Server) {
+	p := new(http.Protocols)
+	p.SetHTTP1(true)
+	p.SetUnencryptedHTTP2(true)
+	srv.Protocols = p
+}

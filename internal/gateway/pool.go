@@ -1,0 +1,86 @@
+package gateway
+
+import (
+	"context"
+	"sync/atomic"
+
+	"repro/internal/dds"
+)
+
+// Backend is the slice of the cluster surface the gateway fronts. It is
+// exactly the shape of the facade's data operations, so a
+// *raincore.Cluster satisfies it structurally — no adapter — and tests
+// substitute fakes.
+type Backend interface {
+	// Get reads a key under the consistency mode the options select.
+	Get(ctx context.Context, key string, opts ...dds.ReadOption) ([]byte, bool, error)
+	// Set writes key=val.
+	Set(ctx context.Context, key string, val []byte) error
+	// Delete removes a key.
+	Delete(ctx context.Context, key string) error
+	// Healthy reports whether the member behind this handle is serving.
+	Healthy() bool
+}
+
+// Pool round-robins requests over several cluster handles — a gateway
+// process holding one Open per core member spreads its load instead of
+// funneling everything through a single member's local replica. Pool
+// itself satisfies Backend, so a single-handle deployment and a pooled
+// one wire into the gateway identically.
+type Pool struct {
+	backends []Backend
+	next     atomic.Uint64
+}
+
+// NewPool builds a round-robin pool over the handles. It returns nil if
+// no handle is given; a pool of one is valid (and adds one atomic add
+// per operation).
+func NewPool(backends ...Backend) *Pool {
+	if len(backends) == 0 {
+		return nil
+	}
+	return &Pool{backends: backends}
+}
+
+// pick returns the next handle in rotation, preferring a healthy one: an
+// unhealthy pick advances past at most len(backends) handles before
+// giving up and returning the original (the request then fails with the
+// member's own error rather than a synthetic one).
+func (p *Pool) pick() Backend {
+	n := len(p.backends)
+	first := p.backends[int(p.next.Add(1)-1)%n]
+	if first.Healthy() {
+		return first
+	}
+	for i := 0; i < n-1; i++ {
+		if b := p.backends[int(p.next.Add(1)-1)%n]; b.Healthy() {
+			return b
+		}
+	}
+	return first
+}
+
+// Get implements Backend by delegating to the next handle in rotation.
+func (p *Pool) Get(ctx context.Context, key string, opts ...dds.ReadOption) ([]byte, bool, error) {
+	return p.pick().Get(ctx, key, opts...)
+}
+
+// Set implements Backend by delegating to the next handle in rotation.
+func (p *Pool) Set(ctx context.Context, key string, val []byte) error {
+	return p.pick().Set(ctx, key, val)
+}
+
+// Delete implements Backend by delegating to the next handle in rotation.
+func (p *Pool) Delete(ctx context.Context, key string) error {
+	return p.pick().Delete(ctx, key)
+}
+
+// Healthy reports whether any pooled handle is healthy.
+func (p *Pool) Healthy() bool {
+	for _, b := range p.backends {
+		if b.Healthy() {
+			return true
+		}
+	}
+	return false
+}

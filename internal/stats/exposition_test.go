@@ -1,0 +1,105 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestLabeledName(t *testing.T) {
+	got := LabeledName("gateway_requests_total", "op", "get", "mode", "eventual", "outcome", "ok")
+	want := `gateway_requests_total{op="get",mode="eventual",outcome="ok"}`
+	if got != want {
+		t.Fatalf("LabeledName = %q, want %q", got, want)
+	}
+	if got := LabeledName("plain"); got != "plain" {
+		t.Fatalf("LabeledName with no pairs = %q", got)
+	}
+	if got := LabeledName("m", "k", `a"b\c`); got != `m{k="a\"b\\c"}` {
+		t.Fatalf("LabeledName escaping = %q", got)
+	}
+}
+
+func TestHistogramBucketsCumulative(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(30 * time.Microsecond) // <= 50µs bucket
+	h.Observe(70 * time.Microsecond) // <= 100µs bucket
+	h.Observe(70 * time.Microsecond) // <= 100µs bucket
+	h.Observe(20 * time.Second)      // +Inf overflow
+	s := h.Summary()
+	if s.Count != 4 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if len(s.Buckets) != len(BucketBounds()) {
+		t.Fatalf("bucket count = %d, want %d", len(s.Buckets), len(BucketBounds()))
+	}
+	if s.Buckets[0].Count != 1 {
+		t.Fatalf("le=50µs cumulative = %d, want 1", s.Buckets[0].Count)
+	}
+	if s.Buckets[1].Count != 3 {
+		t.Fatalf("le=100µs cumulative = %d, want 3", s.Buckets[1].Count)
+	}
+	last := s.Buckets[len(s.Buckets)-1]
+	if last.Count != 3 {
+		t.Fatalf("le=10s cumulative = %d, want 3 (one sample overflows to +Inf)", last.Count)
+	}
+	if s.Sum != 20*time.Second+170*time.Microsecond {
+		t.Fatalf("sum = %v", s.Sum)
+	}
+	h.Reset()
+	if s := h.Summary(); len(s.Buckets) > 0 && s.Buckets[1].Count != 0 {
+		t.Fatalf("reset left bucket counts: %+v", s.Buckets[1])
+	}
+}
+
+func TestWriteTextExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(LabeledName(MetricGatewayRequests, "op", "get", "mode", "eventual", "outcome", "ok")).Add(7)
+	r.Counter(LabeledName(MetricGatewayRequests, "op", "get", "mode", "eventual", "outcome", "error")).Add(1)
+	r.Counter(MetricGatewayCoalesced).Add(5)
+	r.Gauge(GaugeGatewayInflight).Set(3)
+	r.Histogram(LabeledName(HistGatewayLatency, "mode", "eventual")).Observe(2 * time.Millisecond)
+	r.Histogram(HistMulticastLatency).Observe(5 * time.Millisecond)
+
+	var b strings.Builder
+	r.Snapshot().WriteText(&b)
+	out := b.String()
+
+	for _, want := range []string{
+		"# TYPE gateway_requests_total counter\n",
+		`gateway_requests_total{op="get",mode="eventual",outcome="ok"} 7` + "\n",
+		"# TYPE gateway_inflight gauge\ngateway_inflight 3\n",
+		"# TYPE gateway_latency_seconds histogram\n",
+		`gateway_latency_seconds_bucket{mode="eventual",le="0.0025"} 1` + "\n",
+		`gateway_latency_seconds_bucket{mode="eventual",le="+Inf"} 1` + "\n",
+		`gateway_latency_seconds_count{mode="eventual"} 1` + "\n",
+		`multicast_latency_seconds_bucket{le="0.005"} 1` + "\n",
+		"multicast_latency_seconds_count 1\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+	// One TYPE header per family even with several labeled series.
+	if n := strings.Count(out, "# TYPE gateway_requests_total "); n != 1 {
+		t.Fatalf("gateway_requests_total TYPE headers = %d, want 1", n)
+	}
+	if err := ValidateExposition(strings.NewReader(out)); err != nil {
+		t.Fatalf("ValidateExposition: %v\n%s", err, out)
+	}
+}
+
+func TestValidateExpositionRejects(t *testing.T) {
+	for _, bad := range []string{
+		"9bad_name 1\n",
+		"name_only\n",
+		"name 1 2 3\n",
+		`m{k=unquoted} 1` + "\n",
+		"m notanumber\n",
+		"",
+	} {
+		if err := ValidateExposition(strings.NewReader(bad)); err == nil {
+			t.Fatalf("ValidateExposition accepted %q", bad)
+		}
+	}
+}

@@ -8,19 +8,46 @@ import (
 
 // Histogram records durations and reports order statistics. It keeps raw
 // samples up to a bound, then reservoir-samples, which is plenty for the
-// latency distributions in the benchmarks while bounding memory.
+// latency distributions in the benchmarks while bounding memory. It also
+// counts every sample into a fixed exponential bucket ladder, so a
+// snapshot can be rendered as a Prometheus histogram (cumulative
+// `le`-bucket counts) without touching the reservoir.
 type Histogram struct {
 	mu      sync.Mutex
 	samples []time.Duration
 	count   int64
 	max     time.Duration
 	sum     time.Duration
+	// buckets holds per-bucket (non-cumulative) sample counts aligned
+	// with BucketBounds; the final slot is the +Inf overflow.
+	buckets [len(bucketBounds) + 1]int64
 	// rngState drives the reservoir replacement choice; a tiny xorshift
 	// keeps the package free of math/rand seeding concerns.
 	rngState uint64
 }
 
 const histReservoir = 4096
+
+// bucketBounds is the fixed latency ladder every histogram counts into:
+// 50µs to 10s, roughly 1-2.5-5 per decade — wide enough for both the
+// microsecond local-read path and multi-second reshard pauses. An extra
+// implicit +Inf bucket catches the overflow.
+var bucketBounds = [...]time.Duration{
+	50 * time.Microsecond, 100 * time.Microsecond, 250 * time.Microsecond,
+	500 * time.Microsecond, time.Millisecond, 2500 * time.Microsecond,
+	5 * time.Millisecond, 10 * time.Millisecond, 25 * time.Millisecond,
+	50 * time.Millisecond, 100 * time.Millisecond, 250 * time.Millisecond,
+	500 * time.Millisecond, time.Second, 2500 * time.Millisecond,
+	5 * time.Second, 10 * time.Second,
+}
+
+// BucketBounds returns the fixed upper bounds (exclusive of the implicit
+// +Inf overflow bucket) every histogram counts into.
+func BucketBounds() []time.Duration {
+	b := make([]time.Duration, len(bucketBounds))
+	copy(b, bucketBounds[:])
+	return b
+}
 
 // NewHistogram returns an empty histogram.
 func NewHistogram() *Histogram {
@@ -36,6 +63,14 @@ func (h *Histogram) Observe(d time.Duration) {
 	if d > h.max {
 		h.max = d
 	}
+	idx := len(bucketBounds) // +Inf overflow
+	for i, ub := range bucketBounds {
+		if d <= ub {
+			idx = i
+			break
+		}
+	}
+	h.buckets[idx]++
 	if len(h.samples) < histReservoir {
 		h.samples = append(h.samples, d)
 		return
@@ -49,21 +84,38 @@ func (h *Histogram) Observe(d time.Duration) {
 	}
 }
 
+// HistogramBucket is one cumulative bucket of a summary: the count of
+// samples at or below UpperBound (Prometheus `le` semantics).
+type HistogramBucket struct {
+	UpperBound time.Duration
+	Count      int64
+}
+
 // HistogramSummary is a point-in-time digest of a histogram.
 type HistogramSummary struct {
 	Count int64
+	Sum   time.Duration
 	Mean  time.Duration
 	P50   time.Duration
 	P90   time.Duration
 	P99   time.Duration
 	Max   time.Duration
+	// Buckets are the cumulative fixed-ladder counts (le semantics); the
+	// implicit +Inf count is Count itself.
+	Buckets []HistogramBucket
 }
 
 // Summary computes order statistics over the retained samples.
 func (h *Histogram) Summary() HistogramSummary {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	s := HistogramSummary{Count: h.count, Max: h.max}
+	s := HistogramSummary{Count: h.count, Sum: h.sum, Max: h.max}
+	s.Buckets = make([]HistogramBucket, len(bucketBounds))
+	var cum int64
+	for i, ub := range bucketBounds {
+		cum += h.buckets[i]
+		s.Buckets[i] = HistogramBucket{UpperBound: ub, Count: cum}
+	}
 	if h.count > 0 {
 		s.Mean = h.sum / time.Duration(h.count)
 	}
@@ -98,4 +150,7 @@ func (h *Histogram) Reset() {
 	h.count = 0
 	h.max = 0
 	h.sum = 0
+	for i := range h.buckets {
+		h.buckets[i] = 0
+	}
 }

@@ -257,6 +257,27 @@ const (
 	// node's ring when adaptive batching is enabled (see
 	// ring.Config.AdaptiveBatch).
 	GaugeAdaptiveBatch = "adaptive_batch_budget"
+	// MetricGatewayRequests counts gateway requests; the gateway labels it
+	// by op, read mode and outcome via LabeledName
+	// (gateway_requests_total{op=...,mode=...,outcome=...}).
+	MetricGatewayRequests = "gateway_requests_total"
+	// MetricGatewayCoalesced counts reads served by fan-in from another
+	// in-flight upstream fetch of the same key×mode (no upstream read of
+	// their own).
+	MetricGatewayCoalesced = "gateway_coalesced_total"
+	// MetricGatewayCacheHits counts reads served from the gateway's
+	// optional per-entry TTL micro-cache.
+	MetricGatewayCacheHits = "gateway_cache_hits_total"
+	// MetricGatewayUpstream counts upstream cluster reads the gateway
+	// actually issued (the denominator coalescing and caching shrink).
+	MetricGatewayUpstream = "gateway_upstream_reads_total"
+	// GaugeGatewayInflight is the number of gateway requests currently
+	// being served.
+	GaugeGatewayInflight = "gateway_inflight"
+	// HistGatewayLatency is gateway request latency; the gateway labels it
+	// by read mode (gateway_latency{mode=...}), rendered on /metrics as
+	// gateway_latency_seconds bucket series.
+	HistGatewayLatency = "gateway_latency"
 	// HistMulticastLatency is submit-to-deliver latency at the origin.
 	HistMulticastLatency = "multicast_latency"
 	// HistReshardPause is the coordinator-observed handoff window: first

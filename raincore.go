@@ -29,9 +29,9 @@
 // *Error values with a machine-checkable Retryable classification; see
 // IsRetryable and ErrRetryable.
 //
-// The pre-facade composition API (NewRuntime, AttachShardedDDS,
-// NewTxnCoordinator) remains available as deprecated shims for one
-// release; see the MIGRATION section of the README.
+// The pre-facade composition shims deprecated by the facade release are
+// now removed; Open plus its options are the only way to assemble a
+// cluster member. See the MIGRATION section of the README.
 package raincore
 
 import (
@@ -186,35 +186,6 @@ const NoNode = wire.NoNode
 // Ring0 is the default ring of a single-ring deployment and the anchor
 // ring of a sharded runtime.
 const Ring0 = wire.Ring0
-
-// NewRuntime builds a sharded multi-ring runtime over the given conns.
-//
-// Deprecated: use Open, which builds and starts the runtime, the
-// sharded data service and the transaction coordinator in one call and
-// retries retryable failures for you. Retained for one release.
-func NewRuntime(cfg RuntimeConfig, conns []PacketConn) (*Runtime, error) {
-	return core.NewRuntime(cfg, conns)
-}
-
-// AttachShardedDDS builds one data-service replica per ring of the
-// runtime and routes keys and locks across them. Call before
-// Runtime.Start.
-//
-// Deprecated: use Open; Cluster.DDS exposes the attached service.
-// Retained for one release.
-func AttachShardedDDS(rt *Runtime) (*ShardedDDS, error) {
-	return dds.AttachSharded(rt)
-}
-
-// NewTxnCoordinator builds a cross-shard transaction coordinator over the
-// sharded data service, pinning each transaction to the runtime's routing
-// epoch (any elastic grow/shrink in flight aborts it retryably).
-//
-// Deprecated: use Open and Cluster.Txn, which additionally retries
-// retryable aborts. Retained for one release.
-func NewTxnCoordinator(s *ShardedDDS, rt *Runtime) *TxnCoordinator {
-	return txn.New(s, txn.WithRuntimePin(rt))
-}
 
 // NewNode builds a single-ring cluster member over the given transport
 // conns — the paper's original per-node API, still the right tool for
