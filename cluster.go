@@ -18,6 +18,7 @@ import (
 	"repro/internal/trace"
 	"repro/internal/transport"
 	"repro/internal/txn"
+	"repro/internal/wal"
 	"repro/internal/wire"
 )
 
@@ -42,6 +43,7 @@ type Cluster struct {
 	reg         *stats.Registry
 	policy      RetryPolicy
 	defaultRead []ReadOption
+	backend     wal.Backend
 
 	admin   *http.Server
 	adminLn net.Listener
@@ -90,6 +92,10 @@ func (p RetryPolicy) delay(attempt int) time.Duration {
 	return d
 }
 
+// defaultSnapshotEvery is the WAL compaction threshold when
+// WithSnapshotEvery is not given.
+const defaultSnapshotEvery = 4 << 20
+
 // openConfig accumulates Open's functional options.
 type openConfig struct {
 	id          NodeID
@@ -104,6 +110,11 @@ type openConfig struct {
 	trace       *trace.Log
 	handlers    func(RingID) Handlers
 	defaultRead []ReadOption
+
+	storageDir     string
+	storageBackend wal.Backend
+	fsyncMode      string
+	snapshotEvery  int64
 }
 
 // Option customizes Open.
@@ -162,6 +173,35 @@ func WithDefaultReadOptions(opts ...ReadOption) Option {
 	return func(o *openConfig) { o.defaultRead = append(o.defaultRead, opts...) }
 }
 
+// WithStorage persists every ring replica's ordered applies to a
+// checksummed write-ahead log under dir and restores them at the next
+// Open: the node replays its last snapshot plus the log tail locally,
+// then rejoins the cluster and fast-forwards through a delta state
+// transfer covering only the ops it missed — instead of a full keyspace
+// retransfer. The routing table (ring set and epoch) persists alongside,
+// so a restarted node re-spawns the rings it hosted at crash time. Tune
+// with WithFsyncMode and WithSnapshotEvery.
+func WithStorage(dir string) Option { return func(o *openConfig) { o.storageDir = dir } }
+
+// WithStorageBackend substitutes the durability backend WithStorage
+// would build — NewMemoryStorage() gives tests crash-restart semantics
+// (the backend survives a Close and recovers in-process) without disk.
+// It overrides WithStorage when both are given.
+func WithStorageBackend(b StorageBackend) Option {
+	return func(o *openConfig) { o.storageBackend = b }
+}
+
+// WithFsyncMode selects the WAL durability point for WithStorage:
+// "always" fsyncs every append, "batch" (the default) fsyncs on a short
+// timer so a crash loses at most the last few milliseconds locally (the
+// replicas still hold the data — recovery fast-forwards through state
+// transfer), "none" leaves flushing to the OS.
+func WithFsyncMode(mode string) Option { return func(o *openConfig) { o.fsyncMode = mode } }
+
+// WithSnapshotEvery compacts a ring's WAL into an atomic snapshot once
+// the log exceeds n bytes (default 4 MiB; <= 0 keeps the default).
+func WithSnapshotEvery(n int64) Option { return func(o *openConfig) { o.snapshotEvery = n } }
+
 // WithStats supplies the metric registry the runtime, transport, shards
 // and retry layer record into (default: a private registry, readable via
 // Cluster.Stats).
@@ -212,29 +252,113 @@ func Open(ctx context.Context, conns []PacketConn, opts ...Option) (*Cluster, er
 	if o.reg == nil {
 		o.reg = stats.NewRegistry()
 	}
-	rt, err := core.NewShardedRuntime(core.RuntimeConfig{
+	fsync := wal.FsyncBatch
+	if o.fsyncMode != "" {
+		var err error
+		if fsync, err = wal.ParseFsyncMode(o.fsyncMode); err != nil {
+			return nil, opError("open", "", err)
+		}
+	}
+	snapEvery := o.snapshotEvery
+	if snapEvery <= 0 {
+		snapEvery = defaultSnapshotEvery
+	}
+	backend := o.storageBackend
+	if backend == nil && o.storageDir != "" {
+		b, err := wal.Open(o.storageDir, wal.Options{Fsync: fsync, Stats: o.reg})
+		if err != nil {
+			return nil, opError("open", "", err)
+		}
+		backend = b
+	}
+	rcfg := core.RuntimeConfig{
 		ID:        o.id,
 		Rings:     o.rings,
 		Ring:      o.ring,
 		Transport: o.transport,
 		Registry:  o.reg,
 		Trace:     o.trace,
-	}, conns)
+	}
+	if backend != nil {
+		// A persisted routing table trumps WithRings: the node re-spawns
+		// the ring set it hosted at crash time on the epoch it last saw,
+		// so its WAL replays line up ring-for-ring.
+		meta, ok, err := backend.LoadRouting()
+		if err != nil {
+			_ = backend.Close()
+			return nil, opError("open", "", err)
+		}
+		if ok && len(meta.Rings) > 0 {
+			for _, rid := range meta.Rings {
+				rcfg.RingIDs = append(rcfg.RingIDs, RingID(rid))
+			}
+			rcfg.RoutingEpoch = meta.Epoch
+			// This is a restart, not a first boot: re-enter through the
+			// ordered join path so the survivors fast-forward this node's
+			// recovered replicas with a delta instead of a full resync.
+			rcfg.Rejoin = true
+		}
+	}
+	rt, err := core.NewShardedRuntime(rcfg, conns)
 	if err != nil {
+		if backend != nil {
+			_ = backend.Close()
+		}
 		return nil, opError("open", "", err)
 	}
 	sharded, err := dds.AttachSharded(rt)
 	if err != nil {
 		rt.Close()
+		if backend != nil {
+			_ = backend.Close()
+		}
 		return nil, opError("open", "", err)
 	}
 	c := &Cluster{
 		rt:          rt,
 		dds:         sharded,
-		txn:         txn.New(sharded, txn.WithRuntimePin(rt)),
+		txn:         txn.New(sharded, txn.WithRuntimePin(rt), txn.WithStats(o.reg)),
 		reg:         o.reg,
 		policy:      o.policy,
 		defaultRead: o.defaultRead,
+		backend:     backend,
+	}
+	if backend != nil {
+		// Attach each active ring's log and replay it locally before the
+		// rings start: snapshot plus tail rebuild the replica's state and
+		// applied vector, so the join-time state transfer only has to
+		// cover the gap (a delta, not the keyspace).
+		for _, rid := range rt.Routing().Rings {
+			log, err := backend.Ring(int(rid))
+			if err == nil {
+				svc := sharded.Shard(int(rid))
+				svc.SetStorage(log, snapEvery)
+				_, err = svc.Recover()
+			}
+			if err != nil {
+				rt.Close()
+				_ = backend.Close()
+				return nil, opError("open", "", fmt.Errorf("recover ring %v: %w", rid, err))
+			}
+		}
+		// Rings grown later start empty (the handoff transfers their
+		// slice); they only need a log attached for future appends.
+		rt.OnRingSpawn(func(rid RingID, _ *Node) {
+			if log, err := backend.Ring(int(rid)); err == nil {
+				if svc := sharded.Shard(int(rid)); svc != nil {
+					svc.SetStorage(log, snapEvery)
+				}
+			}
+		})
+		saveRouting := func(v RoutingView) {
+			rings := make([]int, len(v.Rings))
+			for i, r := range v.Rings {
+				rings[i] = int(r)
+			}
+			_ = backend.SaveRouting(wal.RoutingMeta{Epoch: v.Epoch, Rings: rings})
+		}
+		saveRouting(rt.Routing())
+		rt.RoutingWatch(saveRouting)
 	}
 	if o.handlers != nil {
 		for _, rid := range rt.Routing().Rings {
@@ -451,6 +575,15 @@ func (c *Cluster) Keys() []string { return c.dds.Keys() }
 // contract.
 func (c *Cluster) Watch(fn func(key string, val []byte, deleted bool)) { c.dds.Watch(fn) }
 
+// OnApply registers an observer of the ordered apply stream: fn runs
+// once per applied operation that changed keys, on every shard
+// (including later grows), after the replica's state advanced. A cache
+// layer in front of the cluster (for example the gateway's read
+// micro-cache) hooks this to evict entries the moment a write from ANY
+// node applies locally, instead of waiting out a TTL. fn must not block:
+// it runs on the shard's apply path.
+func (c *Cluster) OnApply(fn func(ApplyEvent)) { c.dds.OnApply(fn) }
+
 // --- transactions ---
 
 // Tx is one multi-key cross-shard transaction under construction:
@@ -649,7 +782,15 @@ func (c *Cluster) Close() error {
 	if c.admin != nil {
 		_ = c.admin.Close()
 	}
-	c.closeErr = opError("close", "", c.rt.Close())
+	err := c.rt.Close()
+	if c.backend != nil {
+		// The backend closes after the rings: the last ordered applies
+		// (and the decide records they may carry) reach the log first.
+		if berr := c.backend.Close(); err == nil {
+			err = berr
+		}
+	}
+	c.closeErr = opError("close", "", err)
 	return c.closeErr
 }
 

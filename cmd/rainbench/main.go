@@ -14,11 +14,12 @@
 // BENCH_E5.json (override with -e5-out); e6 (the elastic-resharding run)
 // persists to BENCH_E6.json (-e6-out), e7 (the cross-shard transaction
 // run) to BENCH_E7.json (-e7-out), e8 (the consistency-moded read
-// scaling run) to BENCH_E8.json (-e8-out) and e9 (the gateway
-// request-coalescing run) to BENCH_E9.json (-e9-out); e6 through e9
-// refuse to overwrite an existing baseline unless -force is given.
-// -quick shrinks e7, e8 and e9 to their CI sizes (seconds), for the
-// per-PR benchmark artifact.
+// scaling run) to BENCH_E8.json (-e8-out), e9 (the gateway
+// request-coalescing run) to BENCH_E9.json (-e9-out) and e10 (the
+// durability WAL-overhead and crash-restart recovery run) to
+// BENCH_E10.json (-e10-out); e6 through e10 refuse to overwrite an
+// existing baseline unless -force is given. -quick shrinks e7 through
+// e10 to their CI sizes (seconds), for the per-PR benchmark artifact.
 //
 // -cluster runs the facade-overhead comparison: the same sharded write
 // workload against the raw dds router and through raincore.Cluster's
@@ -39,18 +40,19 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiments to run: all or a comma list of e1,e2,e3,e4,e5,e6,e7,e8,e9,a1,a2,a3")
+	exp := flag.String("exp", "all", "experiments to run: all or a comma list of e1,e2,e3,e4,e5,e6,e7,e8,e9,e10,a1,a2,a3")
 	e5Out := flag.String("e5-out", "BENCH_E5.json", "where e5 persists its baseline rows")
 	e6Out := flag.String("e6-out", "BENCH_E6.json", "where e6 persists its baseline")
 	e7Out := flag.String("e7-out", "BENCH_E7.json", "where e7 persists its baseline")
 	e8Out := flag.String("e8-out", "BENCH_E8.json", "where e8 persists its baseline")
 	e9Out := flag.String("e9-out", "BENCH_E9.json", "where e9 persists its baseline")
-	force := flag.Bool("force", false, "overwrite an existing e6/e7/e8/e9 baseline")
-	quick := flag.Bool("quick", false, "run e7/e8/e9 at their CI sizes (shorter phases, fewer workers)")
+	e10Out := flag.String("e10-out", "BENCH_E10.json", "where e10 persists its baseline")
+	force := flag.Bool("force", false, "overwrite an existing e6/e7/e8/e9/e10 baseline")
+	quick := flag.Bool("quick", false, "run e7/e8/e9/e10 at their CI sizes (shorter phases, fewer workers)")
 	clusterMode := flag.Bool("cluster", false, "measure the raincore.Cluster facade's retry-wrapper overhead against the raw sharded-dds path (asserts it is within noise)")
 	flag.Parse()
 
-	known := []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "a1", "a2", "a3"}
+	known := []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "a1", "a2", "a3"}
 	selection := *exp
 	// Positional form: `rainbench e5` == `rainbench -exp e5`. Mixing the
 	// two would silently drop one, so it is an error; so is an unknown
@@ -234,6 +236,34 @@ func main() {
 			log.Fatalf("E9: write baseline: %v", err)
 		}
 		fmt.Printf("e9 baseline written to %s\n\n", *e9Out)
+	}
+	if want["e10"] {
+		if _, err := os.Stat(*e10Out); err == nil && !*force {
+			log.Fatalf("rainbench: %s exists; pass -force to overwrite the baseline", *e10Out)
+		}
+		cfg := experiments.DefaultE10()
+		if *quick {
+			cfg = experiments.QuickE10()
+		}
+		res, err := experiments.E10Durability(cfg)
+		if err != nil {
+			log.Fatalf("E10: %v", err)
+		}
+		fmt.Println(experiments.E10Table(res, cfg))
+		if err := experiments.WriteE10JSON(*e10Out, cfg, res); err != nil {
+			log.Fatalf("E10: write baseline: %v", err)
+		}
+		fmt.Printf("e10 baseline written to %s\n", *e10Out)
+		for _, row := range res.Overhead {
+			if row.Mode == "batch" {
+				verdict := "within"
+				if !res.BatchWithinTarget {
+					verdict = "OVER"
+				}
+				fmt.Printf("e10 durability check: fsync batch costs %.1f%% write throughput (%s the 10%% bar); WAL restart %.1fx faster than full retransfer\n\n",
+					row.OverheadPct, verdict, res.SpeedupX)
+			}
+		}
 	}
 	if want["a1"] {
 		rows, err := experiments.A1SafeVsAgreed(4, 50)

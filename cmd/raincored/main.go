@@ -146,6 +146,16 @@ func resolveConfig(fs *flag.FlagSet, cfgPath string, peers peerList) (config.Con
 			cfg.Node.StatsMS = ms()
 		case "admin":
 			cfg.Node.Admin = get()
+		case "wal-dir":
+			cfg.Node.WalDir = get()
+		case "fsync-mode":
+			cfg.Node.FsyncMode = get()
+		case "snapshot-every":
+			n, err := strconv.ParseInt(get(), 10, 64)
+			if err != nil && visitErr == nil {
+				visitErr = fmt.Errorf("-%s: %v", f.Name, err)
+			}
+			cfg.Node.SnapshotEveryBytes = n
 		case "mode":
 			cfg.Mode = get()
 		case "gateway":
@@ -205,6 +215,9 @@ func main() {
 	flag.Duration("announce", 2*time.Second, "heartbeat multicast interval (0 disables)")
 	flag.Duration("stats", 10*time.Second, "stats print interval (0 disables)")
 	flag.String("admin", "", "HTTP admin address for health and grow/shrink (empty disables)")
+	flag.String("wal-dir", "", "directory for per-ring write-ahead logs and snapshots (empty disables durability)")
+	flag.String("fsync-mode", "batch", "WAL durability point: always, batch or none")
+	flag.Int64("snapshot-every", 4<<20, "compact a ring's WAL into a snapshot past this many bytes")
 	flag.Var(peers, "peer", "peer as id=addr[,addr...]; repeat per peer")
 	flag.Parse()
 
@@ -288,6 +301,14 @@ func main() {
 	if cfg.Node.Admin != "" {
 		opts = append(opts, raincore.WithAdmin(cfg.Node.Admin))
 	}
+	if cfg.Node.WalDir != "" {
+		opts = append(opts,
+			raincore.WithStorage(cfg.Node.WalDir),
+			raincore.WithFsyncMode(cfg.Node.FsyncMode),
+			raincore.WithSnapshotEvery(cfg.Node.SnapshotEveryBytes))
+		logger.Printf("durability on: wal_dir=%s fsync=%s snapshot_every=%d",
+			cfg.Node.WalDir, cfg.Node.FsyncMode, cfg.Node.SnapshotEveryBytes)
+	}
 	if cfg.Mode == config.ModeGateway {
 		if ro := defaultReadOptions(cfg.Gateway); ro != nil {
 			opts = append(opts, raincore.WithDefaultReadOptions(ro...))
@@ -341,6 +362,16 @@ func main() {
 		if err != nil {
 			log.Fatalf("raincored: %v", err)
 		}
+		// Ordered-apply eviction: a write committed through ANY member
+		// evicts this gateway's micro-cache entry the moment it applies on
+		// the member behind it, so cache_ttl_ms is a latency knob, not a
+		// staleness bound.
+		gwRef := gw
+		cl.OnApply(func(e raincore.ApplyEvent) {
+			for _, k := range e.Keys {
+				gwRef.Invalidate(k)
+			}
+		})
 		addr, err := gw.Start(cfg.Gateway.Listen)
 		if err != nil {
 			log.Fatalf("raincored: %v", err)

@@ -63,6 +63,17 @@ type Node struct {
 	StatsMS int `json:"stats_ms"`
 	// Admin is the admin HTTP address (empty disables).
 	Admin string `json:"admin"`
+	// WalDir enables the durability subsystem — per-ring write-ahead
+	// logs, snapshot compaction and crash-restart recovery — under this
+	// directory (empty disables).
+	WalDir string `json:"wal_dir"`
+	// FsyncMode selects the WAL durability point: "always" fsyncs every
+	// append, "batch" (default) fsyncs on a short timer, "none" leaves
+	// flushing to the OS.
+	FsyncMode string `json:"fsync_mode"`
+	// SnapshotEveryBytes compacts a ring's WAL into a snapshot once the
+	// log exceeds this size (default 4 MiB).
+	SnapshotEveryBytes int64 `json:"snapshot_every_bytes"`
 }
 
 // Gateway configures the HTTP/JSON access tier.
@@ -98,13 +109,15 @@ func Default() Config {
 	return Config{
 		Mode: ModeMember,
 		Node: Node{
-			Listen:      []string{"127.0.0.1:0"},
-			Rings:       1,
-			TokenHoldMS: 100,
-			HungryMS:    500,
-			BodyodorMS:  1000,
-			AnnounceMS:  2000,
-			StatsMS:     10000,
+			Listen:             []string{"127.0.0.1:0"},
+			Rings:              1,
+			TokenHoldMS:        100,
+			HungryMS:           500,
+			BodyodorMS:         1000,
+			AnnounceMS:         2000,
+			StatsMS:            10000,
+			FsyncMode:          "batch",
+			SnapshotEveryBytes: 4 << 20,
 		},
 		Gateway: Gateway{
 			DefaultTimeoutMS: 2000,
@@ -154,6 +167,11 @@ func (c Config) Validate() error {
 	}
 	if len(c.Node.Listen) == 0 {
 		return fmt.Errorf("node.listen must name at least one address")
+	}
+	switch c.Node.FsyncMode {
+	case "", "always", "batch", "none":
+	default:
+		return fmt.Errorf("node.fsync_mode %q: want always, batch or none", c.Node.FsyncMode)
 	}
 	for id := range c.Node.Peers {
 		var n uint32

@@ -331,6 +331,19 @@ func (n *Node) Start() {
 	n.post(ring.EvStart{})
 }
 
+// StartJoining boots the node as a rejoining member: instead of forming
+// a singleton group it sends 911 join requests to its eligible peers
+// (§2.3) until an existing group admits it, seeding a fresh group only
+// when no peer outranks it. A node restarting from a durable WAL uses
+// this path so it re-enters through the ordered join announcement — and
+// the delta state transfer keyed off its recovered applied vector —
+// rather than a discovery merge's full resync.
+func (n *Node) StartJoining() {
+	n.loopWG.Add(1)
+	go n.loop()
+	n.post(ring.EvStartJoining{})
+}
+
 // post enqueues an event for the loop; drops if the node stopped.
 func (n *Node) post(ev ring.Event) {
 	select {

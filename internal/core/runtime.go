@@ -41,6 +41,8 @@ type Runtime struct {
 	ringTemplate ring.Config
 	transportCfg transport.Config
 
+	rejoin bool
+
 	mu       sync.Mutex
 	nodes    map[RingID]*Node // every spawned ring, including mid-handoff ones
 	table    RoutingView      // the published routing epoch
@@ -72,6 +74,20 @@ type RuntimeConfig struct {
 	// Rings is the initial shard count S (>= 1). Ring IDs are 0..Rings-1;
 	// AddRing and RemoveRing change the set at runtime.
 	Rings int
+	// RingIDs, when non-empty, names the exact initial ring set and
+	// overrides Rings — a node restarting from a persisted routing
+	// snapshot spawns the ring ids it hosted at crash time (which, after
+	// grows and shrinks, need not be 0..S-1).
+	RingIDs []RingID
+	// RoutingEpoch, when non-zero, seeds the published routing epoch
+	// (default 1); restored alongside RingIDs.
+	RoutingEpoch uint64
+	// Rejoin boots every initial ring through the 911 join path instead
+	// of singleton formation: set by a node restarting from durable
+	// state, so it is admitted by the surviving group (with a delta
+	// state transfer) rather than merging into it (a full resync).
+	// Rings grown later always form normally.
+	Rejoin bool
 	// Ring is the per-ring protocol template; ID and SeqBase are filled
 	// in per instance.
 	Ring ring.Config
@@ -117,20 +133,34 @@ func NewShardedRuntime(cfg RuntimeConfig, conns []transport.PacketConn) (*Runtim
 		trc:          cfg.Trace,
 		ringTemplate: cfg.Ring,
 		transportCfg: cfg.Transport,
+		rejoin:       cfg.Rejoin,
 		nodes:        make(map[RingID]*Node),
 		ringDown:     make(map[RingID]string),
 		tableCh:      make(chan struct{}),
 		abortErrs:    make(map[uint64]error),
 	}
+	ringIDs := cfg.RingIDs
+	if len(ringIDs) == 0 {
+		for i := 0; i < cfg.Rings; i++ {
+			ringIDs = append(ringIDs, RingID(i))
+		}
+	} else {
+		ringIDs = append([]RingID(nil), ringIDs...)
+		sort.Slice(ringIDs, func(i, j int) bool { return ringIDs[i] < ringIDs[j] })
+	}
 	var rings []RingID
-	for i := 0; i < cfg.Rings; i++ {
-		if _, err := r.spawnNode(RingID(i)); err != nil {
+	for _, id := range ringIDs {
+		if _, err := r.spawnNode(id); err != nil {
 			r.Close()
 			return nil, err
 		}
-		rings = append(rings, RingID(i))
+		rings = append(rings, id)
 	}
-	r.table = RoutingView{Epoch: 1, Rings: rings}
+	epoch := cfg.RoutingEpoch
+	if epoch == 0 {
+		epoch = 1
+	}
+	r.table = RoutingView{Epoch: epoch, Rings: rings}
 	return r, nil
 }
 
@@ -266,10 +296,15 @@ func (r *Runtime) Stats() *stats.Registry { return r.reg }
 // every ring reaches the peer through them.
 func (r *Runtime) SetPeer(id NodeID, addrs []transport.Addr) { r.tr.SetPeer(id, addrs) }
 
-// Start boots every ring.
+// Start boots every ring — through the rejoin path when the runtime was
+// assembled from persisted state (RuntimeConfig.Rejoin).
 func (r *Runtime) Start() {
 	for _, n := range r.Nodes() {
-		n.Start()
+		if r.rejoin {
+			n.StartJoining()
+		} else {
+			n.Start()
+		}
 	}
 }
 

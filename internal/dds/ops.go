@@ -69,6 +69,24 @@ const (
 	// retired ranges never reject them, so reads stay available through
 	// handoffs.
 	opFence
+	// opTxnDecide is the replicated commit record: the coordinator orders
+	// it on the designated decide ring after every prepare acknowledged
+	// and before any phase-2 commit fan-out. Its presence on the decide
+	// ring means the transaction is committed; its absence at the ordered
+	// position of the coordinator's removal means no participant can have
+	// committed, so survivors abort. Either way in-doubt stages terminate
+	// deterministically.
+	opTxnDecide
+	// opSnapReqFrom is a rejoining node's state-transfer request carrying
+	// its recovered applied-sequence vector (and removal count). The
+	// deterministic responder answers with either an opSnapDelta holding
+	// just the ops the joiner missed, or a full targeted opSnapshot when
+	// the gap is not coverable from its recent-op log.
+	opSnapReqFrom
+	// opSnapDelta fast-forwards a WAL-recovered joiner: the ops (and
+	// membership removals) it missed, in ring order, instead of the full
+	// keyspace.
+	opSnapDelta
 )
 
 type op struct {
@@ -87,6 +105,24 @@ type op struct {
 	kv      map[string][]byte
 	locks   map[string]*lockState
 	dels    []string // txn prepare: keys the transaction deletes
+
+	// Durability / recovery fields.
+	decideRing int                    // txn prepare: decide ring id, -1 = presumed-abort (legacy)
+	applied    map[core.NodeID]uint64 // snap-req-from: the joiner's recovered vector
+	removals   uint64                 // snap-req-from: removals the joiner has applied
+	wantFull   bool                   // snap-req-from: joiner needs a full snapshot
+	delta      []deltaEntry           // snap-delta: the ops the joiner missed, in order
+}
+
+// deltaEntry is one element of a fast-forward delta: either a missed op
+// (raw payload, replayed through the filtered-apply path) or a missed
+// membership removal (replayed through the dead-node cleanup path).
+type deltaEntry struct {
+	origin  core.NodeID // op entry: originating node
+	seq     uint64      // op entry: per-origin sequence
+	raw     []byte      // op entry: encoded op as delivered
+	removal core.NodeID // removal entry: the removed node (wire.NoNode for op entries)
+	remIdx  uint64      // removal entry: position in the removal sequence
 }
 
 func header(kind opKind) []byte { return []byte{ddsMagic, ddsVersion, byte(kind)} }
@@ -339,14 +375,74 @@ func (r *opReader) readStrList() ([]string, error) {
 
 // encodeTxnPrepare stages a transaction's writes on the carrying ring's
 // shard; epoch is the routing epoch the coordinator pinned for the
-// transaction's lifetime.
-func encodeTxnPrepare(id, epoch uint64, kv map[string][]byte, dels []string, reqID uint64) []byte {
+// transaction's lifetime. decideRing is the ring carrying the replicated
+// commit record (-1: legacy presumed-abort, the stage dies with its
+// coordinator).
+func encodeTxnPrepare(id, epoch uint64, decideRing int, kv map[string][]byte, dels []string, reqID uint64) []byte {
 	b := header(opTxnPrepare)
 	b = binary.LittleEndian.AppendUint64(b, id)
 	b = binary.LittleEndian.AppendUint64(b, epoch)
+	b = binary.LittleEndian.AppendUint32(b, uint32(int32(decideRing)))
 	b = appendKV(b, kv)
 	b = appendStrList(b, dels)
 	return binary.LittleEndian.AppendUint64(b, reqID)
+}
+
+// encodeTxnDecide orders the replicated commit record for transaction id
+// (coordinated by coord) on the carrying decide ring.
+func encodeTxnDecide(id uint64, coord core.NodeID, reqID uint64) []byte {
+	b := header(opTxnDecide)
+	b = binary.LittleEndian.AppendUint64(b, id)
+	b = binary.LittleEndian.AppendUint32(b, uint32(coord))
+	return binary.LittleEndian.AppendUint64(b, reqID)
+}
+
+// encodeSnapReqFrom is a recovered joiner's targeted state request: its
+// applied vector and removal count let the responder compute a delta.
+func encodeSnapReqFrom(applied map[core.NodeID]uint64, removals, epoch uint64, wantFull bool) []byte {
+	b := header(opSnapReqFrom)
+	b = binary.LittleEndian.AppendUint64(b, epoch)
+	b = binary.LittleEndian.AppendUint64(b, removals)
+	if wantFull {
+		b = append(b, 1)
+	} else {
+		b = append(b, 0)
+	}
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(applied)))
+	for _, node := range sortedNodeIDs(applied) {
+		b = binary.LittleEndian.AppendUint32(b, uint32(node))
+		b = binary.LittleEndian.AppendUint64(b, applied[node])
+	}
+	return b
+}
+
+func sortedNodeIDs(m map[core.NodeID]uint64) []core.NodeID {
+	out := make([]core.NodeID, 0, len(m))
+	for n := range m {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// encodeSnapDelta carries the ops and removals the joiner missed.
+func encodeSnapDelta(target core.NodeID, entries []deltaEntry) []byte {
+	b := header(opSnapDelta)
+	b = binary.LittleEndian.AppendUint32(b, uint32(target))
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(entries)))
+	for _, e := range entries {
+		if e.removal != wire.NoNode {
+			b = append(b, 1)
+			b = binary.LittleEndian.AppendUint32(b, uint32(e.removal))
+			b = binary.LittleEndian.AppendUint64(b, e.remIdx)
+			continue
+		}
+		b = append(b, 0)
+		b = binary.LittleEndian.AppendUint32(b, uint32(e.origin))
+		b = binary.LittleEndian.AppendUint64(b, e.seq)
+		b = appendBytes(b, e.raw)
+	}
+	return b
 }
 
 // encodeTxnCommit applies the staged transaction on the carrying ring.
@@ -457,9 +553,76 @@ func decodeOp(p []byte) (op, bool) {
 	case opTxnPrepare:
 		if o.rid, err = r.u64(); err == nil {
 			if o.epoch, err = r.u64(); err == nil {
-				if o.kv, err = r.readKV(); err == nil {
-					if o.dels, err = r.readStrList(); err == nil {
-						o.reqID, err = r.u64()
+				var dr uint32
+				if dr, err = r.u32(); err == nil {
+					o.decideRing = int(int32(dr))
+					if o.kv, err = r.readKV(); err == nil {
+						if o.dels, err = r.readStrList(); err == nil {
+							o.reqID, err = r.u64()
+						}
+					}
+				}
+			}
+		}
+	case opTxnDecide:
+		if o.rid, err = r.u64(); err == nil {
+			var coord uint32
+			if coord, err = r.u32(); err == nil {
+				o.target = core.NodeID(coord)
+				o.reqID, err = r.u64()
+			}
+		}
+	case opSnapReqFrom:
+		if o.epoch, err = r.u64(); err == nil {
+			if o.removals, err = r.u64(); err == nil {
+				var wf byte
+				if wf, err = r.u8(); err == nil {
+					o.wantFull = wf == 1
+					var n uint32
+					if n, err = r.u32(); err == nil {
+						o.applied = make(map[core.NodeID]uint64, n)
+						for i := uint32(0); i < n && err == nil; i++ {
+							var node uint32
+							var seq uint64
+							if node, err = r.u32(); err == nil {
+								if seq, err = r.u64(); err == nil {
+									o.applied[core.NodeID(node)] = seq
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	case opSnapDelta:
+		var t, n uint32
+		if t, err = r.u32(); err == nil {
+			o.target = core.NodeID(t)
+			if n, err = r.u32(); err == nil {
+				o.delta = make([]deltaEntry, 0, n)
+				for i := uint32(0); i < n && err == nil; i++ {
+					var typ byte
+					if typ, err = r.u8(); err != nil {
+						break
+					}
+					var e deltaEntry
+					if typ == 1 {
+						var node uint32
+						if node, err = r.u32(); err == nil {
+							e.removal = core.NodeID(node)
+							e.remIdx, err = r.u64()
+						}
+					} else {
+						var node uint32
+						if node, err = r.u32(); err == nil {
+							e.origin = core.NodeID(node)
+							if e.seq, err = r.u64(); err == nil {
+								e.raw, err = r.bytes()
+							}
+						}
+					}
+					if err == nil {
+						o.delta = append(o.delta, e)
 					}
 				}
 			}
@@ -501,6 +664,15 @@ type snapshotState struct {
 	txns   map[uint64]*txnStage
 	snapID uint64
 	snapBy core.NodeID
+	// Durability extension (third trailer): the count of membership
+	// removals this replica has applied, the replicated commit records
+	// held by a decide-ring replica (in arrival order), and the nodes
+	// whose ordered removal this decide-ring replica has witnessed. They
+	// ride snapshots and the WAL so a recovered or freshly synced replica
+	// reaches the same in-doubt transaction verdicts as everyone else.
+	removals  uint64
+	decisions []uint64
+	removed   []core.NodeID
 }
 
 // txnStage is one staged (prepared but unresolved) cross-shard
@@ -513,6 +685,10 @@ type txnStage struct {
 	epoch uint64
 	kv    map[string][]byte
 	dels  []string
+	// decideRing is the ring carrying this transaction's replicated
+	// commit record; -1 means the prepare predates commit records (or
+	// they are disabled) and the stage dies with its coordinator.
+	decideRing int
 }
 
 // stagedInstall is a target replica's handoff state: installs are staged
@@ -566,11 +742,22 @@ func encodeSnapshotState(st snapshotState) []byte {
 		b = binary.LittleEndian.AppendUint64(b, tx.id)
 		b = binary.LittleEndian.AppendUint32(b, uint32(tx.by))
 		b = binary.LittleEndian.AppendUint64(b, tx.epoch)
+		b = binary.LittleEndian.AppendUint32(b, uint32(int32(tx.decideRing)))
 		b = appendKV(b, tx.kv)
 		b = appendStrList(b, tx.dels)
 	}
 	b = binary.LittleEndian.AppendUint64(b, st.snapID)
 	b = binary.LittleEndian.AppendUint32(b, uint32(st.snapBy))
+	// Durability extension (third optional trailer).
+	b = binary.LittleEndian.AppendUint64(b, st.removals)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(st.decisions)))
+	for _, id := range st.decisions {
+		b = binary.LittleEndian.AppendUint64(b, id)
+	}
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(st.removed)))
+	for _, n := range st.removed {
+		b = binary.LittleEndian.AppendUint32(b, uint32(n))
+	}
 	return b
 }
 
@@ -679,6 +866,11 @@ func decodeSnapshotState(p []byte) (snapshotState, error) {
 		if tx.epoch, err = r.u64(); err != nil {
 			return st, err
 		}
+		dr, err := r.u32()
+		if err != nil {
+			return st, err
+		}
+		tx.decideRing = int(int32(dr))
 		if tx.kv, err = r.readKV(); err != nil {
 			return st, err
 		}
@@ -695,6 +887,35 @@ func decodeSnapshotState(p []byte) (snapshotState, error) {
 		return st, err
 	}
 	st.snapBy = core.NodeID(snapBy)
+	// Durability extension: absent in snapshots from older builds.
+	if len(r.buf) == 0 {
+		return st, nil
+	}
+	if st.removals, err = r.u64(); err != nil {
+		return st, err
+	}
+	ndec, err := r.u32()
+	if err != nil {
+		return st, err
+	}
+	for i := uint32(0); i < ndec; i++ {
+		id, err := r.u64()
+		if err != nil {
+			return st, err
+		}
+		st.decisions = append(st.decisions, id)
+	}
+	nrem, err := r.u32()
+	if err != nil {
+		return st, err
+	}
+	for i := uint32(0); i < nrem; i++ {
+		n, err := r.u32()
+		if err != nil {
+			return st, err
+		}
+		st.removed = append(st.removed, core.NodeID(n))
+	}
 	return st, nil
 }
 

@@ -41,6 +41,7 @@ type Sharded struct {
 	ring     *hashRing        // current epoch's key -> ring id map
 	shards   map[int]*Service // by ring id; includes a mid-handoff target
 	watchers []func(key string, val []byte, deleted bool)
+	applyObs []func(ApplyEvent)
 
 	// Handoff observation state (participant side) and coordination
 	// state (coordinator side); see resharding.go.
@@ -139,9 +140,14 @@ func (s *Sharded) attachReplica(ringID int, n *core.Node) *Service {
 	s.shards = next
 	watchers := make([]func(string, []byte, bool), len(s.watchers))
 	copy(watchers, s.watchers)
+	applyObs := make([]func(ApplyEvent), len(s.applyObs))
+	copy(applyObs, s.applyObs)
 	s.mu.Unlock()
 	for _, fn := range watchers {
 		svc.Watch(fn)
+	}
+	for _, fn := range applyObs {
+		svc.OnApply(fn)
 	}
 	return svc
 }
@@ -320,6 +326,75 @@ func (s *Sharded) Watch(fn func(key string, val []byte, deleted bool)) {
 	for _, sh := range svcs {
 		sh.Watch(fn)
 	}
+}
+
+// OnApply registers an apply-stream observer on every shard, including
+// shards attached by later grows. Events for one shard arrive in that
+// shard's apply order; there is no cross-shard order (the sharded
+// consistency model). The gateway's micro-cache invalidation rides this.
+func (s *Sharded) OnApply(fn func(ApplyEvent)) {
+	s.mu.Lock()
+	s.applyObs = append(s.applyObs, fn)
+	svcs := make([]*Service, 0, len(s.shards))
+	for _, sh := range s.shards {
+		svcs = append(svcs, sh)
+	}
+	s.mu.Unlock()
+	for _, sh := range svcs {
+		sh.OnApply(fn)
+	}
+}
+
+// kickOrphans re-evaluates every shard's orphaned transaction stages
+// against the decide ring's verdicts. Invoked from the shards' kick
+// points: a decide record applying, a membership change, a completed
+// state transfer.
+func (s *Sharded) kickOrphans() {
+	s.mu.RLock()
+	svcs := make([]*Service, 0, len(s.shards))
+	for _, svc := range s.shards {
+		svcs = append(svcs, svc)
+	}
+	s.mu.RUnlock()
+	for _, svc := range svcs {
+		svc.resolveOrphans()
+	}
+}
+
+// DecideRing returns the ring carrying replicated commit records: the
+// lowest active ring id of the current epoch. Every coordinator and
+// every replica resolves the same ring for a given routing table, and
+// the lowest ring survives shrinks (RemoveRing retires high ids).
+func (s *Sharded) DecideRing() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	best := -1
+	for _, id := range s.ring.ids {
+		if best == -1 || id < best {
+			best = id
+		}
+	}
+	return best
+}
+
+// decideVerdict consults the local decide-ring replica for transaction
+// id's outcome (every node hosts a replica of every ring).
+func (s *Sharded) decideVerdict(ring int, id uint64, coord core.NodeID) int {
+	svc := s.Shard(ring)
+	if svc == nil {
+		return verdictPending
+	}
+	return svc.localVerdict(id, coord)
+}
+
+// decideSelfVerdict resolves a WAL-recovered stage this node itself
+// coordinated (see Service.localSelfVerdict).
+func (s *Sharded) decideSelfVerdict(ring int, id uint64) int {
+	svc := s.Shard(ring)
+	if svc == nil {
+		return verdictPending
+	}
+	return svc.localSelfVerdict(id)
 }
 
 // String summarizes the router (diagnostics).

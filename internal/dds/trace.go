@@ -1,0 +1,18 @@
+package dds
+
+import (
+	"fmt"
+	"os"
+)
+
+// traceEnabled gates the state-transfer debug trace. It exists for
+// debugging sync/recovery interleavings in tests; production runs leave
+// it off and pay only a boolean check.
+var traceEnabled = os.Getenv("DDS_TRACE") != ""
+
+func (s *Service) tracef(format string, args ...any) {
+	if !traceEnabled {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "[dds n%d %p] %s\n", s.id, s, fmt.Sprintf(format, args...))
+}

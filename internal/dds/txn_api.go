@@ -3,6 +3,7 @@ package dds
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"repro/internal/stats"
 )
@@ -19,26 +20,47 @@ import (
 // ordered position, identically on every replica of the ring.
 
 // NewTxnID mints a transaction id unique across the cluster: the local
-// node id in the high bits, a local counter in the low bits.
+// node id in the high bits, a local counter in the low bits. The counter
+// seeds from the wall clock so a restarted coordinator cannot mint an id
+// an earlier incarnation used — a stale replicated commit record under a
+// reused id would wrongly commit the new transaction.
 func (s *Sharded) NewTxnID() uint64 {
 	s.reshardMu.Lock()
 	defer s.reshardMu.Unlock()
+	if s.nextTxn == 0 {
+		s.nextTxn = uint64(time.Now().UnixNano()) & (1<<32 - 1)
+	}
 	s.nextTxn++
-	return uint64(s.id)<<32 | s.nextTxn
+	return uint64(s.id)<<32 | (s.nextTxn & (1<<32 - 1))
 }
 
 // TxnPrepare stages a transaction's writes for one shard on every replica
 // of its ring, at one ordered position. epoch is the routing epoch the
 // coordinator pinned; it rides in the stage so diagnostics can attribute
-// an abort to an epoch change.
-func (s *Sharded) TxnPrepare(ctx context.Context, shard int, id uint64, epoch uint64, writes map[string][]byte, dels []string) error {
+// an abort to an epoch change. decideRing names the ring carrying the
+// transaction's replicated commit record (-1 for the legacy
+// presumed-abort protocol): it rides in the stage so a replica orphaned
+// by the coordinator's removal knows where to look for the verdict.
+func (s *Sharded) TxnPrepare(ctx context.Context, shard int, id uint64, epoch uint64, decideRing int, writes map[string][]byte, dels []string) error {
 	svc := s.Shard(shard)
 	if svc == nil {
 		return fmt.Errorf("dds: no shard %d for txn %d", shard, id)
 	}
 	return svc.doOp(ctx, func(reqID uint64) []byte {
-		return encodeTxnPrepare(id, epoch, writes, dels, reqID)
+		return encodeTxnPrepare(id, epoch, decideRing, writes, dels, reqID)
 	})
+}
+
+// TxnDecide orders the transaction's replicated commit record on the
+// decide ring. Once this returns, the commit is durable against
+// coordinator failure: any replica holding an orphaned stage resolves it
+// toward commit from the record.
+func (s *Sharded) TxnDecide(ctx context.Context, ring int, id uint64) error {
+	svc := s.Shard(ring)
+	if svc == nil {
+		return fmt.Errorf("dds: no decide ring %d for txn %d", ring, id)
+	}
+	return svc.doOp(ctx, func(reqID uint64) []byte { return encodeTxnDecide(id, s.id, reqID) })
 }
 
 // TxnCommit applies the staged transaction on one shard at an ordered

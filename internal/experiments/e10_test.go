@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestE10DurabilityShape runs the CI-sized E10 and checks the claims the
+// baseline records: every durability mode still serves ordered writes and
+// generates WAL work, the WAL restart recovers exclusively through delta
+// state transfer while the wiped restart pays a full retransfer, and the
+// restarted replica really replayed its log. The throughput acceptance
+// bar (batch overhead <= 10%) is checked on the full-sized rainbench run,
+// not under CI load.
+func TestE10DurabilityShape(t *testing.T) {
+	cfg := QuickE10()
+	res, err := E10Durability(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Overhead) != len(e10Modes) {
+		t.Fatalf("overhead shape: %+v", res.Overhead)
+	}
+	for _, r := range res.Overhead {
+		if r.SetsPS <= 0 {
+			t.Fatalf("mode %s served no writes: %+v", r.Mode, r)
+		}
+		switch r.Mode {
+		case "off":
+			if r.WALAppends != 0 {
+				t.Errorf("storage off but WAL appended %d records", r.WALAppends)
+			}
+		default:
+			if r.WALAppends <= 0 {
+				t.Errorf("mode %s generated no WAL appends: %+v", r.Mode, r)
+			}
+		}
+		if r.Mode == "always" && r.WALFsyncs <= 0 {
+			t.Errorf("fsync always recorded no fsyncs: %+v", r)
+		}
+	}
+	if len(res.Recovery) != 2 {
+		t.Fatalf("recovery shape: %+v", res.Recovery)
+	}
+	wal, full := res.Recovery[0], res.Recovery[1]
+	if wal.Path != "wal_delta" || full.Path != "full_retransfer" {
+		t.Fatalf("recovery order: %+v", res.Recovery)
+	}
+	// The durable restart must replay its log and fast-forward by delta —
+	// a full snapshot on this path means recovery fell back to the
+	// retransfer the WAL exists to avoid.
+	if wal.Replayed <= 0 {
+		t.Errorf("WAL restart replayed nothing: %+v", wal)
+	}
+	if wal.Deltas <= 0 || wal.Fulls != 0 {
+		t.Errorf("WAL restart transfers: want deltas only, got %+v", wal)
+	}
+	// The wiped restart has nothing local and must retransfer in full.
+	if full.Replayed != 0 {
+		t.Errorf("wiped restart replayed %d records from a deleted log", full.Replayed)
+	}
+	if full.Fulls <= 0 {
+		t.Errorf("wiped restart served no full snapshot: %+v", full)
+	}
+	if wal.Millis <= 0 || full.Millis <= 0 {
+		t.Errorf("recovery timings missing: %+v", res.Recovery)
+	}
+	t.Log("\n" + E10Table(res, cfg).String())
+}
+
+// TestWriteE10JSON checks the persisted baseline round-trips.
+func TestWriteE10JSON(t *testing.T) {
+	res := &E10Result{
+		Overhead: []E10Overhead{
+			{Mode: "off", SetsPS: 5000},
+			{Mode: "batch", SetsPS: 4800, WALAppends: 9600, WALFsyncs: 120, OverheadPct: 4},
+		},
+		Recovery: []E10Recovery{
+			{Path: "wal_delta", Millis: 120, Replayed: 400, Deltas: 2},
+			{Path: "full_retransfer", Millis: 480, Fulls: 2},
+		},
+		SpeedupX:          4,
+		BatchWithinTarget: true,
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_E10.json")
+	if err := WriteE10JSON(path, DefaultE10(), res); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back E10Baseline
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Experiment != "e10-durability-recovery" || len(back.Result.Overhead) != 2 ||
+		len(back.Result.Recovery) != 2 || !back.Result.BatchWithinTarget {
+		t.Fatalf("round-trip mismatch: %+v", back)
+	}
+	if back.Result.Recovery[0].Replayed != 400 || back.Result.SpeedupX != 4 {
+		t.Fatalf("round-trip mismatch: %+v", back.Result)
+	}
+}

@@ -160,6 +160,14 @@ func New(o Options) (*Gateway, error) {
 // server (tests, embedding).
 func (g *Gateway) Handler() http.Handler { return g.mux }
 
+// Invalidate drops the micro-cached entries for key in every mode. Wire
+// it to the cluster's ordered-apply stream (Cluster.OnApply) and the
+// cache TTL stops being a staleness bound: a write committed through ANY
+// member evicts this gateway's entry the moment it applies on the member
+// behind it, so CacheTTL can grow without serving stale reads. Writes
+// through this gateway still invalidate synchronously.
+func (g *Gateway) Invalidate(key string) { g.co.invalidate(key, g.names) }
+
 // Start binds addr and serves the gateway on it, returning the bound
 // address (useful with ":0"). On Go ≥ 1.24 the server also accepts
 // cleartext HTTP/2 (h2c), so client fleets can multiplex one connection.

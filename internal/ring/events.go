@@ -94,6 +94,15 @@ type Event interface{ isEvent() }
 // Groups assemble through the 911 join path or the discovery/merge path.
 type EvStart struct{}
 
+// EvStartJoining boots the node as a rejoining member: no token is
+// created; instead the node sends 911 join requests to its eligible
+// peers (§2.3) until an existing group admits it, and falls back to a
+// fresh singleton only when every peer is unreachable or equally cold.
+// A node restarting from durable state uses this path so it re-enters
+// through the ordered join announcement — and its delta state transfer —
+// rather than the discovery/merge path's full resync.
+type EvStartJoining struct{}
+
 // EvTokenReceived delivers a TOKEN (§2.2). From is the transport-level
 // sender.
 type EvTokenReceived struct {
@@ -172,6 +181,7 @@ type EvSetEligible struct{ IDs []wire.NodeID }
 type EvSetBatchBudget struct{ Budget int }
 
 func (EvStart) isEvent()                  {}
+func (EvStartJoining) isEvent()           {}
 func (EvTokenReceived) isEvent()          {}
 func (EvTokenAcked) isEvent()             {}
 func (EvTokenSendFailed) isEvent()        {}

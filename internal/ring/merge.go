@@ -10,7 +10,10 @@ import "repro/internal/wire"
 // sendBodyodors beacons to every eligible node absent from the current
 // membership (§2.4).
 func (s *SM) sendBodyodors(acts *[]Action) {
-	if s.stopped || len(s.members) == 0 {
+	// A rejoining node stays silent: beaconing would invite a group merge
+	// (full resync) when the ordered join path (delta fast-forward) is
+	// the whole point of the rejoin boot.
+	if s.stopped || s.joining || len(s.members) == 0 {
 		return
 	}
 	gid := s.GroupID()

@@ -131,6 +131,10 @@ type SM struct {
 	unreachable  map[wire.NodeID]bool
 	denied       bool
 	pendingJoins []wire.NodeID
+	// joining marks a rejoin boot (EvStartJoining): the node holds no
+	// token and runs join rounds against its eligible peers instead of
+	// member 911 rounds, until a token admits it or it seeds a group.
+	joining bool
 
 	// Discovery / merge state (§2.4).
 	eligible      map[wire.NodeID]bool
@@ -211,6 +215,8 @@ func (s *SM) Step(ev Event) []Action {
 	switch e := ev.(type) {
 	case EvStart:
 		s.start(&acts)
+	case EvStartJoining:
+		s.startJoining(&acts)
 	case EvTokenReceived:
 		s.onToken(e, &acts)
 	case EvTokenAcked:
@@ -286,6 +292,26 @@ func (s *SM) start(acts *[]Action) {
 	}
 }
 
+// startJoining boots the node as a rejoining member (§2.3): tokenless
+// and STARVING from the first instant, it runs join rounds against the
+// eligible peers until a group's token admits it. tokenCopy seeds the
+// epoch-0 singleton the node falls back to when no peer answers — the
+// single-node-cluster restart.
+func (s *SM) startJoining(acts *[]Action) {
+	s.members = []wire.NodeID{s.id}
+	s.joining = true
+	s.tokenCopy = &wire.Token{Members: []wire.NodeID{s.id}}
+	*acts = append(*acts, ActMembershipChanged{Members: s.Members(), Epoch: 0})
+	s.setState(Starving, acts)
+	s.startJoinRound(acts)
+	if s.joining {
+		*acts = append(*acts, ActSetTimer{Kind: TimerStarvingRetry, D: s.cfg.StarvingRetry})
+	}
+	if s.cfg.BodyodorInterval > 0 {
+		*acts = append(*acts, ActSetTimer{Kind: TimerBodyodor, D: s.cfg.BodyodorInterval})
+	}
+}
+
 // setState transitions the protocol state, emitting an action on change.
 func (s *SM) setState(st NodeState, acts *[]Action) {
 	if s.state == st {
@@ -344,8 +370,14 @@ func (s *SM) onTimer(kind TimerKind, acts *[]Action) {
 		if s.state != Starving {
 			return
 		}
-		s.start911(acts)
-		*acts = append(*acts, ActSetTimer{Kind: TimerStarvingRetry, D: s.cfg.StarvingRetry})
+		if s.joining {
+			s.startJoinRound(acts)
+		} else {
+			s.start911(acts)
+		}
+		if s.state == Starving {
+			*acts = append(*acts, ActSetTimer{Kind: TimerStarvingRetry, D: s.cfg.StarvingRetry})
+		}
 	case TimerBodyodor:
 		s.sendBodyodors(acts)
 		if s.cfg.BodyodorInterval > 0 {
@@ -383,7 +415,8 @@ func (s *SM) onToken(e EvTokenReceived, acts *[]Action) {
 	// A fresh token supersedes any pass still awaiting acknowledgement.
 	s.possessed = tok
 	s.passing = false
-	s.attachUsed = 0 // a new possession starts a fresh attach budget
+	s.joining = false // an admitting token completes a rejoin boot
+	s.attachUsed = 0  // a new possession starts a fresh attach budget
 	s.setState(Eating, acts)
 	*acts = append(*acts, ActStopTimer{Kind: TimerHungry})
 	*acts = append(*acts, ActStopTimer{Kind: TimerStarvingRetry})

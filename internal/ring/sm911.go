@@ -38,6 +38,47 @@ func (s *SM) start911(acts *[]Action) {
 	}
 }
 
+// startJoinRound begins a rejoin round (§2.3): the tokenless node asks
+// every eligible peer for admission. A peer that is a member of a live
+// group treats the 911 as a join request and admits us on its next
+// token; a peer as cold as we are answers with its own epoch-0 state,
+// and the freshness tie-break (node ID) elects exactly one node to seed
+// the group the rest then join. With no eligible peers at all — the
+// single-node cluster — the node seeds immediately.
+func (s *SM) startJoinRound(acts *[]Action) {
+	s.reqID++
+	s.grants = make(map[wire.NodeID]bool)
+	s.unreachable = make(map[wire.NodeID]bool)
+	s.denied = false
+	targets := 0
+	for id := range s.eligible {
+		targets++
+		*acts = append(*acts, ActSend911{
+			To: id,
+			M:  wire.Msg911{From: s.id, Epoch: s.copyEpoch, Seq: s.copySeq, ReqID: s.reqID},
+		})
+	}
+	if targets == 0 {
+		s.regenerate(acts)
+	}
+}
+
+// maybeSettleJoin seeds a fresh group once every eligible peer has
+// proven unable to admit us — unreachable, or no fresher lineage than
+// ours after the ID tie-break. Any fresher peer instead sets denied and
+// we keep waiting for its group's token.
+func (s *SM) maybeSettleJoin(acts *[]Action) {
+	if !s.joining || s.state != Starving || s.denied {
+		return
+	}
+	for id := range s.eligible {
+		if !s.grants[id] && !s.unreachable[id] {
+			return
+		}
+	}
+	s.regenerate(acts)
+}
+
 // clear911 resets round state after the token reappears.
 func (s *SM) clear911() {
 	s.grants = nil
@@ -96,6 +137,19 @@ func (s *SM) on911Reply(m wire.Msg911Reply, acts *[]Action) {
 	if s.state != Starving || m.ReqID != s.reqID {
 		return
 	}
+	if s.joining {
+		// Rejoin round: a fresher lineage exists somewhere — wait for its
+		// group to admit us. A peer no fresher than us (after the ID
+		// tie-break) cannot admit us, whatever it answered; once every
+		// eligible peer is in that bucket or unreachable, we seed.
+		if s.fresherThan(m.Epoch, m.Seq, m.From) {
+			s.grants[m.From] = true
+			s.maybeSettleJoin(acts)
+		} else {
+			s.denied = true
+		}
+		return
+	}
 	switch {
 	case m.JoinPending:
 		// We are not in the replier's membership. If the replier's token
@@ -127,7 +181,11 @@ func (s *SM) on911SendFailed(e Ev911SendFailed, acts *[]Action) {
 		return
 	}
 	s.unreachable[e.To] = true
-	s.maybeRegenerate(acts)
+	if s.joining {
+		s.maybeSettleJoin(acts)
+	} else {
+		s.maybeRegenerate(acts)
+	}
 }
 
 // maybeRegenerate regenerates the token once every other member of our
@@ -151,6 +209,7 @@ func (s *SM) maybeRegenerate(acts *[]Action) {
 // stale in-flight tokens are discarded, visited counters reset so every
 // surviving message makes one full round under the new epoch.
 func (s *SM) regenerate(acts *[]Action) {
+	wasJoining := s.joining
 	tok := s.tokenCopy.Clone()
 	tok.Epoch++
 	tok.Seq++
@@ -160,13 +219,23 @@ func (s *SM) regenerate(acts *[]Action) {
 	}
 	s.possessed = tok
 	s.passing = false
+	s.joining = false
 	s.attachUsed = 0 // regeneration starts a fresh possession and budget
 	s.clear911()
 	s.setState(Eating, acts)
 	*acts = append(*acts, ActStopTimer{Kind: TimerHungry})
 	*acts = append(*acts, ActStopTimer{Kind: TimerStarvingRetry})
 	*acts = append(*acts, ActTokenRegenerated{Epoch: tok.Epoch})
-	s.adoptMembers(tok, acts)
+	if wasJoining && equalIDs(s.members, tok.Members) {
+		// The rejoin fallback seeds the group with the same singleton
+		// view it booted with, so adoptMembers alone would not emit: a
+		// replica recovered from its WAL keys on a live-token membership
+		// event to adopt that state as the ring state, so the anchor
+		// must fire even though the member list is unchanged.
+		*acts = append(*acts, ActMembershipChanged{Members: s.Members(), Epoch: tok.Epoch})
+	} else {
+		s.adoptMembers(tok, acts)
+	}
 	if s.stopped {
 		return
 	}

@@ -278,6 +278,34 @@ const (
 	// by read mode (gateway_latency{mode=...}), rendered on /metrics as
 	// gateway_latency_seconds bucket series.
 	HistGatewayLatency = "gateway_latency"
+	// MetricWALAppends counts ordered applies appended to a wal log.
+	MetricWALAppends = "wal_appends_total"
+	// MetricWALFsyncs counts fsyncs issued by the wal layer (per-append
+	// under fsync_mode=always, per batch window under batch).
+	MetricWALFsyncs = "wal_fsyncs_total"
+	// MetricSnapshotCompactions counts wal tail compactions into an
+	// atomic snapshot file.
+	MetricSnapshotCompactions = "snapshot_compactions_total"
+	// MetricRecoveryReplayed counts wal records replayed through the
+	// ordered-apply path during crash recovery.
+	MetricRecoveryReplayed = "recovery_replayed_records"
+	// MetricRecoveryDeltas counts rejoins served by a delta fast-forward
+	// (only the ops the joiner missed) instead of a full snapshot.
+	MetricRecoveryDeltas = "recovery_delta_fastforwards"
+	// MetricRecoveryFulls counts rejoins that fell back to a full
+	// targeted snapshot retransfer.
+	MetricRecoveryFulls = "recovery_full_snapshots"
+	// MetricTxnDecides counts replicated commit records this node's
+	// decide-ring replica applied.
+	MetricTxnDecides = "txn_decide_records"
+	// MetricTxnOrphanCommits / MetricTxnOrphanAborts count in-doubt
+	// staged transactions deterministically terminated from the decide
+	// ring after their coordinator failed (or its phase-2 push did).
+	MetricTxnOrphanCommits = "txn_orphan_commits"
+	MetricTxnOrphanAborts  = "txn_orphan_aborts"
+	// MetricTxnPushOrphaned counts phase-2 commit pushes the coordinator
+	// abandoned after ordering the decide record; survivors finish them.
+	MetricTxnPushOrphaned = "txn_commit_pushes_orphaned"
 	// HistMulticastLatency is submit-to-deliver latency at the origin.
 	HistMulticastLatency = "multicast_latency"
 	// HistReshardPause is the coordinator-observed handoff window: first

@@ -19,20 +19,27 @@
 //	         rejected with ErrResharding at its ordered position).
 //	PREPARE  one ordered multicast per participant ring staging the
 //	         transaction's writes on every replica of that shard.
+//	DECIDE   one ordered multicast on the decide ring replicating the
+//	         commit record before any participant applies phase 2. This
+//	         closes the classic 2PC window: a coordinator that dies
+//	         mid-fan-out leaves stages the survivors resolve
+//	         deterministically from the record (present: finish the
+//	         commit; absent at the coordinator's ordered removal: abort,
+//	         because ring FIFO proves phase 2 never started).
 //	COMMIT   one ordered multicast per participant ring applying the
 //	         staged writes atomically at that ring's position; or ABORT,
-//	         dropping them. Participants also abort staged state on the
-//	         coordinator's ordered membership removal (presumed abort),
-//	         so a coordinator crash before phase 2 leaves nothing behind.
+//	         dropping them. Participants whose coordinator was removed
+//	         park the stage for the decide ring's verdict (or, without a
+//	         commit record, presume abort as before).
 //	UNLOCK   the keys. Readers that take the locks therefore see every
 //	         write of a committed transaction or none ("atomic
 //	         visibility"); bare Get readers converge per ring.
 //
-// The remaining 2PC window is the classic one: a coordinator that dies
-// after committing some participant rings but not others leaves the rest
-// to presumed abort. The commit fan-out is a handful of ordered
-// multicasts (milliseconds); shrinking the window further needs a
-// replicated commit record, which the ROADMAP tracks.
+// With commit records enabled (the default), Commit never returns
+// ErrIndeterminate: phase-2 failures after the record is ordered report
+// success — the outcome IS commit, and the unreached rings converge from
+// the record. Only WithoutCommitRecords restores the legacy
+// indeterminate window.
 package txn
 
 import (
@@ -44,6 +51,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/rcerr"
+	"repro/internal/stats"
 )
 
 // Store is the sharded keyspace a Coordinator drives. *dds.Sharded
@@ -65,9 +73,15 @@ type Store interface {
 	Unlock(ctx context.Context, name string) error
 	// NewTxnID mints a cluster-unique transaction id.
 	NewTxnID() uint64
+	// DecideRing returns the ring carrying replicated commit records
+	// under the current routing table.
+	DecideRing() int
 	// TxnPrepare stages the transaction's writes for one shard at an
-	// ordered position of its ring.
-	TxnPrepare(ctx context.Context, shard int, id uint64, epoch uint64, writes map[string][]byte, dels []string) error
+	// ordered position of its ring; decideRing (-1 = none) rides in the
+	// stage so orphaned replicas know where the verdict lives.
+	TxnPrepare(ctx context.Context, shard int, id uint64, epoch uint64, decideRing int, writes map[string][]byte, dels []string) error
+	// TxnDecide orders the replicated commit record on the decide ring.
+	TxnDecide(ctx context.Context, ring int, id uint64) error
 	// TxnCommit applies the staged writes; TxnAbort drops them.
 	TxnCommit(ctx context.Context, shard int, id uint64) error
 	TxnAbort(ctx context.Context, shard int, id uint64) error
@@ -81,9 +95,16 @@ type Store interface {
 var ErrAborted = rcerr.New("txn: transaction aborted, retry")
 
 // ErrIndeterminate reports a phase-2 failure after at least one
-// participant ring committed: the transaction may be partially applied
-// until the remaining participants resolve it (a crashed coordinator's
-// stages abort at its ordered removal). It is NOT retryable blindly.
+// participant ring committed, with NO replicated commit record to
+// resolve the rest: the transaction may be partially applied until the
+// remaining participants resolve it (a crashed coordinator's stages
+// abort at its ordered removal). It is NOT retryable blindly — and it is
+// deliberately NOT wrapped as retryable: errors.Is(err,
+// rcerr.ErrRetryable) must stay false even though the underlying push
+// error often is retryable, so the cause is flattened into the message
+// rather than wrapped. Only coordinators built WithoutCommitRecords can
+// return it; with records (the default) a phase-2 failure after the
+// record is ordered reports success, because the outcome is commit.
 var ErrIndeterminate = errors.New("txn: commit outcome indeterminate")
 
 // defaultDeadline bounds Commit when the caller's context carries none:
@@ -98,8 +119,10 @@ const commitPush = 10 * time.Second
 
 // Coordinator runs two-phase commits against a Store.
 type Coordinator struct {
-	store Store
-	pin   func() func() error
+	store   Store
+	pin     func() func() error
+	records bool
+	reg     *stats.Registry
 }
 
 // Option customizes a Coordinator.
@@ -118,9 +141,26 @@ func WithRuntimePin(rt *core.Runtime) Option {
 	}
 }
 
-// New builds a Coordinator over the store.
+// WithoutCommitRecords disables the replicated commit record, restoring
+// the legacy presumed-abort protocol: a coordinator crash mid-fan-out
+// aborts the unreached stages at its ordered removal, and a phase-2 push
+// failure surfaces as ErrIndeterminate. Only useful for comparison
+// benchmarks and for clusters that must interoperate with pre-record
+// replicas.
+func WithoutCommitRecords() Option {
+	return func(c *Coordinator) { c.records = false }
+}
+
+// WithStats counts phase-2 pushes handed to the background retrier
+// (stats.MetricTxnPushOrphaned) in the registry.
+func WithStats(reg *stats.Registry) Option {
+	return func(c *Coordinator) { c.reg = reg }
+}
+
+// New builds a Coordinator over the store. Replicated commit records are
+// on by default; see WithoutCommitRecords.
 func New(store Store, opts ...Option) *Coordinator {
-	c := &Coordinator{store: store}
+	c := &Coordinator{store: store, records: true}
 	c.pin = func() func() error {
 		pinned := store.Epoch()
 		return func() error {
@@ -308,6 +348,10 @@ func (t *Txn) Commit(ctx context.Context) (map[string][]byte, error) {
 
 	id := c.store.NewTxnID()
 	epoch := c.store.Epoch()
+	decideRing := -1
+	if c.records {
+		decideRing = c.store.DecideRing()
+	}
 
 	// Phase 1: stage the writes on every participant ring.
 	var prepared []int
@@ -320,7 +364,7 @@ func (t *Txn) Commit(ctx context.Context) (map[string][]byte, error) {
 	}
 	for _, sid := range participants {
 		w := byShard[sid]
-		if err := c.store.TxnPrepare(ctx, sid, id, epoch, w.kv, w.dels); err != nil {
+		if err := c.store.TxnPrepare(ctx, sid, id, epoch, decideRing, w.kv, w.dels); err != nil {
 			// The failing shard must be aborted too: a prepare that timed
 			// out after its multicast entered the ordered stream still
 			// stages later, and an unresolved stage blocks every future
@@ -343,15 +387,30 @@ func (t *Txn) Commit(ctx context.Context) (map[string][]byte, error) {
 		return nil, abort(err)
 	}
 
+	// Decide: replicate the commit record before any participant applies
+	// phase 2. If ordering it fails we abort instead: the record may or
+	// may not have landed on the decide ring, but the ordered aborts in
+	// rollback() resolve every stage to abort regardless, and the id is
+	// never reused, so a stray record is inert.
+	if decideRing >= 0 {
+		if err := c.store.TxnDecide(ctx, decideRing, id); err != nil {
+			rollback()
+			unlock()
+			return nil, abort(fmt.Errorf("decide on ring %d: %w", decideRing, err))
+		}
+	}
+
 	// Phase 2: the decision is commit. Push it to every participant on a
 	// detached context — cancelling the caller's ctx here must not strand
 	// half the rings.
 	cctx, cancel := context.WithTimeout(context.WithoutCancel(ctx), commitPush)
 	defer cancel()
 	var firstErr error
+	var failed []int
 	committed := 0
 	for _, sid := range participants {
 		if err := c.store.TxnCommit(cctx, sid, id); err != nil {
+			failed = append(failed, sid)
 			if firstErr == nil {
 				firstErr = fmt.Errorf("commit shard %d: %w", sid, err)
 			}
@@ -361,14 +420,43 @@ func (t *Txn) Commit(ctx context.Context) (map[string][]byte, error) {
 	}
 	unlock()
 	if firstErr != nil {
-		// A phase-2 error cannot prove non-application: a commit that
-		// timed out after its multicast entered the ordered stream still
-		// applies. The trailing aborts only clean up stages whose commit
-		// genuinely never got submitted (same-ring FIFO orders them after
-		// any in-flight commit, which wins); the caller must treat the
-		// outcome as indeterminate either way.
+		if decideRing >= 0 {
+			// The commit record is ordered: the outcome IS commit, so
+			// report success. The unreached rings converge from the record
+			// even if this node dies right now; the background retrier just
+			// shortens the window. TxnCommit is idempotent (a shard whose
+			// stage already resolved applies a no-op).
+			if c.reg != nil {
+				c.reg.Counter(stats.MetricTxnPushOrphaned).Inc()
+			}
+			go func(pending []int) {
+				for attempt := 0; attempt < 5 && len(pending) > 0; attempt++ {
+					time.Sleep(time.Duration(attempt+1) * 50 * time.Millisecond)
+					pctx, pcancel := context.WithTimeout(context.Background(), commitPush)
+					var still []int
+					for _, sid := range pending {
+						if err := c.store.TxnCommit(pctx, sid, id); err != nil {
+							still = append(still, sid)
+						}
+					}
+					pcancel()
+					pending = still
+				}
+			}(failed)
+			return views, nil
+		}
+		// Legacy path (WithoutCommitRecords): a phase-2 error cannot prove
+		// non-application — a commit that timed out after its multicast
+		// entered the ordered stream still applies. The trailing aborts
+		// only clean up stages whose commit genuinely never got submitted
+		// (same-ring FIFO orders them after any in-flight commit, which
+		// wins); the caller must treat the outcome as indeterminate.
+		// ErrIndeterminate is the only %w here on purpose: the push error
+		// is often retryable, and wrapping it would let errors.Is(err,
+		// rcerr.ErrRetryable) invite a blind retry of a transaction that
+		// may already be partially applied. The cause is flattened with %v.
 		rollback()
-		return views, fmt.Errorf("%w (%d/%d rings acknowledged): %w", ErrIndeterminate, committed, len(participants), firstErr)
+		return views, fmt.Errorf("%w (%d/%d rings acknowledged): %v", ErrIndeterminate, committed, len(participants), firstErr)
 	}
 	return views, nil
 }

@@ -308,12 +308,17 @@ func TestTxnCoordinatorDeathMidPrepare(t *testing.T) {
 
 	// Drive the store primitives directly so the transaction stops
 	// mid-prepare: node 3 stages writes on both rings and never commits.
+	// The stages carry the real decide ring, so the survivors park them
+	// as orphans at the coordinator's removal and resolve them toward
+	// abort from the (empty) decide replica — the commit-record path's
+	// presumed abort.
 	dying := tg.stores[3]
 	id := dying.NewTxnID()
 	epoch := dying.Epoch()
+	decideRing := dying.DecideRing()
 	for _, key := range []string{a, b} {
 		shard := dying.ShardFor(key)
-		if err := dying.TxnPrepare(ctx, shard, id, epoch, map[string][]byte{key: []byte("torn")}, nil); err != nil {
+		if err := dying.TxnPrepare(ctx, shard, id, epoch, decideRing, map[string][]byte{key: []byte("torn")}, nil); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -31,9 +31,10 @@ type ARPEvent struct {
 // a virtual IP through Lookup; traffic for an unmapped or stale IP is lost
 // until the next gratuitous ARP.
 type Subnet struct {
-	mu  sync.Mutex
-	arp map[IP]MAC
-	log []ARPEvent
+	mu   sync.Mutex
+	arp  map[IP]MAC
+	log  []ARPEvent
+	down map[MAC]bool
 }
 
 // NewSubnet returns an empty subnet.
@@ -41,12 +42,29 @@ func NewSubnet() *Subnet {
 	return &Subnet{arp: make(map[IP]MAC)}
 }
 
-// GratuitousARP rebinds ip to mac on every neighbor's ARP cache.
+// GratuitousARP rebinds ip to mac on every neighbor's ARP cache. Frames
+// from a MAC whose link is down never reach the segment and are dropped.
 func (s *Subnet) GratuitousARP(ip IP, mac MAC) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.down[mac] {
+		return
+	}
 	s.arp[ip] = mac
 	s.log = append(s.log, ARPEvent{IP: ip, MAC: mac, Time: time.Now()})
+}
+
+// SetLinkDown marks a member's link state. A failed or unplugged node may
+// keep believing it owns virtual IPs, but its gratuitous ARP frames never
+// reach the shared segment; the simulated subnet has to be told, because
+// managers address it directly rather than through the simulated network.
+func (s *Subnet) SetLinkDown(mac MAC, down bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.down == nil {
+		s.down = make(map[MAC]bool)
+	}
+	s.down[mac] = down
 }
 
 // Lookup resolves a virtual IP to the MAC currently bound to it.

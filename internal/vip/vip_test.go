@@ -44,6 +44,14 @@ func startVIP(t *testing.T, n, vips int) *vipCluster {
 	return vc
 }
 
+// kill partitions a node from the cluster network and takes its link to
+// the shared subnet down: a dead node's manager may keep believing it
+// owns VIPs, but its gratuitous ARP frames no longer reach the segment.
+func (vc *vipCluster) kill(id core.NodeID) {
+	vc.tc.Net.SetNodeDown(core.Addr(id), true)
+	vc.subnet.SetLinkDown(macFor(id), true)
+}
+
 // waitAllBound waits until every pool VIP resolves on the subnet to the
 // MAC of a member in want.
 func (vc *vipCluster) waitAllBound(t *testing.T, timeout time.Duration, want ...core.NodeID) {
@@ -66,6 +74,16 @@ func (vc *vipCluster) waitAllBound(t *testing.T, timeout time.Duration, want ...
 			return
 		}
 		time.Sleep(time.Millisecond)
+	}
+	ev := vc.subnet.Events()
+	if len(ev) > 30 {
+		ev = ev[len(ev)-30:]
+	}
+	for _, e := range ev {
+		t.Logf("arp %s -> %s at %s", e.IP, e.MAC, e.Time.Format("15:04:05.000"))
+	}
+	for id, mgr := range vc.managers {
+		t.Logf("mgr n%v assignments=%v owned=%v", id, mgr.Assignments(), mgr.Owned())
 	}
 	t.Fatalf("VIPs not bound to %v within %v: %v", want, timeout, vc.subnet.Bindings())
 }
@@ -159,7 +177,7 @@ func TestFailoverMovesVIPs(t *testing.T) {
 	if before == 0 {
 		t.Fatal("victim owns no VIPs; test cannot exercise failover")
 	}
-	vc.tc.Net.SetNodeDown(core.Addr(3), true)
+	vc.kill(3)
 	// All VIPs must land on the survivors.
 	vc.waitAllBound(t, 15*time.Second, 1, 2)
 }
@@ -170,9 +188,9 @@ func TestVIPsNeverDisappear(t *testing.T) {
 	// physical node is up (§3.1).
 	vc := startVIP(t, 3, 4)
 	vc.waitAllBound(t, 10*time.Second, 1, 2, 3)
-	vc.tc.Net.SetNodeDown(core.Addr(3), true)
+	vc.kill(3)
 	vc.waitAllBound(t, 15*time.Second, 1, 2)
-	vc.tc.Net.SetNodeDown(core.Addr(2), true)
+	vc.kill(2)
 	vc.waitAllBound(t, 15*time.Second, 1)
 }
 
@@ -180,14 +198,14 @@ func TestLeaderFailover(t *testing.T) {
 	// Killing the leader (lowest ID) hands reassignment to the next one.
 	vc := startVIP(t, 3, 3)
 	vc.waitAllBound(t, 10*time.Second, 1, 2, 3)
-	vc.tc.Net.SetNodeDown(core.Addr(1), true)
+	vc.kill(1)
 	vc.waitAllBound(t, 15*time.Second, 2, 3)
 }
 
 func TestMACsNeverMove(t *testing.T) {
 	vc := startVIP(t, 2, 4)
 	vc.waitAllBound(t, 10*time.Second, 1, 2)
-	vc.tc.Net.SetNodeDown(core.Addr(2), true)
+	vc.kill(2)
 	vc.waitAllBound(t, 15*time.Second, 1)
 	// Every gratuitous ARP ever sent used a member's fixed MAC.
 	valid := map[MAC]bool{macFor(1): true, macFor(2): true}

@@ -1,0 +1,440 @@
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// Options configures a file-backed Backend.
+type Options struct {
+	// Fsync is the sync policy for appends. Zero value is FsyncBatch.
+	Fsync FsyncMode
+	// BatchEvery is the sync interval under FsyncBatch. Zero means 5ms.
+	BatchEvery time.Duration
+	// Stats, when non-nil, receives wal_appends_total / wal_fsyncs_total
+	// / snapshot_compactions_total.
+	Stats *stats.Registry
+}
+
+// Files is the file-backed Backend: one directory per node, one
+// wal+snapshot file pair per ring, plus routing.json.
+type Files struct {
+	dir string
+	opt Options
+	mu  sync.Mutex
+	ln  map[int]*fileLog
+}
+
+// Open creates (if needed) and opens a wal directory.
+func Open(dir string, opt Options) (*Files, error) {
+	if opt.BatchEvery <= 0 {
+		opt.BatchEvery = 5 * time.Millisecond
+	}
+	if opt.Stats == nil {
+		opt.Stats = stats.NewRegistry()
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: open %s: %w", dir, err)
+	}
+	return &Files{dir: dir, opt: opt, ln: make(map[int]*fileLog)}, nil
+}
+
+// Dir returns the backing directory path.
+func (b *Files) Dir() string { return b.dir }
+
+// Ring implements Backend.
+func (b *Files) Ring(id int) (Log, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if l, ok := b.ln[id]; ok && !l.isClosed() {
+		return l, nil
+	}
+	l, err := openFileLog(b.dir, id, b.opt)
+	if err != nil {
+		return nil, err
+	}
+	b.ln[id] = l
+	return l, nil
+}
+
+// SaveRouting implements Backend: atomic write-temp + rename of
+// routing.json so a crash never leaves a torn file.
+func (b *Files) SaveRouting(meta RoutingMeta) error {
+	buf, err := json.Marshal(meta)
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(b.dir, "routing.json")
+	tmp := path + ".tmp"
+	if err := writeFileSync(tmp, buf); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	return syncDir(b.dir)
+}
+
+// LoadRouting implements Backend.
+func (b *Files) LoadRouting() (RoutingMeta, bool, error) {
+	buf, err := os.ReadFile(filepath.Join(b.dir, "routing.json"))
+	if errors.Is(err, os.ErrNotExist) {
+		return RoutingMeta{}, false, nil
+	}
+	if err != nil {
+		return RoutingMeta{}, false, err
+	}
+	var meta RoutingMeta
+	if err := json.Unmarshal(buf, &meta); err != nil {
+		return RoutingMeta{}, false, fmt.Errorf("wal: routing.json: %w", err)
+	}
+	return meta, true, nil
+}
+
+// Close implements Backend.
+func (b *Files) Close() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var first error
+	for _, l := range b.ln {
+		if err := l.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Record framing: magic byte, little-endian u32 payload length, u32
+// CRC32-IEEE over origin|seq|payload, u32 origin, u64 seq, payload.
+const (
+	recMagic   = 0x57 // 'W'
+	recHdrLen  = 1 + 4 + 4 + 4 + 8
+	maxPayload = 64 << 20
+	snapMagic  = "RCSNAP1\n"
+)
+
+// EncodeRecord appends r's wire form to dst and returns the result. It is
+// exported so the fuzz harness can round-trip the codec.
+func EncodeRecord(dst []byte, r Record) []byte {
+	var hdr [recHdrLen]byte
+	hdr[0] = recMagic
+	binary.LittleEndian.PutUint32(hdr[1:5], uint32(len(r.Payload)))
+	crc := crc32.NewIEEE()
+	var meta [12]byte
+	binary.LittleEndian.PutUint32(meta[0:4], r.Origin)
+	binary.LittleEndian.PutUint64(meta[4:12], r.Seq)
+	crc.Write(meta[:])
+	crc.Write(r.Payload)
+	binary.LittleEndian.PutUint32(hdr[5:9], crc.Sum32())
+	copy(hdr[9:21], meta[:])
+	dst = append(dst, hdr[:]...)
+	return append(dst, r.Payload...)
+}
+
+// DecodeRecord decodes one record from the front of buf, returning the
+// record and the number of bytes consumed. n == 0 means buf holds no
+// complete valid record at its front (torn tail or corruption).
+func DecodeRecord(buf []byte) (Record, int) {
+	if len(buf) < recHdrLen || buf[0] != recMagic {
+		return Record{}, 0
+	}
+	plen := binary.LittleEndian.Uint32(buf[1:5])
+	if plen > maxPayload || int64(len(buf)) < int64(recHdrLen)+int64(plen) {
+		return Record{}, 0
+	}
+	want := binary.LittleEndian.Uint32(buf[5:9])
+	end := recHdrLen + int(plen)
+	if crc32.ChecksumIEEE(buf[9:end]) != want {
+		return Record{}, 0
+	}
+	r := Record{
+		Origin:  binary.LittleEndian.Uint32(buf[9:13]),
+		Seq:     binary.LittleEndian.Uint64(buf[13:21]),
+		Payload: append([]byte(nil), buf[recHdrLen:end]...),
+	}
+	return r, end
+}
+
+type fileLog struct {
+	mu      sync.Mutex
+	path    string
+	dir     string
+	f       *os.File
+	w       *bufio.Writer
+	mode    FsyncMode
+	bytes   int64
+	dirty   bool
+	closed  bool
+	stop    chan struct{}
+	done    chan struct{}
+	scratch []byte
+
+	appends, fsyncs, compactions *stats.Counter
+}
+
+func openFileLog(dir string, id int, opt Options) (*fileLog, error) {
+	path := filepath.Join(dir, fmt.Sprintf("ring-%03d.wal", id))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, err
+	}
+	l := &fileLog{
+		path:        path,
+		dir:         dir,
+		f:           f,
+		w:           bufio.NewWriterSize(f, 64<<10),
+		mode:        opt.Fsync,
+		bytes:       st.Size(),
+		appends:     opt.Stats.Counter(stats.MetricWALAppends),
+		fsyncs:      opt.Stats.Counter(stats.MetricWALFsyncs),
+		compactions: opt.Stats.Counter(stats.MetricSnapshotCompactions),
+	}
+	if l.mode == FsyncBatch {
+		l.stop = make(chan struct{})
+		l.done = make(chan struct{})
+		go l.batchLoop(opt.BatchEvery)
+	}
+	return l, nil
+}
+
+func (l *fileLog) snapPath() string {
+	return l.path[:len(l.path)-len(".wal")] + ".snap"
+}
+
+func (l *fileLog) isClosed() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.closed
+}
+
+func (l *fileLog) batchLoop(every time.Duration) {
+	defer close(l.done)
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-l.stop:
+			return
+		case <-t.C:
+			l.mu.Lock()
+			if !l.closed && l.dirty {
+				l.flushSyncLocked()
+			}
+			l.mu.Unlock()
+		}
+	}
+}
+
+// flushSyncLocked flushes the buffer and fsyncs; errors are sticky only
+// insofar as the next explicit Sync/Append surfaces them.
+func (l *fileLog) flushSyncLocked() {
+	if l.w.Flush() == nil && l.f.Sync() == nil {
+		l.fsyncs.Add(1)
+		l.dirty = false
+	}
+}
+
+func (l *fileLog) Append(r Record) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	l.scratch = EncodeRecord(l.scratch[:0], r)
+	if _, err := l.w.Write(l.scratch); err != nil {
+		return err
+	}
+	l.bytes += int64(len(l.scratch))
+	l.appends.Add(1)
+	switch l.mode {
+	case FsyncAlways:
+		if err := l.w.Flush(); err != nil {
+			return err
+		}
+		if err := l.f.Sync(); err != nil {
+			return err
+		}
+		l.fsyncs.Add(1)
+	default:
+		l.dirty = true
+	}
+	return nil
+}
+
+func (l *fileLog) SaveSnapshot(state []byte) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	buf := make([]byte, 0, len(snapMagic)+4+len(state))
+	buf = append(buf, snapMagic...)
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(state))
+	buf = append(buf, state...)
+	tmp := l.snapPath() + ".tmp"
+	if err := writeFileSync(tmp, buf); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, l.snapPath()); err != nil {
+		return err
+	}
+	if err := syncDir(l.dir); err != nil {
+		return err
+	}
+	// The snapshot covers everything buffered or on disk: drop the
+	// buffer and truncate the log. A crash mid-way leaves stale records
+	// that replay filters by sequence.
+	l.w.Reset(io.Discard)
+	if err := l.f.Truncate(0); err != nil {
+		return err
+	}
+	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	l.w.Reset(l.f)
+	l.bytes = 0
+	l.dirty = false
+	l.compactions.Add(1)
+	return nil
+}
+
+func (l *fileLog) Recover() ([]byte, []Record, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil, nil, ErrClosed
+	}
+	var snap []byte
+	if buf, err := os.ReadFile(l.snapPath()); err == nil {
+		if len(buf) >= len(snapMagic)+4 && string(buf[:len(snapMagic)]) == snapMagic {
+			state := buf[len(snapMagic)+4:]
+			if crc32.ChecksumIEEE(state) == binary.LittleEndian.Uint32(buf[len(snapMagic):len(snapMagic)+4]) {
+				snap = append([]byte(nil), state...)
+			}
+		}
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return nil, nil, err
+	}
+	raw, err := os.ReadFile(l.path)
+	if err != nil {
+		return nil, nil, err
+	}
+	var tail []Record
+	off := 0
+	for off < len(raw) {
+		r, n := DecodeRecord(raw[off:])
+		if n == 0 {
+			break
+		}
+		tail = append(tail, r)
+		off += n
+	}
+	if off < len(raw) {
+		// Torn or corrupt tail: drop it so new appends start at a clean
+		// boundary.
+		if err := l.f.Truncate(int64(off)); err != nil {
+			return nil, nil, err
+		}
+	}
+	if _, err := l.f.Seek(int64(off), io.SeekStart); err != nil {
+		return nil, nil, err
+	}
+	l.w.Reset(l.f)
+	l.bytes = int64(off)
+	return snap, tail, nil
+}
+
+func (l *fileLog) LogBytes() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.bytes
+}
+
+func (l *fileLog) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if err := l.w.Flush(); err != nil {
+		return err
+	}
+	if err := l.f.Sync(); err != nil {
+		return err
+	}
+	l.fsyncs.Add(1)
+	l.dirty = false
+	return nil
+}
+
+func (l *fileLog) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	err := l.w.Flush()
+	if l.mode != FsyncNone {
+		if serr := l.f.Sync(); err == nil {
+			err = serr
+		}
+	}
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	stop := l.stop
+	l.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-l.done
+	}
+	return err
+}
+
+func writeFileSync(path string, buf []byte) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// syncDir fsyncs a directory so a just-renamed file is durable. Some
+// platforms refuse to fsync directories; that is not fatal.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	_ = d.Sync()
+	return d.Close()
+}

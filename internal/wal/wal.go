@@ -1,0 +1,251 @@
+// Package wal is the pluggable durability backend behind every ring
+// replica's dds keyspace. A Backend hands out one Log per ring; the dds
+// layer appends every ordered apply to the Log as a checksummed,
+// length-prefixed record and periodically compacts the accumulated tail
+// into an atomic snapshot (the encoded dds snapshotState). On restart the
+// replica replays snapshot+tail through the same filtered-apply path that
+// serves live traffic — the applied-sequence vector makes replay
+// idempotent — and then fast-forwards through state transfer instead of a
+// full retransfer.
+//
+// Two implementations ship: an in-memory Backend (the default, and what
+// the simnet crash-restart tests use — state survives a Close/reopen
+// within one process) and a file-backed Backend (what raincored and
+// WithStorage use — state survives the process).
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// FsyncMode controls when a file-backed Log forces appended records to
+// stable storage. The in-memory Backend ignores it.
+type FsyncMode int
+
+const (
+	// FsyncBatch (the default) buffers appends and syncs on a short
+	// timer, bounding loss to the batch window while keeping the write
+	// path off the fsync critical path.
+	FsyncBatch FsyncMode = iota
+	// FsyncAlways syncs after every append: no acknowledged record is
+	// ever lost, at the cost of one fsync per ordered apply.
+	FsyncAlways
+	// FsyncNone never syncs explicitly; the OS flushes when it pleases.
+	// Survives process crashes, not machine crashes.
+	FsyncNone
+)
+
+// ParseFsyncMode maps the config/flag spelling to a FsyncMode. The empty
+// string means the default (batch).
+func ParseFsyncMode(s string) (FsyncMode, error) {
+	switch s {
+	case "", "batch":
+		return FsyncBatch, nil
+	case "always":
+		return FsyncAlways, nil
+	case "none":
+		return FsyncNone, nil
+	}
+	return 0, fmt.Errorf("wal: unknown fsync_mode %q (want always, batch, or none)", s)
+}
+
+func (m FsyncMode) String() string {
+	switch m {
+	case FsyncAlways:
+		return "always"
+	case FsyncNone:
+		return "none"
+	default:
+		return "batch"
+	}
+}
+
+// Record is one ordered apply: the originating node, its per-origin
+// sequence number, and the raw encoded op exactly as it was delivered.
+// Replay decodes the payload with the same codec the wire uses.
+type Record struct {
+	Origin  uint32
+	Seq     uint64
+	Payload []byte
+}
+
+// ErrClosed is returned by operations on a closed Log.
+var ErrClosed = errors.New("wal: log closed")
+
+// Log is the per-ring-replica durability handle.
+//
+// Append and SaveSnapshot may be called concurrently with each other and
+// with LogBytes; Recover is called once, before the first Append.
+type Log interface {
+	// Append durably logs one ordered apply (durability subject to the
+	// backend's fsync mode).
+	Append(Record) error
+	// SaveSnapshot atomically replaces the snapshot with state (an
+	// encoded dds snapshotState) and truncates the record tail it
+	// covers. A crash between the two leaves stale tail records, which
+	// replay filters out by sequence.
+	SaveSnapshot(state []byte) error
+	// Recover returns the current snapshot (nil if none) and the record
+	// tail appended since it was taken. A torn or corrupt tail is
+	// truncated at the first bad record, not treated as an error.
+	Recover() (snap []byte, tail []Record, err error)
+	// LogBytes is the encoded size of the record tail — the compaction
+	// trigger compares it against snapshot_every_bytes.
+	LogBytes() int64
+	// Sync forces buffered appends to stable storage regardless of mode.
+	Sync() error
+	Close() error
+}
+
+// RoutingMeta is the minimal routing state a node must remember to
+// restart into the right shape: which rings it hosted and at what epoch.
+// Without it a restart would respawn the boot-time ring set at epoch 1
+// and fight the survivors' routing table.
+type RoutingMeta struct {
+	Epoch uint64 `json:"epoch"`
+	Rings []int  `json:"rings"`
+}
+
+// Backend hands out per-ring Logs and persists routing metadata. One
+// Backend corresponds to one node's wal_dir.
+type Backend interface {
+	// Ring returns the Log for ring id, creating it on first use.
+	// Reopening a previously closed ring's Log (in-process restart)
+	// returns a handle over the same durable state.
+	Ring(id int) (Log, error)
+	SaveRouting(RoutingMeta) error
+	// LoadRouting reports ok=false when no routing metadata has been
+	// saved yet (fresh directory).
+	LoadRouting() (RoutingMeta, bool, error)
+	Close() error
+}
+
+// recordOverhead approximates the on-disk framing cost per record; the
+// in-memory backend uses it too so LogBytes-driven compaction behaves the
+// same under test.
+const recordOverhead = 21
+
+// Memory is the in-memory Backend. State survives Close and re-Ring
+// within the process, which is exactly what the simnet crash-restart
+// tests need: the "disk" outlives the crashed node object.
+type Memory struct {
+	mu      sync.Mutex
+	logs    map[int]*memLog
+	meta    RoutingMeta
+	hasMeta bool
+}
+
+// NewMemory returns an empty in-memory Backend.
+func NewMemory() *Memory { return &Memory{logs: make(map[int]*memLog)} }
+
+// Ring implements Backend.
+func (m *Memory) Ring(id int) (Log, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	l, ok := m.logs[id]
+	if !ok {
+		l = &memLog{}
+		m.logs[id] = l
+	}
+	l.mu.Lock()
+	l.closed = false
+	l.mu.Unlock()
+	return l, nil
+}
+
+// SaveRouting implements Backend.
+func (m *Memory) SaveRouting(meta RoutingMeta) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	meta.Rings = append([]int(nil), meta.Rings...)
+	sort.Ints(meta.Rings)
+	m.meta, m.hasMeta = meta, true
+	return nil
+}
+
+// LoadRouting implements Backend.
+func (m *Memory) LoadRouting() (RoutingMeta, bool, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	meta := m.meta
+	meta.Rings = append([]int(nil), m.meta.Rings...)
+	return meta, m.hasMeta, nil
+}
+
+// Close implements Backend. The state is retained; a subsequent Ring
+// reopens it.
+func (m *Memory) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, l := range m.logs {
+		_ = l.Close()
+	}
+	return nil
+}
+
+type memLog struct {
+	mu     sync.Mutex
+	snap   []byte
+	tail   []Record
+	bytes  int64
+	closed bool
+}
+
+func (l *memLog) Append(r Record) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	r.Payload = append([]byte(nil), r.Payload...)
+	l.tail = append(l.tail, r)
+	l.bytes += int64(len(r.Payload)) + recordOverhead
+	return nil
+}
+
+func (l *memLog) SaveSnapshot(state []byte) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	l.snap = append([]byte(nil), state...)
+	l.tail = nil
+	l.bytes = 0
+	return nil
+}
+
+func (l *memLog) Recover() ([]byte, []Record, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil, nil, ErrClosed
+	}
+	snap := append([]byte(nil), l.snap...)
+	if l.snap == nil {
+		snap = nil
+	}
+	tail := make([]Record, len(l.tail))
+	for i, r := range l.tail {
+		tail[i] = Record{Origin: r.Origin, Seq: r.Seq, Payload: append([]byte(nil), r.Payload...)}
+	}
+	return snap, tail, nil
+}
+
+func (l *memLog) LogBytes() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.bytes
+}
+
+func (l *memLog) Sync() error { return nil }
+
+func (l *memLog) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.closed = true
+	return nil
+}

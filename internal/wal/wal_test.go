@@ -1,0 +1,285 @@
+package wal
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/stats"
+)
+
+func backends(t *testing.T) map[string]func() Backend {
+	t.Helper()
+	return map[string]func() Backend{
+		"memory": func() Backend { return NewMemory() },
+		"file": func() Backend {
+			b, err := Open(t.TempDir(), Options{Fsync: FsyncAlways})
+			if err != nil {
+				t.Fatalf("open: %v", err)
+			}
+			return b
+		},
+	}
+}
+
+func TestAppendRecoverRoundTrip(t *testing.T) {
+	for name, mk := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			b := mk()
+			defer b.Close()
+			l, err := b.Ring(0)
+			if err != nil {
+				t.Fatalf("ring: %v", err)
+			}
+			if snap, tail, err := l.Recover(); err != nil || snap != nil || len(tail) != 0 {
+				t.Fatalf("fresh recover = %v %v %v, want empty", snap, tail, err)
+			}
+			want := []Record{
+				{Origin: 1, Seq: 10, Payload: []byte("alpha")},
+				{Origin: 2, Seq: 3, Payload: nil},
+				{Origin: 1, Seq: 11, Payload: bytes.Repeat([]byte{0xAB}, 3000)},
+			}
+			for _, r := range want {
+				if err := l.Append(r); err != nil {
+					t.Fatalf("append: %v", err)
+				}
+			}
+			if l.LogBytes() <= 0 {
+				t.Fatal("LogBytes not advancing")
+			}
+			if err := l.Close(); err != nil {
+				t.Fatalf("close: %v", err)
+			}
+			l2, err := b.Ring(0)
+			if err != nil {
+				t.Fatalf("reopen ring: %v", err)
+			}
+			snap, tail, err := l2.Recover()
+			if err != nil {
+				t.Fatalf("recover: %v", err)
+			}
+			if snap != nil {
+				t.Fatalf("unexpected snapshot %q", snap)
+			}
+			if len(tail) != len(want) {
+				t.Fatalf("recovered %d records, want %d", len(tail), len(want))
+			}
+			for i, r := range tail {
+				w := want[i]
+				if r.Origin != w.Origin || r.Seq != w.Seq || !bytes.Equal(r.Payload, w.Payload) {
+					t.Fatalf("record %d = %+v, want %+v", i, r, w)
+				}
+			}
+		})
+	}
+}
+
+func TestSnapshotCompactionTruncatesTail(t *testing.T) {
+	for name, mk := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			b := mk()
+			defer b.Close()
+			l, _ := b.Ring(2)
+			for i := 0; i < 10; i++ {
+				if err := l.Append(Record{Origin: 1, Seq: uint64(i + 1), Payload: []byte("x")}); err != nil {
+					t.Fatalf("append: %v", err)
+				}
+			}
+			if err := l.SaveSnapshot([]byte("STATE-v1")); err != nil {
+				t.Fatalf("snapshot: %v", err)
+			}
+			if got := l.LogBytes(); got != 0 {
+				t.Fatalf("LogBytes after compaction = %d, want 0", got)
+			}
+			if err := l.Append(Record{Origin: 1, Seq: 11, Payload: []byte("post")}); err != nil {
+				t.Fatalf("append after snapshot: %v", err)
+			}
+			l.Close()
+			l2, _ := b.Ring(2)
+			snap, tail, err := l2.Recover()
+			if err != nil {
+				t.Fatalf("recover: %v", err)
+			}
+			if string(snap) != "STATE-v1" {
+				t.Fatalf("snapshot = %q", snap)
+			}
+			if len(tail) != 1 || tail[0].Seq != 11 {
+				t.Fatalf("tail = %+v, want the single post-snapshot record", tail)
+			}
+		})
+	}
+}
+
+func TestFileRecoverTruncatesCorruptTail(t *testing.T) {
+	dir := t.TempDir()
+	b, err := Open(dir, Options{Fsync: FsyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, _ := b.Ring(0)
+	for i := 0; i < 3; i++ {
+		if err := l.Append(Record{Origin: 7, Seq: uint64(i + 1), Payload: []byte("ok")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+	path := filepath.Join(dir, "ring-000.wal")
+	// Append a torn record: a valid header prefix with garbage behind it.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{recMagic, 0xFF, 0x00, 0x00}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	l2, err := b.Ring(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, tail, err := l2.Recover()
+	if err != nil {
+		t.Fatalf("recover over torn tail: %v", err)
+	}
+	if len(tail) != 3 {
+		t.Fatalf("recovered %d records, want 3", len(tail))
+	}
+	// The torn bytes must be gone so new appends land on a clean boundary.
+	if err := l2.Append(Record{Origin: 7, Seq: 4, Payload: []byte("post-tear")}); err != nil {
+		t.Fatal(err)
+	}
+	l2.Close()
+	l3, _ := b.Ring(0)
+	_, tail, err = l3.Recover()
+	if err != nil || len(tail) != 4 {
+		t.Fatalf("after tear+append: tail=%d err=%v, want 4 records", len(tail), err)
+	}
+	b.Close()
+}
+
+func TestFileCorruptSnapshotIgnored(t *testing.T) {
+	dir := t.TempDir()
+	b, _ := Open(dir, Options{Fsync: FsyncAlways})
+	l, _ := b.Ring(1)
+	if err := l.SaveSnapshot([]byte("good")); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	path := filepath.Join(dir, "ring-001.snap")
+	buf, _ := os.ReadFile(path)
+	buf[len(buf)-1] ^= 0xFF
+	os.WriteFile(path, buf, 0o644)
+	l2, _ := b.Ring(1)
+	snap, _, err := l2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap != nil {
+		t.Fatalf("corrupt snapshot surfaced as %q, want nil", snap)
+	}
+	b.Close()
+}
+
+func TestFsyncModes(t *testing.T) {
+	for _, mode := range []FsyncMode{FsyncAlways, FsyncBatch, FsyncNone} {
+		t.Run(mode.String(), func(t *testing.T) {
+			reg := stats.NewRegistry()
+			b, err := Open(t.TempDir(), Options{Fsync: mode, BatchEvery: time.Millisecond, Stats: reg})
+			if err != nil {
+				t.Fatal(err)
+			}
+			l, _ := b.Ring(0)
+			for i := 0; i < 50; i++ {
+				if err := l.Append(Record{Origin: 1, Seq: uint64(i + 1), Payload: []byte("p")}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if mode == FsyncBatch {
+				deadline := time.Now().Add(2 * time.Second)
+				for reg.Counter(stats.MetricWALFsyncs).Load() == 0 && time.Now().Before(deadline) {
+					time.Sleep(time.Millisecond)
+				}
+				if reg.Counter(stats.MetricWALFsyncs).Load() == 0 {
+					t.Fatal("batch mode never synced")
+				}
+			}
+			if mode == FsyncAlways && reg.Counter(stats.MetricWALFsyncs).Load() != 50 {
+				t.Fatalf("always mode synced %d times, want 50", reg.Counter(stats.MetricWALFsyncs).Load())
+			}
+			if got := reg.Counter(stats.MetricWALAppends).Load(); got != 50 {
+				t.Fatalf("appends counter = %d, want 50", got)
+			}
+			if err := l.Close(); err != nil {
+				t.Fatal(err)
+			}
+			l2, _ := b.Ring(0)
+			_, tail, err := l2.Recover()
+			if err != nil || len(tail) != 50 {
+				t.Fatalf("mode %v: recovered %d records err=%v, want 50", mode, len(tail), err)
+			}
+			b.Close()
+		})
+	}
+}
+
+func TestDoubleCloseAndClosedOps(t *testing.T) {
+	for name, mk := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			b := mk()
+			l, _ := b.Ring(0)
+			if err := l.Close(); err != nil {
+				t.Fatalf("close: %v", err)
+			}
+			if err := l.Close(); err != nil {
+				t.Fatalf("double close: %v", err)
+			}
+			if err := l.Append(Record{Origin: 1, Seq: 1}); err == nil {
+				t.Fatal("append on closed log succeeded")
+			}
+			if err := b.Close(); err != nil {
+				t.Fatalf("backend close: %v", err)
+			}
+			if err := b.Close(); err != nil {
+				t.Fatalf("backend double close: %v", err)
+			}
+		})
+	}
+}
+
+func TestRoutingMetaRoundTrip(t *testing.T) {
+	for name, mk := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			b := mk()
+			defer b.Close()
+			if _, ok, err := b.LoadRouting(); err != nil || ok {
+				t.Fatalf("fresh LoadRouting ok=%v err=%v, want absent", ok, err)
+			}
+			want := RoutingMeta{Epoch: 42, Rings: []int{0, 1, 3}}
+			if err := b.SaveRouting(want); err != nil {
+				t.Fatal(err)
+			}
+			got, ok, err := b.LoadRouting()
+			if err != nil || !ok {
+				t.Fatalf("LoadRouting ok=%v err=%v", ok, err)
+			}
+			if got.Epoch != 42 || fmt.Sprint(got.Rings) != fmt.Sprint(want.Rings) {
+				t.Fatalf("LoadRouting = %+v, want %+v", got, want)
+			}
+		})
+	}
+}
+
+func TestParseFsyncMode(t *testing.T) {
+	for s, want := range map[string]FsyncMode{"": FsyncBatch, "batch": FsyncBatch, "always": FsyncAlways, "none": FsyncNone} {
+		got, err := ParseFsyncMode(s)
+		if err != nil || got != want {
+			t.Fatalf("ParseFsyncMode(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseFsyncMode("bogus"); err == nil {
+		t.Fatal("ParseFsyncMode(bogus) succeeded")
+	}
+}

@@ -42,6 +42,7 @@ import (
 	"repro/internal/trace"
 	"repro/internal/transport"
 	"repro/internal/txn"
+	"repro/internal/wal"
 	"repro/internal/wire"
 )
 
@@ -101,7 +102,21 @@ type (
 	// of a Runtime by consistent key hashing, following the routing
 	// table across elastic grows and shrinks.
 	ShardedDDS = dds.Sharded
+	// ApplyEvent describes one applied ordered operation to Cluster.OnApply
+	// observers: the shard, the op's (origin, seq) position, and the keys
+	// it changed.
+	ApplyEvent = dds.ApplyEvent
+	// StorageBackend is the durability backend behind WithStorage: a
+	// per-ring write-ahead log plus snapshot store and the persisted
+	// routing table. WithStorage builds the file-backed one;
+	// NewMemoryStorage builds an in-process one for tests.
+	StorageBackend = wal.Backend
 )
+
+// NewMemoryStorage returns an in-process StorageBackend whose logs
+// survive a Cluster.Close — crash-restart tests Open a new Cluster over
+// the same backend and exercise the full recovery path without disk.
+func NewMemoryStorage() StorageBackend { return wal.NewMemory() }
 
 // Cross-shard transaction types: epoch-pinned two-phase commit over the
 // per-ring master locks. Cluster.Txn is the facade entry point; the
@@ -175,8 +190,14 @@ var (
 	// retryable — re-run the transaction.
 	ErrTxnAborted = txn.ErrAborted
 	// ErrTxnIndeterminate reports a phase-2 failure after at least one
-	// participant ring committed. NOT retryable: the commit may be
-	// partially applied; see the txn package for the contract.
+	// participant ring committed with NO replicated commit record to
+	// resolve the rest. NOT retryable: the commit may be partially
+	// applied. The facade path no longer returns it — Cluster
+	// transactions order a replicated commit record before phase 2, so a
+	// mid-fan-out failure reports success and the unreached rings
+	// converge from the record. Only hand-assembled coordinators built
+	// with txn.WithoutCommitRecords can still see it; the sentinel stays
+	// exported for their errors.Is checks (see README MIGRATION).
 	ErrTxnIndeterminate = txn.ErrIndeterminate
 )
 
