@@ -48,6 +48,12 @@ type Cluster struct {
 	admin   *http.Server
 	adminLn net.Listener
 
+	// Joined latch: with peers configured, a freshly booted member that
+	// seeded its own singleton group has not yet merged with them — its
+	// pre-merge writes would be discarded by the lowest-ID-wins merge.
+	expectPeers bool
+	joined      atomic.Bool
+
 	closed   atomic.Bool
 	closeMu  sync.Mutex
 	closeErr error
@@ -115,6 +121,9 @@ type openConfig struct {
 	storageBackend wal.Backend
 	fsyncMode      string
 	snapshotEvery  int64
+
+	batching    WriteBatching
+	batchingSet bool
 }
 
 // Option customizes Open.
@@ -201,6 +210,23 @@ func WithFsyncMode(mode string) Option { return func(o *openConfig) { o.fsyncMod
 // WithSnapshotEvery compacts a ring's WAL into an atomic snapshot once
 // the log exceeds n bytes (default 4 MiB; <= 0 keeps the default).
 func WithSnapshotEvery(n int64) Option { return func(o *openConfig) { o.snapshotEvery = n } }
+
+// WriteBatching tunes the per-shard write coalescer: concurrent
+// Set/Delete calls on one member merge into a single ordered multi-op
+// frame (one multicast, one WAL record, one fsync for the batch).
+// Batching is ON by default with Linger 0 — the self-clocking mode whose
+// single-writer latency matches the pre-batching path exactly; this
+// option only overrides the defaults or disables it. See the README's
+// "Write path tuning" section.
+type WriteBatching = dds.BatchConfig
+
+// WithWriteBatching overrides the default write-coalescer settings on
+// every shard (including rings attached by later grows). Zero-valued
+// size fields keep their defaults (128 ops / 48 KiB); Disabled reverts
+// the write path to one ordered frame per op.
+func WithWriteBatching(cfg WriteBatching) Option {
+	return func(o *openConfig) { o.batching, o.batchingSet = cfg, true }
+}
 
 // WithStats supplies the metric registry the runtime, transport, shards
 // and retry layer record into (default: a private registry, readable via
@@ -314,6 +340,9 @@ func Open(ctx context.Context, conns []PacketConn, opts ...Option) (*Cluster, er
 		}
 		return nil, opError("open", "", err)
 	}
+	if o.batchingSet {
+		sharded.SetWriteBatching(o.batching)
+	}
 	c := &Cluster{
 		rt:          rt,
 		dds:         sharded,
@@ -322,6 +351,7 @@ func Open(ctx context.Context, conns []PacketConn, opts ...Option) (*Cluster, er
 		policy:      o.policy,
 		defaultRead: o.defaultRead,
 		backend:     backend,
+		expectPeers: len(o.peers) > 0,
 	}
 	if backend != nil {
 		// Attach each active ring's log and replay it locally before the
@@ -681,6 +711,24 @@ func (c *Cluster) Health() RuntimeHealth { return c.rt.HealthView() }
 
 // Healthy reports whether every ring of this node is running.
 func (c *Cluster) Healthy() bool { return c.rt.Healthy() }
+
+// Joined reports whether this member has assembled with its configured
+// peers: true once the combined membership holds more than this node
+// (sticky — a later partition does not clear it), and trivially true for
+// a member opened with no peers. A gateway fronting the cluster gates
+// writes on it: a freshly booted member that seeded its own singleton
+// group and has not yet merged would otherwise accept writes the
+// lowest-ID-wins group merge silently discards.
+func (c *Cluster) Joined() bool {
+	if c.joined.Load() {
+		return true
+	}
+	if !c.expectPeers || len(c.rt.Members()) > 1 {
+		c.joined.Store(true)
+		return true
+	}
+	return false
+}
 
 // Members returns the combined membership view (nodes present in every
 // active ring).

@@ -15,11 +15,12 @@
 // persists to BENCH_E6.json (-e6-out), e7 (the cross-shard transaction
 // run) to BENCH_E7.json (-e7-out), e8 (the consistency-moded read
 // scaling run) to BENCH_E8.json (-e8-out), e9 (the gateway
-// request-coalescing run) to BENCH_E9.json (-e9-out) and e10 (the
+// request-coalescing run) to BENCH_E9.json (-e9-out), e10 (the
 // durability WAL-overhead and crash-restart recovery run) to
-// BENCH_E10.json (-e10-out); e6 through e10 refuse to overwrite an
+// BENCH_E10.json (-e10-out) and e11 (the end-to-end write-batching run)
+// to BENCH_E11.json (-e11-out); e6 through e11 refuse to overwrite an
 // existing baseline unless -force is given. -quick shrinks e7 through
-// e10 to their CI sizes (seconds), for the per-PR benchmark artifact.
+// e11 to their CI sizes (seconds), for the per-PR benchmark artifact.
 //
 // -cluster runs the facade-overhead comparison: the same sharded write
 // workload against the raw dds router and through raincore.Cluster's
@@ -40,19 +41,20 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiments to run: all or a comma list of e1,e2,e3,e4,e5,e6,e7,e8,e9,e10,a1,a2,a3")
+	exp := flag.String("exp", "all", "experiments to run: all or a comma list of e1,e2,e3,e4,e5,e6,e7,e8,e9,e10,e11,a1,a2,a3")
 	e5Out := flag.String("e5-out", "BENCH_E5.json", "where e5 persists its baseline rows")
 	e6Out := flag.String("e6-out", "BENCH_E6.json", "where e6 persists its baseline")
 	e7Out := flag.String("e7-out", "BENCH_E7.json", "where e7 persists its baseline")
 	e8Out := flag.String("e8-out", "BENCH_E8.json", "where e8 persists its baseline")
 	e9Out := flag.String("e9-out", "BENCH_E9.json", "where e9 persists its baseline")
 	e10Out := flag.String("e10-out", "BENCH_E10.json", "where e10 persists its baseline")
-	force := flag.Bool("force", false, "overwrite an existing e6/e7/e8/e9/e10 baseline")
-	quick := flag.Bool("quick", false, "run e7/e8/e9/e10 at their CI sizes (shorter phases, fewer workers)")
+	e11Out := flag.String("e11-out", "BENCH_E11.json", "where e11 persists its baseline")
+	force := flag.Bool("force", false, "overwrite an existing e6/e7/e8/e9/e10/e11 baseline")
+	quick := flag.Bool("quick", false, "run e7/e8/e9/e10/e11 at their CI sizes (shorter phases, fewer workers)")
 	clusterMode := flag.Bool("cluster", false, "measure the raincore.Cluster facade's retry-wrapper overhead against the raw sharded-dds path (asserts it is within noise)")
 	flag.Parse()
 
-	known := []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "a1", "a2", "a3"}
+	known := []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "a1", "a2", "a3"}
 	selection := *exp
 	// Positional form: `rainbench e5` == `rainbench -exp e5`. Mixing the
 	// two would silently drop one, so it is an error; so is an unknown
@@ -264,6 +266,34 @@ func main() {
 					row.OverheadPct, verdict, res.SpeedupX)
 			}
 		}
+	}
+	if want["e11"] {
+		if _, err := os.Stat(*e11Out); err == nil && !*force {
+			log.Fatalf("rainbench: %s exists; pass -force to overwrite the baseline", *e11Out)
+		}
+		cfg := experiments.DefaultE11()
+		if *quick {
+			cfg = experiments.QuickE11()
+		}
+		res, err := experiments.E11WriteBatching(cfg)
+		if err != nil {
+			log.Fatalf("E11: %v", err)
+		}
+		fmt.Println(experiments.E11Table(res, cfg))
+		if err := experiments.WriteE11JSON(*e11Out, cfg, res); err != nil {
+			log.Fatalf("E11: write baseline: %v", err)
+		}
+		fmt.Printf("e11 baseline written to %s\n", *e11Out)
+		speedupVerdict := "MISSES"
+		if res.SpeedupWithinTarget {
+			speedupVerdict = "meets"
+		}
+		alwaysVerdict := "OVER"
+		if res.AlwaysWithinTarget {
+			alwaysVerdict = "within"
+		}
+		fmt.Printf("e11 batching check: batched writes %.2fx the unbatched baseline (%s the 3x bar); fsync always costs %.1f%% vs none under group commit at %s (%s the 15%% bar)\n\n",
+			res.BestSpeedupX, speedupVerdict, res.AlwaysOverheadPct, res.AlwaysOverheadBatching, alwaysVerdict)
 	}
 	if want["a1"] {
 		rows, err := experiments.A1SafeVsAgreed(4, 50)

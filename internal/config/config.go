@@ -74,6 +74,21 @@ type Node struct {
 	// SnapshotEveryBytes compacts a ring's WAL into a snapshot once the
 	// log exceeds this size (default 4 MiB).
 	SnapshotEveryBytes int64 `json:"snapshot_every_bytes"`
+	// WriteBatchDisabled turns the per-shard write coalescer off: every
+	// Set/Delete submits its own ordered frame, the pre-batching write
+	// path. Batching is on by default.
+	WriteBatchDisabled bool `json:"write_batch_disabled"`
+	// WriteBatchMaxOps flushes a coalesced write frame once this many
+	// ops ride it (default 128).
+	WriteBatchMaxOps int `json:"write_batch_max_ops"`
+	// WriteBatchMaxBytes flushes a coalesced write frame once its
+	// encoding reaches this size (default 48 KiB).
+	WriteBatchMaxBytes int `json:"write_batch_max_bytes"`
+	// WriteBatchLingerMS is the longest a buffered write waits for
+	// company before flushing anyway. 0 (default) is the self-clocking
+	// mode: the first write of a quiet shard flushes immediately and
+	// only concurrent writes coalesce — single-writer latency unchanged.
+	WriteBatchLingerMS int `json:"write_batch_linger_ms"`
 }
 
 // Gateway configures the HTTP/JSON access tier.
@@ -172,6 +187,9 @@ func (c Config) Validate() error {
 	case "", "always", "batch", "none":
 	default:
 		return fmt.Errorf("node.fsync_mode %q: want always, batch or none", c.Node.FsyncMode)
+	}
+	if c.Node.WriteBatchMaxOps < 0 || c.Node.WriteBatchMaxBytes < 0 || c.Node.WriteBatchLingerMS < 0 {
+		return fmt.Errorf("node.write_batch_* values must be non-negative")
 	}
 	for id := range c.Node.Peers {
 		var n uint32

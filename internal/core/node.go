@@ -143,6 +143,15 @@ type Node struct {
 	// stale this node's replicas can be.
 	lastTokArrival atomic.Int64
 
+	// tokenHooks run on the loop goroutine at every token arrival, before
+	// the state machine steps — the natural flush clock for layers that
+	// coalesce submissions (ops buffered since the last visit cannot be
+	// ordered any earlier than this arrival). Hooks must be fast and must
+	// not call Multicast or post events synchronously: the loop goroutine
+	// is the events channel's consumer, so a synchronous post can
+	// deadlock when the channel is full. Kick a goroutine instead.
+	tokenHooks atomic.Pointer[[]func()]
+
 	// Zero-copy pinning, owned by the loop goroutine: while the possessed
 	// token's payload views alias a pooled receive buffer, pinBuf holds a
 	// reference to it and pinTok identifies the token (pointer identity
@@ -298,6 +307,24 @@ func (n *Node) getHandlers() Handlers {
 	return n.handlers
 }
 
+// OnTokenArrival registers fn to run on the node's loop goroutine at
+// every token arrival, before the arrival steps the state machine. See
+// the tokenHooks field for the contract: fn must be cheap and must not
+// synchronously post events (spawn a goroutine for any submission).
+// Hooks cannot be unregistered; register once per layer.
+func (n *Node) OnTokenArrival(fn func()) {
+	n.handlerMu.Lock()
+	defer n.handlerMu.Unlock()
+	var cur []func()
+	if p := n.tokenHooks.Load(); p != nil {
+		cur = *p
+	}
+	next := make([]func(), len(cur)+1)
+	copy(next, cur)
+	next[len(cur)] = fn
+	n.tokenHooks.Store(&next)
+}
+
 // setStopHook installs the supervisor shutdown callback.
 func (n *Node) setStopHook(fn func(reason string)) {
 	n.handlerMu.Lock()
@@ -365,7 +392,17 @@ func (n *Node) loop() {
 			if ta, ok := ev.(tokenArrival); ok {
 				buf, tok = ta.buf, ta.Tok
 				ev = ta.EvTokenReceived
+			}
+			if _, ok := ev.(ring.EvTokenReceived); ok {
+				// Every arrival counts — including bufferless merge and
+				// recovery tokens — for both the staleness stamp and the
+				// registered flush hooks.
 				n.lastTokArrival.Store(time.Now().UnixNano())
+				if hooks := n.tokenHooks.Load(); hooks != nil {
+					for _, fn := range *hooks {
+						fn()
+					}
+				}
 			}
 			n.countTaskSwitch(ev)
 			n.traceEvent(ev)

@@ -145,6 +145,13 @@ type Service struct {
 	snapshotEvery int64
 	recovering    bool
 	recovered     bool
+	// pendingDurable carries one opBatch frame's deferred-ack handle
+	// from walAppendLocked to applyBatchLocked within a single
+	// applyFilteredLocked call (both under s.mu, same call stack). Set
+	// only when the log's group commit pends (always-fsync file WAL):
+	// the riders' acks then wait for the off-loop fsync instead of the
+	// event loop stalling on it.
+	pendingDurable *batchDurable
 	// removalCount numbers this ring's ordered membership removals.
 	// Removal entries ride the recent log (remEvictedHigh mirrors
 	// evictedHigh for them) and the WAL, so a fast-forward delta or a
@@ -173,6 +180,11 @@ type Service struct {
 	// for read-path caches. hookKeys accumulates one apply's changes.
 	applyHooks []func(ApplyEvent)
 	hookKeys   []string
+
+	// batcher coalesces concurrent Set/Delete calls into multi-op
+	// opBatch frames (batch.go). Installed by New, on by default;
+	// configured via SetWriteBatching before the node starts.
+	batcher *writeBatcher
 
 	watchers    []func(key string, val []byte, deleted bool)
 	app         core.Handlers
@@ -250,6 +262,8 @@ func New(node *core.Node) *Service {
 	s.cReadFences = reg.Counter(stats.MetricReadFences)
 	s.cLeaseHits = reg.Counter(stats.MetricReadLeaseHits)
 	s.cSessionWaits = reg.Counter(stats.MetricReadSessionWaits)
+	s.batcher = newWriteBatcher(s)
+	node.OnTokenArrival(s.batcher.tokenKick)
 	node.SetHandlers(core.Handlers{
 		OnDeliver:    s.onDeliver,
 		OnSys:        s.onSys,
@@ -422,13 +436,22 @@ func (s *Service) Holder(name string) (core.NodeID, bool) {
 // --- public API: replicated map ---
 
 // Set writes key=val cluster-wide and returns once the write has applied
-// locally (read-your-writes).
+// locally (read-your-writes). Concurrent Sets on one replica coalesce
+// into a single ordered multi-op frame (see batch.go) unless batching
+// was disabled.
 func (s *Service) Set(ctx context.Context, key string, val []byte) error {
+	if s.batchingEnabled() {
+		return s.doBatched(ctx, key, val, false)
+	}
 	return s.doOp(ctx, func(reqID uint64) []byte { return encodeSet(key, val, reqID) })
 }
 
-// Delete removes a key cluster-wide.
+// Delete removes a key cluster-wide. Deletes ride the same coalescer as
+// Sets.
 func (s *Service) Delete(ctx context.Context, key string) error {
+	if s.batchingEnabled() {
+		return s.doBatched(ctx, key, nil, true)
+	}
 	return s.doOp(ctx, func(reqID uint64) []byte { return encodeDel(key, reqID) })
 }
 
@@ -766,7 +789,12 @@ func (s *Service) onShutdown(reason string) {
 	// ring that will never apply again.
 	s.wakeReadersLocked()
 	h := s.app.OnShutdown
+	b := s.batcher
 	s.mu.Unlock()
+	// Quiesce the write coalescer after the drain: its buffered entries'
+	// waiters just got the retryable shutdown error, so the frame they
+	// rode in is dead weight — drop it and disarm the linger timer.
+	b.stop()
 	if h != nil {
 		h(reason)
 	}
@@ -849,7 +877,7 @@ func (s *Service) applyFilteredLocked(origin core.NodeID, seq uint64, o op, raw 
 	s.applied[origin] = seq
 	if o.kind != opSnapshot && o.kind != opSnapReq && o.kind != opSnapReqFrom && o.kind != opSnapDelta {
 		s.logRecentLocked(origin, seq, o, raw)
-		s.walAppendLocked(origin, seq, raw)
+		s.walAppendLocked(origin, seq, o, raw)
 	}
 	s.applyLocked(origin, o)
 	s.rview.stamp()
@@ -904,11 +932,31 @@ func (s *Service) logRemovalLocked(dead core.NodeID, idx uint64) {
 // walAppendLocked appends one ordered apply to the attached WAL (raw, as
 // delivered) and compacts when the tail outgrows the snapshot threshold.
 // Append errors are swallowed: durability degrades, ordering does not.
-func (s *Service) walAppendLocked(origin core.NodeID, seq uint64, raw []byte) {
+//
+// A coalesced opBatch frame goes through the log's group-commit path:
+// still exactly ONE record — replay dedup is keyed on (origin, seq), so
+// the durable unit must match the ordered unit — but the backend issues
+// one write and, under always-fsync, one fsync for the K ops it carries.
+func (s *Service) walAppendLocked(origin core.NodeID, seq uint64, o op, raw []byte) {
 	if s.storage == nil || s.recovering || len(raw) == 0 {
 		return
 	}
-	_ = s.storage.Append(wal.Record{Origin: uint32(origin), Seq: seq, Payload: raw})
+	rec := wal.Record{Origin: uint32(origin), Seq: seq, Payload: raw}
+	if o.kind == opBatch {
+		// Pipelined group commit: the append is buffered here, in order,
+		// but under always-fsync the sync runs on the log's syncer
+		// goroutine and only the riders' acks wait for it
+		// (durable-before-acked) — the event loop, and with it the ring
+		// cadence, never stalls on the disk. Groups from consecutive
+		// frames share one fsync.
+		pd := &batchDurable{origin: origin}
+		pending, err := s.storage.AppendBatchDurable([]wal.Record{rec}, func(error) { s.batchDurableDone(pd) })
+		if err == nil && pending {
+			s.pendingDurable = pd
+		}
+	} else {
+		_ = s.storage.Append(rec)
+	}
 	s.maybeCompactLocked()
 }
 
@@ -951,6 +999,14 @@ func (s *Service) ackCoveredSelfOpLocked(o op) {
 	switch o.kind {
 	case opSet, opDel:
 		s.signalOpLocked(s.id, o.reqID, nil)
+	case opBatch:
+		// Every rider's effect is in the snapshot state; wake them all,
+		// and release the coalescer's pacing gate exactly as a direct
+		// apply would.
+		for i := range o.batch {
+			s.signalOpLocked(s.id, o.batch[i].reqID, nil)
+		}
+		s.batcherAppliedLocked(s.id)
 	case opAcquire:
 		st := s.locks[o.key]
 		if st != nil && st.owner == s.id && st.ownerReq == o.reqID {
@@ -1013,6 +1069,11 @@ func (s *Service) applyLocked(origin core.NodeID, o op) {
 		s.rview.del(o.key)
 		s.notifyLocked(o.key, nil, true)
 		s.signalOpLocked(origin, o.reqID, nil)
+	case opBatch:
+		// Deliberately absent from the freeze/retired and
+		// snapshot-barrier switches above: the frame coalesces
+		// independent keys, so those rejections run per entry inside.
+		s.applyBatchLocked(origin, o)
 	case opFence:
 		// Ordered no-op: its apply is the fence. Deliberately exempt from
 		// the freeze/retired/snapshot-barrier rejections above — fenced
@@ -1807,7 +1868,7 @@ func (s *Service) applySnapReqFromLocked(origin core.NodeID, o op) {
 // containing one falls back to the full snapshot.
 func deltaSafeKind(k opKind) bool {
 	switch k {
-	case opAcquire, opRelease, opCancel, opSet, opDel, opFence,
+	case opAcquire, opRelease, opCancel, opSet, opDel, opBatch, opFence,
 		opTxnPrepare, opTxnCommit, opTxnAbort, opTxnDecide:
 		return true
 	}

@@ -1,0 +1,93 @@
+package dds
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzOpBatch feeds arbitrary bytes through the op decoder and checks the
+// write-batch codec end to end: multi-op opBatch frames must round-trip
+// semantically (decode → re-encode → decode yields the same entries), the
+// decoder must never panic or balloon memory on corrupt counts, and the
+// pre-batching single-op Set/Delete frames — what older builds put on the
+// wire — must keep decoding unchanged alongside the new frame kind.
+func FuzzOpBatch(f *testing.F) {
+	f.Add(encodeBatch(nil))
+	f.Add(encodeBatch([]batchEntry{{key: "k", val: []byte("v"), reqID: 7}}))
+	f.Add(encodeBatch([]batchEntry{
+		{key: "a", val: []byte("1"), reqID: 1},
+		{del: true, key: "b", reqID: 2},
+		{key: "", val: nil, reqID: 3},
+	}))
+	// Old single-op wire shapes ride the same decoder.
+	f.Add(encodeSet("legacy-key", []byte("legacy-val"), 42))
+	f.Add(encodeDel("legacy-key", 43))
+	// A frame whose count lies about the payload.
+	huge := encodeBatch([]batchEntry{{key: "x", val: []byte("y"), reqID: 9}})
+	batchFramePatch(huge, 1<<30)
+	f.Add(huge)
+	// A frame torn mid-entry.
+	torn := encodeBatch([]batchEntry{{key: "kk", val: bytes.Repeat([]byte{0xAB}, 64), reqID: 5}})
+	f.Add(torn[:len(torn)-9])
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		o, ok := decodeOp(data)
+		if !ok {
+			return
+		}
+		switch o.kind {
+		case opBatch:
+			enc := encodeBatch(o.batch)
+			o2, ok2 := decodeOp(enc)
+			if !ok2 || o2.kind != opBatch || len(o2.batch) != len(o.batch) {
+				t.Fatalf("re-encoded batch did not round-trip: ok=%v entries %d want %d",
+					ok2, len(o2.batch), len(o.batch))
+			}
+			for i := range o.batch {
+				a, b := o.batch[i], o2.batch[i]
+				if a.del != b.del || a.key != b.key || a.reqID != b.reqID || !bytes.Equal(a.val, b.val) {
+					t.Fatalf("entry %d diverged: %+v vs %+v", i, a, b)
+				}
+			}
+		case opSet:
+			enc := encodeSet(o.key, o.val, o.reqID)
+			o2, ok2 := decodeOp(enc)
+			if !ok2 || o2.kind != opSet || o2.key != o.key || !bytes.Equal(o2.val, o.val) || o2.reqID != o.reqID {
+				t.Fatalf("single-op set round-trip diverged: %+v vs %+v", o, o2)
+			}
+		case opDel:
+			enc := encodeDel(o.key, o.reqID)
+			o2, ok2 := decodeOp(enc)
+			if !ok2 || o2.kind != opDel || o2.key != o.key || o2.reqID != o.reqID {
+				t.Fatalf("single-op del round-trip diverged: %+v vs %+v", o, o2)
+			}
+		}
+	})
+}
+
+// TestBatchEncodeZeroAlloc pins the coalescer's amortized encode cost:
+// building a full frame in a warm (capacity-recycled) buffer — exactly
+// what flushFrame's spare-buffer recycling gives the steady state — must
+// stay at or under 1 alloc per op, and in practice at zero.
+func TestBatchEncodeZeroAlloc(t *testing.T) {
+	key := "alloc-key-0123456789"
+	val := bytes.Repeat([]byte{0x5A}, 64)
+	buf := make([]byte, 0, 64<<10)
+	const ops = 128
+	allocs := testing.AllocsPerRun(200, func() {
+		b := batchFrameStart(buf)
+		for i := 0; i < ops; i++ {
+			if i%8 == 7 {
+				b = appendBatchDel(b, key, uint64(i))
+			} else {
+				b = appendBatchSet(b, key, val, uint64(i))
+			}
+		}
+		batchFramePatch(b, ops)
+		buf = b[:0] // recycle, as flushFrame does
+	})
+	if perOp := allocs / float64(ops); perOp > 1 {
+		t.Fatalf("batched encode = %.3f allocs/op (%.1f per %d-op frame), budget is <= 1 amortized",
+			perOp, allocs, ops)
+	}
+}

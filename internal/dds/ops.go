@@ -87,6 +87,14 @@ const (
 	// membership removals) it missed, in ring order, instead of the full
 	// keyspace.
 	opSnapDelta
+	// opBatch is the write coalescer's multi-op frame: K Set/Delete
+	// entries from one origin riding a single ordered position, applied
+	// atomically (all entries published before any waiter wakes) and
+	// logged as one WAL record — the group-commit unit. Builds predating
+	// the kind treat the frame as an application payload, so the
+	// coalescer must only be enabled once the whole group speaks it;
+	// single-op frames from older builds decode unchanged either way.
+	opBatch
 )
 
 type op struct {
@@ -112,6 +120,18 @@ type op struct {
 	removals   uint64                 // snap-req-from: removals the joiner has applied
 	wantFull   bool                   // snap-req-from: joiner needs a full snapshot
 	delta      []deltaEntry           // snap-delta: the ops the joiner missed, in order
+
+	// Write-batching field (opBatch): the coalesced entries, in the
+	// order the callers enqueued them (applied in that order).
+	batch []batchEntry
+}
+
+// batchEntry is one caller's write inside an opBatch frame.
+type batchEntry struct {
+	del   bool
+	key   string
+	val   []byte // nil for deletes
+	reqID uint64
 }
 
 // deltaEntry is one element of a fast-forward delta: either a missed op
@@ -169,6 +189,57 @@ func encodeDel(key string, reqID uint64) []byte {
 }
 
 func encodeSnapReq() []byte { return header(opSnapReq) }
+
+// --- write-batch frame codec ---
+//
+// Layout: header(opBatch) | u32 count | count × entry, where an entry is
+// u8 del | str key | bytes val (sets only) | u64 reqID. The coalescer
+// builds the frame incrementally in a reused buffer — batchFrameStart
+// writes the header with a zero count, appendBatchSet/appendBatchDel add
+// entries as callers arrive, and batchFramePatch fixes the count at
+// flush — so the amortized encode cost stays at the entry append itself.
+
+// batchFrameOverhead is the fixed frame cost: 3-byte header + u32 count.
+const batchFrameOverhead = 7
+
+// batchFrameStart begins an opBatch frame in buf (reusing its capacity).
+func batchFrameStart(buf []byte) []byte {
+	b := append(buf[:0], ddsMagic, ddsVersion, byte(opBatch))
+	return append(b, 0, 0, 0, 0) // count, patched at flush
+}
+
+func appendBatchSet(b []byte, key string, val []byte, reqID uint64) []byte {
+	b = append(b, 0)
+	b = appendStr(b, key)
+	b = appendBytes(b, val)
+	return binary.LittleEndian.AppendUint64(b, reqID)
+}
+
+func appendBatchDel(b []byte, key string, reqID uint64) []byte {
+	b = append(b, 1)
+	b = appendStr(b, key)
+	return binary.LittleEndian.AppendUint64(b, reqID)
+}
+
+// batchFramePatch writes the final entry count into a started frame.
+func batchFramePatch(b []byte, count int) {
+	binary.LittleEndian.PutUint32(b[3:7], uint32(count))
+}
+
+// encodeBatch builds a complete opBatch frame in one call (tests and
+// single-shot paths; the coalescer uses the incremental form above).
+func encodeBatch(entries []batchEntry) []byte {
+	b := batchFrameStart(nil)
+	for _, e := range entries {
+		if e.del {
+			b = appendBatchDel(b, e.key, e.reqID)
+		} else {
+			b = appendBatchSet(b, e.key, e.val, e.reqID)
+		}
+	}
+	batchFramePatch(b, len(entries))
+	return b
+}
 
 // --- resharding control op codecs ---
 
@@ -633,6 +704,36 @@ func decodeOp(p []byte) (op, bool) {
 		}
 	case opFence:
 		o.reqID, err = r.u64()
+	case opBatch:
+		var n uint32
+		if n, err = r.u32(); err == nil {
+			// Each entry costs at least 13 bytes (del + empty key + reqID);
+			// cap the prealloc so a corrupt count cannot balloon memory.
+			cap32 := n
+			if max := uint32(len(r.buf) / 13); cap32 > max {
+				cap32 = max
+			}
+			o.batch = make([]batchEntry, 0, cap32)
+			for i := uint32(0); i < n && err == nil; i++ {
+				var del byte
+				if del, err = r.u8(); err != nil {
+					break
+				}
+				var e batchEntry
+				e.del = del == 1
+				if e.key, err = r.str(); err == nil {
+					if !e.del {
+						e.val, err = r.bytes()
+					}
+					if err == nil {
+						e.reqID, err = r.u64()
+					}
+				}
+				if err == nil {
+					o.batch = append(o.batch, e)
+				}
+			}
+		}
 	default:
 		return op{}, false
 	}

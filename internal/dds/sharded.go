@@ -42,6 +42,10 @@ type Sharded struct {
 	shards   map[int]*Service // by ring id; includes a mid-handoff target
 	watchers []func(key string, val []byte, deleted bool)
 	applyObs []func(ApplyEvent)
+	// Write-coalescer settings, replayed onto replicas attached by later
+	// grows so every shard batches the same way.
+	batchCfg *BatchConfig
+	batchObs func(ops int)
 
 	// Handoff observation state (participant side) and coordination
 	// state (coordinator side); see resharding.go.
@@ -142,6 +146,7 @@ func (s *Sharded) attachReplica(ringID int, n *core.Node) *Service {
 	copy(watchers, s.watchers)
 	applyObs := make([]func(ApplyEvent), len(s.applyObs))
 	copy(applyObs, s.applyObs)
+	batchCfg, batchObs := s.batchCfg, s.batchObs
 	s.mu.Unlock()
 	for _, fn := range watchers {
 		svc.Watch(fn)
@@ -149,7 +154,39 @@ func (s *Sharded) attachReplica(ringID int, n *core.Node) *Service {
 	for _, fn := range applyObs {
 		svc.OnApply(fn)
 	}
+	if batchCfg != nil {
+		svc.SetWriteBatching(*batchCfg)
+	}
+	if batchObs != nil {
+		svc.OnWriteBatch(batchObs)
+	}
 	return svc
+}
+
+// SetWriteBatching configures every shard's write coalescer (current
+// replicas and those attached by later grows). Call before the runtime
+// starts.
+func (s *Sharded) SetWriteBatching(cfg BatchConfig) {
+	s.mu.Lock()
+	s.batchCfg = &cfg
+	shards := s.shards
+	s.mu.Unlock()
+	for _, svc := range shards {
+		svc.SetWriteBatching(cfg)
+	}
+}
+
+// OnWriteBatch registers one observer of flushed batch sizes across
+// every shard (the gateway's batch-size histogram). Call before the
+// runtime starts; only one observer is supported.
+func (s *Sharded) OnWriteBatch(fn func(ops int)) {
+	s.mu.Lock()
+	s.batchObs = fn
+	shards := s.shards
+	s.mu.Unlock()
+	for _, svc := range shards {
+		svc.OnWriteBatch(fn)
+	}
 }
 
 // Epoch returns the routing epoch the router currently routes by.

@@ -100,6 +100,46 @@ func (v *readView) del(key string) {
 	slot.Store(&next)
 }
 
+// applyBatch publishes a coalesced batch of sets and deletes, cloning
+// each touched bucket exactly once no matter how many entries land in
+// it. Entries apply in order, so a later entry for the same key wins —
+// the same last-writer semantics K sequential set/del calls would give,
+// at 1/K the clone cost when callers hammer a hot bucket.
+func (v *readView) applyBatch(entries []batchEntry) {
+	// Dirty buckets are tracked in a fixed array (no allocation for the
+	// common small batch); dirty[i] holds the pending clone for bucket i.
+	var dirty [viewBuckets]*map[string][]byte
+	var touched []int
+	for i := range entries {
+		e := &entries[i]
+		bi := bucketOf(fnv64a(e.key))
+		next := dirty[bi]
+		if next == nil {
+			old := v.buckets[bi].Load()
+			var clone map[string][]byte
+			if old == nil {
+				clone = make(map[string][]byte, 1)
+			} else {
+				clone = make(map[string][]byte, len(*old)+1)
+				for k, ov := range *old {
+					clone[k] = ov
+				}
+			}
+			next = &clone
+			dirty[bi] = next
+			touched = append(touched, bi)
+		}
+		if e.del {
+			delete(*next, e.key)
+		} else {
+			(*next)[e.key] = append([]byte(nil), e.val...)
+		}
+	}
+	for _, bi := range touched {
+		v.buckets[bi].Store(dirty[bi])
+	}
+}
+
 // reload rebuilds every bucket from the authoritative map — the bulk
 // path for snapshot installs, where per-key publication would churn the
 // same buckets repeatedly.

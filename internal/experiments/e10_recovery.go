@@ -156,17 +156,27 @@ type e10Grid struct {
 	dirs map[core.NodeID]string
 	cfg  E10Config
 	mode string
+	// batch overrides the write-coalescer configuration on every member
+	// (nil keeps the library default). E11 sweeps it; E10 leaves it alone.
+	batch *raincore.WriteBatching
 }
 
 // e10Open builds the grid. mode "off" disables storage; any other value
 // is the WAL fsync mode, with per-member dirs under root.
 func e10Open(cfg E10Config, mode, root string) (*e10Grid, error) {
+	return e10OpenBatched(cfg, mode, root, nil)
+}
+
+// e10OpenBatched is e10Open with a write-batching override for the E11
+// phases.
+func e10OpenBatched(cfg E10Config, mode, root string, batch *raincore.WriteBatching) (*e10Grid, error) {
 	g := &e10Grid{
-		net:  simnet.New(simnet.Options{}),
-		cls:  make(map[core.NodeID]*raincore.Cluster),
-		dirs: make(map[core.NodeID]string),
-		cfg:  cfg,
-		mode: mode,
+		net:   simnet.New(simnet.Options{}),
+		cls:   make(map[core.NodeID]*raincore.Cluster),
+		dirs:  make(map[core.NodeID]string),
+		cfg:   cfg,
+		mode:  mode,
+		batch: batch,
 	}
 	for i := 1; i <= cfg.Nodes; i++ {
 		g.ids = append(g.ids, core.NodeID(i))
@@ -208,6 +218,9 @@ func (g *e10Grid) openMember(id core.NodeID) error {
 			raincore.WithStorage(dir),
 			raincore.WithFsyncMode(g.mode),
 			raincore.WithSnapshotEvery(g.cfg.SnapshotEveryBytes))
+	}
+	if g.batch != nil {
+		opts = append(opts, raincore.WithWriteBatching(*g.batch))
 	}
 	for _, other := range g.ids {
 		if other != id {

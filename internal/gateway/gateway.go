@@ -360,6 +360,35 @@ func (g *Gateway) handleGet(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// admitWrite rejects mutations while the member behind the gateway has
+// not yet assembled with its configured peers. A pre-merge singleton
+// member would accept the write locally and then lose it to the
+// lowest-ID-wins group merge — surfacing 503 (retryable) instead turns
+// that silent loss window into a visible back-off.
+func (g *Gateway) admitWrite(w http.ResponseWriter, op, key string) bool {
+	if g.o.Backend.Joined() {
+		return true
+	}
+	g.reg.Counter(stats.MetricGatewayPremergeRejects).Inc()
+	g.count(op, "none", "premerge")
+	w.Header().Set("Retry-After", "1")
+	g.writeErr(w, http.StatusServiceUnavailable, errorBody{
+		Error: "member has not joined its group yet; writes would be lost to the merge",
+		Op:    op, Key: key, Retryable: true,
+	})
+	return false
+}
+
+// ObserveWriteBatch records one flushed write-batch's op count into the
+// gateway_write_batch_size histogram. Wire it to the cluster's
+// coalescer (Cluster.DDS().OnWriteBatch) so the gateway's metrics show
+// how many client writes each ordered frame is carrying. The registry's
+// histograms are duration-typed; batch sizes are stored as unit ticks
+// (1 op = 1ns), so the summary's mean/percentiles read directly as ops.
+func (g *Gateway) ObserveWriteBatch(ops int) {
+	g.reg.Histogram(stats.HistGatewayWriteBatch).Observe(time.Duration(ops))
+}
+
 // handleWrite factors PUT and DELETE: resolve deadline, run op, map the
 // error, invalidate the micro-cache on success.
 func (g *Gateway) handleWrite(w http.ResponseWriter, r *http.Request, op string, run func(ctx context.Context, key string) error) {
@@ -367,6 +396,9 @@ func (g *Gateway) handleWrite(w http.ResponseWriter, r *http.Request, op string,
 	if key == "" {
 		g.count(op, "none", "bad_request")
 		g.writeErr(w, http.StatusBadRequest, errorBody{Error: "want /kv/{key}", Op: op})
+		return
+	}
+	if !g.admitWrite(w, op, key) {
 		return
 	}
 	release, ok := g.admit(w, op, "none")
@@ -412,6 +444,9 @@ func (g *Gateway) handleTxn(w http.ResponseWriter, r *http.Request) {
 		g.writeErr(w, http.StatusNotImplemented, errorBody{
 			Error: "transactions are not wired on this gateway", Op: "txn",
 		})
+		return
+	}
+	if !g.admitWrite(w, "txn", "") {
 		return
 	}
 	release, ok := g.admit(w, "txn", "none")

@@ -21,10 +21,11 @@ import (
 // fakeBackend is an in-memory Backend whose reads can be gated (block
 // until the test releases them) and forced to fail.
 type fakeBackend struct {
-	gate    chan struct{} // non-nil: Get blocks until closed (or ctx done)
-	started chan struct{} // Get announces itself here (buffered)
-	err     error         // non-nil: Get fails with this after the gate
-	down    atomic.Bool
+	gate     chan struct{} // non-nil: Get blocks until closed (or ctx done)
+	started  chan struct{} // Get announces itself here (buffered)
+	err      error         // non-nil: Get fails with this after the gate
+	down     atomic.Bool
+	unjoined atomic.Bool // true: member has not merged with its group yet
 
 	mu   sync.Mutex
 	data map[string][]byte
@@ -76,6 +77,8 @@ func (f *fakeBackend) Delete(ctx context.Context, key string) error {
 }
 
 func (f *fakeBackend) Healthy() bool { return !f.down.Load() }
+
+func (f *fakeBackend) Joined() bool { return !f.unjoined.Load() }
 
 func mustGateway(t *testing.T, o Options) *Gateway {
 	t.Helper()
@@ -466,5 +469,73 @@ func TestStartServesHTTP(t *testing.T) {
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status %d", resp.StatusCode)
+	}
+}
+
+// TestPremergeWritesRejected: while the backend member has not merged
+// with its group, PUT and DELETE are refused with a retryable 503 (and
+// never reach the backend — a pre-merge write would be silently lost to
+// the lowest-ID-wins merge), reads still serve, and the moment the
+// member joins, writes flow again.
+func TestPremergeWritesRejected(t *testing.T) {
+	fb := newFake()
+	fb.data["k"] = []byte("v")
+	fb.unjoined.Store(true)
+	reg := stats.NewRegistry()
+	g := mustGateway(t, Options{Backend: fb, Registry: reg})
+
+	for _, c := range []struct{ method, op string }{
+		{"PUT", "set"}, {"DELETE", "del"},
+	} {
+		w := do(g, c.method, "/kv/k", []byte(`{"value":"bmV3"}`))
+		if w.Code != http.StatusServiceUnavailable {
+			t.Fatalf("%s pre-merge: status %d, want 503: %s", c.method, w.Code, w.Body)
+		}
+		if w.Header().Get("Retry-After") == "" {
+			t.Fatalf("%s pre-merge: no Retry-After header", c.method)
+		}
+		var body errorBody
+		if err := json.Unmarshal(w.Body.Bytes(), &body); err != nil {
+			t.Fatal(err)
+		}
+		if !body.Retryable {
+			t.Fatalf("%s pre-merge: body not marked retryable: %+v", c.method, body)
+		}
+	}
+	if got := fb.sets.Load() + fb.dels.Load(); got != 0 {
+		t.Fatalf("%d writes reached the backend pre-merge", got)
+	}
+	if got := reg.Counter(stats.MetricGatewayPremergeRejects).Load(); got != 2 {
+		t.Fatalf("%s = %d, want 2", stats.MetricGatewayPremergeRejects, got)
+	}
+	// Reads are unaffected: they cannot be lost to the merge.
+	if w := do(g, "GET", "/kv/k", nil); w.Code != http.StatusOK {
+		t.Fatalf("pre-merge GET: status %d", w.Code)
+	}
+
+	fb.unjoined.Store(false)
+	if w := do(g, "PUT", "/kv/k", []byte(`{"value":"bmV3"}`)); w.Code != http.StatusNoContent {
+		t.Fatalf("post-merge PUT: status %d: %s", w.Code, w.Body)
+	}
+	if got := fb.sets.Load(); got != 1 {
+		t.Fatalf("post-merge PUT did not reach the backend (sets=%d)", got)
+	}
+}
+
+// TestObserveWriteBatchHistogram: flushed batch sizes land in the
+// gateway_write_batch_size histogram as unit ticks, so the summary's
+// count/mean read directly as frames and ops-per-frame.
+func TestObserveWriteBatchHistogram(t *testing.T) {
+	reg := stats.NewRegistry()
+	g := mustGateway(t, Options{Backend: newFake(), Registry: reg})
+	for _, ops := range []int{1, 4, 8} {
+		g.ObserveWriteBatch(ops)
+	}
+	h := reg.Histogram(stats.HistGatewayWriteBatch).Summary()
+	if h.Count != 3 {
+		t.Fatalf("histogram count = %d, want 3", h.Count)
+	}
+	if h.Max != 8*time.Nanosecond {
+		t.Fatalf("histogram max = %v, want 8ns (8 ops)", h.Max)
 	}
 }

@@ -20,6 +20,11 @@ type Backend interface {
 	Delete(ctx context.Context, key string) error
 	// Healthy reports whether the member behind this handle is serving.
 	Healthy() bool
+	// Joined reports whether the member behind this handle has assembled
+	// with its configured peers. The gateway rejects writes (503) while
+	// it is false: a member still in its pre-merge singleton group would
+	// accept writes the lowest-ID-wins group merge silently discards.
+	Joined() bool
 }
 
 // Pool round-robins requests over several cluster handles — a gateway
@@ -83,4 +88,17 @@ func (p *Pool) Healthy() bool {
 		}
 	}
 	return false
+}
+
+// Joined reports whether every pooled handle has assembled with its
+// peers. Writes round-robin over the handles, so one pre-merge member
+// in the pool can still swallow a write — the pool is joined only when
+// all of its members are.
+func (p *Pool) Joined() bool {
+	for _, b := range p.backends {
+		if !b.Joined() {
+			return false
+		}
+	}
+	return true
 }

@@ -314,6 +314,23 @@ const (
 	HistReshardPause = "reshard_pause"
 	// HistTokenRoundTrip is the token's full-ring round-trip time.
 	HistTokenRoundTrip = "token_round_trip"
+	// MetricDDSBatchFlushes counts write-coalescer flushes: multi-op
+	// opBatch frames submitted to the ordered stream.
+	MetricDDSBatchFlushes = "dds_batch_flushes_total"
+	// MetricDDSBatchedOps counts the individual Set/Delete ops carried by
+	// those frames; batched_ops/flushes is the achieved batch factor.
+	MetricDDSBatchedOps = "dds_batched_ops_total"
+	// MetricWALBatchAppends counts group-commit appends: AppendBatch
+	// calls that wrote a record group with at most one fsync.
+	MetricWALBatchAppends = "wal_batch_appends_total"
+	// HistGatewayWriteBatch is the per-flush op count observed by a
+	// gateway's member replica — the write analog of the read
+	// coalescer's fan-in ratio.
+	HistGatewayWriteBatch = "gateway_write_batch_size"
+	// MetricGatewayPremergeRejects counts writes rejected with 503
+	// because the member's replica had not yet joined its group — the
+	// lowest-ID-wins merge would silently discard them otherwise.
+	MetricGatewayPremergeRejects = "gateway_premerge_rejects_total"
 )
 
 // Rate converts a counter delta observed over an elapsed duration into a

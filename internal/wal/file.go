@@ -23,7 +23,7 @@ type Options struct {
 	// BatchEvery is the sync interval under FsyncBatch. Zero means 5ms.
 	BatchEvery time.Duration
 	// Stats, when non-nil, receives wal_appends_total / wal_fsyncs_total
-	// / snapshot_compactions_total.
+	// / wal_batch_appends_total / snapshot_compactions_total.
 	Stats *stats.Registry
 }
 
@@ -180,7 +180,22 @@ type fileLog struct {
 	done    chan struct{}
 	scratch []byte
 
-	appends, fsyncs, compactions *stats.Counter
+	// Pipelined group commit (FsyncAlways only): AppendBatchDurable
+	// enqueues its durability callback here and kicks the syncer
+	// goroutine, which flushes once and fsyncs once for every callback
+	// pending at that moment — so the appender (the replica's event
+	// loop) never stalls on the disk, and concurrent groups share syncs.
+	syncPend []func(error)
+	syncKick chan struct{}
+
+	// Close runs exactly once; closeDone gates concurrent and repeated
+	// Close calls so every caller returns only after teardown finished
+	// (ticker goroutine reaped, buffer flushed, file closed).
+	closeOnce sync.Once
+	closeDone chan struct{}
+	closeErr  error
+
+	appends, fsyncs, batchAppends, compactions *stats.Counter
 }
 
 func openFileLog(dir string, id int, opt Options) (*fileLog, error) {
@@ -199,20 +214,28 @@ func openFileLog(dir string, id int, opt Options) (*fileLog, error) {
 		return nil, err
 	}
 	l := &fileLog{
-		path:        path,
-		dir:         dir,
-		f:           f,
-		w:           bufio.NewWriterSize(f, 64<<10),
-		mode:        opt.Fsync,
-		bytes:       st.Size(),
-		appends:     opt.Stats.Counter(stats.MetricWALAppends),
-		fsyncs:      opt.Stats.Counter(stats.MetricWALFsyncs),
-		compactions: opt.Stats.Counter(stats.MetricSnapshotCompactions),
+		path:         path,
+		dir:          dir,
+		f:            f,
+		w:            bufio.NewWriterSize(f, 64<<10),
+		mode:         opt.Fsync,
+		bytes:        st.Size(),
+		closeDone:    make(chan struct{}),
+		appends:      opt.Stats.Counter(stats.MetricWALAppends),
+		fsyncs:       opt.Stats.Counter(stats.MetricWALFsyncs),
+		batchAppends: opt.Stats.Counter(stats.MetricWALBatchAppends),
+		compactions:  opt.Stats.Counter(stats.MetricSnapshotCompactions),
 	}
-	if l.mode == FsyncBatch {
+	switch l.mode {
+	case FsyncBatch:
 		l.stop = make(chan struct{})
 		l.done = make(chan struct{})
 		go l.batchLoop(opt.BatchEvery)
+	case FsyncAlways:
+		l.stop = make(chan struct{})
+		l.done = make(chan struct{})
+		l.syncKick = make(chan struct{}, 1)
+		go l.syncLoop()
 	}
 	return l, nil
 }
@@ -245,10 +268,43 @@ func (l *fileLog) batchLoop(every time.Duration) {
 	}
 }
 
+// syncLoop is the FsyncAlways group-commit syncer. Each kick flushes the
+// buffer under the lock, then fsyncs OUTSIDE it — appends proceed while
+// the disk works — and completes every callback that was pending at
+// flush time with one sync. Callbacks run on this goroutine, never under
+// l.mu, so they may take arbitrary caller locks.
+func (l *fileLog) syncLoop() {
+	defer close(l.done)
+	for {
+		select {
+		case <-l.stop:
+			return
+		case <-l.syncKick:
+			l.mu.Lock()
+			if l.closed || len(l.syncPend) == 0 {
+				l.mu.Unlock()
+				continue
+			}
+			pend := l.syncPend
+			l.syncPend = nil
+			err := l.w.Flush()
+			l.mu.Unlock()
+			if err == nil {
+				if err = datasync(l.f); err == nil {
+					l.fsyncs.Add(1)
+				}
+			}
+			for _, done := range pend {
+				done(err)
+			}
+		}
+	}
+}
+
 // flushSyncLocked flushes the buffer and fsyncs; errors are sticky only
 // insofar as the next explicit Sync/Append surfaces them.
 func (l *fileLog) flushSyncLocked() {
-	if l.w.Flush() == nil && l.f.Sync() == nil {
+	if l.w.Flush() == nil && datasync(l.f) == nil {
 		l.fsyncs.Add(1)
 		l.dirty = false
 	}
@@ -271,7 +327,7 @@ func (l *fileLog) Append(r Record) error {
 		if err := l.w.Flush(); err != nil {
 			return err
 		}
-		if err := l.f.Sync(); err != nil {
+		if err := datasync(l.f); err != nil {
 			return err
 		}
 		l.fsyncs.Add(1)
@@ -281,11 +337,103 @@ func (l *fileLog) Append(r Record) error {
 	return nil
 }
 
-func (l *fileLog) SaveSnapshot(state []byte) error {
+// AppendBatch is the group-commit append: every record is encoded into
+// one buffered write and, under FsyncAlways, the whole group rides a
+// single fsync — K ordered writes cost one durability round-trip.
+func (l *fileLog) AppendBatch(recs []Record) error {
+	if len(recs) == 0 {
+		return nil
+	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
 		return ErrClosed
+	}
+	l.scratch = l.scratch[:0]
+	for _, r := range recs {
+		l.scratch = EncodeRecord(l.scratch, r)
+	}
+	if _, err := l.w.Write(l.scratch); err != nil {
+		return err
+	}
+	l.bytes += int64(len(l.scratch))
+	l.appends.Add(int64(len(recs)))
+	l.batchAppends.Add(1)
+	switch l.mode {
+	case FsyncAlways:
+		if err := l.w.Flush(); err != nil {
+			return err
+		}
+		if err := datasync(l.f); err != nil {
+			return err
+		}
+		l.fsyncs.Add(1)
+	default:
+		l.dirty = true
+	}
+	return nil
+}
+
+// AppendBatchDurable implements Log. The group is encoded and buffered
+// inline; under FsyncAlways the durability callback is handed to the
+// syncer (pending=true) so the caller never waits on the disk, while the
+// other modes are already at their durability point when the buffered
+// write lands (pending=false, done never invoked).
+func (l *fileLog) AppendBatchDurable(recs []Record, done func(error)) (bool, error) {
+	if len(recs) == 0 {
+		return false, nil
+	}
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return false, ErrClosed
+	}
+	l.scratch = l.scratch[:0]
+	for _, r := range recs {
+		l.scratch = EncodeRecord(l.scratch, r)
+	}
+	if _, err := l.w.Write(l.scratch); err != nil {
+		l.mu.Unlock()
+		return false, err
+	}
+	l.bytes += int64(len(l.scratch))
+	l.appends.Add(int64(len(recs)))
+	l.batchAppends.Add(1)
+	if l.mode != FsyncAlways {
+		l.dirty = true
+		l.mu.Unlock()
+		return false, nil
+	}
+	l.syncPend = append(l.syncPend, done)
+	l.mu.Unlock()
+	select {
+	case l.syncKick <- struct{}{}:
+	default:
+	}
+	return true, nil
+}
+
+func (l *fileLog) SaveSnapshot(state []byte) error {
+	pend, err := l.saveSnapshotLocked(state)
+	if len(pend) > 0 {
+		// The snapshot durably covers every record the pending groups
+		// appended: complete them off this goroutine so the callbacks
+		// (which may take caller locks) never run under l.mu or inside
+		// the appender's critical section.
+		go func() {
+			for _, done := range pend {
+				done(nil)
+			}
+		}()
+	}
+	return err
+}
+
+func (l *fileLog) saveSnapshotLocked(state []byte) ([]func(error), error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil, ErrClosed
 	}
 	buf := make([]byte, 0, len(snapMagic)+4+len(state))
 	buf = append(buf, snapMagic...)
@@ -293,29 +441,33 @@ func (l *fileLog) SaveSnapshot(state []byte) error {
 	buf = append(buf, state...)
 	tmp := l.snapPath() + ".tmp"
 	if err := writeFileSync(tmp, buf); err != nil {
-		return err
+		return nil, err
 	}
 	if err := os.Rename(tmp, l.snapPath()); err != nil {
-		return err
+		return nil, err
 	}
 	if err := syncDir(l.dir); err != nil {
-		return err
+		return nil, err
 	}
 	// The snapshot covers everything buffered or on disk: drop the
 	// buffer and truncate the log. A crash mid-way leaves stale records
 	// that replay filters by sequence.
 	l.w.Reset(io.Discard)
 	if err := l.f.Truncate(0); err != nil {
-		return err
+		return nil, err
 	}
 	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
-		return err
+		return nil, err
 	}
 	l.w.Reset(l.f)
 	l.bytes = 0
 	l.dirty = false
 	l.compactions.Add(1)
-	return nil
+	// Until the truncate the pending groups' bytes were in the dropped
+	// buffer; now their durability IS the snapshot.
+	pend := l.syncPend
+	l.syncPend = nil
+	return pend, nil
 }
 
 func (l *fileLog) Recover() ([]byte, []Record, error) {
@@ -379,7 +531,7 @@ func (l *fileLog) Sync() error {
 	if err := l.w.Flush(); err != nil {
 		return err
 	}
-	if err := l.f.Sync(); err != nil {
+	if err := datasync(l.f); err != nil {
 		return err
 	}
 	l.fsyncs.Add(1)
@@ -388,28 +540,48 @@ func (l *fileLog) Sync() error {
 }
 
 func (l *fileLog) Close() error {
-	l.mu.Lock()
-	if l.closed {
-		l.mu.Unlock()
-		return nil
-	}
-	l.closed = true
-	err := l.w.Flush()
-	if l.mode != FsyncNone {
-		if serr := l.f.Sync(); err == nil {
-			err = serr
+	l.closeOnce.Do(func() {
+		// Reap the batch ticker FIRST: once its goroutine has exited, no
+		// tick can interleave with the final flush or touch the file
+		// mid-teardown. (The old order closed the file before stopping
+		// the loop and let a second concurrent Close return while the
+		// goroutine was still running.)
+		if l.stop != nil {
+			close(l.stop)
+			<-l.done
 		}
-	}
-	if cerr := l.f.Close(); err == nil {
-		err = cerr
-	}
-	stop := l.stop
-	l.mu.Unlock()
-	if stop != nil {
-		close(stop)
-		<-l.done
-	}
-	return err
+		l.mu.Lock()
+		l.closed = true
+		pend := l.syncPend
+		l.syncPend = nil
+		err := l.w.Flush()
+		if l.mode != FsyncNone {
+			if serr := l.f.Sync(); err == nil {
+				err = serr
+			}
+		}
+		// Groups the reaped syncer never got to: the final flush+sync
+		// above is their durability point. Complete them off this
+		// goroutine (callbacks may take caller locks).
+		if len(pend) > 0 {
+			perr := err
+			go func() {
+				for _, done := range pend {
+					done(perr)
+				}
+			}()
+		}
+		if cerr := l.f.Close(); err == nil {
+			err = cerr
+		}
+		l.closeErr = err
+		l.mu.Unlock()
+		close(l.closeDone)
+	})
+	// Every caller — first, repeated, or concurrent — returns only after
+	// teardown completed.
+	<-l.closeDone
+	return l.closeErr
 }
 
 func writeFileSync(path string, buf []byte) error {

@@ -1,0 +1,22 @@
+//go:build linux
+
+package wal
+
+import (
+	"os"
+	"syscall"
+)
+
+// datasync flushes a log file's appended data — and the metadata needed
+// to reach it, like the extended file size — without forcing untouched
+// metadata such as timestamps to disk. On the append-only hot path this
+// is measurably cheaper than a full fsync and gives the same crash
+// guarantee for record replay.
+func datasync(f *os.File) error {
+	for {
+		err := syscall.Fdatasync(int(f.Fd()))
+		if err != syscall.EINTR {
+			return err
+		}
+	}
+}

@@ -83,6 +83,22 @@ type Log interface {
 	// Append durably logs one ordered apply (durability subject to the
 	// backend's fsync mode).
 	Append(Record) error
+	// AppendBatch logs a group of records as one write and, under
+	// FsyncAlways, one fsync — the group-commit path. The dds write
+	// coalescer hands it a single record whose payload is a multi-op
+	// frame; Recover returns batch-appended records exactly like
+	// individually appended ones (the payload shape is the caller's).
+	AppendBatch([]Record) error
+	// AppendBatchDurable is AppendBatch with the durability wait
+	// decoupled from the append: the call returns once the group is in
+	// the log's write path. pending=true means done will be invoked
+	// exactly once, from another goroutine, when the group is durable —
+	// under FsyncAlways that is after its fsync, and groups awaiting the
+	// same sync share ONE fsync (log-level group commit across frames).
+	// pending=false means the group is already as durable as the mode
+	// makes it and done is never invoked. On a non-nil error done is
+	// never invoked either.
+	AppendBatchDurable(recs []Record, done func(error)) (pending bool, err error)
 	// SaveSnapshot atomically replaces the snapshot with state (an
 	// encoded dds snapshotState) and truncates the record tail it
 	// covers. A crash between the two leaves stale tail records, which
@@ -204,6 +220,26 @@ func (l *memLog) Append(r Record) error {
 	l.tail = append(l.tail, r)
 	l.bytes += int64(len(r.Payload)) + recordOverhead
 	return nil
+}
+
+func (l *memLog) AppendBatch(recs []Record) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	for _, r := range recs {
+		r.Payload = append([]byte(nil), r.Payload...)
+		l.tail = append(l.tail, r)
+		l.bytes += int64(len(r.Payload)) + recordOverhead
+	}
+	return nil
+}
+
+// AppendBatchDurable implements Log; memory is "durable" the moment the
+// append lands, so the call never pends.
+func (l *memLog) AppendBatchDurable(recs []Record, done func(error)) (bool, error) {
+	return false, l.AppendBatch(recs)
 }
 
 func (l *memLog) SaveSnapshot(state []byte) error {

@@ -160,6 +160,187 @@ func TestFileRecoverTruncatesCorruptTail(t *testing.T) {
 	b.Close()
 }
 
+// TestFileRecoverTruncatesTornBatchRecord crashes mid-way through the
+// FINAL batch-appended record: its bytes are cut inside the payload, the
+// shape a power loss leaves when the group-commit write was partially on
+// disk. Recover must surface every intact record, drop the torn group,
+// and leave the file on a clean append boundary.
+func TestFileRecoverTruncatesTornBatchRecord(t *testing.T) {
+	dir := t.TempDir()
+	b, err := Open(dir, Options{Fsync: FsyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, _ := b.Ring(0)
+	if err := l.AppendBatch([]Record{
+		{Origin: 3, Seq: 1, Payload: []byte("batch-one")},
+		{Origin: 3, Seq: 2, Payload: []byte("batch-two")},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// The doomed final group: big enough that cutting 40 bytes lands
+	// mid-payload, not in the header.
+	if err := l.AppendBatch([]Record{{Origin: 3, Seq: 3, Payload: bytes.Repeat([]byte{0xCD}, 200)}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "ring-000.wal")
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, st.Size()-40); err != nil {
+		t.Fatal(err)
+	}
+	l2, _ := b.Ring(0)
+	_, tail, err := l2.Recover()
+	if err != nil {
+		t.Fatalf("recover over torn batch tail: %v", err)
+	}
+	if len(tail) != 2 || tail[0].Seq != 1 || tail[1].Seq != 2 {
+		t.Fatalf("recovered %+v, want the two intact batch records", tail)
+	}
+	if err := l2.AppendBatch([]Record{{Origin: 3, Seq: 3, Payload: []byte("retry")}}); err != nil {
+		t.Fatal(err)
+	}
+	l2.Close()
+	l3, _ := b.Ring(0)
+	_, tail, err = l3.Recover()
+	if err != nil || len(tail) != 3 {
+		t.Fatalf("after tear+append: tail=%d err=%v, want 3 records", len(tail), err)
+	}
+	b.Close()
+}
+
+// TestAppendBatchDurableGroupCommit exercises the pipelined always-mode
+// path: the call must not block on the sync, every durability callback
+// must fire exactly once, concurrent groups must share fsyncs, and the
+// records must all survive recovery.
+func TestAppendBatchDurableGroupCommit(t *testing.T) {
+	reg := stats.NewRegistry()
+	b, err := Open(t.TempDir(), Options{Fsync: FsyncAlways, Stats: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, _ := b.Ring(0)
+	const groups = 64
+	done := make(chan error, groups)
+	for i := 0; i < groups; i++ {
+		pending, err := l.AppendBatchDurable(
+			[]Record{{Origin: 1, Seq: uint64(i + 1), Payload: []byte("g")}},
+			func(err error) { done <- err },
+		)
+		if err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+		if !pending {
+			t.Fatalf("append %d: always-mode file log reported pending=false", i)
+		}
+	}
+	for i := 0; i < groups; i++ {
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("durability callback %d: %v", i, err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("callback %d never fired", i)
+		}
+	}
+	fsyncs := reg.Counter(stats.MetricWALFsyncs).Load()
+	if fsyncs < 1 || fsyncs > groups {
+		t.Fatalf("fsyncs = %d, want between 1 and %d (groups share syncs)", fsyncs, groups)
+	}
+	if got := reg.Counter(stats.MetricWALBatchAppends).Load(); got != groups {
+		t.Fatalf("batch appends counter = %d, want %d", got, groups)
+	}
+	l.Close()
+	l2, _ := b.Ring(0)
+	_, tail, err := l2.Recover()
+	if err != nil || len(tail) != groups {
+		t.Fatalf("recovered %d records err=%v, want %d", len(tail), err, groups)
+	}
+	b.Close()
+}
+
+// TestAppendBatchDurableCloseCompletes closes the log right after
+// enqueuing groups: the callbacks the reaped syncer never processed must
+// still complete through Close's final flush+sync.
+func TestAppendBatchDurableCloseCompletes(t *testing.T) {
+	b, err := Open(t.TempDir(), Options{Fsync: FsyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, _ := b.Ring(0)
+	const groups = 16
+	done := make(chan error, groups)
+	for i := 0; i < groups; i++ {
+		if _, err := l.AppendBatchDurable(
+			[]Record{{Origin: 2, Seq: uint64(i + 1), Payload: []byte("c")}},
+			func(err error) { done <- err },
+		); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < groups; i++ {
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("callback %d after close: %v", i, err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("callback %d never fired after close", i)
+		}
+	}
+	b.Close()
+}
+
+// TestAppendBatchDurableSnapshotCovers compacts while groups await their
+// sync: the snapshot durably covers them, so their callbacks must
+// complete rather than dangle on a truncated log.
+func TestAppendBatchDurableSnapshotCovers(t *testing.T) {
+	b, err := Open(t.TempDir(), Options{Fsync: FsyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, _ := b.Ring(0)
+	const groups = 8
+	done := make(chan error, groups)
+	for i := 0; i < groups; i++ {
+		if _, err := l.AppendBatchDurable(
+			[]Record{{Origin: 4, Seq: uint64(i + 1), Payload: []byte("s")}},
+			func(err error) { done <- err },
+		); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.SaveSnapshot([]byte("covers-pending")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < groups; i++ {
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("callback %d: %v", i, err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("callback %d never fired across compaction", i)
+		}
+	}
+	l.Close()
+	l2, _ := b.Ring(0)
+	snap, _, err := l2.Recover()
+	if err != nil || string(snap) != "covers-pending" {
+		t.Fatalf("recover = %q err=%v", snap, err)
+	}
+	b.Close()
+}
+
 func TestFileCorruptSnapshotIgnored(t *testing.T) {
 	dir := t.TempDir()
 	b, _ := Open(dir, Options{Fsync: FsyncAlways})
